@@ -1,0 +1,92 @@
+//! Regenerate every table/figure of the paper's evaluation (§6) and print
+//! the results as text tables.
+//!
+//! ```text
+//! cargo run -p orchestra-bench --bin experiments --release
+//! ORCHESTRA_SCALE=2.0 cargo run -p orchestra-bench --bin experiments --release
+//! ```
+//!
+//! The output of this binary is the source of the measured numbers recorded
+//! in `EXPERIMENTS.md`.
+
+use orchestra_bench::{
+    run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("ORCHESTRA update-exchange experiment harness (scale = {})", scale.0);
+    println!("================================================================");
+
+    println!("\nFigure 4: deletion strategies (5 peers, integer dataset)");
+    println!("{:<10} {:<14} {:>12} {:>10}", "del.ratio", "strategy", "seconds", "deleted");
+    for r in run_fig4(scale) {
+        println!(
+            "{:<10} {:<14} {:>12.4} {:>10}",
+            format!("{:.0}%", r.ratio * 100.0),
+            r.strategy,
+            r.seconds,
+            r.deleted
+        );
+    }
+
+    println!("\nFigure 5: time to compute initial instances (\"time to join\")");
+    println!("{:<7} {:<9} {:<26} {:>12}", "peers", "dataset", "engine", "seconds");
+    for r in run_fig5(scale) {
+        println!(
+            "{:<7} {:<9} {:<26} {:>12.4}",
+            r.peers,
+            r.dataset.label(),
+            r.engine.label(),
+            r.seconds
+        );
+    }
+
+    println!("\nFigure 6: initial instance size");
+    println!("{:<7} {:>12} {:>16} {:>16}", "peers", "tuples", "string MiB", "integer MiB");
+    for r in run_fig6(scale) {
+        println!(
+            "{:<7} {:>12} {:>16.2} {:>16.2}",
+            r.peers, r.tuples, r.string_mib, r.integer_mib
+        );
+    }
+
+    println!("\nFigure 7: incremental insertions (string dataset)");
+    print_incremental(&run_fig7(scale));
+
+    println!("\nFigure 8: incremental insertions (integer dataset)");
+    print_incremental(&run_fig8(scale));
+
+    println!("\nFigure 9: incremental deletions (both datasets)");
+    print_incremental(&run_fig9(scale));
+
+    println!("\nFigure 10: effect of cycles (5 peers, integer dataset)");
+    println!("{:<8} {:<26} {:>12} {:>16}", "cycles", "engine", "seconds", "fixpoint tuples");
+    for r in run_fig10(scale) {
+        println!(
+            "{:<8} {:<26} {:>12.4} {:>16}",
+            r.cycles,
+            r.engine.label(),
+            r.seconds,
+            r.fixpoint_tuples
+        );
+    }
+}
+
+fn print_incremental(rows: &[orchestra_bench::IncrementalRow]) {
+    println!(
+        "{:<7} {:<9} {:<26} {:>8} {:>12} {:>10}",
+        "peers", "dataset", "engine", "update%", "seconds", "affected"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:<9} {:<26} {:>8} {:>12.4} {:>10}",
+            r.peers,
+            r.dataset.label(),
+            r.engine.label(),
+            format!("{:.0}%", r.update_pct * 100.0),
+            r.seconds,
+            r.affected
+        );
+    }
+}

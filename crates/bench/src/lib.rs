@@ -1,0 +1,393 @@
+//! # orchestra-bench
+//!
+//! The benchmark harness regenerating every figure of the evaluation section
+//! (§6) of *Update Exchange with Mappings and Provenance*:
+//!
+//! | Experiment | Paper figure | Harness entry point |
+//! |---|---|---|
+//! | Deletion strategies (incremental vs DRed vs recomputation) | Figure 4 | [`run_fig4`] |
+//! | Time for a peer to join (initial full computation) | Figure 5 | [`run_fig5`] |
+//! | Initial computed instance size | Figure 6 | [`run_fig6`] |
+//! | Incremental insertions, string dataset | Figure 7 | [`run_fig7`] |
+//! | Incremental insertions, integer dataset | Figure 8 | [`run_fig8`] |
+//! | Incremental deletions | Figure 9 | [`run_fig9`] |
+//! | Effect of mapping cycles | Figure 10 | [`run_fig10`] |
+//!
+//! Each `run_figN` function sweeps the same relative parameters the paper
+//! sweeps (number of peers, update percentage, deletion ratio, number of
+//! cycles, dataset, engine) at a laptop-friendly scale and returns one row
+//! per plotted point. The `experiments` binary prints the rows as tables and
+//! they are recorded in `EXPERIMENTS.md`; the Criterion benches under
+//! `benches/` time representative cells of the same sweeps.
+//!
+//! Absolute numbers differ from the paper (the substrate is an in-memory
+//! Rust engine, not DB2/Tukwila on 2007 hardware); the quantities that must
+//! reproduce are the *shapes*: who wins, where the crossovers fall, and how
+//! cost grows with each parameter.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use orchestra_core::ExchangeReport;
+use orchestra_datalog::EngineKind;
+use orchestra_workload::{generate, DatasetKind, GeneratedCdss, WorkloadConfig};
+
+/// Scale factor applied to the base sizes of every experiment. `1.0` is the
+/// default laptop-friendly scale; raise it to stress the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+impl Scale {
+    /// Read the scale from the `ORCHESTRA_SCALE` environment variable,
+    /// defaulting to 1.0.
+    pub fn from_env() -> Self {
+        std::env::var("ORCHESTRA_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Scale)
+            .unwrap_or_default()
+    }
+
+    /// Scale an entry count, keeping it at least 10.
+    pub fn entries(&self, base: usize) -> usize {
+        ((base as f64 * self.0).round() as usize).max(10)
+    }
+}
+
+/// Build a CDSS for the given shape and load its base data.
+pub fn build_loaded(
+    peers: usize,
+    base_size: usize,
+    dataset: DatasetKind,
+    cycles: usize,
+    engine: EngineKind,
+    seed: u64,
+) -> GeneratedCdss {
+    let config = WorkloadConfig {
+        peers,
+        base_size,
+        dataset,
+        cycles,
+        seed,
+        ..Default::default()
+    };
+    let mut generated = generate(&config).expect("workload generation succeeds");
+    generated.cdss.set_engine(engine);
+    generated.load_base().expect("base load succeeds");
+    generated
+}
+
+fn seconds(report: &ExchangeReport) -> f64 {
+    report.duration.as_secs_f64()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: deletion strategies vs deletion ratio
+// ---------------------------------------------------------------------
+
+/// One point of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Fraction of the base data deleted (0.1 = 10%).
+    pub ratio: f64,
+    /// Strategy label: `incremental`, `dred`, or `recompute`.
+    pub strategy: &'static str,
+    /// Wall-clock seconds for the deletion propagation.
+    pub seconds: f64,
+    /// Tuples removed from derived relations.
+    pub deleted: usize,
+}
+
+/// Figure 4: compare the incremental deletion algorithm, DRed, and complete
+/// recomputation while deleting 10%–90% of the base data (5 peers, chain
+/// mappings, integer dataset).
+pub fn run_fig4(scale: Scale) -> Vec<Fig4Row> {
+    let base = scale.entries(120);
+    let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        for strategy in ["incremental", "dred", "recompute"] {
+            let mut g = build_loaded(5, base, DatasetKind::Integers, 0, EngineKind::Pipelined, 11);
+            let count = g.entries_for_ratio(ratio);
+            let batch = g.deletion_batch(count);
+            let report = match strategy {
+                "incremental" => g.cdss.apply_deletions_incremental(&batch).unwrap(),
+                "dred" => g.cdss.apply_deletions_dred(&batch).unwrap(),
+                _ => {
+                    // Complete recomputation: apply the base deletions to the
+                    // local-contribution tables, then recompute everything.
+                    let start = Instant::now();
+                    let mut report = g.cdss.apply_deletions_incremental(&batch).unwrap();
+                    let rec = g.cdss.recompute_all().unwrap();
+                    report.merge(&rec);
+                    report.duration = start.elapsed();
+                    report
+                }
+            };
+            rows.push(Fig4Row {
+                ratio,
+                strategy,
+                seconds: seconds(&report),
+                deleted: report.total_deleted(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figures 5 & 6: initial computation time and instance size vs #peers
+// ---------------------------------------------------------------------
+
+/// One point of Figure 5 (and the timing half of Figure 6).
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Number of peers in the configuration.
+    pub peers: usize,
+    /// Dataset variant.
+    pub dataset: DatasetKind,
+    /// Execution backend.
+    pub engine: EngineKind,
+    /// Wall-clock seconds for the initial full computation.
+    pub seconds: f64,
+}
+
+/// Figure 5: time for the system to compute all instances from scratch
+/// ("time to join"), for both engines and both datasets, as the number of
+/// peers grows.
+pub fn run_fig5(scale: Scale) -> Vec<Fig5Row> {
+    // The same base size for both datasets, so the string-vs-integer
+    // comparison isolates per-tuple data volume (as in the paper).
+    let base = scale.entries(100);
+    let mut rows = Vec::new();
+    for &peers in &[2usize, 5, 10] {
+        for dataset in [DatasetKind::Integers, DatasetKind::Strings] {
+            for engine in EngineKind::all() {
+                let mut g = build_loaded(peers, base, dataset, 0, engine, 23);
+                let report = g.cdss.recompute_all().unwrap();
+                rows.push(Fig5Row {
+                    peers,
+                    dataset,
+                    engine,
+                    seconds: seconds(&report),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One point of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Number of peers in the configuration.
+    pub peers: usize,
+    /// Total tuples stored across all internal and provenance relations.
+    pub tuples: usize,
+    /// Store size in MiB for the string dataset.
+    pub string_mib: f64,
+    /// Store size in MiB for the integer dataset.
+    pub integer_mib: f64,
+}
+
+/// Figure 6: size of the computed instances (tuples and bytes) as the number
+/// of peers grows.
+pub fn run_fig6(scale: Scale) -> Vec<Fig6Row> {
+    let base = scale.entries(100);
+    let mut rows = Vec::new();
+    for &peers in &[2usize, 5, 10] {
+        let g_int = build_loaded(peers, base, DatasetKind::Integers, 0, EngineKind::Pipelined, 31);
+        let g_str = build_loaded(peers, base, DatasetKind::Strings, 0, EngineKind::Pipelined, 31);
+        let int_stats = g_int.cdss.instance_stats();
+        let str_stats = g_str.cdss.instance_stats();
+        rows.push(Fig6Row {
+            peers,
+            tuples: int_stats.total_tuples,
+            string_mib: str_stats.total_mib(),
+            integer_mib: int_stats.total_mib(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figures 7, 8, 9: incremental insertions and deletions vs #peers
+// ---------------------------------------------------------------------
+
+/// One point of Figures 7, 8, or 9.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// Number of peers.
+    pub peers: usize,
+    /// Dataset variant.
+    pub dataset: DatasetKind,
+    /// Execution backend.
+    pub engine: EngineKind,
+    /// Update size as a fraction of the base size (0.01 or 0.1).
+    pub update_pct: f64,
+    /// Wall-clock seconds for the incremental propagation.
+    pub seconds: f64,
+    /// Tuples inserted (Figures 7/8) or deleted (Figure 9).
+    pub affected: usize,
+}
+
+fn run_incremental_insertions(scale: Scale, dataset: DatasetKind, peer_counts: &[usize]) -> Vec<IncrementalRow> {
+    let base = match dataset {
+        DatasetKind::Integers => scale.entries(150),
+        DatasetKind::Strings => scale.entries(60),
+    };
+    let mut rows = Vec::new();
+    for &peers in peer_counts {
+        for engine in EngineKind::all() {
+            for &pct in &[0.01, 0.1] {
+                let mut g = build_loaded(peers, base, dataset, 0, engine, 41);
+                let count = g.entries_for_ratio(pct);
+                let batch = g.fresh_insertions(count);
+                let report = g.cdss.apply_insertions_incremental(&batch).unwrap();
+                rows.push(IncrementalRow {
+                    peers,
+                    dataset,
+                    engine,
+                    update_pct: pct,
+                    seconds: seconds(&report),
+                    affected: report.total_inserted(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 7: incremental insertion scalability on the string dataset.
+pub fn run_fig7(scale: Scale) -> Vec<IncrementalRow> {
+    run_incremental_insertions(scale, DatasetKind::Strings, &[2, 5, 10])
+}
+
+/// Figure 8: incremental insertion scalability on the integer dataset.
+pub fn run_fig8(scale: Scale) -> Vec<IncrementalRow> {
+    run_incremental_insertions(scale, DatasetKind::Integers, &[2, 5, 10])
+}
+
+/// Figure 9: incremental deletion scalability on both datasets (pipelined
+/// engine, matching the paper's DB2-only deletion figure in spirit).
+pub fn run_fig9(scale: Scale) -> Vec<IncrementalRow> {
+    let mut rows = Vec::new();
+    for dataset in [DatasetKind::Integers, DatasetKind::Strings] {
+        let base = match dataset {
+            DatasetKind::Integers => scale.entries(150),
+            DatasetKind::Strings => scale.entries(60),
+        };
+        for &peers in &[2usize, 5, 10] {
+            for &pct in &[0.01, 0.1] {
+                let mut g = build_loaded(peers, base, dataset, 0, EngineKind::Pipelined, 43);
+                let count = g.entries_for_ratio(pct);
+                let batch = g.deletion_batch(count);
+                let report = g.cdss.apply_deletions_incremental(&batch).unwrap();
+                rows.push(IncrementalRow {
+                    peers,
+                    dataset,
+                    engine: EngineKind::Pipelined,
+                    update_pct: pct,
+                    seconds: seconds(&report),
+                    affected: report.total_deleted(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: effect of cycles
+// ---------------------------------------------------------------------
+
+/// One point of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Number of extra cycle-closing mappings.
+    pub cycles: usize,
+    /// Execution backend.
+    pub engine: EngineKind,
+    /// Wall-clock seconds for the initial computation.
+    pub seconds: f64,
+    /// Number of tuples in all derived relations at fixpoint.
+    pub fixpoint_tuples: usize,
+}
+
+/// Figure 10: initial computation time and fixpoint size as cycles are added
+/// to the mapping graph (5 peers, 2 neighbours each).
+pub fn run_fig10(scale: Scale) -> Vec<Fig10Row> {
+    let base = scale.entries(100);
+    let mut rows = Vec::new();
+    for cycles in 0..=3usize {
+        for engine in EngineKind::all() {
+            let mut g = build_loaded(5, base, DatasetKind::Integers, cycles, engine, 53);
+            let report = g.cdss.recompute_all().unwrap();
+            rows.push(Fig10Row {
+                cycles,
+                engine,
+                seconds: seconds(&report),
+                fixpoint_tuples: g.cdss.total_output_tuples(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_entries() {
+        assert_eq!(Scale::default().entries(100), 100);
+        assert_eq!(Scale(0.5).entries(100), 50);
+        assert_eq!(Scale(0.001).entries(100), 10, "never below the floor of 10");
+    }
+
+    #[test]
+    fn fig4_shape_holds_at_tiny_scale() {
+        let rows = run_fig4(Scale(0.2));
+        assert_eq!(rows.len(), 15);
+        // At a modest deletion ratio the incremental algorithm beats DRed.
+        let at = |ratio: f64, strategy: &str| {
+            rows.iter()
+                .find(|r| (r.ratio - ratio).abs() < 1e-9 && r.strategy == strategy)
+                .unwrap()
+                .seconds
+        };
+        assert!(at(0.3, "incremental") < at(0.3, "dred"));
+        assert!(at(0.1, "incremental") < at(0.1, "recompute"));
+    }
+
+    #[test]
+    fn fig6_string_instances_are_larger_than_integer() {
+        let rows = run_fig6(Scale(0.2));
+        for r in &rows {
+            assert!(r.string_mib > r.integer_mib, "{r:?}");
+            assert!(r.tuples > 0);
+        }
+        // Instance size grows with the number of peers.
+        assert!(rows.last().unwrap().tuples > rows.first().unwrap().tuples);
+    }
+
+    #[test]
+    fn fig10_fixpoint_grows_with_cycles() {
+        let rows = run_fig10(Scale(0.2));
+        let tuples_at = |c: usize| {
+            rows.iter()
+                .find(|r| r.cycles == c && r.engine == EngineKind::Pipelined)
+                .unwrap()
+                .fixpoint_tuples
+        };
+        assert!(tuples_at(3) >= tuples_at(0));
+    }
+}

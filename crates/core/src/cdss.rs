@@ -1,0 +1,572 @@
+//! The [`Cdss`] type: state, local editing, publishing, provenance and
+//! query APIs. The update-exchange strategies themselves (full
+//! recomputation, incremental insertion/deletion, DRed) live in
+//! [`crate::exchange`].
+
+use std::collections::{BTreeMap, HashSet};
+
+use orchestra_datalog::rule::Rule;
+use orchestra_datalog::{EngineKind, Evaluator};
+use orchestra_mappings::MappingSystem;
+use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
+use orchestra_storage::schema::{internal_name, InternalRole};
+use orchestra_storage::{Database, DatabaseStats, EditLog, Tuple};
+
+use crate::error::CdssError;
+use crate::peer::{Peer, PeerId};
+use crate::report::PublishReport;
+use crate::trust::TrustPolicy;
+use crate::Result;
+
+/// The net, normalised changes produced by publishing a peer's edit logs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PublishedChanges {
+    /// New local contributions per *logical* relation.
+    pub contributions: BTreeMap<String, Vec<Tuple>>,
+    /// Retracted local contributions per logical relation.
+    pub retractions: BTreeMap<String, Vec<Tuple>>,
+    /// New rejections (curation deletions of imported data) per logical
+    /// relation.
+    pub rejections: BTreeMap<String, Vec<Tuple>>,
+}
+
+impl PublishedChanges {
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.contributions.values().all(Vec::is_empty)
+            && self.retractions.values().all(Vec::is_empty)
+            && self.rejections.values().all(Vec::is_empty)
+    }
+}
+
+/// A collaborative data sharing system: peers, mappings, trust policies, the
+/// shared auxiliary store with all internal and provenance relations, and the
+/// provenance graph.
+#[derive(Debug)]
+pub struct Cdss {
+    peers: BTreeMap<PeerId, Peer>,
+    relation_owner: BTreeMap<String, PeerId>,
+    system: MappingSystem,
+    policies: BTreeMap<PeerId, TrustPolicy>,
+    engine: EngineKind,
+    db: Database,
+    graph: ProvenanceGraph,
+    /// Pending (unpublished) edit logs: peer → logical relation → log.
+    pending: BTreeMap<PeerId, BTreeMap<String, EditLog>>,
+}
+
+impl Cdss {
+    pub(crate) fn from_parts(
+        peers: BTreeMap<PeerId, Peer>,
+        relation_owner: BTreeMap<String, PeerId>,
+        system: MappingSystem,
+        policies: BTreeMap<PeerId, TrustPolicy>,
+        engine: EngineKind,
+        db: Database,
+    ) -> Self {
+        Cdss {
+            peers,
+            relation_owner,
+            system,
+            policies,
+            engine,
+            db,
+            graph: ProvenanceGraph::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The identifiers of all peers, sorted.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().cloned().collect()
+    }
+
+    /// Look up a peer.
+    pub fn peer(&self, id: &str) -> Result<&Peer> {
+        self.peers
+            .get(id)
+            .ok_or_else(|| CdssError::UnknownPeer(id.to_string()))
+    }
+
+    /// The peer owning a logical relation, if any.
+    pub fn owner_of(&self, relation: &str) -> Option<&str> {
+        self.relation_owner.get(relation).map(String::as_str)
+    }
+
+    /// The configured execution backend.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Switch the execution backend (used by the benchmark harness to compare
+    /// the DB2-style and Tukwila-style engines on identical state).
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The compiled mapping system (tgds, internal program, provenance
+    /// relation layout).
+    pub fn mapping_system(&self) -> &MappingSystem {
+        &self.system
+    }
+
+    /// The shared auxiliary database holding every internal and provenance
+    /// relation.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub(crate) fn split_for_eval(
+        &mut self,
+    ) -> (
+        &MappingSystem,
+        &BTreeMap<PeerId, TrustPolicy>,
+        &BTreeMap<String, PeerId>,
+        &mut Database,
+        &mut ProvenanceGraph,
+        EngineKind,
+    ) {
+        (
+            &self.system,
+            &self.policies,
+            &self.relation_owner,
+            &mut self.db,
+            &mut self.graph,
+            self.engine,
+        )
+    }
+
+    /// The current provenance graph (tuple and mapping instantiation nodes).
+    pub fn provenance_graph(&self) -> &ProvenanceGraph {
+        &self.graph
+    }
+
+    /// The trust policy of a peer (trust-everything if unset).
+    pub fn trust_policy(&self, peer: &str) -> TrustPolicy {
+        self.policies.get(peer).cloned().unwrap_or_default()
+    }
+
+    /// Replace a peer's trust policy. Takes effect at the next update
+    /// exchange or recomputation.
+    pub fn set_trust_policy(&mut self, peer: impl Into<PeerId>, policy: TrustPolicy) -> Result<()> {
+        let peer = peer.into();
+        if !self.peers.contains_key(&peer) {
+            return Err(CdssError::UnknownPeer(peer));
+        }
+        for m in policy
+            .distrusted_mappings
+            .iter()
+            .chain(policy.conditions.keys())
+        {
+            if self.system.mapping(m).is_none() {
+                return Err(CdssError::UnknownMapping(m.clone()));
+            }
+        }
+        self.policies.insert(peer, policy);
+        Ok(())
+    }
+
+    /// Size statistics of the whole auxiliary store (Figure 6).
+    pub fn instance_stats(&self) -> DatabaseStats {
+        self.db.stats()
+    }
+
+    /// Validate that a relation belongs to a peer and a tuple matches its
+    /// arity.
+    fn check_edit(&self, peer: &str, relation: &str, tuple: &Tuple) -> Result<()> {
+        let p = self.peer(peer)?;
+        let Some(schema) = p.relation(relation) else {
+            return Err(CdssError::NotPeerRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            });
+        };
+        if schema.arity() != tuple.arity() {
+            return Err(CdssError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Local editing and publishing (paper §2, §3.1)
+    // ------------------------------------------------------------------
+
+    /// Record a local insertion in the peer's edit log. Nothing propagates
+    /// until the peer performs an update exchange.
+    pub fn insert_local(&mut self, peer: &str, relation: &str, tuple: Tuple) -> Result<()> {
+        self.check_edit(peer, relation, &tuple)?;
+        self.pending
+            .entry(peer.to_string())
+            .or_default()
+            .entry(relation.to_string())
+            .or_insert_with(|| EditLog::new(relation))
+            .push_insert(tuple);
+        Ok(())
+    }
+
+    /// Record a local deletion in the peer's edit log. Deleting data the peer
+    /// never inserted is a *curation rejection* of imported data (paper §2).
+    pub fn delete_local(&mut self, peer: &str, relation: &str, tuple: Tuple) -> Result<()> {
+        self.check_edit(peer, relation, &tuple)?;
+        self.pending
+            .entry(peer.to_string())
+            .or_default()
+            .entry(relation.to_string())
+            .or_insert_with(|| EditLog::new(relation))
+            .push_delete(tuple);
+        Ok(())
+    }
+
+    /// Number of unpublished edit-log entries for a peer.
+    pub fn pending_edit_count(&self, peer: &str) -> usize {
+        self.pending
+            .get(peer)
+            .map(|logs| logs.values().map(EditLog::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Normalise and clear the peer's pending edit logs, returning the net
+    /// effect on its local-contributions and rejections tables. The changes
+    /// are *not* yet applied to the store; `update_exchange` does that and
+    /// propagates them.
+    pub(crate) fn publish(&mut self, peer: &str) -> Result<(PublishReport, PublishedChanges)> {
+        self.peer(peer)?;
+        let mut report = PublishReport::default();
+        let mut changes = PublishedChanges::default();
+
+        let Some(logs) = self.pending.remove(peer) else {
+            return Ok((report, changes));
+        };
+
+        for (relation, log) in logs {
+            let rl_name = internal_name(&relation, InternalRole::LocalContributions);
+            let prior: HashSet<Tuple> = self
+                .db
+                .relation(&rl_name)?
+                .iter()
+                .cloned()
+                .collect();
+            let normalized = log.normalize(&prior);
+
+            if !normalized.contributions.is_empty() {
+                report
+                    .contributions_added
+                    .insert(relation.clone(), normalized.contributions.len());
+                changes
+                    .contributions
+                    .insert(relation.clone(), normalized.contributions);
+            }
+            if !normalized.retracted_contributions.is_empty() {
+                report
+                    .contributions_retracted
+                    .insert(relation.clone(), normalized.retracted_contributions.len());
+                changes
+                    .retractions
+                    .insert(relation.clone(), normalized.retracted_contributions);
+            }
+            if !normalized.rejections.is_empty() {
+                report
+                    .rejections_added
+                    .insert(relation.clone(), normalized.rejections.len());
+                changes.rejections.insert(relation.clone(), normalized.rejections);
+            }
+        }
+        Ok((report, changes))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries and provenance (paper §2.1, §3.2)
+    // ------------------------------------------------------------------
+
+    /// The full local instance of one of a peer's relations (the contents of
+    /// its curated output table `R_o`), including tuples with labeled nulls.
+    pub fn local_instance(&self, peer: &str, relation: &str) -> Result<Vec<Tuple>> {
+        let p = self.peer(peer)?;
+        if !p.owns(relation) {
+            return Err(CdssError::NotPeerRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            });
+        }
+        let out = internal_name(relation, InternalRole::Output);
+        Ok(self.db.relation(&out)?.sorted_tuples())
+    }
+
+    /// The certain answers over one of a peer's relations: the local instance
+    /// with tuples containing labeled nulls discarded (paper §2.1).
+    pub fn certain_answers(&self, peer: &str, relation: &str) -> Result<Vec<Tuple>> {
+        let p = self.peer(peer)?;
+        if !p.owns(relation) {
+            return Err(CdssError::NotPeerRelation {
+                peer: peer.to_string(),
+                relation: relation.to_string(),
+            });
+        }
+        let out = internal_name(relation, InternalRole::Output);
+        Ok(self.db.relation(&out)?.certain_tuples())
+    }
+
+    /// Evaluate an ad-hoc conjunctive query whose body refers to *logical*
+    /// relation names (they are translated to the peers' output tables).
+    /// Returns all answers, including those containing labeled nulls.
+    pub fn query_rule(&mut self, rule: &Rule) -> Result<Vec<Tuple>> {
+        let translated = Rule::new(
+            rule.head.clone(),
+            rule.body
+                .iter()
+                .map(|lit| {
+                    let mut lit = lit.clone();
+                    if self.relation_owner.contains_key(lit.relation()) {
+                        lit.atom.relation = internal_name(&lit.atom.relation, InternalRole::Output);
+                    }
+                    lit
+                })
+                .collect(),
+        );
+        let mut eval = Evaluator::new(self.engine);
+        let mut out = eval.evaluate_rule(&translated, &mut self.db, None, None)?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Evaluate an ad-hoc query and return only certain answers (tuples
+    /// without labeled nulls), as in Example 3.
+    pub fn query_certain(&mut self, rule: &Rule) -> Result<Vec<Tuple>> {
+        Ok(self
+            .query_rule(rule)?
+            .into_iter()
+            .filter(|t| !t.has_labeled_null())
+            .collect())
+    }
+
+    /// The provenance expression of a tuple of a logical relation
+    /// (Example 6). The tuple is looked up in the relation's input table
+    /// (data arriving via mappings) and falls back to the output table.
+    pub fn provenance_of(&self, relation: &str, tuple: &Tuple) -> ProvenanceExpr {
+        let input = internal_name(relation, InternalRole::Input);
+        let expr = self.graph.expression_for(&input, tuple);
+        if !expr.is_zero() {
+            return expr;
+        }
+        let output = internal_name(relation, InternalRole::Output);
+        self.graph.expression_for(&output, tuple)
+    }
+
+    /// Is a tuple of a logical relation's output table still derivable from
+    /// the base data currently present in the local-contribution tables?
+    pub fn is_derivable(&self, relation: &str, tuple: &Tuple) -> bool {
+        let output = internal_name(relation, InternalRole::Output);
+        let db = &self.db;
+        self.graph.derivable(&output, tuple, |tok: &ProvenanceToken| {
+            db.relation(&tok.relation)
+                .map(|r| r.contains(&tok.tuple))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Total number of tuples in all peers' curated output tables.
+    pub fn total_output_tuples(&self) -> usize {
+        self.relation_owner
+            .keys()
+            .filter_map(|r| {
+                self.db
+                    .relation(&internal_name(r, InternalRole::Output))
+                    .ok()
+                    .map(|rel| rel.len())
+            })
+            .sum()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Trust filtering and provenance graph maintenance helpers. These are free
+// functions over individual `Cdss` fields so that callers can split borrows
+// (mutable database access alongside immutable mapping/policy access).
+// ----------------------------------------------------------------------
+
+/// Map an internal input-table name (`B_i`) back to its logical relation
+/// (`B`), if it has the input suffix.
+pub(crate) fn logical_of_input(relation: &str) -> Option<&str> {
+    relation.strip_suffix("_i")
+}
+
+/// Build the derivation filter enforcing trust conditions during evaluation
+/// (paper §3.3 and §4.2): a provenance row is accepted only if every target
+/// tuple it derives is accepted by the owning peer's policy for that mapping.
+pub(crate) fn trust_filter<'a>(
+    system: &'a MappingSystem,
+    policies: &'a BTreeMap<PeerId, TrustPolicy>,
+    relation_owner: &'a BTreeMap<String, PeerId>,
+) -> impl Fn(&str, &Tuple) -> bool + 'a {
+    move |relation: &str, row: &Tuple| {
+        let Some((mapping, table_idx)) = system.mapping_for_provenance_relation(relation) else {
+            // Not a provenance relation: no trust condition applies here.
+            return true;
+        };
+        for (target_rel, target_tuple) in mapping.instantiate_targets(table_idx, row) {
+            let Some(logical) = logical_of_input(&target_rel) else {
+                continue;
+            };
+            let Some(owner) = relation_owner.get(logical) else {
+                continue;
+            };
+            if let Some(policy) = policies.get(owner) {
+                if !policy.accepts(&mapping.name, &target_tuple) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The name of the provenance-graph mapping node family recording the
+/// internal rule `R_o :- R_i, ¬R_r` for logical relation `R`.
+pub(crate) fn import_edge(relation: &str) -> String {
+    format!("import:{relation}")
+}
+
+/// The name of the provenance-graph mapping node family recording the
+/// internal rule `R_o :- R_l` for logical relation `R`.
+pub(crate) fn local_edge(relation: &str) -> String {
+    format!("local:{relation}")
+}
+
+/// Rebuild the provenance graph from scratch from the current contents of
+/// the local-contribution tables, the provenance relations, and the internal
+/// input/output tables.
+pub(crate) fn rebuild_graph(
+    system: &MappingSystem,
+    db: &Database,
+    graph: &mut ProvenanceGraph,
+) {
+    *graph = ProvenanceGraph::new();
+
+    // Base data: local contributions carry their own provenance tokens.
+    for logical in system.logical_relations() {
+        let rl = internal_name(&logical, InternalRole::LocalContributions);
+        if let Ok(rel) = db.relation(&rl) {
+            for t in rel.iter() {
+                graph.mark_base(&rl, t.clone());
+            }
+        }
+    }
+
+    // Mapping instantiations from the stored provenance rows.
+    for compiled in &system.compiled {
+        for (table_idx, table) in compiled.provenance.iter().enumerate() {
+            let Ok(rel) = db.relation(&table.relation) else {
+                continue;
+            };
+            for row in rel.iter() {
+                let sources = compiled.instantiate_sources(row);
+                let targets = compiled.instantiate_targets(table_idx, row);
+                let src_refs: Vec<(&str, Tuple)> = sources
+                    .iter()
+                    .map(|(r, t)| (r.as_str(), t.clone()))
+                    .collect();
+                let tgt_refs: Vec<(&str, Tuple)> = targets
+                    .iter()
+                    .map(|(r, t)| (r.as_str(), t.clone()))
+                    .collect();
+                graph.add_derivation(compiled.name.clone(), &src_refs, &tgt_refs);
+            }
+        }
+    }
+
+    // Internal edges: R_o tuples derive from R_l (local) and R_i (import).
+    for logical in system.logical_relations() {
+        let ro = internal_name(&logical, InternalRole::Output);
+        let rl = internal_name(&logical, InternalRole::LocalContributions);
+        let ri = internal_name(&logical, InternalRole::Input);
+        let Ok(out_rel) = db.relation(&ro) else { continue };
+        for t in out_rel.iter() {
+            if db.contains(&rl, t).unwrap_or(false) {
+                graph.add_derivation(local_edge(&logical), &[(&rl, t.clone())], &[(&ro, t.clone())]);
+            }
+            if db.contains(&ri, t).unwrap_or(false) {
+                graph.add_derivation(import_edge(&logical), &[(&ri, t.clone())], &[(&ro, t.clone())]);
+            }
+        }
+    }
+}
+
+/// Incrementally extend the provenance graph after insertion propagation:
+/// `new_tuples` maps (internal) relation names to the tuples newly inserted
+/// by the propagation.
+pub(crate) fn extend_graph_with_insertions(
+    system: &MappingSystem,
+    db: &Database,
+    graph: &mut ProvenanceGraph,
+    new_tuples: &std::collections::HashMap<String, Vec<Tuple>>,
+) {
+    for (relation, tuples) in new_tuples {
+        // New base data. If the corresponding output tuple already exists
+        // (it was previously derivable only via imports), the local edge
+        // must be added now.
+        if let Some(logical) = relation.strip_suffix("_l") {
+            let ro = internal_name(logical, InternalRole::Output);
+            for t in tuples {
+                graph.mark_base(relation, t.clone());
+                if db.contains(&ro, t).unwrap_or(false) {
+                    graph.add_derivation(
+                        local_edge(logical),
+                        &[(relation.as_str(), t.clone())],
+                        &[(&ro, t.clone())],
+                    );
+                }
+            }
+            continue;
+        }
+        // New provenance rows become mapping nodes.
+        if let Some((compiled, table_idx)) = system.mapping_for_provenance_relation(relation) {
+            for row in tuples {
+                let sources = compiled.instantiate_sources(row);
+                let targets = compiled.instantiate_targets(table_idx, row);
+                let src_refs: Vec<(&str, Tuple)> = sources
+                    .iter()
+                    .map(|(r, t)| (r.as_str(), t.clone()))
+                    .collect();
+                let tgt_refs: Vec<(&str, Tuple)> = targets
+                    .iter()
+                    .map(|(r, t)| (r.as_str(), t.clone()))
+                    .collect();
+                graph.add_derivation(compiled.name.clone(), &src_refs, &tgt_refs);
+            }
+            continue;
+        }
+        // New output tuples gain their internal edges.
+        if let Some(logical) = relation.strip_suffix("_o") {
+            let rl = internal_name(logical, InternalRole::LocalContributions);
+            let ri = internal_name(logical, InternalRole::Input);
+            for t in tuples {
+                if db.contains(&rl, t).unwrap_or(false) {
+                    graph.add_derivation(local_edge(logical), &[(&rl, t.clone())], &[(relation.as_str(), t.clone())]);
+                }
+                if db.contains(&ri, t).unwrap_or(false) {
+                    graph.add_derivation(import_edge(logical), &[(&ri, t.clone())], &[(relation.as_str(), t.clone())]);
+                }
+            }
+            continue;
+        }
+        // New input tuples: if the matching output tuple already exists (it
+        // was previously derivable only locally), add the import edge.
+        if let Some(logical) = logical_of_input(relation) {
+            let ro = internal_name(logical, InternalRole::Output);
+            for t in tuples {
+                if db.contains(&ro, t).unwrap_or(false) {
+                    graph.add_derivation(import_edge(logical), &[(relation.as_str(), t.clone())], &[(&ro, t.clone())]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for CDSS operations.
+
+use std::fmt;
+
+use orchestra_datalog::DatalogError;
+use orchestra_mappings::MappingError;
+use orchestra_storage::StorageError;
+
+/// Errors raised by the CDSS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdssError {
+    /// A peer with this identifier already exists.
+    DuplicatePeer(String),
+    /// No peer with this identifier exists.
+    UnknownPeer(String),
+    /// Two peers declare a logical relation with the same name (the paper
+    /// assumes disjoint peer schemas, §2).
+    DuplicateRelation {
+        /// The relation declared twice.
+        relation: String,
+        /// The peer that already owns it.
+        owner: String,
+    },
+    /// The relation is not part of the given peer's schema.
+    NotPeerRelation {
+        /// The peer.
+        peer: String,
+        /// The relation.
+        relation: String,
+    },
+    /// A tuple's arity does not match the logical relation's schema.
+    ArityMismatch {
+        /// The relation.
+        relation: String,
+        /// Expected arity.
+        expected: usize,
+        /// Actual arity.
+        actual: usize,
+    },
+    /// A trust policy refers to a mapping that does not exist.
+    UnknownMapping(String),
+    /// Error from the mapping layer.
+    Mapping(MappingError),
+    /// Error from the datalog layer.
+    Datalog(DatalogError),
+    /// Error from the storage layer.
+    Storage(StorageError),
+}
+
+impl fmt::Display for CdssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdssError::DuplicatePeer(p) => write!(f, "peer `{p}` already exists"),
+            CdssError::UnknownPeer(p) => write!(f, "unknown peer `{p}`"),
+            CdssError::DuplicateRelation { relation, owner } => {
+                write!(f, "relation `{relation}` is already declared by peer `{owner}` (peer schemas must be disjoint)")
+            }
+            CdssError::NotPeerRelation { peer, relation } => {
+                write!(f, "relation `{relation}` does not belong to peer `{peer}`")
+            }
+            CdssError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but received a tuple of arity {actual}"
+            ),
+            CdssError::UnknownMapping(m) => write!(f, "unknown mapping `{m}` in trust policy"),
+            CdssError::Mapping(e) => write!(f, "mapping error: {e}"),
+            CdssError::Datalog(e) => write!(f, "datalog error: {e}"),
+            CdssError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CdssError {}
+
+impl From<MappingError> for CdssError {
+    fn from(e: MappingError) -> Self {
+        CdssError::Mapping(e)
+    }
+}
+
+impl From<DatalogError> for CdssError {
+    fn from(e: DatalogError) -> Self {
+        CdssError::Datalog(e)
+    }
+}
+
+impl From<StorageError> for CdssError {
+    fn from(e: StorageError) -> Self {
+        CdssError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CdssError = StorageError::UnknownRelation("B".into()).into();
+        assert!(matches!(e, CdssError::Storage(_)));
+        let e: CdssError = DatalogError::MissingRelation("B".into()).into();
+        assert!(matches!(e, CdssError::Datalog(_)));
+        let e: CdssError = MappingError::UnknownRelation("B".into()).into();
+        assert!(matches!(e, CdssError::Mapping(_)));
+        assert!(CdssError::UnknownPeer("PGUS".into()).to_string().contains("PGUS"));
+        assert!(CdssError::DuplicateRelation {
+            relation: "B".into(),
+            owner: "PBioSQL".into()
+        }
+        .to_string()
+        .contains("disjoint"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # orchestra-core
+//!
+//! The ORCHESTRA collaborative data sharing system (CDSS), reproducing
+//! *Update Exchange with Mappings and Provenance* (Green, Karvounarakis,
+//! Ives, Tannen; VLDB 2007 / UPenn TR MS-CIS-07-26).
+//!
+//! A [`Cdss`] hosts a set of autonomous **peers**, each owning a relational
+//! schema and a locally edited instance. Peers are related by **schema
+//! mappings** (tgds); every peer's updates are translated along the mappings
+//! into the other peers' schemas, filtered by per-peer **trust policies**
+//! evaluated over **provenance**, and overlaid with each peer's own local
+//! contributions and curation deletions.
+//!
+//! The crate implements the full lifecycle described in the paper:
+//!
+//! * local editing and edit logs (§3.1): [`Cdss::insert_local`],
+//!   [`Cdss::delete_local`], [`Cdss::publish`];
+//! * update translation to canonical instances with labeled nulls, computed
+//!   by compiling the mappings to datalog with Skolem functions (§4.1.1) and
+//!   maintaining the relational provenance encoding of §4.1.2;
+//! * trust policies applied during derivation (§3.3, §4.2):
+//!   [`TrustPolicy`], [`Predicate`];
+//! * the provenance graph of §3.2, rebuilt from the stored provenance
+//!   relations, powering provenance queries ([`Cdss::provenance_of`]) and
+//!   goal-directed derivability tests;
+//! * **incremental update exchange** (§4.2): insertion propagation via delta
+//!   rules ([`Cdss::apply_insertions_incremental`]), the provenance-guided
+//!   deletion-propagation algorithm of Figure 3
+//!   ([`Cdss::apply_deletions_incremental`]), the DRed baseline
+//!   ([`Cdss::apply_deletions_dred`]), and full recomputation
+//!   ([`Cdss::recompute_all`]);
+//! * certain-answer queries over each peer's local instance (§2.1):
+//!   [`Cdss::certain_answers`], [`Cdss::query_rule`].
+//!
+//! See the `examples/` directory of the repository for end-to-end walkthroughs
+//! of the paper's running bioinformatics scenario.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod cdss;
+pub mod error;
+pub mod exchange;
+pub mod peer;
+pub mod report;
+pub mod trust;
+
+pub use builder::CdssBuilder;
+pub use cdss::Cdss;
+pub use error::CdssError;
+pub use peer::{Peer, PeerId};
+pub use report::{ExchangeReport, PublishReport};
+pub use trust::{CmpOp, Predicate, TrustPolicy};
+
+/// Convenience result alias for CDSS operations.
+pub type Result<T> = std::result::Result<T, CdssError>;

@@ -1,0 +1,192 @@
+//! Reports returned by publish and update-exchange operations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use orchestra_datalog::EvalStats;
+
+/// The net effect of publishing a peer's edit log (paper §3.1): how its
+/// local-contributions and rejections tables changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Per logical relation, the number of new local contributions.
+    pub contributions_added: BTreeMap<String, usize>,
+    /// Per logical relation, the number of contributions retracted.
+    pub contributions_retracted: BTreeMap<String, usize>,
+    /// Per logical relation, the number of new rejections (curation
+    /// deletions of imported data).
+    pub rejections_added: BTreeMap<String, usize>,
+}
+
+impl PublishReport {
+    /// Total number of published operations.
+    pub fn total_ops(&self) -> usize {
+        self.contributions_added.values().sum::<usize>()
+            + self.contributions_retracted.values().sum::<usize>()
+            + self.rejections_added.values().sum::<usize>()
+    }
+
+    /// True if nothing was published.
+    pub fn is_empty(&self) -> bool {
+        self.total_ops() == 0
+    }
+}
+
+impl fmt::Display for PublishReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "published: +{} contributions, -{} retractions, {} rejections",
+            self.contributions_added.values().sum::<usize>(),
+            self.contributions_retracted.values().sum::<usize>(),
+            self.rejections_added.values().sum::<usize>()
+        )
+    }
+}
+
+/// Which update-exchange strategy produced an [`ExchangeReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeStrategy {
+    /// Full recomputation of all derived relations from base data.
+    FullRecomputation,
+    /// Incremental insertion propagation (§4.2, delta rules).
+    IncrementalInsertion,
+    /// The provenance-guided incremental deletion algorithm (Figure 3).
+    IncrementalDeletion,
+    /// The DRed over-delete / re-derive baseline.
+    DRed,
+}
+
+impl fmt::Display for ExchangeStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExchangeStrategy::FullRecomputation => "full-recomputation",
+            ExchangeStrategy::IncrementalInsertion => "incremental-insertion",
+            ExchangeStrategy::IncrementalDeletion => "incremental-deletion",
+            ExchangeStrategy::DRed => "dred",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The outcome of one update-exchange operation.
+#[derive(Debug, Clone)]
+pub struct ExchangeReport {
+    /// The strategy that was executed.
+    pub strategy: ExchangeStrategy,
+    /// Number of tuples inserted into derived relations, per relation.
+    pub inserted: BTreeMap<String, usize>,
+    /// Number of tuples deleted from derived relations, per relation.
+    pub deleted: BTreeMap<String, usize>,
+    /// Datalog engine statistics accumulated during the operation.
+    pub eval_stats: EvalStats,
+    /// Wall-clock duration of the operation.
+    pub duration: Duration,
+}
+
+impl ExchangeReport {
+    /// Create an empty report for a strategy.
+    pub fn new(strategy: ExchangeStrategy) -> Self {
+        ExchangeReport {
+            strategy,
+            inserted: BTreeMap::new(),
+            deleted: BTreeMap::new(),
+            eval_stats: EvalStats::new(),
+            duration: Duration::ZERO,
+        }
+    }
+
+    /// Total tuples inserted across relations.
+    pub fn total_inserted(&self) -> usize {
+        self.inserted.values().sum()
+    }
+
+    /// Total tuples deleted across relations.
+    pub fn total_deleted(&self) -> usize {
+        self.deleted.values().sum()
+    }
+
+    /// Record insertions for a relation.
+    pub fn add_inserted(&mut self, relation: &str, count: usize) {
+        if count > 0 {
+            *self.inserted.entry(relation.to_string()).or_default() += count;
+        }
+    }
+
+    /// Record deletions for a relation.
+    pub fn add_deleted(&mut self, relation: &str, count: usize) {
+        if count > 0 {
+            *self.deleted.entry(relation.to_string()).or_default() += count;
+        }
+    }
+
+    /// Merge another report's counters (keeps this report's strategy).
+    pub fn merge(&mut self, other: &ExchangeReport) {
+        for (r, c) in &other.inserted {
+            *self.inserted.entry(r.clone()).or_default() += c;
+        }
+        for (r, c) in &other.deleted {
+            *self.deleted.entry(r.clone()).or_default() += c;
+        }
+        self.eval_stats += other.eval_stats;
+        self.duration += other.duration;
+    }
+}
+
+impl fmt::Display for ExchangeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] +{} tuples, -{} tuples in {:?} ({})",
+            self.strategy,
+            self.total_inserted(),
+            self.total_deleted(),
+            self.duration,
+            self.eval_stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_report_totals() {
+        let mut r = PublishReport::default();
+        assert!(r.is_empty());
+        r.contributions_added.insert("B".into(), 2);
+        r.rejections_added.insert("B".into(), 1);
+        assert_eq!(r.total_ops(), 3);
+        assert!(!r.is_empty());
+        assert!(r.to_string().contains("+2"));
+    }
+
+    #[test]
+    fn exchange_report_accumulates() {
+        let mut r = ExchangeReport::new(ExchangeStrategy::IncrementalInsertion);
+        r.add_inserted("B_i", 5);
+        r.add_inserted("B_i", 3);
+        r.add_deleted("B_o", 2);
+        r.add_inserted("B_o", 0); // ignored
+        assert_eq!(r.total_inserted(), 8);
+        assert_eq!(r.total_deleted(), 2);
+        assert!(r.to_string().contains("incremental-insertion"));
+
+        let mut other = ExchangeReport::new(ExchangeStrategy::DRed);
+        other.add_deleted("B_o", 4);
+        r.merge(&other);
+        assert_eq!(r.total_deleted(), 6);
+        assert_eq!(r.strategy, ExchangeStrategy::IncrementalInsertion);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(ExchangeStrategy::DRed.to_string(), "dred");
+        assert_eq!(
+            ExchangeStrategy::FullRecomputation.to_string(),
+            "full-recomputation"
+        );
+    }
+}

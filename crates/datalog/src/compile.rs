@@ -1,0 +1,360 @@
+//! Rule compilation: turning a [`Rule`] into an executable join plan.
+//!
+//! A compiled rule assigns every distinct variable a slot, and classifies
+//! each column of each body literal as either *bound* (its value is known
+//! when the literal is reached during the left-to-right join — because it is
+//! a constant, or because the variable was bound by an earlier literal or an
+//! earlier column of the same literal) or *free* (its value is bound by this
+//! column). The bound columns of a literal are exactly the columns a hash
+//! index should be keyed on, which is how both execution backends (§5 of the
+//! paper) choose their access paths.
+
+use std::collections::HashMap;
+
+use orchestra_storage::{SkolemFnId, Value};
+
+use crate::atom::Literal;
+use crate::rule::Rule;
+use crate::term::Term;
+use crate::Result;
+
+/// Where a bound column gets its comparison value from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundSource {
+    /// The value of an already-bound variable slot.
+    Var(usize),
+    /// A constant from the rule text.
+    Const(Value),
+}
+
+/// A compiled positive body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPositive {
+    /// Relation scanned / probed by this literal.
+    pub relation: String,
+    /// Index of this literal in the original rule body (used to target delta
+    /// substitution at a specific body occurrence).
+    pub body_index: usize,
+    /// Columns whose value is known before this literal is evaluated,
+    /// together with where the value comes from.
+    pub bound: Vec<(usize, BoundSource)>,
+    /// Columns that bind a fresh variable slot when a tuple matches.
+    pub free: Vec<(usize, usize)>,
+    /// Columns that must equal a slot bound by an *earlier column of this
+    /// same literal* (repeated variable inside one atom, e.g. `R(x, x)`).
+    /// They cannot be part of the probe key because the slot is only bound
+    /// once a candidate tuple has been picked.
+    pub intra: Vec<(usize, usize)>,
+}
+
+impl CompiledPositive {
+    /// The column positions of the bound columns, in order — the key columns
+    /// for an index-based access path.
+    pub fn bound_columns(&self) -> Vec<usize> {
+        self.bound.iter().map(|(c, _)| *c).collect()
+    }
+}
+
+/// A compiled negated body literal. Safety guarantees every column is bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledNegative {
+    /// Relation checked for absence.
+    pub relation: String,
+    /// Index of this literal in the original rule body.
+    pub body_index: usize,
+    /// For each column of the atom, where its value comes from.
+    pub columns: Vec<BoundSource>,
+}
+
+/// A compiled head term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledHeadTerm {
+    /// Copy the value of a variable slot.
+    Var(usize),
+    /// Emit a constant.
+    Const(Value),
+    /// Apply a Skolem function to compiled argument terms, producing a
+    /// labeled null.
+    Skolem(SkolemFnId, Vec<CompiledHeadTerm>),
+}
+
+/// An executable form of a [`Rule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledRule {
+    /// Relation the rule derives into.
+    pub head_relation: String,
+    /// Arity of the head relation.
+    pub head_arity: usize,
+    /// Compiled head terms, one per head column.
+    pub head: Vec<CompiledHeadTerm>,
+    /// Positive body literals in join order (original body order).
+    pub positives: Vec<CompiledPositive>,
+    /// Negated body literals, checked after all positives have bound their
+    /// variables.
+    pub negatives: Vec<CompiledNegative>,
+    /// Total number of variable slots.
+    pub var_count: usize,
+    /// Variable names per slot (diagnostics only).
+    pub var_names: Vec<String>,
+}
+
+impl CompiledRule {
+    /// Compile a rule. The rule is validated first, so compilation cannot
+    /// encounter unsafe variables.
+    pub fn compile(rule: &Rule) -> Result<CompiledRule> {
+        rule.validate()?;
+
+        let mut slots: HashMap<String, usize> = HashMap::new();
+        let mut var_names: Vec<String> = Vec::new();
+        let slot_of = |name: &str, var_names: &mut Vec<String>, slots: &mut HashMap<String, usize>| -> usize {
+            if let Some(&s) = slots.get(name) {
+                s
+            } else {
+                let s = var_names.len();
+                var_names.push(name.to_string());
+                slots.insert(name.to_string(), s);
+                s
+            }
+        };
+
+        let mut positives = Vec::new();
+        let mut negatives_src: Vec<(usize, &Literal)> = Vec::new();
+
+        for (body_index, lit) in rule.body.iter().enumerate() {
+            if lit.negated {
+                negatives_src.push((body_index, lit));
+                continue;
+            }
+            let mut bound = Vec::new();
+            let mut free = Vec::new();
+            let mut intra = Vec::new();
+            let mut fresh_this_literal: Vec<usize> = Vec::new();
+            for (col, term) in lit.atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(v) => bound.push((col, BoundSource::Const(v.clone()))),
+                    Term::Var(name) => {
+                        if let Some(&s) = slots.get(name.as_str()) {
+                            if fresh_this_literal.contains(&s) {
+                                intra.push((col, s));
+                            } else {
+                                bound.push((col, BoundSource::Var(s)));
+                            }
+                        } else {
+                            let s = slot_of(name, &mut var_names, &mut slots);
+                            fresh_this_literal.push(s);
+                            free.push((col, s));
+                        }
+                    }
+                    Term::Skolem(_, _) => unreachable!("validated: no skolems in body"),
+                }
+            }
+            positives.push(CompiledPositive {
+                relation: lit.atom.relation.clone(),
+                body_index,
+                bound,
+                free,
+                intra,
+            });
+        }
+
+        let mut negatives = Vec::new();
+        for (body_index, lit) in negatives_src {
+            let mut columns = Vec::new();
+            for term in &lit.atom.terms {
+                match term {
+                    Term::Const(v) => columns.push(BoundSource::Const(v.clone())),
+                    Term::Var(name) => {
+                        let s = *slots
+                            .get(name.as_str())
+                            .expect("validated: negated variables are bound");
+                        columns.push(BoundSource::Var(s));
+                    }
+                    Term::Skolem(_, _) => unreachable!("validated: no skolems in body"),
+                }
+            }
+            negatives.push(CompiledNegative {
+                relation: lit.atom.relation.clone(),
+                body_index,
+                columns,
+            });
+        }
+
+        fn compile_head_term(term: &Term, slots: &HashMap<String, usize>) -> CompiledHeadTerm {
+            match term {
+                Term::Var(name) => CompiledHeadTerm::Var(
+                    *slots
+                        .get(name.as_str())
+                        .expect("validated: head variables are bound"),
+                ),
+                Term::Const(v) => CompiledHeadTerm::Const(v.clone()),
+                Term::Skolem(f, args) => CompiledHeadTerm::Skolem(
+                    *f,
+                    args.iter().map(|a| compile_head_term(a, slots)).collect(),
+                ),
+            }
+        }
+
+        let head: Vec<CompiledHeadTerm> = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| compile_head_term(t, &slots))
+            .collect();
+
+        Ok(CompiledRule {
+            head_relation: rule.head.relation.clone(),
+            head_arity: rule.head.arity(),
+            head,
+            positives,
+            negatives,
+            var_count: var_names.len(),
+            var_names,
+        })
+    }
+
+    /// Instantiate a compiled head term under a complete binding.
+    pub fn eval_head_term(term: &CompiledHeadTerm, bindings: &[Option<Value>]) -> Value {
+        match term {
+            CompiledHeadTerm::Var(s) => bindings[*s]
+                .clone()
+                .expect("evaluation binds all head variables"),
+            CompiledHeadTerm::Const(v) => v.clone(),
+            CompiledHeadTerm::Skolem(f, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| CompiledRule::eval_head_term(a, bindings))
+                    .collect();
+                Value::labeled_null(*f, vals)
+            }
+        }
+    }
+
+    /// Resolve a [`BoundSource`] under a (possibly partial) binding.
+    pub fn resolve(source: &BoundSource, bindings: &[Option<Value>]) -> Value {
+        match source {
+            BoundSource::Var(s) => bindings[*s]
+                .clone()
+                .expect("bound sources refer to already-bound slots"),
+            BoundSource::Const(v) => v.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::with_vars(rel, vars)
+    }
+
+    #[test]
+    fn join_variables_become_bound_columns() {
+        // B(i, n) :- B(i, c), U(n, c).
+        let rule = Rule::positive(
+            atom("B", &["i", "n"]),
+            vec![atom("B", &["i", "c"]), atom("U", &["n", "c"])],
+        );
+        let c = CompiledRule::compile(&rule).unwrap();
+        assert_eq!(c.var_count, 3);
+        // First literal binds i (slot 0) and c (slot 1): all free.
+        assert!(c.positives[0].bound.is_empty());
+        assert_eq!(c.positives[0].free.len(), 2);
+        // Second literal: n is fresh (free), c is bound.
+        assert_eq!(c.positives[1].free.len(), 1);
+        assert_eq!(c.positives[1].bound.len(), 1);
+        assert_eq!(c.positives[1].bound_columns(), vec![1]);
+        // Head copies slots for i and n.
+        assert_eq!(c.head.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_within_one_atom() {
+        // same(x) :- R(x, x).
+        let rule = Rule::positive(
+            atom("same", &["x"]),
+            vec![atom("R", &["x", "x"])],
+        );
+        let c = CompiledRule::compile(&rule).unwrap();
+        assert_eq!(c.var_count, 1);
+        assert_eq!(c.positives[0].free.len(), 1);
+        // The second occurrence is an intra-literal equality check, not a
+        // probe key column (the slot is only bound per candidate tuple).
+        assert!(c.positives[0].bound.is_empty());
+        assert_eq!(c.positives[0].intra, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn repeated_variable_across_literals_is_bound() {
+        // q(x) :- R(x, y), S(y, x).
+        let rule = Rule::positive(
+            atom("q", &["x"]),
+            vec![atom("R", &["x", "y"]), atom("S", &["y", "x"])],
+        );
+        let c = CompiledRule::compile(&rule).unwrap();
+        assert!(c.positives[1].intra.is_empty());
+        assert_eq!(c.positives[1].bound.len(), 2);
+        assert!(c.positives[1].free.is_empty());
+    }
+
+    #[test]
+    fn constants_are_bound_columns() {
+        let rule = Rule::positive(
+            atom("out", &["x"]),
+            vec![Atom::new(
+                "R",
+                vec![Term::var("x"), Term::constant(7i64)],
+            )],
+        );
+        let c = CompiledRule::compile(&rule).unwrap();
+        assert_eq!(c.positives[0].bound.len(), 1);
+        assert!(matches!(
+            c.positives[0].bound[0],
+            (1, BoundSource::Const(Value::Int(7)))
+        ));
+    }
+
+    #[test]
+    fn negated_literals_compile_to_column_sources() {
+        let rule = Rule::new(
+            atom("Ro", &["x"]),
+            vec![
+                Literal::positive(atom("Ri", &["x"])),
+                Literal::negative(atom("Rr", &["x"])),
+            ],
+        );
+        let c = CompiledRule::compile(&rule).unwrap();
+        assert_eq!(c.negatives.len(), 1);
+        assert_eq!(c.negatives[0].relation, "Rr");
+        assert!(matches!(c.negatives[0].columns[0], BoundSource::Var(0)));
+    }
+
+    #[test]
+    fn head_skolems_evaluate_to_labeled_nulls() {
+        // U(n, #f0(n)) :- B(i, n).
+        let rule = Rule::positive(
+            Atom::new(
+                "U",
+                vec![
+                    Term::var("n"),
+                    Term::skolem(SkolemFnId(0), vec![Term::var("n")]),
+                ],
+            ),
+            vec![atom("B", &["i", "n"])],
+        );
+        let c = CompiledRule::compile(&rule).unwrap();
+        let bindings = vec![Some(Value::int(3)), Some(Value::int(2))];
+        // Slot order: i=0, n=1.
+        let v = CompiledRule::eval_head_term(&c.head[1], &bindings);
+        assert_eq!(v, Value::labeled_null(SkolemFnId(0), vec![Value::int(2)]));
+        let v0 = CompiledRule::eval_head_term(&c.head[0], &bindings);
+        assert_eq!(v0, Value::int(2));
+    }
+
+    #[test]
+    fn unsafe_rules_do_not_compile() {
+        let rule = Rule::positive(atom("p", &["x", "y"]), vec![atom("q", &["x"])]);
+        assert!(CompiledRule::compile(&rule).is_err());
+    }
+}

@@ -1,0 +1,749 @@
+//! Fixpoint evaluation of datalog programs over a [`Database`].
+//!
+//! The evaluator implements the recursive datalog-with-Skolems semantics of
+//! paper §4.1.1: per-stratum semi-naive fixpoint computation, with the two
+//! execution backends of §5 (see [`EngineKind`]). It also implements the
+//! *insertion* half of incremental update exchange (§4.2): externally
+//! supplied base-tuple deltas are pushed through the program's delta rules
+//! until fixpoint, optionally filtered tuple-by-tuple by a trust predicate.
+
+use std::collections::HashMap;
+
+use orchestra_storage::{Database, HashIndex, RelationSchema, Tuple, Value};
+
+use crate::compile::CompiledRule;
+use crate::engine::EngineKind;
+use crate::error::DatalogError;
+use crate::program::Program;
+use crate::stats::EvalStats;
+use crate::Result;
+
+/// A predicate consulted before a derived tuple is added to its relation.
+///
+/// The CDSS layer uses this to enforce trust conditions *during* derivation
+/// (paper §4.2: "as we derive tuples via mapping rules from trusted tuples,
+/// we simply apply the associated trust conditions"). Returning `false`
+/// rejects the tuple: it is neither stored nor used for further derivations.
+pub type DerivationFilter<'a> = dyn Fn(&str, &Tuple) -> bool + 'a;
+
+/// The datalog evaluator. Holds the configured execution backend and
+/// accumulates [`EvalStats`] across calls.
+#[derive(Debug)]
+pub struct Evaluator {
+    kind: EngineKind,
+    stats: EvalStats,
+}
+
+impl Evaluator {
+    /// Create an evaluator using the given execution backend.
+    pub fn new(kind: EngineKind) -> Self {
+        Evaluator {
+            kind,
+            stats: EvalStats::new(),
+        }
+    }
+
+    /// The configured backend.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Return the accumulated statistics and reset them.
+    pub fn take_stats(&mut self) -> EvalStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Ensure every relation mentioned by the program exists in the database
+    /// (creating empty relations with anonymous attribute names if needed)
+    /// and that existing relations have the arity the program expects.
+    pub fn prepare_relations(&self, program: &Program, db: &mut Database) -> Result<()> {
+        for (name, arity) in program.relation_arities()? {
+            if db.has_relation(&name) {
+                let actual = db.relation(&name)?.schema().arity();
+                if actual != arity {
+                    return Err(DatalogError::ArityConflict {
+                        relation: name,
+                        first: actual,
+                        second: arity,
+                    });
+                }
+            } else {
+                db.create_relation(RelationSchema::anonymous(&name, arity))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the program to fixpoint, stratum by stratum, adding derived tuples
+    /// to the database. Returns the statistics for this run.
+    pub fn run(&mut self, program: &Program, db: &mut Database) -> Result<EvalStats> {
+        self.run_filtered(program, db, None)
+    }
+
+    /// Like [`Evaluator::run`], but every derived tuple is first offered to
+    /// `filter`; rejected tuples are discarded.
+    pub fn run_filtered(
+        &mut self,
+        program: &Program,
+        db: &mut Database,
+        filter: Option<&DerivationFilter<'_>>,
+    ) -> Result<EvalStats> {
+        program.validate()?;
+        let strat = program.stratify()?;
+        self.prepare_relations(program, db)?;
+        let compiled = compile_all(program)?;
+
+        let mut total = EvalStats::new();
+        for stratum_rules in &strat.rule_strata {
+            if stratum_rules.is_empty() {
+                continue;
+            }
+            let s = self.run_stratum_seminaive(&compiled, stratum_rules, db, filter)?;
+            total += s;
+        }
+        self.stats += total;
+        Ok(total)
+    }
+
+    /// Naive (non-semi-naive) evaluation: repeatedly apply every rule of each
+    /// stratum until nothing changes. Exponentially redundant but trivially
+    /// correct; used as a differential-testing oracle for the semi-naive
+    /// engine.
+    pub fn run_naive(&mut self, program: &Program, db: &mut Database) -> Result<EvalStats> {
+        program.validate()?;
+        let strat = program.stratify()?;
+        self.prepare_relations(program, db)?;
+        let compiled = compile_all(program)?;
+
+        let mut total = EvalStats::new();
+        for stratum_rules in &strat.rule_strata {
+            if stratum_rules.is_empty() {
+                continue;
+            }
+            loop {
+                let mut changed = false;
+                let mut stats = EvalStats::new();
+                for &ri in stratum_rules {
+                    let c = &compiled[ri];
+                    let produced = eval_rule(self.kind, c, db, None, None, &mut stats)?;
+                    for t in produced {
+                        if db.insert(&c.head_relation, t)? {
+                            stats.tuples_inserted += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                stats.iterations = 1;
+                total += stats;
+                if !changed {
+                    break;
+                }
+            }
+        }
+        self.stats += total;
+        Ok(total)
+    }
+
+    fn run_stratum_seminaive(
+        &mut self,
+        compiled: &[CompiledRule],
+        stratum_rules: &[usize],
+        db: &mut Database,
+        filter: Option<&DerivationFilter<'_>>,
+    ) -> Result<EvalStats> {
+        let mut stats = EvalStats::new();
+
+        // Round 0: evaluate every rule of the stratum against the full
+        // database; the newly inserted tuples seed the delta.
+        let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        for &ri in stratum_rules {
+            let c = &compiled[ri];
+            let produced = eval_rule(self.kind, c, db, None, filter, &mut stats)?;
+            for t in produced {
+                if db.insert(&c.head_relation, t.clone())? {
+                    stats.tuples_inserted += 1;
+                    delta.entry(c.head_relation.clone()).or_default().push(t);
+                }
+            }
+        }
+        stats.iterations += 1;
+
+        // Subsequent rounds: only evaluate rule occurrences that can consume
+        // something from the previous round's delta.
+        while !delta.is_empty() {
+            let mut next: HashMap<String, Vec<Tuple>> = HashMap::new();
+            for &ri in stratum_rules {
+                let c = &compiled[ri];
+                for pos in &c.positives {
+                    let Some(d) = delta.get(&pos.relation) else {
+                        continue;
+                    };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let produced =
+                        eval_rule(self.kind, c, db, Some((pos.body_index, d)), filter, &mut stats)?;
+                    for t in produced {
+                        if db.insert(&c.head_relation, t.clone())? {
+                            stats.tuples_inserted += 1;
+                            next.entry(c.head_relation.clone()).or_default().push(t);
+                        }
+                    }
+                }
+            }
+            stats.iterations += 1;
+            delta = next;
+        }
+
+        Ok(stats)
+    }
+
+    /// Incremental insertion propagation (paper §4.2).
+    ///
+    /// `base_deltas` maps relation names to freshly inserted tuples (they are
+    /// inserted into the database by this call if not already present). The
+    /// deltas are then pushed through the program's insertion delta rules
+    /// until fixpoint. Returns, per relation, every tuple that is newly
+    /// present after propagation (including the surviving base insertions).
+    ///
+    /// Relations that occur *negated* in the program must not receive base
+    /// deltas: inserting into a negated relation can only retract previous
+    /// derivations, which is deletion propagation's job (handled by the CDSS
+    /// layer), so such a call is rejected.
+    pub fn propagate_insertions(
+        &mut self,
+        program: &Program,
+        db: &mut Database,
+        base_deltas: &HashMap<String, Vec<Tuple>>,
+        filter: Option<&DerivationFilter<'_>>,
+    ) -> Result<HashMap<String, Vec<Tuple>>> {
+        program.validate()?;
+        self.prepare_relations(program, db)?;
+        let compiled = compile_all(program)?;
+
+        // Reject deltas on negated relations.
+        for rule in program.rules() {
+            for lit in &rule.body {
+                if lit.negated && base_deltas.contains_key(lit.relation()) {
+                    return Err(DatalogError::UnsafeRule {
+                        rule: rule.to_string(),
+                        variable: format!(
+                            "insertion delta supplied for negated relation {}",
+                            lit.relation()
+                        ),
+                    });
+                }
+            }
+        }
+
+        let mut stats = EvalStats::new();
+        let mut all_new: HashMap<String, Vec<Tuple>> = HashMap::new();
+
+        // Apply the base deltas, keeping only genuinely new tuples.
+        let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        for (rel, tuples) in base_deltas {
+            for t in tuples {
+                if !db.has_relation(rel) {
+                    return Err(DatalogError::MissingRelation(rel.clone()));
+                }
+                if db.insert(rel, t.clone())? {
+                    stats.tuples_inserted += 1;
+                    delta.entry(rel.clone()).or_default().push(t.clone());
+                    all_new.entry(rel.clone()).or_default().push(t.clone());
+                }
+            }
+        }
+
+        // Push deltas through the rules until fixpoint.
+        while !delta.is_empty() {
+            let mut next: HashMap<String, Vec<Tuple>> = HashMap::new();
+            for c in &compiled {
+                for pos in &c.positives {
+                    let Some(d) = delta.get(&pos.relation) else {
+                        continue;
+                    };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let produced =
+                        eval_rule(self.kind, c, db, Some((pos.body_index, d)), filter, &mut stats)?;
+                    for t in produced {
+                        if db.insert(&c.head_relation, t.clone())? {
+                            stats.tuples_inserted += 1;
+                            next.entry(c.head_relation.clone()).or_default().push(t.clone());
+                            all_new.entry(c.head_relation.clone()).or_default().push(t);
+                        }
+                    }
+                }
+            }
+            stats.iterations += 1;
+            delta = next;
+        }
+
+        self.stats += stats;
+        Ok(all_new)
+    }
+
+    /// Evaluate a single rule against the database (without inserting its
+    /// results), optionally constraining one body occurrence to a supplied
+    /// set of tuples. This is the building block the CDSS layer uses for
+    /// deletion delta rules and derivability tests.
+    pub fn evaluate_rule(
+        &mut self,
+        rule: &crate::rule::Rule,
+        db: &mut Database,
+        delta_at: Option<(usize, &[Tuple])>,
+        filter: Option<&DerivationFilter<'_>>,
+    ) -> Result<Vec<Tuple>> {
+        let c = CompiledRule::compile(rule)?;
+        let mut stats = EvalStats::new();
+        let out = eval_rule(self.kind, &c, db, delta_at, filter, &mut stats)?;
+        self.stats += stats;
+        Ok(out)
+    }
+}
+
+/// Compile every rule of a program.
+pub(crate) fn compile_all(program: &Program) -> Result<Vec<CompiledRule>> {
+    program.rules().iter().map(CompiledRule::compile).collect()
+}
+
+/// How a positive literal accesses its relation during the join.
+enum Access<'a> {
+    /// Scan an externally supplied delta set.
+    Delta(&'a [Tuple]),
+    /// Probe a throwaway index built for this rule application (batch
+    /// backend).
+    TempIndex(HashIndex),
+    /// Probe a persistent index stored on the relation (pipelined backend).
+    PersistentIndex(Vec<usize>),
+    /// Scan the stored relation.
+    FullScan,
+}
+
+/// Evaluate one compiled rule and return the head tuples it produces.
+///
+/// `delta_at` optionally restricts the body occurrence with the given
+/// `body_index` to the supplied tuples (semi-naive evaluation / delta rules).
+pub(crate) fn eval_rule(
+    kind: EngineKind,
+    c: &CompiledRule,
+    db: &mut Database,
+    delta_at: Option<(usize, &[Tuple])>,
+    filter: Option<&DerivationFilter<'_>>,
+    stats: &mut EvalStats,
+) -> Result<Vec<Tuple>> {
+    stats.rule_applications += 1;
+
+    // Phase 1: choose an access path per positive literal. This is the only
+    // phase that needs mutable access to the database (to build persistent
+    // indexes for the pipelined backend).
+    let mut accesses: Vec<Access<'_>> = Vec::with_capacity(c.positives.len());
+    for pos in &c.positives {
+        if !db.has_relation(&pos.relation) {
+            return Err(DatalogError::MissingRelation(pos.relation.clone()));
+        }
+        let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
+        if is_delta {
+            let (_, tuples) = delta_at.unwrap();
+            accesses.push(Access::Delta(tuples));
+            continue;
+        }
+        let bound_cols = pos.bound_columns();
+        if bound_cols.is_empty() {
+            accesses.push(Access::FullScan);
+            continue;
+        }
+        match kind {
+            EngineKind::Batch => {
+                let rel = db.relation(&pos.relation)?;
+                let idx = HashIndex::build(bound_cols, rel.iter());
+                stats.temp_indexes_built += 1;
+                accesses.push(Access::TempIndex(idx));
+            }
+            EngineKind::Pipelined => {
+                db.relation_mut(&pos.relation)?.ensure_index(&bound_cols)?;
+                accesses.push(Access::PersistentIndex(bound_cols));
+            }
+        }
+    }
+
+    // Phase 2: nested-loop join over the chosen access paths (database is
+    // only read from here on).
+    let db_ref: &Database = db;
+    let mut bindings: Vec<Option<Value>> = vec![None; c.var_count];
+    let mut out: Vec<Tuple> = Vec::new();
+    join_literal(
+        kind, c, db_ref, &accesses, 0, &mut bindings, filter, &mut out, stats,
+    )?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_literal(
+    kind: EngineKind,
+    c: &CompiledRule,
+    db: &Database,
+    accesses: &[Access<'_>],
+    idx: usize,
+    bindings: &mut Vec<Option<Value>>,
+    filter: Option<&DerivationFilter<'_>>,
+    out: &mut Vec<Tuple>,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    if idx == c.positives.len() {
+        // All positive literals satisfied; check negated literals.
+        for neg in &c.negatives {
+            let vals: Vec<Value> = neg
+                .columns
+                .iter()
+                .map(|s| CompiledRule::resolve(s, bindings))
+                .collect();
+            let tuple = Tuple::new(vals);
+            if db.relation(&neg.relation)?.contains(&tuple) {
+                return Ok(());
+            }
+        }
+        // Instantiate the head.
+        let head_vals: Vec<Value> = c
+            .head
+            .iter()
+            .map(|t| CompiledRule::eval_head_term(t, bindings))
+            .collect();
+        let tuple = Tuple::new(head_vals);
+        stats.tuples_derived += 1;
+        if let Some(f) = filter {
+            if !f(&c.head_relation, &tuple) {
+                stats.filtered_out += 1;
+                return Ok(());
+            }
+        }
+        out.push(tuple);
+        return Ok(());
+    }
+
+    let pos = &c.positives[idx];
+    let key: Vec<Value> = pos
+        .bound
+        .iter()
+        .map(|(_, s)| CompiledRule::resolve(s, bindings))
+        .collect();
+
+    // Helper: does a candidate tuple match the bound columns?
+    let matches_bound = |t: &Tuple| -> bool {
+        pos.bound
+            .iter()
+            .zip(key.iter())
+            .all(|((col, _), v)| &t[*col] == v)
+    };
+
+    // Collect matching candidates. For index accesses the bound columns are
+    // already guaranteed to match.
+    let candidates: Vec<Tuple> = match &accesses[idx] {
+        Access::Delta(ts) => ts.iter().filter(|t| matches_bound(t)).cloned().collect(),
+        Access::TempIndex(index) => index.probe(&key).to_vec(),
+        Access::PersistentIndex(cols) => {
+            stats.index_probes += 1;
+            match db.relation(&pos.relation)?.index(cols) {
+                Some(index) => index.probe(&key).to_vec(),
+                None => db.relation(&pos.relation)?.select_eq(cols, &key),
+            }
+        }
+        Access::FullScan => db
+            .relation(&pos.relation)?
+            .iter()
+            .filter(|t| matches_bound(t))
+            .cloned()
+            .collect(),
+    };
+
+    for t in candidates {
+        // Bind the free columns.
+        for (col, slot) in &pos.free {
+            bindings[*slot] = Some(t[*col].clone());
+        }
+        // Enforce repeated variables within this same atom (e.g. R(x, x)).
+        let intra_ok = pos
+            .intra
+            .iter()
+            .all(|(col, slot)| bindings[*slot].as_ref() == Some(&t[*col]));
+        if !intra_ok {
+            continue;
+        }
+        join_literal(kind, c, db, accesses, idx + 1, bindings, filter, out, stats)?;
+    }
+    // Unbind this literal's free slots before returning to the caller.
+    for (_, slot) in &pos.free {
+        bindings[*slot] = None;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Literal};
+    use crate::rule::Rule;
+    use crate::term::Term;
+    use orchestra_storage::SkolemFnId;
+    use orchestra_storage::{tuple::int_tuple, RelationSchema};
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::with_vars(rel, vars)
+    }
+
+    fn edge_db(edges: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("edge", &["s", "d"]))
+            .unwrap();
+        for (s, d) in edges {
+            db.insert("edge", int_tuple(&[*s, *d])).unwrap();
+        }
+        db
+    }
+
+    fn tc_program() -> Program {
+        Program::from_rules(vec![
+            Rule::positive(atom("path", &["x", "y"]), vec![atom("edge", &["x", "y"])]),
+            Rule::positive(
+                atom("path", &["x", "z"]),
+                vec![atom("path", &["x", "y"]), atom("edge", &["y", "z"])],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_both_engines() {
+        for kind in EngineKind::all() {
+            let mut db = edge_db(&[(1, 2), (2, 3), (3, 4)]);
+            let mut eval = Evaluator::new(kind);
+            let stats = eval.run(&tc_program(), &mut db).unwrap();
+            let path = db.relation("path").unwrap();
+            assert_eq!(path.len(), 6, "engine {kind}");
+            assert!(path.contains(&int_tuple(&[1, 4])));
+            assert!(stats.tuples_inserted >= 6);
+            assert!(stats.iterations >= 2);
+        }
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_cycles() {
+        for kind in EngineKind::all() {
+            let mut db1 = edge_db(&[(1, 2), (2, 3), (3, 1)]);
+            let mut db2 = db1.snapshot();
+            Evaluator::new(kind).run(&tc_program(), &mut db1).unwrap();
+            Evaluator::new(kind).run_naive(&tc_program(), &mut db2).unwrap();
+            assert_eq!(
+                db1.relation("path").unwrap().sorted_tuples(),
+                db2.relation("path").unwrap().sorted_tuples()
+            );
+            assert_eq!(db1.relation("path").unwrap().len(), 9);
+        }
+    }
+
+    #[test]
+    fn negation_filters_results() {
+        // visible(x) :- node(x), not hidden(x).
+        let program = Program::from_rules(vec![Rule::new(
+            atom("visible", &["x"]),
+            vec![
+                Literal::positive(atom("node", &["x"])),
+                Literal::negative(atom("hidden", &["x"])),
+            ],
+        )]);
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("node", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("hidden", &["x"])).unwrap();
+        for i in 0..5 {
+            db.insert("node", int_tuple(&[i])).unwrap();
+        }
+        db.insert("hidden", int_tuple(&[2])).unwrap();
+        db.insert("hidden", int_tuple(&[4])).unwrap();
+
+        let mut eval = Evaluator::new(EngineKind::Pipelined);
+        eval.run(&program, &mut db).unwrap();
+        let visible = db.relation("visible").unwrap();
+        assert_eq!(visible.len(), 3);
+        assert!(!visible.contains(&int_tuple(&[2])));
+    }
+
+    #[test]
+    fn skolem_heads_produce_labeled_nulls() {
+        // u(n, #f0(n)) :- b(i, n).
+        let program = Program::from_rules(vec![Rule::positive(
+            Atom::new(
+                "u",
+                vec![
+                    Term::var("n"),
+                    Term::skolem(SkolemFnId(0), vec![Term::var("n")]),
+                ],
+            ),
+            vec![atom("b", &["i", "n"])],
+        )]);
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("b", &["i", "n"])).unwrap();
+        db.insert("b", int_tuple(&[3, 5])).unwrap();
+        db.insert("b", int_tuple(&[4, 5])).unwrap();
+        db.insert("b", int_tuple(&[3, 2])).unwrap();
+
+        let mut eval = Evaluator::new(EngineKind::Batch);
+        eval.run(&program, &mut db).unwrap();
+        let u = db.relation("u").unwrap();
+        // Both (3,5) and (4,5) produce the same placeholder f0(5): set
+        // semantics collapses them, so u has exactly 2 tuples.
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&Tuple::new(vec![
+            Value::int(5),
+            Value::labeled_null(SkolemFnId(0), vec![Value::int(5)]),
+        ])));
+    }
+
+    #[test]
+    fn filter_rejects_derivations_and_blocks_downstream() {
+        // chain: a -> b -> c; filter rejects b tuples with value > 1, so the
+        // corresponding c tuples are never derived either.
+        let program = Program::from_rules(vec![
+            Rule::positive(atom("b", &["x"]), vec![atom("a", &["x"])]),
+            Rule::positive(atom("c", &["x"]), vec![atom("b", &["x"])]),
+        ]);
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("a", &["x"])).unwrap();
+        db.insert("a", int_tuple(&[1])).unwrap();
+        db.insert("a", int_tuple(&[5])).unwrap();
+
+        let filter = |rel: &str, t: &Tuple| -> bool {
+            !(rel == "b" && t[0].as_int().unwrap_or(0) > 1)
+        };
+        let mut eval = Evaluator::new(EngineKind::Pipelined);
+        let stats = eval.run_filtered(&program, &mut db, Some(&filter)).unwrap();
+        assert_eq!(db.relation("b").unwrap().len(), 1);
+        assert_eq!(db.relation("c").unwrap().len(), 1);
+        assert_eq!(stats.filtered_out, 1);
+    }
+
+    #[test]
+    fn incremental_insertions_match_full_recomputation() {
+        for kind in EngineKind::all() {
+            // Full computation over all edges at once...
+            let mut full = edge_db(&[(1, 2), (2, 3), (3, 4), (4, 5)]);
+            Evaluator::new(kind).run(&tc_program(), &mut full).unwrap();
+
+            // ...must equal base computation plus incremental propagation.
+            let mut incr = edge_db(&[(1, 2), (2, 3)]);
+            let mut eval = Evaluator::new(kind);
+            eval.run(&tc_program(), &mut incr).unwrap();
+            let mut deltas = HashMap::new();
+            deltas.insert(
+                "edge".to_string(),
+                vec![int_tuple(&[3, 4]), int_tuple(&[4, 5])],
+            );
+            let new = eval
+                .propagate_insertions(&tc_program(), &mut incr, &deltas, None)
+                .unwrap();
+            assert_eq!(
+                full.relation("path").unwrap().sorted_tuples(),
+                incr.relation("path").unwrap().sorted_tuples(),
+                "engine {kind}"
+            );
+            assert!(new.contains_key("path"));
+            assert!(new["path"].contains(&int_tuple(&[1, 5])));
+        }
+    }
+
+    #[test]
+    fn insertion_delta_on_negated_relation_is_rejected() {
+        let program = Program::from_rules(vec![Rule::new(
+            atom("out", &["x"]),
+            vec![
+                Literal::positive(atom("inp", &["x"])),
+                Literal::negative(atom("rej", &["x"])),
+            ],
+        )]);
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("inp", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("rej", &["x"])).unwrap();
+        let mut eval = Evaluator::new(EngineKind::Pipelined);
+        let mut deltas = HashMap::new();
+        deltas.insert("rej".to_string(), vec![int_tuple(&[1])]);
+        assert!(eval
+            .propagate_insertions(&program, &mut db, &deltas, None)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluate_rule_with_delta_constrains_one_occurrence() {
+        let mut db = edge_db(&[(1, 2), (2, 3)]);
+        db.create_relation(RelationSchema::new("path", &["s", "d"])).unwrap();
+        db.insert("path", int_tuple(&[1, 2])).unwrap();
+        db.insert("path", int_tuple(&[2, 3])).unwrap();
+        db.insert("path", int_tuple(&[1, 3])).unwrap();
+
+        // path(x,z) :- path(x,y), edge(y,z), with edge constrained to a delta.
+        let rule = Rule::positive(
+            atom("path", &["x", "z"]),
+            vec![atom("path", &["x", "y"]), atom("edge", &["y", "z"])],
+        );
+        let delta = vec![int_tuple(&[3, 9])];
+        let mut eval = Evaluator::new(EngineKind::Batch);
+        let out = eval
+            .evaluate_rule(&rule, &mut db, Some((1, &delta)), None)
+            .unwrap();
+        let mut out = out;
+        out.sort();
+        out.dedup();
+        assert_eq!(out, vec![int_tuple(&[1, 9]), int_tuple(&[2, 9])]);
+    }
+
+    #[test]
+    fn missing_edb_relations_are_created_empty() {
+        let program = tc_program();
+        let mut db = Database::new();
+        let mut eval = Evaluator::new(EngineKind::Pipelined);
+        eval.run(&program, &mut db).unwrap();
+        assert!(db.has_relation("edge"));
+        assert!(db.has_relation("path"));
+        assert_eq!(db.total_tuples(), 0);
+    }
+
+    #[test]
+    fn arity_conflict_with_existing_relation_is_reported() {
+        let program = tc_program();
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("edge", &["only_one"])).unwrap();
+        let mut eval = Evaluator::new(EngineKind::Pipelined);
+        assert!(matches!(
+            eval.run(&program, &mut db).unwrap_err(),
+            DatalogError::ArityConflict { .. }
+        ));
+    }
+
+    #[test]
+    fn constants_in_bodies_select() {
+        // two(y) :- edge(2, y).
+        let program = Program::from_rules(vec![Rule::positive(
+            atom("two", &["y"]),
+            vec![Atom::new("edge", vec![Term::constant(2i64), Term::var("y")])],
+        )]);
+        for kind in EngineKind::all() {
+            let mut db = edge_db(&[(1, 2), (2, 3), (2, 4)]);
+            Evaluator::new(kind).run(&program, &mut db).unwrap();
+            assert_eq!(db.relation("two").unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut db = edge_db(&[(1, 2)]);
+        let mut eval = Evaluator::new(EngineKind::Batch);
+        eval.run(&tc_program(), &mut db).unwrap();
+        assert!(eval.stats().rule_applications > 0);
+        let taken = eval.take_stats();
+        assert!(taken.rule_applications > 0);
+        assert_eq!(eval.stats(), EvalStats::new());
+    }
+}

@@ -1,0 +1,384 @@
+//! A small text syntax for datalog programs.
+//!
+//! The syntax mirrors the paper's notation as closely as plain ASCII allows:
+//!
+//! ```text
+//! % mapping (m1) of Example 2, compiled to a datalog rule
+//! B_i(i, n) :- G_o(i, c, n).
+//!
+//! % mapping (m3): the existential c becomes the Skolem term #f0(n)
+//! U_i(n, #f0(n)) :- B_o(i, n).
+//!
+//! % internal rule (tR) with safe negation
+//! B_o(x, y) :- B_t(x, y), not B_r(x, y).
+//! ```
+//!
+//! * Identifiers in term position are **variables**; constants are integer
+//!   literals (`42`, `-7`) or double-quoted strings (`"Homo sapiens"`).
+//! * `#f<k>(args…)` (or `#<k>(args…)`) denotes the application of Skolem
+//!   function `k`.
+//! * `not` (or `!`) negates a body literal.
+//! * `%` and `//` start line comments.
+
+use orchestra_storage::{SkolemFnId, Value};
+
+use crate::atom::{Atom, Literal};
+use crate::error::DatalogError;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::Term;
+use crate::Result;
+
+/// Parse a whole program: zero or more rules, each terminated by `.`.
+pub fn parse_program(input: &str) -> Result<Program> {
+    let mut p = Parser::new(input);
+    let mut rules = Vec::new();
+    p.skip_ws();
+    while !p.at_end() {
+        rules.push(p.parse_rule()?);
+        p.skip_ws();
+    }
+    Ok(Program::from_rules(rules))
+}
+
+/// Parse a single rule (with or without the trailing `.`).
+pub fn parse_rule(input: &str) -> Result<Rule> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let rule = p.parse_rule()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+/// Parse a single atom, e.g. `B(i, 3, "x")`.
+pub fn parse_atom(input: &str) -> Result<Atom> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let atom = p.parse_atom()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing input after atom"));
+    }
+    Ok(atom)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> DatalogError {
+        DatalogError::Parse {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            // Line comments: `%` or `//`.
+            if self.peek() == Some(b'%')
+                || (self.peek() == Some(b'/') && self.input.get(self.pos + 1) == Some(&b'/'))
+            {
+                while !self.at_end() && self.peek() != Some(b'\n') {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn try_consume(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        let bytes = s.as_bytes();
+        if self.input[self.pos..].starts_with(bytes) {
+            self.pos += bytes.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                self.pos += 1;
+            }
+            _ => return Err(self.error("expected identifier")),
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("identifiers are ascii")
+            .to_string())
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule> {
+        let head = self.parse_atom()?;
+        self.skip_ws();
+        let mut body = Vec::new();
+        if self.try_consume(":-") {
+            loop {
+                body.push(self.parse_literal()?);
+                self.skip_ws();
+                if self.try_consume(",") {
+                    continue;
+                }
+                break;
+            }
+        }
+        self.expect(b'.')?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        self.skip_ws();
+        let negated = if self.try_consume("not ") || self.try_consume("not\t") {
+            true
+        } else if self.peek() == Some(b'!') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let atom = self.parse_atom()?;
+        Ok(Literal { atom, negated })
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom> {
+        let relation = self.parse_identifier()?;
+        self.expect(b'(')?;
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if self.peek() != Some(b')') {
+            loop {
+                terms.push(self.parse_term()?);
+                self.skip_ws();
+                if self.try_consume(",") {
+                    continue;
+                }
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(Atom::new(relation, terms))
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'#') => self.parse_skolem(),
+            Some(b'"') => self.parse_string().map(|s| Term::Const(Value::text(s))),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_int(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let ident = self.parse_identifier()?;
+                Ok(Term::Var(ident))
+            }
+            _ => Err(self.error("expected term")),
+        }
+    }
+
+    fn parse_skolem(&mut self) -> Result<Term> {
+        self.bump(); // '#'
+        // Accept `#f3(...)` or `#3(...)`.
+        if self.peek() == Some(b'f') || self.peek() == Some(b'F') {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected Skolem function number after `#`"));
+        }
+        let id: u32 = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| self.error("Skolem function number out of range"))?;
+        self.expect(b'(')?;
+        let mut args = Vec::new();
+        self.skip_ws();
+        if self.peek() != Some(b')') {
+            loop {
+                args.push(self.parse_term()?);
+                self.skip_ws();
+                if self.try_consume(",") {
+                    continue;
+                }
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(Term::Skolem(SkolemFnId(id), args))
+    }
+
+    fn parse_int(&mut self) -> Result<Term> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("digits are ascii");
+        if text.is_empty() || text == "-" {
+            return Err(self.error("expected integer literal"));
+        }
+        let v: i64 = text
+            .parse()
+            .map_err(|_| self.error("integer literal out of range"))?;
+        Ok(Term::Const(Value::int(v)))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    _ => return Err(self.error("invalid escape sequence in string")),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_rule() {
+        let r = parse_rule("B(i, n) :- G(i, c, n).").unwrap();
+        assert_eq!(r.to_string(), "B(i, n) :- G(i, c, n).");
+        assert_eq!(r.body.len(), 1);
+    }
+
+    #[test]
+    fn parse_fact_and_constants() {
+        let r = parse_rule("G(1, -2, \"Homo sapiens\").").unwrap();
+        assert!(r.body.is_empty());
+        assert_eq!(r.head.terms[0], Term::Const(Value::int(1)));
+        assert_eq!(r.head.terms[1], Term::Const(Value::int(-2)));
+        assert_eq!(r.head.terms[2], Term::Const(Value::text("Homo sapiens")));
+    }
+
+    #[test]
+    fn parse_negation_both_spellings() {
+        let r = parse_rule("B_o(x) :- B_t(x), not B_r(x).").unwrap();
+        assert!(r.body[1].negated);
+        let r = parse_rule("B_o(x) :- B_t(x), !B_r(x).").unwrap();
+        assert!(r.body[1].negated);
+    }
+
+    #[test]
+    fn parse_skolem_terms() {
+        let r = parse_rule("U(n, #f0(n)) :- B(i, n).").unwrap();
+        assert_eq!(
+            r.head.terms[1],
+            Term::Skolem(SkolemFnId(0), vec![Term::var("n")])
+        );
+        let r = parse_rule("U(n, #7(n, i)) :- B(i, n).").unwrap();
+        assert_eq!(
+            r.head.terms[1],
+            Term::Skolem(SkolemFnId(7), vec![Term::var("n"), Term::var("i")])
+        );
+    }
+
+    #[test]
+    fn parse_program_with_comments() {
+        let p = parse_program(
+            "% the running example\n\
+             B(i, n) :- G(i, c, n).  // mapping m1\n\
+             U(n, c) :- G(i, c, n).\n\
+             B(i, n) :- B(i, c), U(n, c).\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_atom_standalone() {
+        let a = parse_atom("PB4(i, n, c)").unwrap();
+        assert_eq!(a.relation, "PB4");
+        assert_eq!(a.arity(), 3);
+        assert!(parse_atom("PB4(i, n, c) extra").is_err());
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let a = parse_atom("flag()").unwrap();
+        assert_eq!(a.arity(), 0);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse_rule("B(i, n :- G(i).").unwrap_err();
+        match err {
+            DatalogError::Parse { offset, .. } => assert!(offset > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_rule("B(i, n)").is_err()); // missing period
+        assert!(parse_rule("(x) :- G(x).").is_err()); // missing relation name
+        assert!(parse_program("B(\"unterminated) :- G(x).").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let text = "B_i(i, n) :- G_o(i, c, n), not B_r(i, n).";
+        let r = parse_rule(text).unwrap();
+        let reparsed = parse_rule(&r.to_string()).unwrap();
+        assert_eq!(r, reparsed);
+    }
+}

@@ -1,0 +1,123 @@
+//! Evaluation statistics collected by the engine.
+//!
+//! The experimental section of the paper reasons about the *number of
+//! queries executed*, the *number of fixpoint iterations*, and the volume of
+//! data carried around (strings vs integers). [`EvalStats`] captures those
+//! quantities so the benchmark harness and EXPERIMENTS.md can report them
+//! alongside wall-clock time.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters describing one evaluation (or one incremental propagation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of fixpoint iterations executed (summed over strata).
+    pub iterations: usize,
+    /// Number of individual rule applications (one rule evaluated once in
+    /// one iteration). For the batch backend this is also the number of
+    /// simulated SQL statements / round trips.
+    pub rule_applications: usize,
+    /// Number of head tuples produced by rule applications, before
+    /// de-duplication against the existing instance.
+    pub tuples_derived: usize,
+    /// Number of tuples that were actually new and inserted.
+    pub tuples_inserted: usize,
+    /// Number of tuples removed (only populated by deletion procedures).
+    pub tuples_deleted: usize,
+    /// Number of throwaway hash indexes built (batch backend).
+    pub temp_indexes_built: usize,
+    /// Number of persistent index probes performed (pipelined backend).
+    pub index_probes: usize,
+    /// Number of derived tuples rejected by the derivation filter
+    /// (trust conditions).
+    pub filtered_out: usize,
+}
+
+impl EvalStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        EvalStats::default()
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        *self += *other;
+    }
+}
+
+impl AddAssign for EvalStats {
+    fn add_assign(&mut self, o: EvalStats) {
+        self.iterations += o.iterations;
+        self.rule_applications += o.rule_applications;
+        self.tuples_derived += o.tuples_derived;
+        self.tuples_inserted += o.tuples_inserted;
+        self.tuples_deleted += o.tuples_deleted;
+        self.temp_indexes_built += o.temp_indexes_built;
+        self.index_probes += o.index_probes;
+        self.filtered_out += o.filtered_out;
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={}",
+            self.iterations,
+            self.rule_applications,
+            self.tuples_derived,
+            self.tuples_inserted,
+            self.tuples_deleted,
+            self.temp_indexes_built,
+            self.index_probes,
+            self.filtered_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EvalStats {
+            iterations: 1,
+            rule_applications: 2,
+            tuples_derived: 3,
+            tuples_inserted: 4,
+            tuples_deleted: 5,
+            temp_indexes_built: 6,
+            index_probes: 7,
+            filtered_out: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.iterations, 2);
+        assert_eq!(a.rule_applications, 4);
+        assert_eq!(a.tuples_derived, 6);
+        assert_eq!(a.tuples_inserted, 8);
+        assert_eq!(a.tuples_deleted, 10);
+        assert_eq!(a.temp_indexes_built, 12);
+        assert_eq!(a.index_probes, 14);
+        assert_eq!(a.filtered_out, 16);
+    }
+
+    #[test]
+    fn display_includes_all_counters() {
+        let s = EvalStats::new().to_string();
+        for key in [
+            "iterations",
+            "rule_apps",
+            "derived",
+            "inserted",
+            "deleted",
+            "temp_indexes",
+            "probes",
+            "filtered",
+        ] {
+            assert!(s.contains(key), "missing {key} in `{s}`");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The weak acyclicity test (paper §3.1, following Fagin et al.'s data
+//! exchange work).
+//!
+//! Build the *position dependency graph*: nodes are pairs (relation,
+//! attribute position). For every tgd, every frontier variable `x` occurring
+//! in LHS position `(R, i)`, and every occurrence of `x` in RHS position
+//! `(S, j)`, add a **regular** edge `(R,i) → (S,j)`. Additionally, for every
+//! existential variable `z` occurring in RHS position `(S, k)`, add a
+//! **special** edge `(R,i) → (S,k)` (the value at `(R,i)` may cause the
+//! creation of a fresh labeled null at `(S,k)`).
+//!
+//! The mapping set is *weakly acyclic* iff the graph has no cycle that goes
+//! through a special edge. Weak acyclicity guarantees that the chase — and
+//! hence our datalog fixpoint with frontier-parameterised Skolem functions —
+//! terminates in polynomial time (Theorem 3.1 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::tgd::Tgd;
+use crate::{MappingError, Result};
+
+/// A node of the position dependency graph: (relation, attribute position).
+pub type Position = (String, usize);
+
+/// The outcome of a weak-acyclicity analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeakAcyclicityReport {
+    /// Regular edges of the position dependency graph.
+    pub regular_edges: BTreeSet<(Position, Position)>,
+    /// Special edges of the position dependency graph.
+    pub special_edges: BTreeSet<(Position, Position)>,
+    /// `None` if the set is weakly acyclic, otherwise a human-readable
+    /// description of a special edge that lies on a cycle.
+    pub violation: Option<String>,
+}
+
+impl WeakAcyclicityReport {
+    /// Is the analysed mapping set weakly acyclic?
+    pub fn is_weakly_acyclic(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+impl fmt::Display for WeakAcyclicityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "position dependency graph: {} regular edges, {} special edges",
+            self.regular_edges.len(),
+            self.special_edges.len()
+        )?;
+        match &self.violation {
+            None => writeln!(f, "weakly acyclic: yes"),
+            Some(v) => writeln!(f, "weakly acyclic: NO ({v})"),
+        }
+    }
+}
+
+/// Analyse a set of tgds for weak acyclicity.
+pub fn analyze(tgds: &[Tgd]) -> WeakAcyclicityReport {
+    let mut regular: BTreeSet<(Position, Position)> = BTreeSet::new();
+    let mut special: BTreeSet<(Position, Position)> = BTreeSet::new();
+
+    for tgd in tgds {
+        let frontier = tgd.frontier_variables();
+        let existential = tgd.existential_variables();
+
+        // Positions of each frontier variable on the LHS.
+        let mut lhs_positions: BTreeMap<&str, Vec<Position>> = BTreeMap::new();
+        for atom in &tgd.lhs {
+            for (i, term) in atom.terms.iter().enumerate() {
+                if let Some(v) = term.as_var() {
+                    if frontier.contains(v) {
+                        lhs_positions
+                            .entry(v)
+                            .or_default()
+                            .push((atom.relation.clone(), i));
+                    }
+                }
+            }
+        }
+
+        // RHS occurrences.
+        for atom in &tgd.rhs {
+            for (j, term) in atom.terms.iter().enumerate() {
+                let Some(v) = term.as_var() else { continue };
+                if frontier.contains(v) {
+                    // Regular edges from every LHS position of v.
+                    for from in lhs_positions.get(v).into_iter().flatten() {
+                        regular.insert((from.clone(), (atom.relation.clone(), j)));
+                    }
+                } else if existential.contains(v) {
+                    // Special edges from every LHS position of every frontier
+                    // variable.
+                    for positions in lhs_positions.values() {
+                        for from in positions {
+                            special.insert((from.clone(), (atom.relation.clone(), j)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // All edges (regular ∪ special) for reachability.
+    let mut adjacency: BTreeMap<Position, Vec<Position>> = BTreeMap::new();
+    for (from, to) in regular.iter().chain(special.iter()) {
+        adjacency.entry(from.clone()).or_default().push(to.clone());
+    }
+
+    // A special edge u -> v lies on a cycle iff u is reachable from v.
+    let mut violation = None;
+    for (u, v) in &special {
+        if reachable(&adjacency, v, u) {
+            violation = Some(format!(
+                "special edge {}.{} -*-> {}.{} lies on a cycle",
+                u.0, u.1, v.0, v.1
+            ));
+            break;
+        }
+    }
+
+    WeakAcyclicityReport {
+        regular_edges: regular,
+        special_edges: special,
+        violation,
+    }
+}
+
+/// Check weak acyclicity, returning an error if violated.
+pub fn check_weak_acyclicity(tgds: &[Tgd]) -> Result<WeakAcyclicityReport> {
+    let report = analyze(tgds);
+    match &report.violation {
+        None => Ok(report),
+        Some(v) => Err(MappingError::NotWeaklyAcyclic { cycle: v.clone() }),
+    }
+}
+
+fn reachable(
+    adjacency: &BTreeMap<Position, Vec<Position>>,
+    from: &Position,
+    to: &Position,
+) -> bool {
+    let mut visited: BTreeSet<&Position> = BTreeSet::new();
+    let mut stack: Vec<&Position> = vec![from];
+    while let Some(p) = stack.pop() {
+        if p == to {
+            return true;
+        }
+        if !visited.insert(p) {
+            continue;
+        }
+        if let Some(next) = adjacency.get(p) {
+            stack.extend(next.iter());
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::example2_mappings;
+
+    #[test]
+    fn example_2_is_weakly_acyclic() {
+        // The paper notes that (m3) completes a cycle but the set is still
+        // weakly acyclic.
+        let report = analyze(&example2_mappings());
+        assert!(report.is_weakly_acyclic(), "{report}");
+        assert!(!report.special_edges.is_empty());
+        assert!(check_weak_acyclicity(&example2_mappings()).is_ok());
+    }
+
+    #[test]
+    fn self_feeding_existential_is_rejected() {
+        // R(x, y) -> R(y, z): the existential z lands in R.1, and R.1 feeds
+        // back into the premise, so fresh nulls beget fresh nulls forever.
+        let tgds = vec![Tgd::parse("m", "R(x, y) -> R(y, z)").unwrap()];
+        let report = analyze(&tgds);
+        assert!(!report.is_weakly_acyclic());
+        assert!(matches!(
+            check_weak_acyclicity(&tgds).unwrap_err(),
+            MappingError::NotWeaklyAcyclic { .. }
+        ));
+    }
+
+    #[test]
+    fn two_step_special_cycle_is_detected() {
+        // A -> B with existential, B -> A copying: special edge A.0 -*-> B.1,
+        // regular edge B.1 -> A.0 closes the cycle.
+        let tgds = vec![
+            Tgd::parse("m1", "A(x) -> B(x, z)").unwrap(),
+            Tgd::parse("m2", "B(x, y) -> A(y)").unwrap(),
+        ];
+        assert!(!analyze(&tgds).is_weakly_acyclic());
+    }
+
+    #[test]
+    fn full_tgd_cycles_are_fine() {
+        // Cycles without existentials (full tgds) are weakly acyclic.
+        let tgds = vec![
+            Tgd::parse("m1", "A(x, y) -> B(y, x)").unwrap(),
+            Tgd::parse("m2", "B(x, y) -> A(y, x)").unwrap(),
+        ];
+        let report = analyze(&tgds);
+        assert!(report.is_weakly_acyclic());
+        assert!(report.special_edges.is_empty());
+        assert!(!report.regular_edges.is_empty());
+    }
+
+    #[test]
+    fn report_display() {
+        let ok = analyze(&example2_mappings());
+        assert!(ok.to_string().contains("yes"));
+        let bad = analyze(&[Tgd::parse("m", "R(x, y) -> R(y, z)").unwrap()]);
+        assert!(bad.to_string().contains("NO"));
+    }
+}

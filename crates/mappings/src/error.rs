@@ -1,0 +1,112 @@
+//! Error type for schema-mapping operations.
+
+use std::fmt;
+
+use orchestra_datalog::DatalogError;
+use orchestra_storage::StorageError;
+
+/// Errors raised while parsing, validating or compiling schema mappings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The tgd text could not be parsed.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// The offending input.
+        input: String,
+    },
+    /// A tgd is malformed (e.g. empty LHS or RHS, or a constant-only LHS).
+    InvalidTgd {
+        /// The mapping's name.
+        mapping: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The set of mappings is not weakly acyclic, so chasing/datalog
+    /// evaluation is not guaranteed to terminate (paper §3.1).
+    NotWeaklyAcyclic {
+        /// A description of a position cycle through a special edge.
+        cycle: String,
+    },
+    /// A tgd refers to a relation that is not declared in any peer schema.
+    UnknownRelation(String),
+    /// A tgd uses a relation with the wrong arity.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity used in the tgd.
+        actual: usize,
+    },
+    /// Error from the datalog layer.
+    Datalog(DatalogError),
+    /// Error from the storage layer.
+    Storage(StorageError),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Parse { message, input } => {
+                write!(f, "cannot parse tgd `{input}`: {message}")
+            }
+            MappingError::InvalidTgd { mapping, message } => {
+                write!(f, "invalid tgd `{mapping}`: {message}")
+            }
+            MappingError::NotWeaklyAcyclic { cycle } => {
+                write!(f, "mapping set is not weakly acyclic: {cycle}")
+            }
+            MappingError::UnknownRelation(r) => {
+                write!(f, "tgd mentions relation `{r}` which is not declared by any peer")
+            }
+            MappingError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but is used with {actual} arguments"
+            ),
+            MappingError::Datalog(e) => write!(f, "datalog error: {e}"),
+            MappingError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+impl From<DatalogError> for MappingError {
+    fn from(e: DatalogError) -> Self {
+        MappingError::Datalog(e)
+    }
+}
+
+impl From<StorageError> for MappingError {
+    fn from(e: StorageError) -> Self {
+        MappingError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = MappingError::NotWeaklyAcyclic {
+            cycle: "B.1 -*-> U.1 -> B.1".into(),
+        };
+        assert!(e.to_string().contains("weakly acyclic"));
+        let e = MappingError::ArityMismatch {
+            relation: "G".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("arity 3"));
+        let e: MappingError = StorageError::UnknownRelation("X".into()).into();
+        assert!(matches!(e, MappingError::Storage(_)));
+        let e: MappingError = DatalogError::MissingRelation("X".into()).into();
+        assert!(matches!(e, MappingError::Datalog(_)));
+    }
+}

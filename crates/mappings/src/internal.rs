@@ -1,0 +1,312 @@
+//! The internal schema and the complete update-exchange program.
+//!
+//! Per §3.1 (Figure 2) every logical relation `R` of a peer is implemented by
+//! four internal relations sharing `R`'s attributes:
+//!
+//! * `R_l` — local contributions,
+//! * `R_r` — local rejections (curation deletions of imported data),
+//! * `R_i` — input table (tuples produced by update translation),
+//! * `R_o` — curated output table (what users query and what outgoing
+//!   mappings read).
+//!
+//! The user-level mappings `M` are rewritten into internal mappings `M'`
+//! over these relations, and for each relation the rules
+//!
+//! ```text
+//! (iR)  R_o(x̄) :- R_i(x̄), not R_r(x̄).
+//! (lR)  R_o(x̄) :- R_l(x̄).
+//! ```
+//!
+//! are added. Trust conditions (§3.3) are applied by `orchestra-core` while
+//! deriving the provenance relations and input tables, so the trusted table
+//! `R_t` always coincides with `R_i` and is elided from the stored schema;
+//! see the DESIGN.md notes on this simplification.
+
+use std::collections::BTreeMap;
+
+use orchestra_datalog::atom::{Atom, Literal};
+use orchestra_datalog::program::Program;
+use orchestra_datalog::rule::Rule;
+use orchestra_storage::schema::{internal_name, InternalRole};
+use orchestra_storage::{Database, RelationSchema};
+
+use crate::acyclicity::{check_weak_acyclicity, WeakAcyclicityReport};
+use crate::compile::{compile_mapping, CompiledMapping, ProvenanceEncoding, SkolemAllocator};
+use crate::error::MappingError;
+use crate::tgd::Tgd;
+use crate::Result;
+
+/// The internal datalog rules (iR) and (lR) for one logical relation.
+pub fn internal_rules_for_relation(name: &str, arity: usize) -> Vec<Rule> {
+    let vars: Vec<String> = (0..arity).map(|i| format!("x{i}")).collect();
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let output = Atom::with_vars(internal_name(name, InternalRole::Output), &var_refs);
+    let input = Atom::with_vars(internal_name(name, InternalRole::Input), &var_refs);
+    let rejections = Atom::with_vars(internal_name(name, InternalRole::Rejections), &var_refs);
+    let local = Atom::with_vars(
+        internal_name(name, InternalRole::LocalContributions),
+        &var_refs,
+    );
+    vec![
+        // (iR): imported data survives unless locally rejected.
+        Rule::new(
+            output.clone(),
+            vec![Literal::positive(input), Literal::negative(rejections)],
+        ),
+        // (lR): local contributions always appear in the output.
+        Rule::positive(output, vec![local]),
+    ]
+}
+
+/// A fully analysed and compiled set of schema mappings over a set of
+/// logical relations — everything `orchestra-core` needs to run update
+/// exchange.
+#[derive(Debug, Clone)]
+pub struct MappingSystem {
+    /// The logical (user-level) relation schemas, keyed by name.
+    pub logical_schemas: BTreeMap<String, RelationSchema>,
+    /// The user-level tgds.
+    pub tgds: Vec<Tgd>,
+    /// The compiled form of each tgd (same order as `tgds`).
+    pub compiled: Vec<CompiledMapping>,
+    /// The complete update-exchange datalog program: all mapping rules plus
+    /// the internal (iR)/(lR) rules of every relation.
+    pub program: Program,
+    /// The weak-acyclicity analysis of the tgds.
+    pub acyclicity: WeakAcyclicityReport,
+    /// The provenance encoding used.
+    pub encoding: ProvenanceEncoding,
+}
+
+impl MappingSystem {
+    /// Build a mapping system: validate the tgds against the schemas, check
+    /// weak acyclicity, compile every mapping, and assemble the
+    /// update-exchange program.
+    pub fn build(
+        schemas: Vec<RelationSchema>,
+        tgds: Vec<Tgd>,
+        encoding: ProvenanceEncoding,
+    ) -> Result<Self> {
+        let logical_schemas: BTreeMap<String, RelationSchema> = schemas
+            .into_iter()
+            .map(|s| (s.name().to_string(), s))
+            .collect();
+
+        // Validate relations and arities used by the tgds.
+        for tgd in &tgds {
+            for atom in tgd.lhs.iter().chain(tgd.rhs.iter()) {
+                match logical_schemas.get(&atom.relation) {
+                    None => return Err(MappingError::UnknownRelation(atom.relation.clone())),
+                    Some(schema) if schema.arity() != atom.arity() => {
+                        return Err(MappingError::ArityMismatch {
+                            relation: atom.relation.clone(),
+                            expected: schema.arity(),
+                            actual: atom.arity(),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        let acyclicity = check_weak_acyclicity(&tgds)?;
+
+        let mut allocator = SkolemAllocator::new();
+        let mut compiled = Vec::with_capacity(tgds.len());
+        let mut program = Program::new();
+        for tgd in &tgds {
+            let c = compile_mapping(tgd, encoding, &mut allocator, true)?;
+            for r in &c.rules {
+                program.push(r.clone());
+            }
+            compiled.push(c);
+        }
+        for schema in logical_schemas.values() {
+            for r in internal_rules_for_relation(schema.name(), schema.arity()) {
+                program.push(r);
+            }
+        }
+        program.validate()?;
+        // The program must be stratifiable (negation only over rejection
+        // tables, which are edbs, so this always succeeds for valid input).
+        program.stratify()?;
+
+        Ok(MappingSystem {
+            logical_schemas,
+            tgds,
+            compiled,
+            program,
+            acyclicity,
+            encoding,
+        })
+    }
+
+    /// Create every internal relation (`R_l`, `R_r`, `R_i`, `R_o`) and every
+    /// provenance relation in the database, if not already present.
+    pub fn register_relations(&self, db: &mut Database) -> Result<()> {
+        for schema in self.logical_schemas.values() {
+            for role in [
+                InternalRole::LocalContributions,
+                InternalRole::Rejections,
+                InternalRole::Input,
+                InternalRole::Output,
+            ] {
+                db.create_relation_if_absent(schema.internal(role));
+            }
+        }
+        for c in &self.compiled {
+            for ps in c.provenance_schemas() {
+                db.create_relation_if_absent(ps);
+            }
+        }
+        Ok(())
+    }
+
+    /// Find a compiled mapping by name.
+    pub fn mapping(&self, name: &str) -> Option<&CompiledMapping> {
+        self.compiled.iter().find(|c| c.name == name)
+    }
+
+    /// Find the compiled mapping owning a given provenance relation, with the
+    /// index of that provenance table within the mapping.
+    pub fn mapping_for_provenance_relation(&self, relation: &str) -> Option<(&CompiledMapping, usize)> {
+        for c in &self.compiled {
+            for (i, p) in c.provenance.iter().enumerate() {
+                if p.relation == relation {
+                    return Some((c, i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Names of all provenance relations.
+    pub fn provenance_relations(&self) -> Vec<String> {
+        self.compiled
+            .iter()
+            .flat_map(|c| c.provenance.iter().map(|p| p.relation.clone()))
+            .collect()
+    }
+
+    /// Names of all logical relations.
+    pub fn logical_relations(&self) -> Vec<String> {
+        self.logical_schemas.keys().cloned().collect()
+    }
+
+    /// Total number of datalog rules in the update-exchange program.
+    pub fn rule_count(&self) -> usize {
+        self.program.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::example2_mappings;
+
+    fn example_schemas() -> Vec<RelationSchema> {
+        vec![
+            RelationSchema::new("G", &["id", "can", "nam"]),
+            RelationSchema::new("B", &["id", "nam"]),
+            RelationSchema::new("U", &["nam", "can"]),
+        ]
+    }
+
+    #[test]
+    fn internal_rules_shape() {
+        let rules = internal_rules_for_relation("B", 2);
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].to_string(), "B_o(x0, x1) :- B_i(x0, x1), not B_r(x0, x1).");
+        assert_eq!(rules[1].to_string(), "B_o(x0, x1) :- B_l(x0, x1).");
+        for r in &rules {
+            r.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn build_example_2_system() {
+        let system = MappingSystem::build(
+            example_schemas(),
+            example2_mappings(),
+            ProvenanceEncoding::CompositePerTgd,
+        )
+        .unwrap();
+        assert!(system.acyclicity.is_weakly_acyclic());
+        assert_eq!(system.compiled.len(), 4);
+        // 4 mappings × 2 rules + 3 relations × 2 internal rules = 14.
+        assert_eq!(system.rule_count(), 14);
+        assert_eq!(system.provenance_relations().len(), 4);
+        assert_eq!(system.logical_relations(), vec!["B", "G", "U"]);
+        assert!(system.mapping("m3").is_some());
+        assert!(system.mapping("nope").is_none());
+        let (m, idx) = system.mapping_for_provenance_relation("P_m4").unwrap();
+        assert_eq!(m.name, "m4");
+        assert_eq!(idx, 0);
+        assert!(system.mapping_for_provenance_relation("P_zzz").is_none());
+    }
+
+    #[test]
+    fn register_relations_creates_internal_and_provenance_tables() {
+        let system = MappingSystem::build(
+            example_schemas(),
+            example2_mappings(),
+            ProvenanceEncoding::CompositePerTgd,
+        )
+        .unwrap();
+        let mut db = Database::new();
+        system.register_relations(&mut db).unwrap();
+        for rel in ["B_l", "B_r", "B_i", "B_o", "G_o", "U_i", "P_m1", "P_m4"] {
+            assert!(db.has_relation(rel), "missing {rel}");
+        }
+        // Internal relations share the logical schema's attributes.
+        assert_eq!(
+            db.relation("B_o").unwrap().schema().attributes(),
+            &["id".to_string(), "nam".to_string()]
+        );
+        // Idempotent.
+        system.register_relations(&mut db).unwrap();
+    }
+
+    #[test]
+    fn unknown_relations_and_arity_mismatches_are_rejected() {
+        let err = MappingSystem::build(
+            example_schemas(),
+            vec![Tgd::parse("m", "X(a) -> B(a, a)").unwrap()],
+            ProvenanceEncoding::CompositePerTgd,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::UnknownRelation(r) if r == "X"));
+
+        let err = MappingSystem::build(
+            example_schemas(),
+            vec![Tgd::parse("m", "G(a, b) -> B(a, b)").unwrap()],
+            ProvenanceEncoding::CompositePerTgd,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::ArityMismatch { relation, .. } if relation == "G"));
+    }
+
+    #[test]
+    fn non_weakly_acyclic_sets_are_rejected_at_build() {
+        let schemas = vec![RelationSchema::new("R", &["a", "b"])];
+        let err = MappingSystem::build(
+            schemas,
+            vec![Tgd::parse("m", "R(x, y) -> R(y, z)").unwrap()],
+            ProvenanceEncoding::CompositePerTgd,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::NotWeaklyAcyclic { .. }));
+    }
+
+    #[test]
+    fn per_head_atom_encoding_builds_too() {
+        let system = MappingSystem::build(
+            example_schemas(),
+            example2_mappings(),
+            ProvenanceEncoding::PerHeadAtom,
+        )
+        .unwrap();
+        assert_eq!(system.provenance_relations().len(), 4);
+        assert_eq!(system.encoding, ProvenanceEncoding::PerHeadAtom);
+    }
+}

@@ -1,0 +1,48 @@
+//! # orchestra-mappings
+//!
+//! Schema mappings for the ORCHESTRA CDSS, implementing §3 and §4.1 of
+//! *Update Exchange with Mappings and Provenance* (VLDB 2007):
+//!
+//! * [`Tgd`]s — tuple-generating dependencies / GLAV mappings relating
+//!   relations of different peers, with a small text syntax mirroring the
+//!   paper's notation (`G(i,c,n) -> B(i,n)`);
+//! * the **weak acyclicity** test (§3.1) that the CDSS imposes on the
+//!   mapping topology so that update translation terminates;
+//! * the **internal schema** expansion of Figure 2: every logical relation
+//!   `R` becomes `R_l` (local contributions), `R_r` (rejections), `R_i`
+//!   (input), and `R_o` (curated output), and the user-level tgds are
+//!   rewritten over the internal relations;
+//! * **compilation to datalog with Skolem functions** (§4.1.1), including the
+//!   relational provenance encoding of §4.1.2: each tgd `m` gets a
+//!   provenance relation `P_m` holding one row per rule instantiation, a
+//!   rule `P_m(x̄,ȳ) :- φ(x̄,ȳ)`, and projection rules deriving the actual
+//!   target tuples (with labeled nulls) from `P_m`;
+//! * **inverse rules** (§4.1.3) computing, goal-directedly, the set of
+//!   tuples and provenance rows that support a given set of tuples — the
+//!   backward phase of derivation testing used by incremental deletion.
+//!
+//! The compiled artifacts retain enough structure ([`CompiledMapping`],
+//! [`AtomTemplate`]) for the CDSS layer to reconstruct, from every stored
+//! provenance row, the exact source and target tuples of that rule
+//! instantiation — which is how the provenance *graph* of §3.2 is
+//! materialised.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod acyclicity;
+pub mod compile;
+pub mod error;
+pub mod internal;
+pub mod inverse;
+pub mod tgd;
+
+pub use acyclicity::{check_weak_acyclicity, WeakAcyclicityReport};
+pub use compile::{AtomTemplate, CompiledMapping, ProvenanceEncoding, TemplateTerm};
+pub use error::MappingError;
+pub use internal::{internal_rules_for_relation, MappingSystem};
+pub use inverse::support_program;
+pub use tgd::Tgd;
+
+/// Convenience result alias for mapping operations.
+pub type Result<T> = std::result::Result<T, MappingError>;

@@ -1,0 +1,522 @@
+//! The provenance graph (paper §3.2, Definition 3.2 and Example 5).
+//!
+//! The graph has two kinds of nodes: **tuple nodes** (one per tuple in the
+//! system) and **mapping nodes** (one per instantiation of a mapping's tgd).
+//! Edges run from the source tuples of an instantiation to its mapping node,
+//! and from the mapping node to the tuples it derives. Base tuples (direct
+//! user insertions) additionally carry their provenance token.
+//!
+//! Three queries matter to the CDSS:
+//!
+//! * generating the provenance *expression* of a tuple by backward traversal
+//!   (used for explanation and for trust over finite expressions);
+//! * computing the set of tuples **derivable** from valid base tuples — the
+//!   goal-directed test at the heart of the incremental deletion algorithm
+//!   (Figure 3, line 16);
+//! * computing the set of **trusted** tuples under a peer's trust assignment
+//!   (§3.3), which is the same least fixpoint with mapping-level conditions.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use orchestra_storage::Tuple;
+
+use crate::expr::ProvenanceExpr;
+use crate::token::{MappingId, ProvenanceToken};
+
+/// Identifier of a tuple node within a [`ProvenanceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleNodeId(usize);
+
+/// Identifier of a mapping node within a [`ProvenanceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MappingNodeId(usize);
+
+#[derive(Debug, Clone)]
+struct TupleNode {
+    relation: String,
+    tuple: Tuple,
+    base_token: Option<ProvenanceToken>,
+    /// Mapping nodes that derive this tuple.
+    derived_by: Vec<MappingNodeId>,
+    /// Mapping nodes that consume this tuple.
+    feeds: Vec<MappingNodeId>,
+}
+
+#[derive(Debug, Clone)]
+struct MappingNode {
+    mapping: MappingId,
+    sources: Vec<TupleNodeId>,
+    targets: Vec<TupleNodeId>,
+}
+
+/// The provenance graph.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceGraph {
+    tuples: Vec<TupleNode>,
+    mappings: Vec<MappingNode>,
+    tuple_index: HashMap<(String, Tuple), TupleNodeId>,
+    mapping_dedup: HashSet<(MappingId, Vec<TupleNodeId>, Vec<TupleNodeId>)>,
+}
+
+impl ProvenanceGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        ProvenanceGraph::default()
+    }
+
+    /// Number of tuple nodes.
+    pub fn num_tuple_nodes(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of mapping (instantiation) nodes.
+    pub fn num_mapping_nodes(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Look up the node for a tuple, if present.
+    pub fn tuple_node(&self, relation: &str, tuple: &Tuple) -> Option<TupleNodeId> {
+        self.tuple_index
+            .get(&(relation.to_string(), tuple.clone()))
+            .copied()
+    }
+
+    /// The (relation, tuple) pair of a node.
+    pub fn tuple_of(&self, id: TupleNodeId) -> (&str, &Tuple) {
+        let n = &self.tuples[id.0];
+        (&n.relation, &n.tuple)
+    }
+
+    /// Get or create the tuple node for `(relation, tuple)`.
+    pub fn ensure_tuple(&mut self, relation: &str, tuple: Tuple) -> TupleNodeId {
+        let key = (relation.to_string(), tuple.clone());
+        if let Some(&id) = self.tuple_index.get(&key) {
+            return id;
+        }
+        let id = TupleNodeId(self.tuples.len());
+        self.tuples.push(TupleNode {
+            relation: relation.to_string(),
+            tuple,
+            base_token: None,
+            derived_by: Vec::new(),
+            feeds: Vec::new(),
+        });
+        self.tuple_index.insert(key, id);
+        id
+    }
+
+    /// Mark a tuple as base data (a local contribution): it is annotated with
+    /// its own provenance token.
+    pub fn mark_base(&mut self, relation: &str, tuple: Tuple) -> TupleNodeId {
+        let id = self.ensure_tuple(relation, tuple.clone());
+        self.tuples[id.0].base_token = Some(ProvenanceToken::new(relation, tuple));
+        id
+    }
+
+    /// Is this tuple node annotated as base data?
+    pub fn is_base(&self, id: TupleNodeId) -> bool {
+        self.tuples[id.0].base_token.is_some()
+    }
+
+    /// Record one instantiation of a mapping: `sources` are the tuples
+    /// matching the tgd's LHS, `targets` the tuples it derives. Duplicate
+    /// instantiations are ignored.
+    pub fn add_derivation(
+        &mut self,
+        mapping: impl Into<MappingId>,
+        sources: &[(&str, Tuple)],
+        targets: &[(&str, Tuple)],
+    ) -> Option<MappingNodeId> {
+        let mapping = mapping.into();
+        let source_ids: Vec<TupleNodeId> = sources
+            .iter()
+            .map(|(r, t)| self.ensure_tuple(r, t.clone()))
+            .collect();
+        let target_ids: Vec<TupleNodeId> = targets
+            .iter()
+            .map(|(r, t)| self.ensure_tuple(r, t.clone()))
+            .collect();
+
+        let key = (mapping.clone(), source_ids.clone(), target_ids.clone());
+        if self.mapping_dedup.contains(&key) {
+            return None;
+        }
+        self.mapping_dedup.insert(key);
+
+        let id = MappingNodeId(self.mappings.len());
+        self.mappings.push(MappingNode {
+            mapping,
+            sources: source_ids.clone(),
+            targets: target_ids.clone(),
+        });
+        for s in &source_ids {
+            self.tuples[s.0].feeds.push(id);
+        }
+        for t in &target_ids {
+            self.tuples[t.0].derived_by.push(id);
+        }
+        Some(id)
+    }
+
+    /// The mapping name of a mapping node.
+    pub fn mapping_of(&self, id: MappingNodeId) -> &str {
+        &self.mappings[id.0].mapping
+    }
+
+    /// Generate the provenance expression of a tuple by backward traversal.
+    ///
+    /// For acyclic provenance this is exactly the finite expression of §3.2.
+    /// When mappings form cycles the true provenance is an infinite formal
+    /// power series (paper §3.2); this function computes the *cycle-free*
+    /// derivations by cutting any derivation path that revisits a tuple node,
+    /// which preserves evaluation in every idempotent semiring (boolean
+    /// trust, lineage, why-provenance) because repeating a loop can never
+    /// make an underivable tuple derivable.
+    pub fn expression_for(&self, relation: &str, tuple: &Tuple) -> ProvenanceExpr {
+        let Some(id) = self.tuple_node(relation, tuple) else {
+            return ProvenanceExpr::Zero;
+        };
+        let mut on_path = HashSet::new();
+        self.expression_for_node(id, &mut on_path)
+    }
+
+    fn expression_for_node(
+        &self,
+        id: TupleNodeId,
+        on_path: &mut HashSet<TupleNodeId>,
+    ) -> ProvenanceExpr {
+        if on_path.contains(&id) {
+            // Cycle: this branch contributes no *new* derivation.
+            return ProvenanceExpr::Zero;
+        }
+        let node = &self.tuples[id.0];
+        let mut summands = Vec::new();
+        if let Some(tok) = &node.base_token {
+            summands.push(ProvenanceExpr::Token(tok.clone()));
+        }
+        on_path.insert(id);
+        for &m in &node.derived_by {
+            let mnode = &self.mappings[m.0];
+            let factors: Vec<ProvenanceExpr> = mnode
+                .sources
+                .iter()
+                .map(|&s| self.expression_for_node(s, on_path))
+                .collect();
+            summands.push(ProvenanceExpr::mapping(
+                mnode.mapping.clone(),
+                ProvenanceExpr::product(factors),
+            ));
+        }
+        on_path.remove(&id);
+        ProvenanceExpr::sum(summands)
+    }
+
+    /// The set of tuple nodes derivable from base tuples accepted by
+    /// `base_valid` — the least fixpoint of "is a valid base tuple, or is the
+    /// target of a mapping node all of whose sources are derivable".
+    ///
+    /// This is the goal-directed derivability test used by the deletion
+    /// propagation algorithm (paper Figure 3, line 16): after removing some
+    /// base data, a tuple must be deleted iff it is *not* in this set.
+    pub fn derivable_set(
+        &self,
+        base_valid: impl Fn(&ProvenanceToken) -> bool,
+    ) -> HashSet<TupleNodeId> {
+        self.least_fixpoint(base_valid, |_, _, _| true)
+    }
+
+    /// The set of tuple nodes trusted under a peer's trust assignment
+    /// (§3.3): base tuples are trusted according to `trusted_base`; a mapping
+    /// instantiation confers trust on a target tuple only if every source is
+    /// trusted *and* `mapping_ok(mapping, target_relation, target_tuple)`
+    /// holds (the mapping's trust condition evaluated on the derived data).
+    pub fn trusted_set(
+        &self,
+        trusted_base: impl Fn(&ProvenanceToken) -> bool,
+        mapping_ok: impl Fn(&str, &str, &Tuple) -> bool,
+    ) -> HashSet<TupleNodeId> {
+        self.least_fixpoint(trusted_base, mapping_ok)
+    }
+
+    fn least_fixpoint(
+        &self,
+        base_valid: impl Fn(&ProvenanceToken) -> bool,
+        mapping_ok: impl Fn(&str, &str, &Tuple) -> bool,
+    ) -> HashSet<TupleNodeId> {
+        let mut derivable: HashSet<TupleNodeId> = HashSet::new();
+        let mut queue: VecDeque<TupleNodeId> = VecDeque::new();
+
+        for (i, node) in self.tuples.iter().enumerate() {
+            if let Some(tok) = &node.base_token {
+                if base_valid(tok) {
+                    let id = TupleNodeId(i);
+                    if derivable.insert(id) {
+                        queue.push_back(id);
+                    }
+                }
+            }
+        }
+
+        // Count, per mapping node, how many of its sources are not yet known
+        // to be derivable; when the count reaches zero the node fires. The
+        // counter is decremented exactly once per source, when that source is
+        // popped from the work queue (every derivable node enters the queue
+        // exactly once).
+        let mut missing: Vec<usize> = self.mappings.iter().map(|m| m.sources.len()).collect();
+        // Zero-source mapping nodes (no join inputs) fire immediately.
+        let mut ready: VecDeque<usize> = missing
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| i)
+            .collect();
+
+        loop {
+            while let Some(mi) = ready.pop_front() {
+                let m = &self.mappings[mi];
+                for &t in &m.targets {
+                    let (rel, tup) = self.tuple_of(t);
+                    if mapping_ok(&m.mapping, rel, tup) && derivable.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+            let Some(next) = queue.pop_front() else {
+                break;
+            };
+            for &mi in &self.tuples[next.0].feeds {
+                let idx = mi.0;
+                missing[idx] -= 1;
+                if missing[idx] == 0 {
+                    ready.push_back(idx);
+                }
+            }
+        }
+        derivable
+    }
+
+    /// Is the given tuple derivable from base tuples accepted by
+    /// `base_valid`?
+    pub fn derivable(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        base_valid: impl Fn(&ProvenanceToken) -> bool,
+    ) -> bool {
+        match self.tuple_node(relation, tuple) {
+            None => false,
+            Some(id) => self.derivable_set(base_valid).contains(&id),
+        }
+    }
+
+    /// Is the given tuple trusted under the given assignment?
+    pub fn trusted(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        trusted_base: impl Fn(&ProvenanceToken) -> bool,
+        mapping_ok: impl Fn(&str, &str, &Tuple) -> bool,
+    ) -> bool {
+        match self.tuple_node(relation, tuple) {
+            None => false,
+            Some(id) => self.trusted_set(trusted_base, mapping_ok).contains(&id),
+        }
+    }
+
+    /// Iterate over all tuple nodes as `(relation, tuple, is_base)`.
+    pub fn tuple_nodes(&self) -> impl Iterator<Item = (&str, &Tuple, bool)> {
+        self.tuples
+            .iter()
+            .map(|n| (n.relation.as_str(), &n.tuple, n.base_token.is_some()))
+    }
+}
+
+impl fmt::Display for ProvenanceGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "provenance graph: {} tuple nodes, {} mapping nodes",
+            self.num_tuple_nodes(),
+            self.num_mapping_nodes()
+        )?;
+        for m in &self.mappings {
+            let srcs: Vec<String> = m
+                .sources
+                .iter()
+                .map(|&s| {
+                    let (r, t) = self.tuple_of(s);
+                    format!("{r}{t}")
+                })
+                .collect();
+            let tgts: Vec<String> = m
+                .targets
+                .iter()
+                .map(|&s| {
+                    let (r, t) = self.tuple_of(s);
+                    format!("{r}{t}")
+                })
+                .collect();
+            writeln!(f, "  {} : {} -> {}", m.mapping, srcs.join(" ∧ "), tgts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_storage::tuple::int_tuple;
+
+    /// Build the provenance graph of the paper's running example
+    /// (Examples 3, 5 and 6):
+    ///
+    /// base: G(1,2,3), G(3,5,2), B(3,5), U(2,5)
+    /// m1: G(i,c,n) -> B(i,n)      gives B(1,3), B(3,2)
+    /// m2: G(i,c,n) -> U(n,c)      gives U(3,2), U(2,5)
+    /// m4: B(i,c) ∧ U(n,c) -> B(i,n) gives B(3,2) (from B(3,5), U(2,5)) and B(3,3) (from B(3,2), U(3,2))
+    /// m3: B(i,n) -> U(n, c)       gives U(5,c1), U(2,c2), U(3,c3)
+    fn example_graph() -> ProvenanceGraph {
+        let mut g = ProvenanceGraph::new();
+        g.mark_base("G", int_tuple(&[1, 2, 3]));
+        g.mark_base("G", int_tuple(&[3, 5, 2]));
+        g.mark_base("B", int_tuple(&[3, 5]));
+        g.mark_base("U", int_tuple(&[2, 5]));
+
+        g.add_derivation("m1", &[("G", int_tuple(&[1, 2, 3]))], &[("B", int_tuple(&[1, 3]))]);
+        g.add_derivation("m1", &[("G", int_tuple(&[3, 5, 2]))], &[("B", int_tuple(&[3, 2]))]);
+        g.add_derivation("m2", &[("G", int_tuple(&[1, 2, 3]))], &[("U", int_tuple(&[3, 2]))]);
+        g.add_derivation("m2", &[("G", int_tuple(&[3, 5, 2]))], &[("U", int_tuple(&[2, 5]))]);
+        g.add_derivation(
+            "m4",
+            &[("B", int_tuple(&[3, 5])), ("U", int_tuple(&[2, 5]))],
+            &[("B", int_tuple(&[3, 2]))],
+        );
+        g.add_derivation(
+            "m4",
+            &[("B", int_tuple(&[3, 2])), ("U", int_tuple(&[3, 2]))],
+            &[("B", int_tuple(&[3, 3]))],
+        );
+        g
+    }
+
+    #[test]
+    fn expression_matches_example_6() {
+        let g = example_graph();
+        let e = g.expression_for("B", &int_tuple(&[3, 2]));
+        // Pv(B(3,2)) = m1(p3) + m4(p1 · (p2 + m2(p3)))   [U(2,5) is both base
+        // and derived via m2, so its own provenance is a sum]
+        assert_eq!(e.num_derivations(), 2);
+        let s = e.to_string();
+        assert!(s.contains("m1(G(3, 5, 2))"));
+        assert!(s.contains("m4("));
+        // Trust evaluation from Example 7: trusting G and B base data but not
+        // U's base tuple still accepts B(3,2).
+        assert!(e.evaluate_trust(&|t| t.relation != "U", &|_| true));
+        // Distrusting p2 and mapping m1 rejects it only if m2 is also
+        // distrusted (the paper's simpler graph lacks the m2 edge; with it,
+        // U(2,5) is re-derivable from G).
+        assert!(!e.evaluate_trust(&|t| t.relation != "U", &|m| m != "m1" && m != "m2"));
+    }
+
+    #[test]
+    fn unknown_tuples_have_zero_provenance() {
+        let g = example_graph();
+        assert_eq!(
+            g.expression_for("B", &int_tuple(&[9, 9])),
+            ProvenanceExpr::Zero
+        );
+        assert!(!g.derivable("B", &int_tuple(&[9, 9]), |_| true));
+    }
+
+    #[test]
+    fn derivability_follows_example_10() {
+        let g = example_graph();
+        // Everything derivable when all base data is valid.
+        assert!(g.derivable("B", &int_tuple(&[3, 2]), |_| true));
+        assert!(g.derivable("B", &int_tuple(&[3, 3]), |_| true));
+
+        // Remove base tuple U(2,5) (e.g. a curation deletion): B(3,2) is
+        // still derivable through m1 from G(3,5,2).
+        let without_u = |t: &ProvenanceToken| !(t.relation == "U" && t.tuple == int_tuple(&[2, 5]));
+        assert!(g.derivable("B", &int_tuple(&[3, 2]), without_u));
+
+        // Remove base tuple G(3,5,2): B(3,2) survives via m4 (B(3,5), U(2,5)),
+        // but removing both G(3,5,2) and B(3,5) kills it.
+        let without_g352 =
+            |t: &ProvenanceToken| !(t.relation == "G" && t.tuple == int_tuple(&[3, 5, 2]));
+        assert!(g.derivable("B", &int_tuple(&[3, 2]), without_g352));
+        let without_both = |t: &ProvenanceToken| {
+            !(t.relation == "G" && t.tuple == int_tuple(&[3, 5, 2]))
+                && !(t.relation == "B" && t.tuple == int_tuple(&[3, 5]))
+        };
+        assert!(!g.derivable("B", &int_tuple(&[3, 2]), without_both));
+        // And B(3,3), which depends on B(3,2) and U(3,2), dies with G(1,2,3).
+        let without_g123 =
+            |t: &ProvenanceToken| !(t.relation == "G" && t.tuple == int_tuple(&[1, 2, 3]));
+        assert!(!g.derivable("B", &int_tuple(&[3, 3]), without_g123));
+    }
+
+    #[test]
+    fn cycles_do_not_loop_forever_and_respect_least_fixpoint() {
+        // a <-> b mutually derivable, neither base: both underivable.
+        let mut g = ProvenanceGraph::new();
+        g.add_derivation("m", &[("A", int_tuple(&[1]))], &[("B", int_tuple(&[1]))]);
+        g.add_derivation("m", &[("B", int_tuple(&[1]))], &[("A", int_tuple(&[1]))]);
+        assert!(!g.derivable("A", &int_tuple(&[1]), |_| true));
+        assert!(!g.derivable("B", &int_tuple(&[1]), |_| true));
+        // Expressions terminate (cycle cut) and are Zero.
+        assert_eq!(g.expression_for("A", &int_tuple(&[1])), ProvenanceExpr::Zero);
+
+        // Adding a base anchor makes both derivable.
+        g.mark_base("A", int_tuple(&[1]));
+        assert!(g.derivable("A", &int_tuple(&[1]), |_| true));
+        assert!(g.derivable("B", &int_tuple(&[1]), |_| true));
+        let e = g.expression_for("B", &int_tuple(&[1]));
+        assert!(!e.is_zero());
+    }
+
+    #[test]
+    fn trusted_set_applies_mapping_conditions_on_derived_data() {
+        let g = example_graph();
+        // Example 4, second condition: distrust any tuple B(i,n) from (m4)
+        // when n != 2: B(3,3) (derived only via m4 with n=3) is rejected,
+        // B(3,2) survives.
+        let trusted = g.trusted_set(
+            |_| true,
+            |m, rel, t| {
+                if m == "m4" && rel == "B" {
+                    t[1] == orchestra_storage::Value::int(2)
+                } else {
+                    true
+                }
+            },
+        );
+        let b32 = g.tuple_node("B", &int_tuple(&[3, 2])).unwrap();
+        let b33 = g.tuple_node("B", &int_tuple(&[3, 3])).unwrap();
+        assert!(trusted.contains(&b32));
+        assert!(!trusted.contains(&b33));
+    }
+
+    #[test]
+    fn duplicate_derivations_are_deduplicated() {
+        let mut g = ProvenanceGraph::new();
+        let first = g.add_derivation("m1", &[("G", int_tuple(&[1]))], &[("B", int_tuple(&[1]))]);
+        let second = g.add_derivation("m1", &[("G", int_tuple(&[1]))], &[("B", int_tuple(&[1]))]);
+        assert!(first.is_some());
+        assert!(second.is_none());
+        assert_eq!(g.num_mapping_nodes(), 1);
+        assert_eq!(g.num_tuple_nodes(), 2);
+        assert_eq!(g.mapping_of(first.unwrap()), "m1");
+    }
+
+    #[test]
+    fn display_and_iteration() {
+        let g = example_graph();
+        let s = g.to_string();
+        assert!(s.contains("m4"));
+        assert!(s.contains("tuple nodes"));
+        let bases = g.tuple_nodes().filter(|(_, _, b)| *b).count();
+        assert_eq!(bases, 4);
+    }
+}

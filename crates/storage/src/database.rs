@@ -1,0 +1,242 @@
+//! The database: a catalog of named relations.
+//!
+//! One [`Database`] holds the complete internal state a peer maintains in its
+//! auxiliary storage between update exchanges (paper §4): every peer's
+//! internal relations (`R_l`, `R_r`, `R_i`, `R_t`, `R_o`) and all provenance
+//! relations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::{RelationName, RelationSchema};
+use crate::stats::DatabaseStats;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// An in-memory database: a set of named relation instances.
+///
+/// Relation names are kept in a `BTreeMap` so iteration order (and therefore
+/// every listing and statistic derived from it) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<RelationName, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Number of relations in the catalog.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Does a relation with this name exist?
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Create a new, empty relation from a schema.
+    ///
+    /// Fails if a relation with the same name already exists.
+    pub fn create_relation(&mut self, schema: RelationSchema) -> Result<&mut Relation> {
+        let name = schema.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::RelationExists(name));
+        }
+        self.relations.insert(name.clone(), Relation::new(schema));
+        Ok(self.relations.get_mut(&name).expect("just inserted"))
+    }
+
+    /// Create the relation if it does not exist yet; otherwise return the
+    /// existing one (its schema is left untouched).
+    pub fn create_relation_if_absent(&mut self, schema: RelationSchema) -> &mut Relation {
+        let name = schema.name().to_string();
+        self.relations
+            .entry(name)
+            .or_insert_with(|| Relation::new(schema))
+    }
+
+    /// Drop a relation. Returns true if it existed.
+    pub fn drop_relation(&mut self, name: &str) -> bool {
+        self.relations.remove(name).is_some()
+    }
+
+    /// Immutable access to a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to a relation by name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Insert a tuple into the named relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.insert(tuple)
+    }
+
+    /// Remove a tuple from the named relation.
+    pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.remove(tuple)
+    }
+
+    /// Does the named relation contain the tuple? Unknown relations are
+    /// reported as an error rather than silently `false`.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        Ok(self.relation(relation)?.contains(tuple))
+    }
+
+    /// Iterate over all relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Iterate mutably over all relations in name order.
+    pub fn relations_mut(&mut self) -> impl Iterator<Item = &mut Relation> {
+        self.relations.values_mut()
+    }
+
+    /// Names of all relations, in order.
+    pub fn relation_names(&self) -> Vec<RelationName> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Remove all tuples from every relation, keeping the catalog.
+    pub fn clear_all(&mut self) {
+        for r in self.relations.values_mut() {
+            r.clear();
+        }
+    }
+
+    /// Gather size statistics (tuple counts and byte sizes) for Figure 6.
+    pub fn stats(&self) -> DatabaseStats {
+        DatabaseStats::collect(self)
+    }
+
+    /// A snapshot copy of the whole database. Used by the benchmark harness
+    /// to restore the pre-update state between measurement iterations.
+    pub fn snapshot(&self) -> Database {
+        self.clone()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.relations.values() {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::int_tuple;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("B", &["id", "nam"]))
+            .unwrap();
+        assert!(db.has_relation("B"));
+        assert!(!db.has_relation("G"));
+        assert_eq!(db.relation_count(), 1);
+        assert!(db.relation("B").is_ok());
+        assert!(matches!(
+            db.relation("G").unwrap_err(),
+            StorageError::UnknownRelation(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_creation_fails_but_if_absent_succeeds() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("B", &["id"])).unwrap();
+        assert!(matches!(
+            db.create_relation(RelationSchema::new("B", &["id"])).unwrap_err(),
+            StorageError::RelationExists(_)
+        ));
+        // if_absent returns the existing relation untouched
+        db.insert("B", int_tuple(&[1])).unwrap();
+        let r = db.create_relation_if_absent(RelationSchema::new("B", &["other"]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.schema().attributes(), &["id".to_string()]);
+    }
+
+    #[test]
+    fn insert_remove_contains_via_database() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("B", &["id", "nam"]))
+            .unwrap();
+        assert!(db.insert("B", int_tuple(&[3, 5])).unwrap());
+        assert!(db.contains("B", &int_tuple(&[3, 5])).unwrap());
+        assert!(db.remove("B", &int_tuple(&[3, 5])).unwrap());
+        assert!(!db.contains("B", &int_tuple(&[3, 5])).unwrap());
+        assert!(db.insert("X", int_tuple(&[1])).is_err());
+        assert!(db.contains("X", &int_tuple(&[1])).is_err());
+    }
+
+    #[test]
+    fn totals_and_clear() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("B", &["x"])).unwrap();
+        db.insert("A", int_tuple(&[1])).unwrap();
+        db.insert("A", int_tuple(&[2])).unwrap();
+        db.insert("B", int_tuple(&[3])).unwrap();
+        assert_eq!(db.total_tuples(), 3);
+        db.clear_all();
+        assert_eq!(db.total_tuples(), 0);
+        assert_eq!(db.relation_count(), 2);
+    }
+
+    #[test]
+    fn relation_names_are_sorted() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("Z", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("M", &["x"])).unwrap();
+        assert_eq!(db.relation_names(), vec!["A", "M", "Z"]);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.insert("A", int_tuple(&[1])).unwrap();
+        let snap = db.snapshot();
+        db.insert("A", int_tuple(&[2])).unwrap();
+        assert_eq!(snap.relation("A").unwrap().len(), 1);
+        assert_eq!(db.relation("A").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drop_relation() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        assert!(db.drop_relation("A"));
+        assert!(!db.drop_relation("A"));
+        assert!(!db.has_relation("A"));
+    }
+}

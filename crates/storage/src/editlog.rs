@@ -1,0 +1,318 @@
+//! Edit logs: the "source data" of a CDSS.
+//!
+//! Each peer's users edit their local instance offline; those edits are
+//! recorded in an ordered edit log per relation (`ΔR` in the paper, §3.1).
+//! An entry is either an insertion (`+`) or a deletion (`−`) of a tuple.
+//! When the peer publishes, the log is *normalised* into its net effect on
+//! the local-contributions and rejections tables: an insertion followed by a
+//! deletion of the same tuple cancels out, a deletion of a tuple the peer
+//! never inserted becomes a rejection of imported data, and so on.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tuple::Tuple;
+
+/// The kind of an edit-log entry: `+` or `−` in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EditOpKind {
+    /// `+`: the user inserted the tuple locally.
+    Insert,
+    /// `−`: the user deleted the tuple (a curation deletion if the tuple was
+    /// imported rather than locally inserted).
+    Delete,
+}
+
+impl fmt::Display for EditOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditOpKind::Insert => write!(f, "+"),
+            EditOpKind::Delete => write!(f, "-"),
+        }
+    }
+}
+
+/// A single edit-log entry: an insertion or deletion of a tuple of one
+/// relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EditOp {
+    /// Whether this is an insertion or a deletion.
+    pub kind: EditOpKind,
+    /// The affected tuple.
+    pub tuple: Tuple,
+}
+
+impl EditOp {
+    /// An insertion entry.
+    pub fn insert(tuple: Tuple) -> Self {
+        EditOp {
+            kind: EditOpKind::Insert,
+            tuple,
+        }
+    }
+
+    /// A deletion entry.
+    pub fn delete(tuple: Tuple) -> Self {
+        EditOp {
+            kind: EditOpKind::Delete,
+            tuple,
+        }
+    }
+}
+
+impl fmt::Display for EditOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.tuple)
+    }
+}
+
+/// The net effect of an edit log once replayed in order (see
+/// [`EditLog::normalize`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NormalizedEdits {
+    /// Tuples the peer contributes locally (net insertions).
+    pub contributions: Vec<Tuple>,
+    /// Tuples the peer rejects: deletions of data it did not itself insert,
+    /// which therefore must have arrived via update exchange (paper §2,
+    /// "manual curation").
+    pub rejections: Vec<Tuple>,
+    /// Tuples whose local contribution was retracted by a later deletion
+    /// (they simply disappear from `R_l`; they are *not* rejections).
+    pub retracted_contributions: Vec<Tuple>,
+}
+
+/// An ordered edit log for one relation (`ΔR`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EditLog {
+    relation: String,
+    ops: Vec<EditOp>,
+}
+
+impl EditLog {
+    /// Create an empty edit log for the named (logical) relation.
+    pub fn new(relation: impl Into<String>) -> Self {
+        EditLog {
+            relation: relation.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The logical relation this log belongs to.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Append an insertion.
+    pub fn push_insert(&mut self, tuple: Tuple) {
+        self.ops.push(EditOp::insert(tuple));
+    }
+
+    /// Append a deletion.
+    pub fn push_delete(&mut self, tuple: Tuple) {
+        self.ops.push(EditOp::delete(tuple));
+    }
+
+    /// Append an arbitrary entry.
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of entries in the log.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The raw entries, in order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Iterate over the entries in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, EditOp> {
+        self.ops.iter()
+    }
+
+    /// Remove all entries (used after a successful publish).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Replay the log in order and compute its net effect.
+    ///
+    /// `previously_contributed` is the set of tuples already present in the
+    /// peer's local-contributions table from earlier publishes; deleting one
+    /// of those retracts the contribution rather than creating a rejection.
+    pub fn normalize(&self, previously_contributed: &HashSet<Tuple>) -> NormalizedEdits {
+        let mut inserted: Vec<Tuple> = Vec::new();
+        let mut inserted_set: HashSet<Tuple> = HashSet::new();
+        let mut rejections: Vec<Tuple> = Vec::new();
+        let mut rejection_set: HashSet<Tuple> = HashSet::new();
+        let mut retracted: Vec<Tuple> = Vec::new();
+        let mut retracted_set: HashSet<Tuple> = HashSet::new();
+
+        for op in &self.ops {
+            match op.kind {
+                EditOpKind::Insert => {
+                    // Re-inserting a tuple cancels a pending rejection or
+                    // retraction of that same tuple.
+                    if rejection_set.remove(&op.tuple) {
+                        rejections.retain(|t| t != &op.tuple);
+                    }
+                    if retracted_set.remove(&op.tuple) {
+                        retracted.retain(|t| t != &op.tuple);
+                    }
+                    if inserted_set.insert(op.tuple.clone()) {
+                        inserted.push(op.tuple.clone());
+                    }
+                }
+                EditOpKind::Delete => {
+                    if inserted_set.remove(&op.tuple) {
+                        // Deleting something inserted earlier in this same log:
+                        // the insertion simply never happened.
+                        inserted.retain(|t| t != &op.tuple);
+                    } else if previously_contributed.contains(&op.tuple) {
+                        // Deleting one of the peer's own earlier contributions:
+                        // remove it from R_l (a retraction), not a rejection.
+                        if retracted_set.insert(op.tuple.clone()) {
+                            retracted.push(op.tuple.clone());
+                        }
+                    } else {
+                        // Deleting data the peer did not insert: it must have
+                        // arrived via update exchange, so it is a rejection
+                        // that persists in future exchanges (paper §2).
+                        if rejection_set.insert(op.tuple.clone()) {
+                            rejections.push(op.tuple.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        NormalizedEdits {
+            contributions: inserted,
+            rejections,
+            retracted_contributions: retracted,
+        }
+    }
+}
+
+impl fmt::Display for EditLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Δ{}", self.relation)?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::int_tuple;
+
+    #[test]
+    fn simple_insertions_become_contributions() {
+        let mut log = EditLog::new("G");
+        log.push_insert(int_tuple(&[1, 2, 3]));
+        log.push_insert(int_tuple(&[3, 5, 2]));
+        let n = log.normalize(&HashSet::new());
+        assert_eq!(n.contributions, vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])]);
+        assert!(n.rejections.is_empty());
+        assert!(n.retracted_contributions.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut log = EditLog::new("G");
+        log.push_insert(int_tuple(&[1, 2, 3]));
+        log.push_delete(int_tuple(&[1, 2, 3]));
+        let n = log.normalize(&HashSet::new());
+        assert!(n.contributions.is_empty());
+        assert!(n.rejections.is_empty());
+    }
+
+    #[test]
+    fn delete_of_foreign_tuple_is_a_rejection() {
+        // Example 3 of the paper: a curation deletion of (3,2) in B, which B's
+        // users never inserted, becomes a rejection.
+        let mut log = EditLog::new("B");
+        log.push_delete(int_tuple(&[3, 2]));
+        let n = log.normalize(&HashSet::new());
+        assert_eq!(n.rejections, vec![int_tuple(&[3, 2])]);
+        assert!(n.contributions.is_empty());
+    }
+
+    #[test]
+    fn delete_of_prior_contribution_is_a_retraction() {
+        let mut log = EditLog::new("B");
+        log.push_delete(int_tuple(&[3, 5]));
+        let mut prior = HashSet::new();
+        prior.insert(int_tuple(&[3, 5]));
+        let n = log.normalize(&prior);
+        assert!(n.rejections.is_empty());
+        assert_eq!(n.retracted_contributions, vec![int_tuple(&[3, 5])]);
+    }
+
+    #[test]
+    fn reinsert_cancels_rejection_and_retraction() {
+        let mut log = EditLog::new("B");
+        log.push_delete(int_tuple(&[3, 2]));
+        log.push_insert(int_tuple(&[3, 2]));
+        let n = log.normalize(&HashSet::new());
+        assert!(n.rejections.is_empty());
+        assert_eq!(n.contributions, vec![int_tuple(&[3, 2])]);
+
+        let mut log = EditLog::new("B");
+        log.push_delete(int_tuple(&[3, 5]));
+        log.push_insert(int_tuple(&[3, 5]));
+        let mut prior = HashSet::new();
+        prior.insert(int_tuple(&[3, 5]));
+        let n = log.normalize(&prior);
+        assert!(n.retracted_contributions.is_empty());
+        assert_eq!(n.contributions, vec![int_tuple(&[3, 5])]);
+    }
+
+    #[test]
+    fn duplicate_operations_are_idempotent() {
+        let mut log = EditLog::new("B");
+        log.push_insert(int_tuple(&[1, 1]));
+        log.push_insert(int_tuple(&[1, 1]));
+        log.push_delete(int_tuple(&[9, 9]));
+        log.push_delete(int_tuple(&[9, 9]));
+        let n = log.normalize(&HashSet::new());
+        assert_eq!(n.contributions.len(), 1);
+        assert_eq!(n.rejections.len(), 1);
+    }
+
+    #[test]
+    fn log_bookkeeping() {
+        let mut log = EditLog::new("B");
+        assert!(log.is_empty());
+        log.push(EditOp::insert(int_tuple(&[1, 1])));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.relation(), "B");
+        assert_eq!(log.ops()[0].kind, EditOpKind::Insert);
+        assert_eq!(log.iter().count(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let mut log = EditLog::new("G");
+        log.push_insert(int_tuple(&[1, 2, 3]));
+        log.push_delete(int_tuple(&[3, 2, 1]));
+        let s = log.to_string();
+        assert!(s.contains("ΔG"));
+        assert!(s.contains("+ (1, 2, 3)"));
+        assert!(s.contains("- (3, 2, 1)"));
+    }
+}

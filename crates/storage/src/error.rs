@@ -1,0 +1,80 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation with this name already exists in the database.
+    RelationExists(String),
+    /// No relation with this name exists in the database.
+    UnknownRelation(String),
+    /// A tuple's arity does not match the relation schema's arity.
+    ArityMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// An index was requested over column positions outside the schema.
+    InvalidColumns {
+        /// Relation the index was requested on.
+        relation: String,
+        /// The offending column positions.
+        columns: Vec<usize>,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RelationExists(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: schema has {expected} attributes, tuple has {actual}"
+            ),
+            StorageError::InvalidColumns { relation, columns } => write!(
+                f,
+                "invalid column positions {columns:?} for relation `{relation}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_relation_names() {
+        let e = StorageError::UnknownRelation("B_o".into());
+        assert!(e.to_string().contains("B_o"));
+        let e = StorageError::ArityMismatch {
+            relation: "G".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+        let e = StorageError::RelationExists("U".into());
+        assert!(e.to_string().contains("U"));
+        let e = StorageError::InvalidColumns {
+            relation: "U".into(),
+            columns: vec![5],
+        };
+        assert!(e.to_string().contains('5'));
+    }
+}

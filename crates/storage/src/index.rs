@@ -1,0 +1,152 @@
+//! Hash indexes over column subsets of a relation.
+//!
+//! The Tukwila-style pipelined execution backend (paper §5.2) relies on
+//! being able to probe a relation by a bound subset of its columns while
+//! joining rule bodies; the DB2-style batch backend builds the same indexes
+//! lazily per rule application. Both are served by [`HashIndex`].
+
+use std::collections::HashMap;
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A hash index mapping a key (the projection of a tuple onto a fixed set of
+/// column positions) to the list of tuples with that key.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    columns: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<Tuple>>,
+    len: usize,
+}
+
+impl HashIndex {
+    /// Create an empty index over the given column positions.
+    pub fn new(columns: Vec<usize>) -> Self {
+        HashIndex {
+            columns,
+            map: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Build an index over the given columns from an iterator of tuples.
+    pub fn build<'a>(columns: Vec<usize>, tuples: impl IntoIterator<Item = &'a Tuple>) -> Self {
+        let mut idx = HashIndex::new(columns);
+        for t in tuples {
+            idx.insert(t.clone());
+        }
+        idx
+    }
+
+    /// The column positions this index is keyed on.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        self.columns.iter().map(|&c| tuple[c].clone()).collect()
+    }
+
+    /// Insert a tuple into the index.
+    pub fn insert(&mut self, tuple: Tuple) {
+        let key = self.key_of(&tuple);
+        self.map.entry(key).or_default().push(tuple);
+        self.len += 1;
+    }
+
+    /// Remove one occurrence of a tuple from the index. Returns true if the
+    /// tuple was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let key = self.key_of(tuple);
+        if let Some(bucket) = self.map.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|t| t == tuple) {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                if bucket.is_empty() {
+                    self.map.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All tuples whose projection on the indexed columns equals `key`.
+    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over all (key, bucket) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<Tuple>)> {
+        self.map.iter()
+    }
+
+    /// Drop all entries, keeping the column specification.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::int_tuple;
+
+    #[test]
+    fn build_and_probe() {
+        let tuples = vec![int_tuple(&[1, 10]), int_tuple(&[1, 20]), int_tuple(&[2, 30])];
+        let idx = HashIndex::build(vec![0], tuples.iter());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.probe(&[Value::int(1)]).len(), 2);
+        assert_eq!(idx.probe(&[Value::int(2)]).len(), 1);
+        assert_eq!(idx.probe(&[Value::int(3)]).len(), 0);
+        assert_eq!(idx.columns(), &[0]);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let tuples = vec![int_tuple(&[1, 10, 5]), int_tuple(&[1, 20, 5])];
+        let idx = HashIndex::build(vec![0, 2], tuples.iter());
+        assert_eq!(idx.probe(&[Value::int(1), Value::int(5)]).len(), 2);
+        assert_eq!(idx.probe(&[Value::int(1), Value::int(10)]).len(), 0);
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut idx = HashIndex::new(vec![0]);
+        idx.insert(int_tuple(&[7, 1]));
+        idx.insert(int_tuple(&[7, 2]));
+        assert!(idx.remove(&int_tuple(&[7, 1])));
+        assert!(!idx.remove(&int_tuple(&[7, 1])));
+        assert_eq!(idx.probe(&[Value::int(7)]).len(), 1);
+        assert_eq!(idx.len(), 1);
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn empty_key_indexes_everything_together() {
+        // A zero-column index is a degenerate "scan bucket"; it must still work
+        // because rules with no bound columns fall back to it.
+        let tuples = vec![int_tuple(&[1]), int_tuple(&[2])];
+        let idx = HashIndex::build(vec![], tuples.iter());
+        assert_eq!(idx.probe(&[]).len(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! In-memory relation instances with set semantics and secondary indexes.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::index::HashIndex;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// An in-memory relation instance: a set of tuples conforming to a schema,
+/// plus any number of secondary hash indexes over column subsets.
+///
+/// Relations use **set semantics**, matching the paper's data model: within a
+/// relation a tuple is uniquely identified by its values, which is exactly
+/// the property §4.1.2 exploits to use tuple values as provenance tokens for
+/// base data.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: HashSet<Tuple>,
+    indexes: HashMap<Vec<usize>, HashIndex>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            tuples: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples currently stored.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Does the relation contain this exact tuple?
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    fn check_arity(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if the tuple was new, `Ok(false)`
+    /// if it was already present (set semantics).
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.check_arity(&tuple)?;
+        let fresh = self.tuples.insert(tuple.clone());
+        if fresh {
+            for idx in self.indexes.values_mut() {
+                idx.insert(tuple.clone());
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Remove a tuple. Returns `Ok(true)` if it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
+        self.check_arity(tuple)?;
+        let removed = self.tuples.remove(tuple);
+        if removed {
+            for idx in self.indexes.values_mut() {
+                idx.remove(tuple);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Remove every tuple, keeping schema and index definitions.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        for idx in self.indexes.values_mut() {
+            idx.clear();
+        }
+    }
+
+    /// Iterate over all tuples (in arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted, for deterministic listings in tests and examples.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Ensure a hash index exists over the given column positions and return
+    /// a reference to it.
+    pub fn ensure_index(&mut self, columns: &[usize]) -> Result<&HashIndex> {
+        for &c in columns {
+            if c >= self.schema.arity() {
+                return Err(StorageError::InvalidColumns {
+                    relation: self.schema.name().to_string(),
+                    columns: columns.to_vec(),
+                });
+            }
+        }
+        if !self.indexes.contains_key(columns) {
+            let idx = HashIndex::build(columns.to_vec(), self.tuples.iter());
+            self.indexes.insert(columns.to_vec(), idx);
+        }
+        Ok(&self.indexes[columns])
+    }
+
+    /// A previously built index over the given columns, if any.
+    pub fn index(&self, columns: &[usize]) -> Option<&HashIndex> {
+        self.indexes.get(columns)
+    }
+
+    /// Tuples whose values at `columns` equal `key`, using an index if one
+    /// exists and falling back to a scan otherwise.
+    pub fn select_eq(&self, columns: &[usize], key: &[Value]) -> Vec<Tuple> {
+        if let Some(idx) = self.indexes.get(columns) {
+            return idx.probe(key).to_vec();
+        }
+        self.tuples
+            .iter()
+            .filter(|t| columns.iter().zip(key.iter()).all(|(&c, v)| &t[c] == v))
+            .cloned()
+            .collect()
+    }
+
+    /// Bulk-insert tuples, returning how many were new.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Bulk-remove tuples, returning how many were present.
+    pub fn remove_all<'a>(&mut self, tuples: impl IntoIterator<Item = &'a Tuple>) -> Result<usize> {
+        let mut removed = 0;
+        for t in tuples {
+            if self.remove(t)? {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// The tuples of this relation that do not contain labeled nulls,
+    /// i.e. the certain-answer projection of the instance (paper §2.1).
+    pub fn certain_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| !t.has_labeled_null())
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total payload size of all tuples in bytes (Figure 6's "DB size").
+    pub fn size_bytes(&self) -> usize {
+        self.tuples.iter().map(Tuple::size_bytes).sum()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
+        for t in self.sorted_tuples() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::int_tuple;
+    use crate::value::SkolemFnId;
+
+    fn rel() -> Relation {
+        Relation::new(RelationSchema::new("B", &["id", "nam"]))
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut r = rel();
+        assert!(r.insert(int_tuple(&[3, 5])).unwrap());
+        assert!(!r.insert(int_tuple(&[3, 5])).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&int_tuple(&[3, 5])));
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut r = rel();
+        let err = r.insert(int_tuple(&[1, 2, 3])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        let err = r.remove(&int_tuple(&[1])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut r = rel();
+        r.insert(int_tuple(&[1, 2])).unwrap();
+        r.insert(int_tuple(&[3, 4])).unwrap();
+        assert!(r.remove(&int_tuple(&[1, 2])).unwrap());
+        assert!(!r.remove(&int_tuple(&[1, 2])).unwrap());
+        assert_eq!(r.len(), 1);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn indexes_stay_consistent_under_mutation() {
+        let mut r = rel();
+        r.insert(int_tuple(&[1, 10])).unwrap();
+        r.ensure_index(&[0]).unwrap();
+        r.insert(int_tuple(&[1, 20])).unwrap();
+        r.insert(int_tuple(&[2, 30])).unwrap();
+        r.remove(&int_tuple(&[1, 10])).unwrap();
+        let idx = r.index(&[0]).unwrap();
+        assert_eq!(idx.probe(&[Value::int(1)]).len(), 1);
+        assert_eq!(idx.probe(&[Value::int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn ensure_index_rejects_bad_columns() {
+        let mut r = rel();
+        let err = r.ensure_index(&[5]).unwrap_err();
+        assert!(matches!(err, StorageError::InvalidColumns { .. }));
+    }
+
+    #[test]
+    fn select_eq_with_and_without_index() {
+        let mut r = rel();
+        r.insert(int_tuple(&[1, 10])).unwrap();
+        r.insert(int_tuple(&[1, 20])).unwrap();
+        r.insert(int_tuple(&[2, 30])).unwrap();
+        // no index: scan
+        assert_eq!(r.select_eq(&[0], &[Value::int(1)]).len(), 2);
+        // with index: probe
+        r.ensure_index(&[0]).unwrap();
+        assert_eq!(r.select_eq(&[0], &[Value::int(1)]).len(), 2);
+        assert_eq!(r.select_eq(&[0], &[Value::int(9)]).len(), 0);
+    }
+
+    #[test]
+    fn certain_tuples_drop_labeled_nulls() {
+        let mut r = rel();
+        r.insert(int_tuple(&[2, 5])).unwrap();
+        r.insert(Tuple::new(vec![
+            Value::int(5),
+            Value::labeled_null(SkolemFnId(0), vec![Value::int(5)]),
+        ]))
+        .unwrap();
+        let certain = r.certain_tuples();
+        assert_eq!(certain, vec![int_tuple(&[2, 5])]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn bulk_operations_report_counts() {
+        let mut r = rel();
+        let n = r
+            .insert_all(vec![int_tuple(&[1, 1]), int_tuple(&[1, 1]), int_tuple(&[2, 2])])
+            .unwrap();
+        assert_eq!(n, 2);
+        let ts = vec![int_tuple(&[1, 1]), int_tuple(&[9, 9])];
+        let n = r.remove_all(ts.iter()).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn sorted_tuples_are_deterministic() {
+        let mut r = rel();
+        r.insert(int_tuple(&[3, 0])).unwrap();
+        r.insert(int_tuple(&[1, 0])).unwrap();
+        r.insert(int_tuple(&[2, 0])).unwrap();
+        let v = r.sorted_tuples();
+        assert_eq!(v[0], int_tuple(&[1, 0]));
+        assert_eq!(v[2], int_tuple(&[3, 0]));
+    }
+
+    #[test]
+    fn size_bytes_sums_tuples() {
+        let mut r = rel();
+        r.insert(int_tuple(&[1, 2])).unwrap();
+        r.insert(int_tuple(&[3, 4])).unwrap();
+        assert_eq!(r.size_bytes(), 32);
+    }
+}

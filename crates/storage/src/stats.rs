@@ -1,0 +1,139 @@
+//! Size accounting used to reproduce Figure 6 ("Initial instance size") of
+//! the paper's evaluation: number of tuples and total payload bytes per
+//! relation and per database.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::database::Database;
+
+/// Per-relation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Relation name.
+    pub name: String,
+    /// Number of tuples stored.
+    pub tuples: usize,
+    /// Total payload bytes of the stored tuples.
+    pub bytes: usize,
+}
+
+/// Aggregate statistics over a whole [`Database`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatabaseStats {
+    /// Statistics per relation, keyed by relation name.
+    pub relations: BTreeMap<String, RelationStats>,
+    /// Total tuples across all relations.
+    pub total_tuples: usize,
+    /// Total payload bytes across all relations.
+    pub total_bytes: usize,
+}
+
+impl DatabaseStats {
+    /// Collect statistics from a database.
+    pub fn collect(db: &Database) -> Self {
+        let mut stats = DatabaseStats::default();
+        for rel in db.relations() {
+            let rs = RelationStats {
+                name: rel.name().to_string(),
+                tuples: rel.len(),
+                bytes: rel.size_bytes(),
+            };
+            stats.total_tuples += rs.tuples;
+            stats.total_bytes += rs.bytes;
+            stats.relations.insert(rs.name.clone(), rs);
+        }
+        stats
+    }
+
+    /// Tuples and bytes summed over relations whose name satisfies a
+    /// predicate. The evaluation distinguishes e.g. output tables from
+    /// provenance relations, which have different name suffixes.
+    pub fn filtered_totals(&self, mut pred: impl FnMut(&str) -> bool) -> (usize, usize) {
+        let mut tuples = 0;
+        let mut bytes = 0;
+        for rs in self.relations.values() {
+            if pred(&rs.name) {
+                tuples += rs.tuples;
+                bytes += rs.bytes;
+            }
+        }
+        (tuples, bytes)
+    }
+
+    /// Total size in mebibytes, the unit of Figure 6's right-hand axis.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Display for DatabaseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} relations, {} tuples, {:.2} MiB",
+            self.relations.len(),
+            self.total_tuples,
+            self.total_mib()
+        )?;
+        for rs in self.relations.values() {
+            writeln!(f, "  {:<24} {:>8} tuples {:>10} bytes", rs.name, rs.tuples, rs.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple::{int_tuple, text_tuple};
+
+    #[test]
+    fn collects_per_relation_and_totals() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("A", &["x", "y"])).unwrap();
+        db.create_relation(RelationSchema::new("B", &["x"])).unwrap();
+        db.insert("A", int_tuple(&[1, 2])).unwrap();
+        db.insert("A", int_tuple(&[3, 4])).unwrap();
+        db.insert("B", text_tuple(&["hello"])).unwrap();
+
+        let stats = db.stats();
+        assert_eq!(stats.total_tuples, 3);
+        assert_eq!(stats.relations["A"].tuples, 2);
+        assert_eq!(stats.relations["A"].bytes, 32);
+        assert_eq!(stats.relations["B"].tuples, 1);
+        assert!(stats.relations["B"].bytes >= 5);
+        assert_eq!(
+            stats.total_bytes,
+            stats.relations["A"].bytes + stats.relations["B"].bytes
+        );
+        assert!(stats.total_mib() > 0.0);
+    }
+
+    #[test]
+    fn filtered_totals_select_by_name() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("B_o", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("B_i", &["x"])).unwrap();
+        db.insert("B_o", int_tuple(&[1])).unwrap();
+        db.insert("B_i", int_tuple(&[1])).unwrap();
+        db.insert("B_i", int_tuple(&[2])).unwrap();
+        let stats = db.stats();
+        let (t, b) = stats.filtered_totals(|n| n.ends_with("_o"));
+        assert_eq!(t, 1);
+        assert_eq!(b, 8);
+        let (t, _) = stats.filtered_totals(|n| n.ends_with("_i"));
+        assert_eq!(t, 2);
+    }
+
+    #[test]
+    fn display_lists_all_relations() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.insert("A", int_tuple(&[1])).unwrap();
+        let s = db.stats().to_string();
+        assert!(s.contains('A'));
+        assert!(s.contains("1 tuples") || s.contains("1 tuple"));
+    }
+}

@@ -1,0 +1,382 @@
+//! CDSS configuration generator (paper §6.1).
+//!
+//! For each peer the generator chooses a Zipf-skewed number of relations,
+//! picks a subset of the universal relation's payload attributes, partitions
+//! them across the relations and adds the shared key attribute "to preserve
+//! losslessness". Mappings are created between consecutive peers: the source
+//! is the join of all relations at the source peer (on the key), the target
+//! is the set of relations at the target peer; target attributes the source
+//! does not provide become existential variables. Extra mappings from later
+//! peers back to peer 0 close cycles for the Figure 10 experiment (peer 0's
+//! attribute set is a subset of every other peer's, so the cycle mappings
+//! are full tgds and the set stays weakly acyclic).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use orchestra_core::{Cdss, CdssBuilder, ExchangeReport};
+use orchestra_datalog::atom::Atom;
+use orchestra_datalog::term::Term;
+use orchestra_mappings::Tgd;
+use orchestra_storage::{RelationSchema, Tuple, Value};
+
+use crate::config::WorkloadConfig;
+use crate::swissprot::{EntryGenerator, UniversalEntry, UniversalSchema};
+
+/// One generated peer: its identifier, the payload attributes it uses, and
+/// how they are partitioned into relations.
+#[derive(Debug, Clone)]
+pub struct GeneratedPeer {
+    /// Peer identifier, e.g. `"peer0"`.
+    pub id: String,
+    /// The payload-attribute indexes this peer stores (sorted).
+    pub attrs: Vec<usize>,
+    /// The peer's relations: name and the payload-attribute indexes stored
+    /// in each (every relation also has the leading `key` attribute).
+    pub relations: Vec<(String, Vec<usize>)>,
+}
+
+impl GeneratedPeer {
+    /// The relation schemas of this peer.
+    pub fn schemas(&self) -> Vec<RelationSchema> {
+        let names = UniversalSchema::attribute_names();
+        self.relations
+            .iter()
+            .map(|(rel, attrs)| {
+                let mut cols: Vec<&str> = vec!["key"];
+                cols.extend(attrs.iter().map(|&a| names[a + 1]));
+                RelationSchema::new(rel.clone(), &cols)
+            })
+            .collect()
+    }
+
+    /// Project a universal entry onto this peer's relations.
+    pub fn project(&self, entry: &UniversalEntry) -> Vec<(String, Tuple)> {
+        self.relations
+            .iter()
+            .map(|(rel, attrs)| {
+                let mut values = Vec::with_capacity(attrs.len() + 1);
+                values.push(Value::int(entry.key));
+                values.extend(attrs.iter().map(|&a| entry.payload_at(a).clone()));
+                (rel.clone(), Tuple::new(values))
+            })
+            .collect()
+    }
+}
+
+/// A generated CDSS plus the bookkeeping needed to produce insertion and
+/// deletion batches against it.
+#[derive(Debug)]
+pub struct GeneratedCdss {
+    /// The assembled CDSS (peers, mappings, empty instances).
+    pub cdss: Cdss,
+    /// The configuration it was generated from.
+    pub config: WorkloadConfig,
+    /// The generated peers, in index order.
+    pub peers: Vec<GeneratedPeer>,
+    entry_gen: EntryGenerator,
+    rng: StdRng,
+    /// Universal entries inserted so far, per peer (for deletion sampling).
+    inserted: Vec<Vec<UniversalEntry>>,
+}
+
+/// Sample from a Zipf-like distribution over `1..=max` with skew `s`.
+fn zipf_sample(rng: &mut StdRng, max: usize, s: f64) -> usize {
+    if max <= 1 {
+        return 1;
+    }
+    let weights: Vec<f64> = (1..=max).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i + 1;
+        }
+        draw -= w;
+    }
+    max
+}
+
+/// Generate a CDSS configuration from a workload config.
+pub fn generate(config: &WorkloadConfig) -> orchestra_core::Result<GeneratedCdss> {
+    assert!(config.peers >= 2, "a CDSS needs at least two peers");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let names = UniversalSchema::attribute_names();
+    let payload_arity = UniversalSchema::payload_arity();
+    let (min_attrs, max_attrs) = config.attrs_per_peer;
+    let min_attrs = min_attrs.clamp(1, payload_arity);
+    let max_attrs = max_attrs.clamp(min_attrs, payload_arity);
+
+    // Peer 0 gets the smallest attribute set; every other peer's set is a
+    // superset of it, so cycle mappings back to peer 0 are full tgds.
+    let mut all_attrs: Vec<usize> = (0..payload_arity).collect();
+    all_attrs.shuffle(&mut rng);
+    let base_attrs: Vec<usize> = {
+        let mut v = all_attrs[..min_attrs].to_vec();
+        v.sort_unstable();
+        v
+    };
+
+    let mut peers = Vec::with_capacity(config.peers);
+    for p in 0..config.peers {
+        let attrs: Vec<usize> = if p == 0 {
+            base_attrs.clone()
+        } else {
+            let extra_count = rng.gen_range(0..=(max_attrs - min_attrs));
+            let mut pool: Vec<usize> = (0..payload_arity)
+                .filter(|a| !base_attrs.contains(a))
+                .collect();
+            pool.shuffle(&mut rng);
+            let mut v = base_attrs.clone();
+            v.extend(pool.into_iter().take(extra_count));
+            v.sort_unstable();
+            v
+        };
+
+        // Partition the attributes across a Zipf-skewed number of relations.
+        let rel_count = zipf_sample(&mut rng, config.max_relations_per_peer.max(1), config.zipf_skew)
+            .min(attrs.len());
+        let mut shuffled = attrs.clone();
+        shuffled.shuffle(&mut rng);
+        let mut relations: Vec<(String, Vec<usize>)> = (0..rel_count)
+            .map(|r| (format!("P{p}R{r}"), Vec::new()))
+            .collect();
+        for (i, a) in shuffled.into_iter().enumerate() {
+            relations[i % rel_count].1.push(a);
+        }
+        for (_, attrs) in &mut relations {
+            attrs.sort_unstable();
+        }
+
+        peers.push(GeneratedPeer {
+            id: format!("peer{p}"),
+            attrs,
+            relations,
+        });
+    }
+
+    // Chain mappings between consecutive peers, plus cycle-closing mappings.
+    let atom_for = |peer: &GeneratedPeer, rel_index: usize| -> Atom {
+        let (rel, attrs) = &peer.relations[rel_index];
+        let mut terms = vec![Term::var("k")];
+        terms.extend(attrs.iter().map(|&a| Term::var(names[a + 1])));
+        Atom::new(rel.clone(), terms)
+    };
+    let all_atoms = |peer: &GeneratedPeer| -> Vec<Atom> {
+        (0..peer.relations.len()).map(|i| atom_for(peer, i)).collect()
+    };
+
+    let mut tgds = Vec::new();
+    for i in 0..config.peers - 1 {
+        tgds.push(
+            Tgd::new(
+                format!("m{i}"),
+                all_atoms(&peers[i]),
+                all_atoms(&peers[i + 1]),
+            )
+            .expect("generated chain mapping is well-formed"),
+        );
+    }
+    for c in 0..config.cycles {
+        // Close a cycle from a later peer back to peer 0. Different sources
+        // produce cycles of different lengths, as in Figure 10.
+        let source = 1 + (c % (config.peers - 1));
+        tgds.push(
+            Tgd::new(
+                format!("cycle{c}"),
+                all_atoms(&peers[source]),
+                all_atoms(&peers[0]),
+            )
+            .expect("generated cycle mapping is well-formed"),
+        );
+    }
+
+    let mut builder = CdssBuilder::new();
+    for peer in &peers {
+        builder = builder.add_peer(peer.id.clone(), peer.schemas());
+    }
+    for tgd in tgds {
+        builder = builder.add_mapping(tgd);
+    }
+    let cdss = builder.build()?;
+
+    let inserted = vec![Vec::new(); config.peers];
+    Ok(GeneratedCdss {
+        cdss,
+        config: config.clone(),
+        peers,
+        entry_gen: EntryGenerator::new(config.dataset, config.seed ^ 0xDA7A),
+        rng,
+        inserted,
+    })
+}
+
+impl GeneratedCdss {
+    /// Generate `entries_per_peer` fresh universal entries for every peer and
+    /// return the corresponding insertion batch, keyed by logical relation.
+    /// The entries are remembered so deletions can later sample from them.
+    pub fn fresh_insertions(&mut self, entries_per_peer: usize) -> BTreeMap<String, Vec<Tuple>> {
+        let mut batch: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for (p, peer) in self.peers.iter().enumerate() {
+            for _ in 0..entries_per_peer {
+                let entry = self.entry_gen.next_entry();
+                for (rel, tuple) in peer.project(&entry) {
+                    batch.entry(rel).or_default().push(tuple);
+                }
+                self.inserted[p].push(entry);
+            }
+        }
+        batch
+    }
+
+    /// Sample `entries_per_peer` previously inserted entries per peer (without
+    /// replacement) and return the corresponding deletion batch.
+    pub fn deletion_batch(&mut self, entries_per_peer: usize) -> BTreeMap<String, Vec<Tuple>> {
+        let mut batch: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for (p, peer) in self.peers.iter().enumerate() {
+            for _ in 0..entries_per_peer {
+                if self.inserted[p].is_empty() {
+                    break;
+                }
+                let idx = self.rng.gen_range(0..self.inserted[p].len());
+                let entry = self.inserted[p].swap_remove(idx);
+                for (rel, tuple) in peer.project(&entry) {
+                    batch.entry(rel).or_default().push(tuple);
+                }
+            }
+        }
+        batch
+    }
+
+    /// Insert the configured base size at every peer and propagate it,
+    /// returning the exchange report.
+    pub fn load_base(&mut self) -> orchestra_core::Result<ExchangeReport> {
+        let batch = self.fresh_insertions(self.config.base_size);
+        self.cdss.apply_insertions_incremental(&batch)
+    }
+
+    /// The number of universal entries a "ratio" of the base size corresponds
+    /// to (e.g. `0.1` → 10% of the base size per peer), at least 1.
+    pub fn entries_for_ratio(&self, ratio: f64) -> usize {
+        ((self.config.base_size as f64 * ratio).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetKind;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            peers: 3,
+            base_size: 10,
+            max_relations_per_peer: 2,
+            attrs_per_peer: (3, 5),
+            cycles: 0,
+            dataset: DatasetKind::Integers,
+            zipf_skew: 1.5,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_config()).unwrap();
+        let b = generate(&small_config()).unwrap();
+        assert_eq!(a.peers.len(), b.peers.len());
+        for (pa, pb) in a.peers.iter().zip(b.peers.iter()) {
+            assert_eq!(pa.attrs, pb.attrs);
+            assert_eq!(pa.relations, pb.relations);
+        }
+    }
+
+    #[test]
+    fn chain_topology_has_n_minus_1_mappings() {
+        let g = generate(&small_config()).unwrap();
+        assert_eq!(g.cdss.mapping_system().tgds.len(), 2);
+        assert!(g.cdss.mapping_system().acyclicity.is_weakly_acyclic());
+        assert_eq!(g.cdss.peer_ids().len(), 3);
+    }
+
+    #[test]
+    fn cycles_add_mappings_and_stay_weakly_acyclic() {
+        let g = generate(&small_config().cycles(2)).unwrap();
+        assert_eq!(g.cdss.mapping_system().tgds.len(), 4);
+        assert!(g.cdss.mapping_system().acyclicity.is_weakly_acyclic());
+    }
+
+    #[test]
+    fn peer0_attributes_are_subset_of_all_peers() {
+        let g = generate(&WorkloadConfig::with_peers(4).seed(3)).unwrap();
+        let base: Vec<usize> = g.peers[0].attrs.clone();
+        for p in &g.peers[1..] {
+            for a in &base {
+                assert!(p.attrs.contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn relations_partition_the_peer_attributes() {
+        let g = generate(&small_config()).unwrap();
+        for peer in &g.peers {
+            let mut from_rels: Vec<usize> =
+                peer.relations.iter().flat_map(|(_, a)| a.clone()).collect();
+            from_rels.sort_unstable();
+            assert_eq!(from_rels, peer.attrs);
+            // Every relation has the key column plus its attributes.
+            for (schema, (_, attrs)) in peer.schemas().iter().zip(peer.relations.iter()) {
+                assert_eq!(schema.arity(), attrs.len() + 1);
+                assert_eq!(schema.attributes()[0], "key");
+            }
+        }
+    }
+
+    #[test]
+    fn base_load_populates_all_peers() {
+        let mut g = generate(&small_config()).unwrap();
+        let report = g.load_base().unwrap();
+        assert!(report.total_inserted() > 0);
+        for peer in g.cdss.peer_ids() {
+            let relations = g.cdss.peer(&peer).unwrap().relation_names();
+            let total: usize = relations
+                .iter()
+                .map(|r| g.cdss.local_instance(&peer, r).unwrap().len())
+                .sum();
+            assert!(total >= 10, "peer {peer} has only {total} tuples");
+        }
+    }
+
+    #[test]
+    fn insertion_and_deletion_batches_roundtrip() {
+        let mut g = generate(&small_config()).unwrap();
+        g.load_base().unwrap();
+        let before = g.cdss.total_output_tuples();
+
+        let ins = g.fresh_insertions(2);
+        assert!(!ins.is_empty());
+        g.cdss.apply_insertions_incremental(&ins).unwrap();
+        let mid = g.cdss.total_output_tuples();
+        assert!(mid > before);
+
+        let del = g.deletion_batch(2);
+        assert!(!del.is_empty());
+        g.cdss.apply_deletions_incremental(&del).unwrap();
+        let after = g.cdss.total_output_tuples();
+        assert!(after < mid);
+        assert_eq!(g.entries_for_ratio(0.1), 1);
+    }
+
+    #[test]
+    fn string_dataset_produces_larger_instances() {
+        let mut small = generate(&small_config()).unwrap();
+        small.load_base().unwrap();
+        let mut big = generate(&small_config().dataset(DatasetKind::Strings)).unwrap();
+        big.load_base().unwrap();
+        assert!(big.cdss.instance_stats().total_bytes > small.cdss.instance_stats().total_bytes);
+    }
+}

@@ -1,0 +1,210 @@
+//! A synthetic stand-in for the SWISS-PROT universal relation.
+//!
+//! The paper's workload generator treats SWISS-PROT as "a single universal
+//! relation … which has 25 attributes", many of which are large strings
+//! (sequences, descriptions, organism names). We generate deterministic
+//! synthetic entries with the same shape: one key attribute plus 24 payload
+//! attributes whose string lengths are drawn to mimic the real columns
+//! (short accession codes, medium names, long sequence/annotation text).
+//! The "integer" dataset replaces every string by a stable 63-bit hash,
+//! reproducing the paper's small-tuple variant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use orchestra_storage::Value;
+
+use crate::config::DatasetKind;
+
+/// Total number of attributes of the universal relation (1 key + 24 payload).
+pub const NUM_ATTRIBUTES: usize = 25;
+
+/// Descriptions of the 24 payload attributes: name and (min, max) length of
+/// the generated string. Lengths are loosely modelled on SWISS-PROT columns.
+const PAYLOAD_ATTRS: [(&str, usize, usize); NUM_ATTRIBUTES - 1] = [
+    ("accession", 6, 10),
+    ("entry_name", 8, 14),
+    ("protein_name", 15, 40),
+    ("gene_name", 4, 12),
+    ("organism", 10, 30),
+    ("organism_id", 4, 8),
+    ("taxonomy", 30, 80),
+    ("lineage", 30, 90),
+    ("sequence", 120, 400),
+    ("seq_length", 2, 5),
+    ("mol_weight", 4, 7),
+    ("keywords", 20, 60),
+    ("feature_table", 40, 120),
+    ("comments", 40, 160),
+    ("db_refs", 20, 80),
+    ("pubmed_ids", 8, 30),
+    ("authors", 20, 70),
+    ("title", 25, 90),
+    ("journal", 10, 40),
+    ("ec_number", 5, 12),
+    ("go_terms", 20, 70),
+    ("interpro", 10, 40),
+    ("pfam", 8, 30),
+    ("created", 8, 12),
+];
+
+/// The attribute names of the universal relation, key first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversalSchema;
+
+impl UniversalSchema {
+    /// All attribute names, key first.
+    pub fn attribute_names() -> Vec<&'static str> {
+        let mut names = vec!["key"];
+        names.extend(PAYLOAD_ATTRS.iter().map(|(n, _, _)| *n));
+        names
+    }
+
+    /// Number of payload attributes (excluding the key).
+    pub fn payload_arity() -> usize {
+        NUM_ATTRIBUTES - 1
+    }
+}
+
+/// One generated universal-relation entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversalEntry {
+    /// The (globally unique) key value.
+    pub key: i64,
+    /// The 24 payload values, in [`UniversalSchema::attribute_names`] order
+    /// (without the key).
+    pub payload: Vec<Value>,
+}
+
+impl UniversalEntry {
+    /// The value at a payload attribute index (0-based, excluding the key).
+    pub fn payload_at(&self, index: usize) -> &Value {
+        &self.payload[index]
+    }
+
+    /// Approximate size of the entry in bytes.
+    pub fn size_bytes(&self) -> usize {
+        8 + self.payload.iter().map(Value::size_bytes).sum::<usize>()
+    }
+}
+
+/// Deterministic generator of universal entries.
+#[derive(Debug)]
+pub struct EntryGenerator {
+    rng: StdRng,
+    dataset: DatasetKind,
+    next_key: i64,
+}
+
+impl EntryGenerator {
+    /// Create a generator for the given dataset kind and seed.
+    pub fn new(dataset: DatasetKind, seed: u64) -> Self {
+        EntryGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            dataset,
+            next_key: 1,
+        }
+    }
+
+    /// Generate the next entry (keys are consecutive and unique).
+    pub fn next_entry(&mut self) -> UniversalEntry {
+        let key = self.next_key;
+        self.next_key += 1;
+        let mut payload = Vec::with_capacity(PAYLOAD_ATTRS.len());
+        for (i, (_, min_len, max_len)) in PAYLOAD_ATTRS.iter().enumerate() {
+            let len = self.rng.gen_range(*min_len..=*max_len);
+            match self.dataset {
+                DatasetKind::Strings => {
+                    payload.push(Value::text(self.random_string(len, i)));
+                }
+                DatasetKind::Integers => {
+                    // A stable surrogate: hash of (key, attribute index, a
+                    // random nonce) truncated to a positive i64.
+                    let nonce: u64 = self.rng.gen();
+                    let mixed = (key as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64)
+                        .wrapping_add(nonce >> 32);
+                    payload.push(Value::int((mixed & 0x7FFF_FFFF_FFFF_FFFF) as i64));
+                }
+            }
+        }
+        UniversalEntry { key, payload }
+    }
+
+    /// Generate a batch of entries.
+    pub fn batch(&mut self, count: usize) -> Vec<UniversalEntry> {
+        (0..count).map(|_| self.next_entry()).collect()
+    }
+
+    fn random_string(&mut self, len: usize, attr: usize) -> String {
+        const ALPHABET: &[u8] = b"ACDEFGHIKLMNPQRSTVWYacdefghiklmnpqrstvwy0123456789 ";
+        let mut s = String::with_capacity(len + 4);
+        // Prefix with the attribute index so values from different columns
+        // rarely collide, mirroring real data's per-column value domains.
+        s.push_str(&format!("a{attr}_"));
+        for _ in 0..len {
+            let idx = self.rng.gen_range(0..ALPHABET.len());
+            s.push(ALPHABET[idx] as char);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_25_attributes() {
+        let names = UniversalSchema::attribute_names();
+        assert_eq!(names.len(), NUM_ATTRIBUTES);
+        assert_eq!(names[0], "key");
+        assert_eq!(UniversalSchema::payload_arity(), 24);
+        // Attribute names are unique.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), NUM_ATTRIBUTES);
+    }
+
+    #[test]
+    fn string_entries_are_wide_and_deterministic() {
+        let mut g1 = EntryGenerator::new(DatasetKind::Strings, 7);
+        let mut g2 = EntryGenerator::new(DatasetKind::Strings, 7);
+        let a = g1.next_entry();
+        let b = g2.next_entry();
+        assert_eq!(a, b, "generation is deterministic for a fixed seed");
+        assert_eq!(a.key, 1);
+        assert_eq!(a.payload.len(), 24);
+        // The sequence column dominates the size, like in SWISS-PROT.
+        assert!(a.size_bytes() > 400, "entry too small: {}", a.size_bytes());
+        assert!(a.payload_at(8).as_text().unwrap().len() >= 120);
+    }
+
+    #[test]
+    fn integer_entries_are_small() {
+        let mut g = EntryGenerator::new(DatasetKind::Integers, 7);
+        let e = g.next_entry();
+        assert!(e.payload.iter().all(|v| v.as_int().is_some()));
+        assert!(e.size_bytes() <= 8 * 25);
+        // Distinct keys get distinct payloads with overwhelming probability.
+        let e2 = g.next_entry();
+        assert_ne!(e.payload, e2.payload);
+    }
+
+    #[test]
+    fn keys_are_consecutive_and_batches_work() {
+        let mut g = EntryGenerator::new(DatasetKind::Integers, 1);
+        let batch = g.batch(5);
+        let keys: Vec<i64> = batch.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EntryGenerator::new(DatasetKind::Strings, 1).next_entry();
+        let b = EntryGenerator::new(DatasetKind::Strings, 2).next_entry();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's running bioinformatics example (Figure 1 and Examples 1–7):
+//! three peers — GUS, BioSQL and uBio — related by four schema mappings,
+//! exchanging taxon data.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p orchestra-bench --example bioinformatics_cdss
+//! ```
+
+use orchestra_core::CdssBuilder;
+use orchestra_datalog::parser::parse_rule;
+use orchestra_storage::tuple::int_tuple;
+use orchestra_storage::RelationSchema;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 2: peer schemas and mappings.
+    let mut cdss = CdssBuilder::new()
+        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
+        .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
+        .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
+        .add_mapping_str("m2", "G(i, c, n) -> U(n, c)")
+        .add_mapping_str("m3", "B(i, n) -> U(n, c)")
+        .add_mapping_str("m4", "B(i, c), U(n, c) -> B(i, n)")
+        .build()?;
+
+    println!("mappings:");
+    for tgd in &cdss.mapping_system().tgds {
+        println!("  {tgd}");
+    }
+    println!(
+        "weak acyclicity: {}",
+        cdss.mapping_system().acyclicity.is_weakly_acyclic()
+    );
+
+    // Example 3: edit logs.
+    cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3]))?;
+    cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2]))?;
+    cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5]))?;
+    cdss.insert_local("PuBio", "U", int_tuple(&[2, 5]))?;
+    cdss.update_exchange_all()?;
+
+    println!("\nlocal instances after update exchange (Example 3):");
+    for (peer, rel) in [("PGUS", "G"), ("PBioSQL", "B"), ("PuBio", "U")] {
+        println!("  {peer}.{rel}:");
+        for t in cdss.local_instance(peer, rel)? {
+            println!("    {rel}{t}");
+        }
+    }
+
+    // Example 3's certain-answer queries at PuBio.
+    let q1 = parse_rule("ans(x, y) :- U(x, z), U(y, z).")?;
+    println!("\nans(x, y) :- U(x, z), U(y, z)  (certain answers):");
+    for t in cdss.query_certain(&q1)? {
+        println!("  ans{t}");
+    }
+    let q2 = parse_rule("ans(x, y) :- U(x, y).")?;
+    println!("ans(x, y) :- U(x, y)  (certain answers):");
+    for t in cdss.query_certain(&q2)? {
+        println!("  ans{t}");
+    }
+
+    // Examples 5 and 6: the provenance of B(3, 2).
+    let expr = cdss.provenance_of("B", &int_tuple(&[3, 2]));
+    println!("\nPv(B(3,2)) = {expr}");
+    println!(
+        "trusting everything except uBio's base data still accepts it: {}",
+        expr.evaluate_trust(&|tok| !tok.relation.starts_with("U_"), &|_| true)
+    );
+
+    // Example 3 (end): a curation deletion of B(3, 2) at PBioSQL removes it,
+    // and with it B(3, 3) and the U tuple derived from it.
+    cdss.delete_local("PBioSQL", "B", int_tuple(&[3, 2]))?;
+    let (published, _) = cdss.update_exchange("PBioSQL")?;
+    println!("\nafter PBioSQL's curation deletion of B(3,2): {published}");
+    for t in cdss.certain_answers("PBioSQL", "B")? {
+        println!("  B{t}");
+    }
+    println!("  (U now has {} tuples)", cdss.local_instance("PuBio", "U")?.len());
+
+    Ok(())
+}

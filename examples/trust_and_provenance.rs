@@ -1,0 +1,79 @@
+//! Trust policies over provenance (Examples 4 and 7) and evaluating the same
+//! provenance expressions in different semirings (§7).
+//!
+//! Run with:
+//! ```text
+//! cargo run -p orchestra-bench --example trust_and_provenance
+//! ```
+
+use orchestra_core::{CdssBuilder, CmpOp, Predicate, TrustPolicy};
+use orchestra_provenance::{CountingSemiring, Lineage, WhyProvenance};
+use orchestra_storage::tuple::int_tuple;
+use orchestra_storage::RelationSchema;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The running example, but PBioSQL enforces the trust conditions of
+    // Example 4: distrust B(i,n) arriving from GUS (mapping m1) when n >= 3,
+    // and distrust B(i,n) from mapping m4 unless n = 2.
+    let policy = TrustPolicy::trust_all()
+        .with_condition(
+            "m1",
+            Predicate::Not(Box::new(Predicate::cmp(1, CmpOp::Ge, 3i64))),
+        )
+        .with_condition("m4", Predicate::cmp(1, CmpOp::Eq, 2i64));
+
+    let mut cdss = CdssBuilder::new()
+        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
+        .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
+        .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
+        .add_mapping_str("m2", "G(i, c, n) -> U(n, c)")
+        .add_mapping_str("m3", "B(i, n) -> U(n, c)")
+        .add_mapping_str("m4", "B(i, c), U(n, c) -> B(i, n)")
+        .trust_policy("PBioSQL", policy)
+        .build()?;
+
+    cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3]))?;
+    cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2]))?;
+    cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5]))?;
+    cdss.insert_local("PuBio", "U", int_tuple(&[2, 5]))?;
+    cdss.update_exchange_all()?;
+
+    println!("PBioSQL's instance of B under the Example 4 trust conditions:");
+    for t in cdss.certain_answers("PBioSQL", "B")? {
+        println!("  B{t}");
+    }
+    println!("(B(1,3) and B(3,3) were rejected; untrusted data never propagates further)");
+
+    // The same provenance expression can be evaluated in other semirings.
+    let expr = cdss.provenance_of("B", &int_tuple(&[3, 2]));
+    println!("\nPv(B(3,2)) = {expr}");
+
+    let derivations: CountingSemiring = expr.eval(&|_| CountingSemiring(1), &|_, x| x);
+    println!("number of derivations (counting semiring): {}", derivations.0);
+
+    let lineage: Lineage = expr.eval(&|t| Lineage::of_token(t.clone()), &|_, x| x);
+    println!(
+        "lineage (all contributing base tuples): {:?}",
+        lineage
+            .tokens()
+            .map(|s| s.iter().map(|t| t.to_string()).collect::<Vec<_>>())
+            .unwrap_or_default()
+    );
+
+    let why: WhyProvenance = expr.eval(&|t| WhyProvenance::of_token(t.clone()), &|_, x| x);
+    println!("why-provenance witnesses: {}", why.witnesses().len());
+
+    let trusted = expr.evaluate_trust(&|tok| !tok.relation.starts_with("U_"), &|_| true);
+    println!("boolean trust with uBio's base data distrusted: {trusted}");
+
+    // Changing a policy and recomputing re-filters the whole instance.
+    cdss.set_trust_policy("PBioSQL", TrustPolicy::trust_all().distrusting("m1"))?;
+    cdss.recompute_all()?;
+    println!("\nafter PBioSQL distrusts mapping m1 entirely and recomputes:");
+    for t in cdss.certain_answers("PBioSQL", "B")? {
+        println!("  B{t}");
+    }
+
+    Ok(())
+}
