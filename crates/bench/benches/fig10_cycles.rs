@@ -16,13 +16,9 @@ fn bench_fig10(c: &mut Criterion) {
     for cycles in 0..=3usize {
         for engine in EngineKind::all() {
             let mut g = build_loaded(5, 50, DatasetKind::Integers, cycles, engine, 53);
-            group.bench_with_input(
-                BenchmarkId::new(engine.label(), cycles),
-                &cycles,
-                |b, _| {
-                    b.iter(|| g.cdss.recompute_all().unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(engine.label(), cycles), &cycles, |b, _| {
+                b.iter(|| g.cdss.recompute_all().unwrap());
+            });
         }
     }
     group.finish();

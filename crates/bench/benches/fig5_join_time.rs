@@ -22,10 +22,7 @@ fn bench_fig5(c: &mut Criterion) {
             for engine in EngineKind::all() {
                 let mut g = build_loaded(peers, base, dataset, 0, engine, 23);
                 group.bench_with_input(
-                    BenchmarkId::new(
-                        format!("{}-{}", dataset.label(), engine.label()),
-                        peers,
-                    ),
+                    BenchmarkId::new(format!("{}-{}", dataset.label(), engine.label()), peers),
                     &peers,
                     |b, _| {
                         // recompute_all clears and rebuilds all derived

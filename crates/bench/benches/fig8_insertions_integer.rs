@@ -17,10 +17,7 @@ fn bench_fig8(c: &mut Criterion) {
         for engine in EngineKind::all() {
             for pct in [0.01f64, 0.1] {
                 group.bench_with_input(
-                    BenchmarkId::new(
-                        format!("{}-{}%", engine.label(), pct * 100.0),
-                        peers,
-                    ),
+                    BenchmarkId::new(format!("{}-{}%", engine.label(), pct * 100.0), peers),
                     &peers,
                     |b, &peers| {
                         b.iter_batched(
@@ -30,9 +27,7 @@ fn bench_fig8(c: &mut Criterion) {
                                 let batch = g.fresh_insertions(g.entries_for_ratio(pct));
                                 (g, batch)
                             },
-                            |(mut g, batch)| {
-                                g.cdss.apply_insertions_incremental(&batch).unwrap()
-                            },
+                            |(mut g, batch)| g.cdss.apply_insertions_incremental(&batch).unwrap(),
                             criterion::BatchSize::LargeInput,
                         );
                     },

@@ -21,10 +21,7 @@ fn bench_fig9(c: &mut Criterion) {
         for peers in [2usize, 5] {
             for pct in [0.01f64, 0.1] {
                 group.bench_with_input(
-                    BenchmarkId::new(
-                        format!("{}-{}%", dataset.label(), pct * 100.0),
-                        peers,
-                    ),
+                    BenchmarkId::new(format!("{}-{}%", dataset.label(), pct * 100.0), peers),
                     &peers,
                     |b, &peers| {
                         b.iter_batched(
@@ -40,9 +37,7 @@ fn bench_fig9(c: &mut Criterion) {
                                 let batch = g.deletion_batch(g.entries_for_ratio(pct));
                                 (g, batch)
                             },
-                            |(mut g, batch)| {
-                                g.cdss.apply_deletions_incremental(&batch).unwrap()
-                            },
+                            |(mut g, batch)| g.cdss.apply_deletions_incremental(&batch).unwrap(),
                             criterion::BatchSize::LargeInput,
                         );
                     },

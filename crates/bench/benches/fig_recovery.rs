@@ -1,0 +1,85 @@
+//! Recovery benchmark (beyond the paper's figures): WAL append throughput,
+//! and `Cdss::open_or_recover` replaying an epoch WAL vs loading an
+//! equivalent checkpoint snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use orchestra_bench::{persistent_example, publish_epochs};
+use orchestra_core::Cdss;
+use orchestra_persist::testutil::TempDir;
+use orchestra_persist::wal::{EpochRecord, EpochWal};
+use orchestra_storage::tuple::int_tuple;
+use orchestra_storage::EditLog;
+
+const OPS_PER_EPOCH: usize = 10;
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_recovery_wal_append");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1000));
+
+    let mut log = EditLog::new("G");
+    for i in 0..OPS_PER_EPOCH {
+        log.push_insert(int_tuple(&[i as i64, 1, 2]));
+    }
+    let record = EpochRecord {
+        epoch: 1,
+        peer: "PGUS".into(),
+        logs: vec![log],
+    };
+
+    let dir = TempDir::new("bench-wal");
+    let mut wal = EpochWal::create(dir.path().join("epochs.wal")).unwrap();
+    wal.set_sync_on_append(false);
+    group.bench_with_input(
+        BenchmarkId::new("append", format!("{OPS_PER_EPOCH}ops")),
+        &record,
+        |b, record| {
+            b.iter(|| wal.append(record).unwrap());
+        },
+    );
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_recovery_open_or_recover");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for epochs in [3usize, 12] {
+        // Replay path: all epochs live in the WAL.
+        let replay_dir = TempDir::new("bench-recover-replay");
+        let mut cdss = persistent_example(replay_dir.path());
+        cdss.set_wal_sync(false).unwrap();
+        publish_epochs(&mut cdss, epochs, OPS_PER_EPOCH);
+        drop(cdss);
+        group.bench_with_input(
+            BenchmarkId::new("wal-replay", epochs),
+            &replay_dir,
+            |b, dir| {
+                b.iter(|| Cdss::open_or_recover(dir.path()).unwrap());
+            },
+        );
+
+        // Snapshot path: same state folded into a checkpoint.
+        let snap_dir = TempDir::new("bench-recover-snap");
+        let mut cdss = persistent_example(snap_dir.path());
+        cdss.set_wal_sync(false).unwrap();
+        publish_epochs(&mut cdss, epochs, OPS_PER_EPOCH);
+        cdss.checkpoint().unwrap();
+        drop(cdss);
+        group.bench_with_input(
+            BenchmarkId::new("snapshot-load", epochs),
+            &snap_dir,
+            |b, dir| {
+                b.iter(|| Cdss::open_or_recover(dir.path()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_recovery);
+criterion_main!(benches);

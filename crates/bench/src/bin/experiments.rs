@@ -10,16 +10,22 @@
 //! in `EXPERIMENTS.md`.
 
 use orchestra_bench::{
-    run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, Scale,
+    run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
 };
 
 fn main() {
     let scale = Scale::from_env();
-    println!("ORCHESTRA update-exchange experiment harness (scale = {})", scale.0);
+    println!(
+        "ORCHESTRA update-exchange experiment harness (scale = {})",
+        scale.0
+    );
     println!("================================================================");
 
     println!("\nFigure 4: deletion strategies (5 peers, integer dataset)");
-    println!("{:<10} {:<14} {:>12} {:>10}", "del.ratio", "strategy", "seconds", "deleted");
+    println!(
+        "{:<10} {:<14} {:>12} {:>10}",
+        "del.ratio", "strategy", "seconds", "deleted"
+    );
     for r in run_fig4(scale) {
         println!(
             "{:<10} {:<14} {:>12.4} {:>10}",
@@ -31,7 +37,10 @@ fn main() {
     }
 
     println!("\nFigure 5: time to compute initial instances (\"time to join\")");
-    println!("{:<7} {:<9} {:<26} {:>12}", "peers", "dataset", "engine", "seconds");
+    println!(
+        "{:<7} {:<9} {:<26} {:>12}",
+        "peers", "dataset", "engine", "seconds"
+    );
     for r in run_fig5(scale) {
         println!(
             "{:<7} {:<9} {:<26} {:>12.4}",
@@ -43,7 +52,10 @@ fn main() {
     }
 
     println!("\nFigure 6: initial instance size");
-    println!("{:<7} {:>12} {:>16} {:>16}", "peers", "tuples", "string MiB", "integer MiB");
+    println!(
+        "{:<7} {:>12} {:>16} {:>16}",
+        "peers", "tuples", "string MiB", "integer MiB"
+    );
     for r in run_fig6(scale) {
         println!(
             "{:<7} {:>12} {:>16.2} {:>16.2}",
@@ -61,7 +73,10 @@ fn main() {
     print_incremental(&run_fig9(scale));
 
     println!("\nFigure 10: effect of cycles (5 peers, integer dataset)");
-    println!("{:<8} {:<26} {:>12} {:>16}", "cycles", "engine", "seconds", "fixpoint tuples");
+    println!(
+        "{:<8} {:<26} {:>12} {:>16}",
+        "cycles", "engine", "seconds", "fixpoint tuples"
+    );
     for r in run_fig10(scale) {
         println!(
             "{:<8} {:<26} {:>12.4} {:>16}",
@@ -69,6 +84,22 @@ fn main() {
             r.engine.label(),
             r.seconds,
             r.fixpoint_tuples
+        );
+    }
+
+    println!("\nRecovery: WAL append throughput and recovery paths (3 peers)");
+    println!(
+        "{:<8} {:<10} {:>18} {:>16} {:>18}",
+        "epochs", "ops/epoch", "append ops/sec", "replay sec", "snapshot-load sec"
+    );
+    for r in run_fig_recovery(scale) {
+        println!(
+            "{:<8} {:<10} {:>18.0} {:>16.4} {:>18.4}",
+            r.epochs,
+            r.ops_per_epoch,
+            r.wal_append_ops_per_sec,
+            r.replay_recovery_seconds,
+            r.snapshot_recovery_seconds
         );
     }
 }

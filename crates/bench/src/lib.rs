@@ -204,8 +204,22 @@ pub fn run_fig6(scale: Scale) -> Vec<Fig6Row> {
     let base = scale.entries(100);
     let mut rows = Vec::new();
     for &peers in &[2usize, 5, 10] {
-        let g_int = build_loaded(peers, base, DatasetKind::Integers, 0, EngineKind::Pipelined, 31);
-        let g_str = build_loaded(peers, base, DatasetKind::Strings, 0, EngineKind::Pipelined, 31);
+        let g_int = build_loaded(
+            peers,
+            base,
+            DatasetKind::Integers,
+            0,
+            EngineKind::Pipelined,
+            31,
+        );
+        let g_str = build_loaded(
+            peers,
+            base,
+            DatasetKind::Strings,
+            0,
+            EngineKind::Pipelined,
+            31,
+        );
         let int_stats = g_int.cdss.instance_stats();
         let str_stats = g_str.cdss.instance_stats();
         rows.push(Fig6Row {
@@ -239,7 +253,11 @@ pub struct IncrementalRow {
     pub affected: usize,
 }
 
-fn run_incremental_insertions(scale: Scale, dataset: DatasetKind, peer_counts: &[usize]) -> Vec<IncrementalRow> {
+fn run_incremental_insertions(
+    scale: Scale,
+    dataset: DatasetKind,
+    peer_counts: &[usize],
+) -> Vec<IncrementalRow> {
     let base = match dataset {
         DatasetKind::Integers => scale.entries(150),
         DatasetKind::Strings => scale.entries(60),
@@ -342,6 +360,156 @@ pub fn run_fig10(scale: Scale) -> Vec<Fig10Row> {
     rows
 }
 
+// ---------------------------------------------------------------------
+// Recovery figure (beyond the paper): WAL append throughput and recovery
+// replay time vs snapshot-only load, for the durability subsystem.
+// ---------------------------------------------------------------------
+
+/// One point of the recovery benchmark.
+#[derive(Debug, Clone)]
+pub struct FigRecoveryRow {
+    /// Number of published epochs in the WAL.
+    pub epochs: usize,
+    /// Edit operations per epoch.
+    pub ops_per_epoch: usize,
+    /// Raw WAL framing throughput in edit operations per second (fsync
+    /// disabled, measuring the codec + framing path).
+    pub wal_append_ops_per_sec: f64,
+    /// Wall-clock seconds for `Cdss::open_or_recover` replaying every
+    /// epoch from the WAL (no checkpoint taken).
+    pub replay_recovery_seconds: f64,
+    /// Wall-clock seconds for `Cdss::open_or_recover` loading a checkpoint
+    /// snapshot covering the same state (empty WAL).
+    pub snapshot_recovery_seconds: f64,
+}
+
+/// A persistent copy of the paper's three-peer running example.
+pub fn persistent_example(dir: &std::path::Path) -> orchestra_core::Cdss {
+    use orchestra_storage::RelationSchema;
+    orchestra_core::CdssBuilder::new()
+        .add_peer(
+            "PGUS",
+            vec![RelationSchema::new("G", &["id", "can", "nam"])],
+        )
+        .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
+        .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
+        .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
+        .add_mapping_str("m2", "G(i, c, n) -> U(n, c)")
+        .add_mapping_str("m3", "B(i, n) -> U(n, c)")
+        .add_mapping_str("m4", "B(i, c), U(n, c) -> B(i, n)")
+        .with_persistence(dir)
+        .build()
+        .expect("persistent example builds")
+}
+
+/// Publish `epochs` epochs of `ops_per_epoch` fresh insertions each,
+/// round-robin across the three peers.
+pub fn publish_epochs(cdss: &mut orchestra_core::Cdss, epochs: usize, ops_per_epoch: usize) {
+    use orchestra_storage::tuple::int_tuple;
+    for e in 0..epochs {
+        let (peer, relation, arity) = match e % 3 {
+            0 => ("PGUS", "G", 3),
+            1 => ("PBioSQL", "B", 2),
+            _ => ("PuBio", "U", 2),
+        };
+        for i in 0..ops_per_epoch {
+            let v = (e * ops_per_epoch + i) as i64;
+            let tuple = if arity == 3 {
+                int_tuple(&[v, v + 1, v + 2])
+            } else {
+                int_tuple(&[v, v + 1])
+            };
+            cdss.insert_local(peer, relation, tuple)
+                .expect("edit applies");
+        }
+        cdss.update_exchange(peer).expect("exchange succeeds");
+    }
+}
+
+/// Measure raw WAL append throughput (edit ops per second) by appending
+/// synthetic epoch records with fsync disabled.
+pub fn wal_append_ops_per_sec(epochs: usize, ops_per_epoch: usize) -> f64 {
+    use orchestra_persist::testutil::TempDir;
+    use orchestra_persist::wal::{EpochRecord, EpochWal};
+    use orchestra_storage::tuple::int_tuple;
+    use orchestra_storage::EditLog;
+
+    let dir = TempDir::new("bench-wal-append");
+    let mut wal = EpochWal::create(dir.path().join("epochs.wal")).expect("wal creates");
+    wal.set_sync_on_append(false);
+    let records: Vec<EpochRecord> = (0..epochs as u64)
+        .map(|e| {
+            let mut log = EditLog::new("G");
+            for i in 0..ops_per_epoch {
+                log.push_insert(int_tuple(&[e as i64, i as i64, 0]));
+            }
+            EpochRecord {
+                epoch: e + 1,
+                peer: "PGUS".into(),
+                logs: vec![log],
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    for r in &records {
+        wal.append(r).expect("append succeeds");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (epochs * ops_per_epoch) as f64 / elapsed.max(1e-9)
+}
+
+/// The recovery benchmark: for growing WAL lengths, compare replaying the
+/// epoch log against loading an equivalent checkpoint snapshot.
+pub fn run_fig_recovery(scale: Scale) -> Vec<FigRecoveryRow> {
+    use orchestra_core::Cdss;
+    use orchestra_persist::testutil::TempDir;
+
+    let ops_per_epoch = 10;
+    let mut rows = Vec::new();
+    for &base_epochs in &[3usize, 9, 30] {
+        // Scale the epoch count directly (Scale::entries floors at 10,
+        // which would collapse the three WAL lengths into one).
+        let epochs = ((base_epochs as f64 * scale.0).round() as usize).clamp(2, 300);
+
+        // Replay path: published epochs sit in the WAL, no checkpoint.
+        let replay_dir = TempDir::new("bench-recover-replay");
+        let mut cdss = persistent_example(replay_dir.path());
+        cdss.set_wal_sync(false).expect("persistent");
+        publish_epochs(&mut cdss, epochs, ops_per_epoch);
+        drop(cdss);
+        let start = Instant::now();
+        let (recovered, report) = Cdss::open_or_recover(replay_dir.path()).expect("recovers");
+        let replay_recovery_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(report.replayed_epochs, epochs);
+
+        // Snapshot path: identical state, folded into a checkpoint.
+        let snap_dir = TempDir::new("bench-recover-snap");
+        let mut cdss2 = persistent_example(snap_dir.path());
+        cdss2.set_wal_sync(false).expect("persistent");
+        publish_epochs(&mut cdss2, epochs, ops_per_epoch);
+        cdss2.checkpoint().expect("checkpoint succeeds");
+        drop(cdss2);
+        let start = Instant::now();
+        let (snap_recovered, report) = Cdss::open_or_recover(snap_dir.path()).expect("recovers");
+        let snapshot_recovery_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(report.replayed_epochs, 0);
+        assert_eq!(
+            recovered.total_output_tuples(),
+            snap_recovered.total_output_tuples(),
+            "both paths recover the same state"
+        );
+
+        rows.push(FigRecoveryRow {
+            epochs,
+            ops_per_epoch,
+            wal_append_ops_per_sec: wal_append_ops_per_sec(epochs, ops_per_epoch),
+            replay_recovery_seconds,
+            snapshot_recovery_seconds,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +545,20 @@ mod tests {
         }
         // Instance size grows with the number of peers.
         assert!(rows.last().unwrap().tuples > rows.first().unwrap().tuples);
+    }
+
+    #[test]
+    fn fig_recovery_measures_both_paths() {
+        let rows = run_fig_recovery(Scale(0.2));
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.wal_append_ops_per_sec > 0.0, "{r:?}");
+            assert!(r.replay_recovery_seconds > 0.0, "{r:?}");
+            assert!(r.snapshot_recovery_seconds > 0.0, "{r:?}");
+        }
+        // The sweep actually varies the WAL length (wall-clock ordering is
+        // too noisy to assert in debug builds).
+        assert!(rows.last().unwrap().epochs > rows.first().unwrap().epochs);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct CdssBuilder {
     policies: BTreeMap<PeerId, TrustPolicy>,
     engine: Option<EngineKind>,
     encoding: ProvenanceEncoding,
+    persist_dir: Option<std::path::PathBuf>,
     errors: Vec<CdssError>,
 }
 
@@ -85,6 +86,16 @@ impl CdssBuilder {
         self
     }
 
+    /// Make the CDSS durable in `dir`: every update exchange appends the
+    /// published epoch to a write-ahead log there, and
+    /// [`Cdss::checkpoint`] installs full snapshots. The directory must
+    /// not already hold persisted state (reopen that with
+    /// [`Cdss::open_or_recover`] instead).
+    pub fn with_persistence(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
     /// Validate everything and construct the CDSS.
     pub fn build(self) -> Result<Cdss> {
         if let Some(e) = self.errors.into_iter().next() {
@@ -133,14 +144,18 @@ impl CdssBuilder {
         let mut db = Database::new();
         system.register_relations(&mut db)?;
 
-        Ok(Cdss::from_parts(
+        let mut cdss = Cdss::from_parts(
             peers,
             relation_owner,
             system,
             self.policies,
             self.engine.unwrap_or(EngineKind::Pipelined),
             db,
-        ))
+        );
+        if let Some(dir) = self.persist_dir {
+            cdss.attach_persistence(dir)?;
+        }
+        Ok(cdss)
     }
 }
 

@@ -49,10 +49,16 @@ pub struct Cdss {
     system: MappingSystem,
     policies: BTreeMap<PeerId, TrustPolicy>,
     engine: EngineKind,
-    db: Database,
+    pub(crate) db: Database,
     graph: ProvenanceGraph,
     /// Pending (unpublished) edit logs: peer → logical relation → log.
-    pending: BTreeMap<PeerId, BTreeMap<String, EditLog>>,
+    pub(crate) pending: BTreeMap<PeerId, BTreeMap<String, EditLog>>,
+    /// Durable backing store, when built with
+    /// [`crate::CdssBuilder::with_persistence`] or reopened via
+    /// [`Cdss::open_or_recover`].
+    pub(crate) persistence: Option<crate::durability::PersistHandle>,
+    /// Number of epochs durably published (0 when not persistent).
+    pub(crate) epoch: u64,
 }
 
 impl Cdss {
@@ -73,6 +79,8 @@ impl Cdss {
             db,
             graph: ProvenanceGraph::new(),
             pending: BTreeMap::new(),
+            persistence: None,
+            epoch: 0,
         }
     }
 
@@ -120,16 +128,7 @@ impl Cdss {
         &self.db
     }
 
-    pub(crate) fn split_for_eval(
-        &mut self,
-    ) -> (
-        &MappingSystem,
-        &BTreeMap<PeerId, TrustPolicy>,
-        &BTreeMap<String, PeerId>,
-        &mut Database,
-        &mut ProvenanceGraph,
-        EngineKind,
-    ) {
+    pub(crate) fn split_for_eval(&mut self) -> EvalParts<'_> {
         (
             &self.system,
             &self.policies,
@@ -248,12 +247,7 @@ impl Cdss {
 
         for (relation, log) in logs {
             let rl_name = internal_name(&relation, InternalRole::LocalContributions);
-            let prior: HashSet<Tuple> = self
-                .db
-                .relation(&rl_name)?
-                .iter()
-                .cloned()
-                .collect();
+            let prior: HashSet<Tuple> = self.db.relation(&rl_name)?.iter().cloned().collect();
             let normalized = log.normalize(&prior);
 
             if !normalized.contributions.is_empty() {
@@ -276,7 +270,9 @@ impl Cdss {
                 report
                     .rejections_added
                     .insert(relation.clone(), normalized.rejections.len());
-                changes.rejections.insert(relation.clone(), normalized.rejections);
+                changes
+                    .rejections
+                    .insert(relation.clone(), normalized.rejections);
             }
         }
         Ok((report, changes))
@@ -366,11 +362,12 @@ impl Cdss {
     pub fn is_derivable(&self, relation: &str, tuple: &Tuple) -> bool {
         let output = internal_name(relation, InternalRole::Output);
         let db = &self.db;
-        self.graph.derivable(&output, tuple, |tok: &ProvenanceToken| {
-            db.relation(&tok.relation)
-                .map(|r| r.contains(&tok.tuple))
-                .unwrap_or(false)
-        })
+        self.graph
+            .derivable(&output, tuple, |tok: &ProvenanceToken| {
+                db.relation(&tok.relation)
+                    .map(|r| r.contains(&tok.tuple))
+                    .unwrap_or(false)
+            })
     }
 
     /// Total number of tuples in all peers' curated output tables.
@@ -392,6 +389,18 @@ impl Cdss {
 // functions over individual `Cdss` fields so that callers can split borrows
 // (mutable database access alongside immutable mapping/policy access).
 // ----------------------------------------------------------------------
+
+/// The split borrows handed to the evaluation strategies: immutable mapping
+/// system, trust policies and relation ownership alongside mutable database
+/// and provenance graph, plus the engine selection.
+pub(crate) type EvalParts<'a> = (
+    &'a MappingSystem,
+    &'a BTreeMap<PeerId, TrustPolicy>,
+    &'a BTreeMap<String, PeerId>,
+    &'a mut Database,
+    &'a mut ProvenanceGraph,
+    EngineKind,
+);
 
 /// Map an internal input-table name (`B_i`) back to its logical relation
 /// (`B`), if it has the input suffix.
@@ -444,11 +453,7 @@ pub(crate) fn local_edge(relation: &str) -> String {
 /// Rebuild the provenance graph from scratch from the current contents of
 /// the local-contribution tables, the provenance relations, and the internal
 /// input/output tables.
-pub(crate) fn rebuild_graph(
-    system: &MappingSystem,
-    db: &Database,
-    graph: &mut ProvenanceGraph,
-) {
+pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut ProvenanceGraph) {
     *graph = ProvenanceGraph::new();
 
     // Base data: local contributions carry their own provenance tokens.
@@ -488,13 +493,23 @@ pub(crate) fn rebuild_graph(
         let ro = internal_name(&logical, InternalRole::Output);
         let rl = internal_name(&logical, InternalRole::LocalContributions);
         let ri = internal_name(&logical, InternalRole::Input);
-        let Ok(out_rel) = db.relation(&ro) else { continue };
+        let Ok(out_rel) = db.relation(&ro) else {
+            continue;
+        };
         for t in out_rel.iter() {
             if db.contains(&rl, t).unwrap_or(false) {
-                graph.add_derivation(local_edge(&logical), &[(&rl, t.clone())], &[(&ro, t.clone())]);
+                graph.add_derivation(
+                    local_edge(&logical),
+                    &[(&rl, t.clone())],
+                    &[(&ro, t.clone())],
+                );
             }
             if db.contains(&ri, t).unwrap_or(false) {
-                graph.add_derivation(import_edge(&logical), &[(&ri, t.clone())], &[(&ro, t.clone())]);
+                graph.add_derivation(
+                    import_edge(&logical),
+                    &[(&ri, t.clone())],
+                    &[(&ro, t.clone())],
+                );
             }
         }
     }
@@ -550,10 +565,18 @@ pub(crate) fn extend_graph_with_insertions(
             let ri = internal_name(logical, InternalRole::Input);
             for t in tuples {
                 if db.contains(&rl, t).unwrap_or(false) {
-                    graph.add_derivation(local_edge(logical), &[(&rl, t.clone())], &[(relation.as_str(), t.clone())]);
+                    graph.add_derivation(
+                        local_edge(logical),
+                        &[(&rl, t.clone())],
+                        &[(relation.as_str(), t.clone())],
+                    );
                 }
                 if db.contains(&ri, t).unwrap_or(false) {
-                    graph.add_derivation(import_edge(logical), &[(&ri, t.clone())], &[(relation.as_str(), t.clone())]);
+                    graph.add_derivation(
+                        import_edge(logical),
+                        &[(&ri, t.clone())],
+                        &[(relation.as_str(), t.clone())],
+                    );
                 }
             }
             continue;
@@ -564,7 +587,11 @@ pub(crate) fn extend_graph_with_insertions(
             let ro = internal_name(logical, InternalRole::Output);
             for t in tuples {
                 if db.contains(&ro, t).unwrap_or(false) {
-                    graph.add_derivation(import_edge(logical), &[(relation.as_str(), t.clone())], &[(&ro, t.clone())]);
+                    graph.add_derivation(
+                        import_edge(logical),
+                        &[(relation.as_str(), t.clone())],
+                        &[(&ro, t.clone())],
+                    );
                 }
             }
         }

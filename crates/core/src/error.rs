@@ -45,6 +45,11 @@ pub enum CdssError {
     Datalog(DatalogError),
     /// Error from the storage layer.
     Storage(StorageError),
+    /// Error from the persistence layer (codec, WAL, snapshot I/O).
+    Persist(orchestra_persist::PersistError),
+    /// Misuse of the durability API (not persistent, state already exists,
+    /// no snapshot to recover…).
+    Persistence(String),
 }
 
 impl fmt::Display for CdssError {
@@ -70,6 +75,8 @@ impl fmt::Display for CdssError {
             CdssError::Mapping(e) => write!(f, "mapping error: {e}"),
             CdssError::Datalog(e) => write!(f, "datalog error: {e}"),
             CdssError::Storage(e) => write!(f, "storage error: {e}"),
+            CdssError::Persist(e) => write!(f, "persistence error: {e}"),
+            CdssError::Persistence(msg) => write!(f, "persistence misuse: {msg}"),
         }
     }
 }
@@ -94,6 +101,12 @@ impl From<StorageError> for CdssError {
     }
 }
 
+impl From<orchestra_persist::PersistError> for CdssError {
+    fn from(e: orchestra_persist::PersistError) -> Self {
+        CdssError::Persist(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,7 +119,9 @@ mod tests {
         assert!(matches!(e, CdssError::Datalog(_)));
         let e: CdssError = MappingError::UnknownRelation("B".into()).into();
         assert!(matches!(e, CdssError::Mapping(_)));
-        assert!(CdssError::UnknownPeer("PGUS".into()).to_string().contains("PGUS"));
+        assert!(CdssError::UnknownPeer("PGUS".into())
+            .to_string()
+            .contains("PGUS"));
         assert!(CdssError::DuplicateRelation {
             relation: "B".into(),
             owner: "PBioSQL".into()

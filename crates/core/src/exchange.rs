@@ -35,16 +35,15 @@ use crate::peer::PeerId;
 use crate::report::{ExchangeReport, ExchangeStrategy, PublishReport};
 use crate::Result;
 
+/// A batch of tuples per logical relation, as accepted by the incremental
+/// propagation APIs.
+type TupleBatch = BTreeMap<String, Vec<Tuple>>;
+
 impl Cdss {
     /// Validate that `relation` is a known logical relation and every tuple
     /// matches its arity.
     fn check_logical_batch(&self, relation: &str, tuples: &[Tuple]) -> Result<()> {
-        let Some(schema) = self
-            .mapping_system()
-            .logical_schemas
-            .get(relation)
-            .cloned()
-        else {
+        let Some(schema) = self.mapping_system().logical_schemas.get(relation).cloned() else {
             return Err(CdssError::UnknownMapping(format!(
                 "relation `{relation}` is not a logical relation of any peer"
             )));
@@ -71,8 +70,10 @@ impl Cdss {
         let (system, policies, owner, db, graph, engine) = self.split_for_eval();
 
         for logical in system.logical_relations() {
-            db.relation_mut(&internal_name(&logical, InternalRole::Input))?.clear();
-            db.relation_mut(&internal_name(&logical, InternalRole::Output))?.clear();
+            db.relation_mut(&internal_name(&logical, InternalRole::Input))?
+                .clear();
+            db.relation_mut(&internal_name(&logical, InternalRole::Output))?
+                .clear();
         }
         for p in system.provenance_relations() {
             db.relation_mut(&p)?.clear();
@@ -165,10 +166,7 @@ impl Cdss {
 
     /// Split a batch of logical-level deletions into retractions of local
     /// contributions and rejections of imported data.
-    fn classify_deletions(
-        &self,
-        deletions: &BTreeMap<String, Vec<Tuple>>,
-    ) -> Result<(BTreeMap<String, Vec<Tuple>>, BTreeMap<String, Vec<Tuple>>)> {
+    fn classify_deletions(&self, deletions: &TupleBatch) -> Result<(TupleBatch, TupleBatch)> {
         let mut retractions: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
         let mut rejections: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
         for (rel, tuples) in deletions {
@@ -331,13 +329,16 @@ impl Cdss {
                     if db.remove(rel, t)? {
                         report.add_deleted(rel, 1);
                     }
-                    overdeleted.entry(rel.clone()).or_default().insert(t.clone());
+                    overdeleted
+                        .entry(rel.clone())
+                        .or_default()
+                        .insert(t.clone());
                 }
             }
             let mut next: HashMap<String, HashSet<Tuple>> = HashMap::new();
             for (rel, tuples) in candidates {
                 for t in tuples {
-                    let seen = overdeleted.get(&rel).map_or(false, |s| s.contains(&t));
+                    let seen = overdeleted.get(&rel).is_some_and(|s| s.contains(&t));
                     if !seen && db.contains(&rel, &t).unwrap_or(false) {
                         next.entry(rel.clone()).or_default().insert(t);
                     }
@@ -375,7 +376,8 @@ impl Cdss {
             ts.sort();
             ts.dedup();
         }
-        let reinserted = eval.propagate_insertions(&system.program, db, &rederive, Some(&filter))?;
+        let reinserted =
+            eval.propagate_insertions(&system.program, db, &rederive, Some(&filter))?;
         for (rel, ts) in &reinserted {
             report.add_inserted(rel, ts.len());
         }
@@ -390,9 +392,23 @@ impl Cdss {
     /// logs, apply the resulting deletions (retractions and rejections) and
     /// insertions, and propagate everything incrementally.
     pub fn update_exchange(&mut self, peer: &str) -> Result<(PublishReport, Vec<ExchangeReport>)> {
-        let (publish_report, changes) = self.publish(peer)?;
-        let reports = self.apply_published_changes(&changes)?;
-        Ok((publish_report, reports))
+        // Write-ahead: a persistent CDSS appends the pending edit logs as a
+        // durable epoch before publishing them (no-op otherwise).
+        self.log_pending_epoch(peer)?;
+        // Publishing consumes the pending logs; if propagation then fails,
+        // put them back so the edits are neither lost from memory nor (on a
+        // persistent CDSS) stranded in the WAL while absent everywhere else
+        // — a later exchange simply re-publishes them.
+        let saved_pending = self.pending_logs_of(peer);
+        let result = self.publish(peer).and_then(|(publish_report, changes)| {
+            Ok((publish_report, self.apply_published_changes(&changes)?))
+        });
+        if result.is_err() {
+            if let Some(logs) = saved_pending {
+                self.restore_pending_logs(peer, logs);
+            }
+        }
+        result
     }
 
     /// Perform an update exchange for every peer, in peer-id order.
@@ -405,6 +421,20 @@ impl Cdss {
             out.push((peer, publish_report, reports));
         }
         Ok(out)
+    }
+
+    /// A copy of one peer's pending edit logs, if any.
+    fn pending_logs_of(&self, peer: &str) -> Option<BTreeMap<String, orchestra_storage::EditLog>> {
+        self.pending.get(peer).cloned()
+    }
+
+    /// Put a peer's pending edit logs back (failed-exchange rollback).
+    fn restore_pending_logs(
+        &mut self,
+        peer: &str,
+        logs: BTreeMap<String, orchestra_storage::EditLog>,
+    ) {
+        self.pending.insert(peer.to_string(), logs);
     }
 
     fn apply_published_changes(
@@ -440,7 +470,10 @@ mod tests {
     /// The CDSS of the paper's running example (Figure 1 / Example 2).
     fn example_cdss(engine: EngineKind) -> Cdss {
         CdssBuilder::new()
-            .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+            .add_peer(
+                "PGUS",
+                vec![RelationSchema::new("G", &["id", "can", "nam"])],
+            )
             .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
             .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
             .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -454,9 +487,12 @@ mod tests {
 
     /// Load the edit logs of Example 3 and run an exchange for every peer.
     fn load_example3(cdss: &mut Cdss) {
-        cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3])).unwrap();
-        cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2])).unwrap();
-        cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5])).unwrap();
+        cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3]))
+            .unwrap();
+        cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2]))
+            .unwrap();
+        cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5]))
+            .unwrap();
         cdss.insert_local("PuBio", "U", int_tuple(&[2, 5])).unwrap();
         cdss.update_exchange_all().unwrap();
     }
@@ -572,7 +608,10 @@ mod tests {
         // PBioSQL distrusts B(i, n) from m1 when n >= 3 and B(i, n) from m4
         // when n != 2.
         let mut cdss = CdssBuilder::new()
-            .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+            .add_peer(
+                "PGUS",
+                vec![RelationSchema::new("G", &["id", "can", "nam"])],
+            )
             .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
             .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
             .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -615,7 +654,8 @@ mod tests {
             let mut cdss = example_cdss(engine);
             load_example3(&mut cdss);
 
-            cdss.delete_local("PBioSQL", "B", int_tuple(&[3, 2])).unwrap();
+            cdss.delete_local("PBioSQL", "B", int_tuple(&[3, 2]))
+                .unwrap();
             let (publish, reports) = cdss.update_exchange("PBioSQL").unwrap();
             assert_eq!(publish.rejections_added["B"], 1);
             assert_eq!(reports.len(), 1);
@@ -667,7 +707,10 @@ mod tests {
                 let b = dred.local_instance(peer, rel).unwrap();
                 let c = recomputed.local_instance(peer, rel).unwrap();
                 assert_eq!(a, b, "incremental vs DRed on {rel}, engine {engine}");
-                assert_eq!(a, c, "incremental vs recomputation on {rel}, engine {engine}");
+                assert_eq!(
+                    a, c,
+                    "incremental vs recomputation on {rel}, engine {engine}"
+                );
             }
         }
     }
@@ -678,7 +721,8 @@ mod tests {
         load_example3(&mut cdss);
         // Retract PGUS's G(1,2,3): B(1,3) and U(3,2) lose their only
         // derivations and disappear; everything derived from G(3,5,2) stays.
-        cdss.delete_local("PGUS", "G", int_tuple(&[1, 2, 3])).unwrap();
+        cdss.delete_local("PGUS", "G", int_tuple(&[1, 2, 3]))
+            .unwrap();
         cdss.update_exchange("PGUS").unwrap();
 
         assert_eq!(
@@ -696,8 +740,10 @@ mod tests {
     #[test]
     fn insert_then_delete_in_same_log_is_a_noop() {
         let mut cdss = example_cdss(EngineKind::Pipelined);
-        cdss.insert_local("PGUS", "G", int_tuple(&[1, 1, 1])).unwrap();
-        cdss.delete_local("PGUS", "G", int_tuple(&[1, 1, 1])).unwrap();
+        cdss.insert_local("PGUS", "G", int_tuple(&[1, 1, 1]))
+            .unwrap();
+        cdss.delete_local("PGUS", "G", int_tuple(&[1, 1, 1]))
+            .unwrap();
         assert_eq!(cdss.pending_edit_count("PGUS"), 2);
         let (publish, reports) = cdss.update_exchange("PGUS").unwrap();
         assert!(publish.is_empty());
@@ -710,7 +756,8 @@ mod tests {
     fn edits_validate_ownership_and_arity() {
         let mut cdss = example_cdss(EngineKind::Pipelined);
         assert!(matches!(
-            cdss.insert_local("PGUS", "B", int_tuple(&[1, 2])).unwrap_err(),
+            cdss.insert_local("PGUS", "B", int_tuple(&[1, 2]))
+                .unwrap_err(),
             CdssError::NotPeerRelation { .. }
         ));
         assert!(matches!(
@@ -718,7 +765,8 @@ mod tests {
             CdssError::ArityMismatch { .. }
         ));
         assert!(matches!(
-            cdss.insert_local("nobody", "G", int_tuple(&[1, 2, 3])).unwrap_err(),
+            cdss.insert_local("nobody", "G", int_tuple(&[1, 2, 3]))
+                .unwrap_err(),
             CdssError::UnknownPeer(_)
         ));
         let mut bad_batch = BTreeMap::new();

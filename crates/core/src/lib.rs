@@ -40,6 +40,7 @@
 
 pub mod builder;
 pub mod cdss;
+pub mod durability;
 pub mod error;
 pub mod exchange;
 pub mod peer;
@@ -48,6 +49,7 @@ pub mod trust;
 
 pub use builder::CdssBuilder;
 pub use cdss::Cdss;
+pub use durability::RecoveryReport;
 pub use error::CdssError;
 pub use peer::{Peer, PeerId};
 pub use report::{ExchangeReport, PublishReport};

@@ -41,7 +41,10 @@ impl Peer {
 
     /// Names of the peer's relations.
     pub fn relation_names(&self) -> Vec<String> {
-        self.relations.iter().map(|r| r.name().to_string()).collect()
+        self.relations
+            .iter()
+            .map(|r| r.name().to_string())
+            .collect()
     }
 }
 
@@ -64,10 +67,7 @@ mod tests {
 
     #[test]
     fn ownership_checks() {
-        let p = Peer::new(
-            "PBioSQL",
-            vec![RelationSchema::new("B", &["id", "nam"])],
-        );
+        let p = Peer::new("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])]);
         assert!(p.owns("B"));
         assert!(!p.owns("G"));
         assert!(p.relation("B").is_some());

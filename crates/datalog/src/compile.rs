@@ -106,7 +106,10 @@ impl CompiledRule {
 
         let mut slots: HashMap<String, usize> = HashMap::new();
         let mut var_names: Vec<String> = Vec::new();
-        let slot_of = |name: &str, var_names: &mut Vec<String>, slots: &mut HashMap<String, usize>| -> usize {
+        let slot_of = |name: &str,
+                       var_names: &mut Vec<String>,
+                       slots: &mut HashMap<String, usize>|
+         -> usize {
             if let Some(&s) = slots.get(name) {
                 s
             } else {
@@ -272,10 +275,7 @@ mod tests {
     #[test]
     fn repeated_variable_within_one_atom() {
         // same(x) :- R(x, x).
-        let rule = Rule::positive(
-            atom("same", &["x"]),
-            vec![atom("R", &["x", "x"])],
-        );
+        let rule = Rule::positive(atom("same", &["x"]), vec![atom("R", &["x", "x"])]);
         let c = CompiledRule::compile(&rule).unwrap();
         assert_eq!(c.var_count, 1);
         assert_eq!(c.positives[0].free.len(), 1);
@@ -302,10 +302,7 @@ mod tests {
     fn constants_are_bound_columns() {
         let rule = Rule::positive(
             atom("out", &["x"]),
-            vec![Atom::new(
-                "R",
-                vec![Term::var("x"), Term::constant(7i64)],
-            )],
+            vec![Atom::new("R", vec![Term::var("x"), Term::constant(7i64)])],
         );
         let c = CompiledRule::compile(&rule).unwrap();
         assert_eq!(c.positives[0].bound.len(), 1);

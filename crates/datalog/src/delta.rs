@@ -126,7 +126,14 @@ pub fn deletion_candidates(
                 continue;
             }
             let del_vec: Vec<Tuple> = del.iter().cloned().collect();
-            let produced = eval_rule(kind, c, db, Some((pos.body_index, &del_vec)), None, &mut stats)?;
+            let produced = eval_rule(
+                kind,
+                c,
+                db,
+                Some((pos.body_index, &del_vec)),
+                None,
+                &mut stats,
+            )?;
             if !produced.is_empty() {
                 out.entry(c.head_relation.clone())
                     .or_default()
@@ -159,7 +166,8 @@ mod tests {
 
     fn edge_db(edges: &[(i64, i64)]) -> Database {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("edge", &["s", "d"])).unwrap();
+        db.create_relation(RelationSchema::new("edge", &["s", "d"]))
+            .unwrap();
         for (s, d) in edges {
             db.insert("edge", int_tuple(&[*s, *d])).unwrap();
         }
@@ -241,13 +249,8 @@ mod tests {
         Evaluator::new(EngineKind::Batch)
             .run(&tc_program(), &mut db)
             .unwrap();
-        let cands = deletion_candidates(
-            &tc_program(),
-            &mut db,
-            &HashMap::new(),
-            EngineKind::Batch,
-        )
-        .unwrap();
+        let cands = deletion_candidates(&tc_program(), &mut db, &HashMap::new(), EngineKind::Batch)
+            .unwrap();
         assert!(cands.is_empty());
     }
 }

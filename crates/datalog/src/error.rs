@@ -59,9 +59,18 @@ impl fmt::Display for DatalogError {
             DatalogError::NotStratifiable { relation } => {
                 write!(f, "program is not stratifiable: relation `{relation}` depends negatively on itself through recursion")
             }
-            DatalogError::MissingRelation(r) => write!(f, "relation `{r}` is not present in the database"),
-            DatalogError::ArityConflict { relation, first, second } => {
-                write!(f, "relation `{relation}` used with conflicting arities {first} and {second}")
+            DatalogError::MissingRelation(r) => {
+                write!(f, "relation `{r}` is not present in the database")
+            }
+            DatalogError::ArityConflict {
+                relation,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` used with conflicting arities {first} and {second}"
+                )
             }
             DatalogError::Storage(e) => write!(f, "storage error: {e}"),
             DatalogError::Parse { message, offset } => {

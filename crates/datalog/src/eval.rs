@@ -186,8 +186,14 @@ impl Evaluator {
                     if d.is_empty() {
                         continue;
                     }
-                    let produced =
-                        eval_rule(self.kind, c, db, Some((pos.body_index, d)), filter, &mut stats)?;
+                    let produced = eval_rule(
+                        self.kind,
+                        c,
+                        db,
+                        Some((pos.body_index, d)),
+                        filter,
+                        &mut stats,
+                    )?;
                     for t in produced {
                         if db.insert(&c.head_relation, t.clone())? {
                             stats.tuples_inserted += 1;
@@ -270,12 +276,20 @@ impl Evaluator {
                     if d.is_empty() {
                         continue;
                     }
-                    let produced =
-                        eval_rule(self.kind, c, db, Some((pos.body_index, d)), filter, &mut stats)?;
+                    let produced = eval_rule(
+                        self.kind,
+                        c,
+                        db,
+                        Some((pos.body_index, d)),
+                        filter,
+                        &mut stats,
+                    )?;
                     for t in produced {
                         if db.insert(&c.head_relation, t.clone())? {
                             stats.tuples_inserted += 1;
-                            next.entry(c.head_relation.clone()).or_default().push(t.clone());
+                            next.entry(c.head_relation.clone())
+                                .or_default()
+                                .push(t.clone());
                             all_new.entry(c.head_relation.clone()).or_default().push(t);
                         }
                     }
@@ -379,12 +393,20 @@ pub(crate) fn eval_rule(
     let mut bindings: Vec<Option<Value>> = vec![None; c.var_count];
     let mut out: Vec<Tuple> = Vec::new();
     join_literal(
-        kind, c, db_ref, &accesses, 0, &mut bindings, filter, &mut out, stats,
+        kind,
+        c,
+        db_ref,
+        &accesses,
+        0,
+        &mut bindings,
+        filter,
+        &mut out,
+        stats,
     )?;
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn join_literal(
     kind: EngineKind,
     c: &CompiledRule,
@@ -537,7 +559,9 @@ mod tests {
             let mut db1 = edge_db(&[(1, 2), (2, 3), (3, 1)]);
             let mut db2 = db1.snapshot();
             Evaluator::new(kind).run(&tc_program(), &mut db1).unwrap();
-            Evaluator::new(kind).run_naive(&tc_program(), &mut db2).unwrap();
+            Evaluator::new(kind)
+                .run_naive(&tc_program(), &mut db2)
+                .unwrap();
             assert_eq!(
                 db1.relation("path").unwrap().sorted_tuples(),
                 db2.relation("path").unwrap().sorted_tuples()
@@ -557,8 +581,10 @@ mod tests {
             ],
         )]);
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("node", &["x"])).unwrap();
-        db.create_relation(RelationSchema::new("hidden", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("node", &["x"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("hidden", &["x"]))
+            .unwrap();
         for i in 0..5 {
             db.insert("node", int_tuple(&[i])).unwrap();
         }
@@ -586,7 +612,8 @@ mod tests {
             vec![atom("b", &["i", "n"])],
         )]);
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("b", &["i", "n"])).unwrap();
+        db.create_relation(RelationSchema::new("b", &["i", "n"]))
+            .unwrap();
         db.insert("b", int_tuple(&[3, 5])).unwrap();
         db.insert("b", int_tuple(&[4, 5])).unwrap();
         db.insert("b", int_tuple(&[3, 2])).unwrap();
@@ -612,13 +639,13 @@ mod tests {
             Rule::positive(atom("c", &["x"]), vec![atom("b", &["x"])]),
         ]);
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("a", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("a", &["x"]))
+            .unwrap();
         db.insert("a", int_tuple(&[1])).unwrap();
         db.insert("a", int_tuple(&[5])).unwrap();
 
-        let filter = |rel: &str, t: &Tuple| -> bool {
-            !(rel == "b" && t[0].as_int().unwrap_or(0) > 1)
-        };
+        let filter =
+            |rel: &str, t: &Tuple| -> bool { !(rel == "b" && t[0].as_int().unwrap_or(0) > 1) };
         let mut eval = Evaluator::new(EngineKind::Pipelined);
         let stats = eval.run_filtered(&program, &mut db, Some(&filter)).unwrap();
         assert_eq!(db.relation("b").unwrap().len(), 1);
@@ -665,8 +692,10 @@ mod tests {
             ],
         )]);
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("inp", &["x"])).unwrap();
-        db.create_relation(RelationSchema::new("rej", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("inp", &["x"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("rej", &["x"]))
+            .unwrap();
         let mut eval = Evaluator::new(EngineKind::Pipelined);
         let mut deltas = HashMap::new();
         deltas.insert("rej".to_string(), vec![int_tuple(&[1])]);
@@ -678,7 +707,8 @@ mod tests {
     #[test]
     fn evaluate_rule_with_delta_constrains_one_occurrence() {
         let mut db = edge_db(&[(1, 2), (2, 3)]);
-        db.create_relation(RelationSchema::new("path", &["s", "d"])).unwrap();
+        db.create_relation(RelationSchema::new("path", &["s", "d"]))
+            .unwrap();
         db.insert("path", int_tuple(&[1, 2])).unwrap();
         db.insert("path", int_tuple(&[2, 3])).unwrap();
         db.insert("path", int_tuple(&[1, 3])).unwrap();
@@ -714,7 +744,8 @@ mod tests {
     fn arity_conflict_with_existing_relation_is_reported() {
         let program = tc_program();
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("edge", &["only_one"])).unwrap();
+        db.create_relation(RelationSchema::new("edge", &["only_one"]))
+            .unwrap();
         let mut eval = Evaluator::new(EngineKind::Pipelined);
         assert!(matches!(
             eval.run(&program, &mut db).unwrap_err(),
@@ -727,7 +758,10 @@ mod tests {
         // two(y) :- edge(2, y).
         let program = Program::from_rules(vec![Rule::positive(
             atom("two", &["y"]),
-            vec![Atom::new("edge", vec![Term::constant(2i64), Term::var("y")])],
+            vec![Atom::new(
+                "edge",
+                vec![Term::constant(2i64), Term::var("y")],
+            )],
         )]);
         for kind in EngineKind::all() {
             let mut db = edge_db(&[(1, 2), (2, 3), (2, 4)]);

@@ -224,7 +224,7 @@ impl<'a> Parser<'a> {
 
     fn parse_skolem(&mut self) -> Result<Term> {
         self.bump(); // '#'
-        // Accept `#f3(...)` or `#3(...)`.
+                     // Accept `#f3(...)` or `#3(...)`.
         if self.peek() == Some(b'f') || self.peek() == Some(b'F') {
             self.pos += 1;
         }

@@ -60,10 +60,7 @@ impl Program {
 
     /// Names of intensional relations (appear in some head).
     pub fn idb_relations(&self) -> BTreeSet<String> {
-        self.rules
-            .iter()
-            .map(|r| r.head.relation.clone())
-            .collect()
+        self.rules.iter().map(|r| r.head.relation.clone()).collect()
     }
 
     /// Names of extensional relations (appear only in bodies).
@@ -272,7 +269,10 @@ mod tests {
         assert_eq!(arities["B"], 2);
 
         let mut bad = simple_program();
-        bad.push(Rule::positive(atom("B", &["x"]), vec![atom("G", &["x", "y", "z"])]));
+        bad.push(Rule::positive(
+            atom("B", &["x"]),
+            vec![atom("G", &["x", "y", "z"])],
+        ));
         assert!(matches!(
             bad.relation_arities().unwrap_err(),
             DatalogError::ArityConflict { .. }

@@ -203,10 +203,7 @@ mod tests {
     fn skolem_argument_variables_must_be_safe() {
         // Head skolem over a variable that is not bound in the body.
         let bad = Rule::positive(
-            Atom::new(
-                "U",
-                vec![Term::skolem(SkolemFnId(0), vec![Term::var("q")])],
-            ),
+            Atom::new("U", vec![Term::skolem(SkolemFnId(0), vec![Term::var("q")])]),
             vec![atom("B", &["i", "n"])],
         );
         assert!(matches!(

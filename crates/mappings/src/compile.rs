@@ -362,7 +362,13 @@ mod tests {
     fn compile(tgd_text: &str, name: &str, internalize: bool) -> CompiledMapping {
         let tgd = Tgd::parse(name, tgd_text).unwrap();
         let mut alloc = SkolemAllocator::new();
-        compile_mapping(&tgd, ProvenanceEncoding::CompositePerTgd, &mut alloc, internalize).unwrap()
+        compile_mapping(
+            &tgd,
+            ProvenanceEncoding::CompositePerTgd,
+            &mut alloc,
+            internalize,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -378,7 +384,10 @@ mod tests {
 
         let m4 = compile("B(i, c), U(n, c) -> B(i, n)", "m4", false);
         assert_eq!(m4.columns, vec!["i", "c", "n"]);
-        assert_eq!(m4.rules[0].to_string(), "P_m4(i, c, n) :- B(i, c), U(n, c).");
+        assert_eq!(
+            m4.rules[0].to_string(),
+            "P_m4(i, c, n) :- B(i, c), U(n, c)."
+        );
         assert_eq!(m4.rules[1].to_string(), "B(i, n) :- P_m4(i, c, n).");
     }
 
@@ -415,20 +424,34 @@ mod tests {
 
     #[test]
     fn separate_skolems_per_existential_and_per_tgd() {
-        let tgds = vec![
+        let tgds = [
             Tgd::parse("a", "R(x) -> S(x, z, w)").unwrap(),
             Tgd::parse("b", "R(x) -> T(x, z)").unwrap(),
         ];
         let mut alloc = SkolemAllocator::new();
-        let a = compile_mapping(&tgds[0], ProvenanceEncoding::CompositePerTgd, &mut alloc, false)
-            .unwrap();
-        let b = compile_mapping(&tgds[1], ProvenanceEncoding::CompositePerTgd, &mut alloc, false)
-            .unwrap();
+        let a = compile_mapping(
+            &tgds[0],
+            ProvenanceEncoding::CompositePerTgd,
+            &mut alloc,
+            false,
+        )
+        .unwrap();
+        let b = compile_mapping(
+            &tgds[1],
+            ProvenanceEncoding::CompositePerTgd,
+            &mut alloc,
+            false,
+        )
+        .unwrap();
         let mut ids: Vec<SkolemFnId> = a.skolems.values().copied().collect();
         ids.extend(b.skolems.values().copied());
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 3, "each existential gets its own Skolem function");
+        assert_eq!(
+            ids.len(),
+            3,
+            "each existential gets its own Skolem function"
+        );
     }
 
     #[test]
@@ -441,9 +464,13 @@ mod tests {
         assert_eq!(c.provenance[1].relation, "P_m_1");
         // 2 tables × (1 m′ rule + 1 m″ rule)
         assert_eq!(c.rules.len(), 4);
-        let composite =
-            compile_mapping(&tgd, ProvenanceEncoding::CompositePerTgd, &mut SkolemAllocator::new(), false)
-                .unwrap();
+        let composite = compile_mapping(
+            &tgd,
+            ProvenanceEncoding::CompositePerTgd,
+            &mut SkolemAllocator::new(),
+            false,
+        )
+        .unwrap();
         assert_eq!(composite.provenance.len(), 1);
         assert_eq!(composite.rules.len(), 3);
     }
@@ -479,9 +506,15 @@ mod tests {
         assert_eq!(m.columns, vec!["i", "n"]);
         let row = int_tuple(&[7, 9]);
         let sources = m.instantiate_sources(&row);
-        assert_eq!(sources[0].1, Tuple::new(vec![Value::int(7), Value::int(5), Value::int(9)]));
+        assert_eq!(
+            sources[0].1,
+            Tuple::new(vec![Value::int(7), Value::int(5), Value::int(9)])
+        );
         let targets = m.instantiate_targets(0, &row);
-        assert_eq!(targets[0].1, Tuple::new(vec![Value::int(7), Value::text("x")]));
+        assert_eq!(
+            targets[0].1,
+            Tuple::new(vec![Value::int(7), Value::text("x")])
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl fmt::Display for MappingError {
                 write!(f, "mapping set is not weakly acyclic: {cycle}")
             }
             MappingError::UnknownRelation(r) => {
-                write!(f, "tgd mentions relation `{r}` which is not declared by any peer")
+                write!(
+                    f,
+                    "tgd mentions relation `{r}` which is not declared by any peer"
+                )
             }
             MappingError::ArityMismatch {
                 relation,

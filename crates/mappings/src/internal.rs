@@ -169,7 +169,10 @@ impl MappingSystem {
 
     /// Find the compiled mapping owning a given provenance relation, with the
     /// index of that provenance table within the mapping.
-    pub fn mapping_for_provenance_relation(&self, relation: &str) -> Option<(&CompiledMapping, usize)> {
+    pub fn mapping_for_provenance_relation(
+        &self,
+        relation: &str,
+    ) -> Option<(&CompiledMapping, usize)> {
         for c in &self.compiled {
             for (i, p) in c.provenance.iter().enumerate() {
                 if p.relation == relation {
@@ -216,7 +219,10 @@ mod tests {
     fn internal_rules_shape() {
         let rules = internal_rules_for_relation("B", 2);
         assert_eq!(rules.len(), 2);
-        assert_eq!(rules[0].to_string(), "B_o(x0, x1) :- B_i(x0, x1), not B_r(x0, x1).");
+        assert_eq!(
+            rules[0].to_string(),
+            "B_o(x0, x1) :- B_i(x0, x1), not B_r(x0, x1)."
+        );
         assert_eq!(rules[1].to_string(), "B_o(x0, x1) :- B_l(x0, x1).");
         for r in &rules {
             r.validate().unwrap();

@@ -204,8 +204,14 @@ mod tests {
         assert!(g_chk.contains(&int_tuple(&[3, 5, 2])));
         assert!(!g_chk.contains(&int_tuple(&[1, 2, 3])));
         // The m4 path marks B(3,5) and U(2,5) as well.
-        assert!(db.relation("B_l__chk").unwrap().contains(&int_tuple(&[3, 5])));
-        assert!(db.relation("U_l__chk").unwrap().contains(&int_tuple(&[2, 5])));
+        assert!(db
+            .relation("B_l__chk")
+            .unwrap()
+            .contains(&int_tuple(&[3, 5])));
+        assert!(db
+            .relation("U_l__chk")
+            .unwrap()
+            .contains(&int_tuple(&[2, 5])));
         // Provenance rows on the path are marked reachable.
         assert!(!db.relation("P_m1__reach").unwrap().is_empty());
         assert!(!db.relation("P_m4__reach").unwrap().is_empty());

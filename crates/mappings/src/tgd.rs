@@ -249,8 +249,14 @@ mod tests {
     #[test]
     fn variable_classification() {
         let m3 = Tgd::parse("m3", "B(i, n) -> U(n, c)").unwrap();
-        assert_eq!(m3.frontier_variables().into_iter().collect::<Vec<_>>(), vec!["n"]);
-        assert_eq!(m3.existential_variables().into_iter().collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(
+            m3.frontier_variables().into_iter().collect::<Vec<_>>(),
+            vec!["n"]
+        );
+        assert_eq!(
+            m3.existential_variables().into_iter().collect::<Vec<_>>(),
+            vec!["c"]
+        );
         assert!(!m3.is_full());
 
         let m1 = Tgd::parse("m1", "G(i, c, n) -> B(i, n)").unwrap();
@@ -265,7 +271,10 @@ mod tests {
         let m4 = Tgd::parse("m4", "B(i, c) & U(n, c) -> B(i, n)").unwrap();
         let src = m4.source_relations();
         assert!(src.contains("B") && src.contains("U"));
-        assert_eq!(m4.target_relations().into_iter().collect::<Vec<_>>(), vec!["B"]);
+        assert_eq!(
+            m4.target_relations().into_iter().collect::<Vec<_>>(),
+            vec!["B"]
+        );
     }
 
     #[test]

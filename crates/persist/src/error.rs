@@ -1,0 +1,110 @@
+//! Error type for the persistence layer.
+
+use std::fmt;
+
+use orchestra_storage::StorageError;
+
+/// Errors raised while encoding, decoding, or performing file I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// A filesystem operation failed. The `io::Error` is flattened to text
+    /// so this type stays `Clone + Eq` like the rest of the workspace's
+    /// error types.
+    Io {
+        /// What was being attempted (path and operation).
+        context: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// Decoded bytes are malformed (bad tag, short read, CRC mismatch…).
+    Corrupt {
+        /// Byte offset at which the corruption was detected.
+        offset: u64,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Which artifact (snapshot, WAL, manifest).
+        artifact: &'static str,
+        /// The version byte found.
+        version: u8,
+    },
+    /// An encoded artifact exceeds the format's `u32` frame-length limit.
+    FrameTooLarge {
+        /// Which artifact (snapshot, WAL record).
+        artifact: &'static str,
+        /// The encoded length that did not fit.
+        len: usize,
+    },
+    /// Rebuilding storage state from decoded data failed.
+    Storage(StorageError),
+}
+
+impl PersistError {
+    /// Convenience constructor flattening an `io::Error`.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        PersistError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Convenience constructor for corruption findings.
+    pub fn corrupt(offset: u64, message: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { context, message } => {
+                write!(f, "i/o error while {context}: {message}")
+            }
+            PersistError::Corrupt { offset, message } => {
+                write!(f, "corrupt data at byte {offset}: {message}")
+            }
+            PersistError::UnsupportedVersion { artifact, version } => {
+                write!(f, "unsupported {artifact} format version {version}")
+            }
+            PersistError::FrameTooLarge { artifact, len } => {
+                write!(f, "{artifact} of {len} bytes exceeds the 4 GiB frame limit")
+            }
+            PersistError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = PersistError::io("opening wal", &std::io::Error::other("denied"));
+        assert!(e.to_string().contains("opening wal"));
+        assert!(e.to_string().contains("denied"));
+        assert!(PersistError::corrupt(7, "bad tag")
+            .to_string()
+            .contains("byte 7"));
+        let e = PersistError::UnsupportedVersion {
+            artifact: "snapshot",
+            version: 9,
+        };
+        assert!(e.to_string().contains("snapshot"));
+        let e: PersistError = StorageError::UnknownRelation("B".into()).into();
+        assert!(matches!(e, PersistError::Storage(_)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # orchestra-persist
+//!
+//! Durability for the ORCHESTRA CDSS, filling the role the paper's
+//! prototype delegates to DB2 / Berkeley-DB-under-Tukwila (§5): peers'
+//! published update logs and computed instances live in real storage, so a
+//! process restart reconstructs exactly the pre-crash state.
+//!
+//! The crate has three layers, each usable on its own:
+//!
+//! * [`codec`] — a hand-rolled, canonical, length-prefixed binary encoding
+//!   for the storage data model ([`orchestra_storage::Value`] with labeled
+//!   nulls / Skolem terms, tuples, schemas, relations, whole databases, and
+//!   edit logs). No serde: the on-disk format is owned entirely by this
+//!   module and versioned with an explicit byte.
+//! * [`wal`] — an append-only **epoch log**: every `publish` of a peer's
+//!   pending edit logs becomes one CRC-framed record. Replay recovers every
+//!   intact record and reports (rather than chokes on) a corrupt tail.
+//! * [`snapshot`] + [`store`] — full-state snapshots installed with an
+//!   atomic rename, paired with the WAL under one directory by
+//!   [`store::PersistentStore`]; a checkpoint folds the WAL into a new
+//!   snapshot.
+//!
+//! `orchestra-core` builds `Cdss::open_or_recover` on top: load the latest
+//! snapshot, then replay the WAL's epochs through the ordinary incremental
+//! update-exchange machinery. See that crate for the end-to-end lifecycle
+//! and `examples/durable_exchange.rs` for a walkthrough.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod snapshot;
+pub mod store;
+pub mod testutil;
+pub mod wal;
+
+pub use codec::{Codec, Reader, Writer};
+pub use error::PersistError;
+pub use snapshot::{PendingLogs, Snapshot};
+pub use store::PersistentStore;
+pub use wal::{EpochRecord, WalReplay};
+
+/// Convenience result alias for persistence operations.
+pub type Result<T> = std::result::Result<T, PersistError>;

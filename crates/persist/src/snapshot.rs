@@ -1,0 +1,291 @@
+//! Full-state snapshots with atomic installation.
+//!
+//! A snapshot captures everything needed to restart a CDSS without
+//! replaying history from epoch zero: the system **manifest** (peers,
+//! mappings, trust policies, engine — encoded by `orchestra-core`, opaque
+//! here), the complete auxiliary [`Database`] (every internal and
+//! provenance relation), the still-unpublished pending edit logs, and the
+//! epoch watermark up to which the snapshot is current. WAL records with
+//! higher epochs are replayed on top at recovery.
+//!
+//! Snapshots are written to a temporary file, fsynced, then atomically
+//! renamed over the live snapshot, so a crash mid-write leaves the previous
+//! snapshot intact. The whole payload is sealed with a CRC-32:
+//!
+//! ```text
+//! file := magic "OSNP" version:u8 crc:u32 len:u32 payload[len]
+//! ```
+
+use std::fs::File;
+use std::io::{Read, Write as _};
+use std::path::Path;
+
+use orchestra_storage::{Database, EditLog};
+
+use crate::codec::{decode_seq, encode_seq, Codec, Reader, Writer};
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::Result;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"OSNP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Pending (unpublished) edit logs of one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingLogs {
+    /// The peer owning the logs.
+    pub peer: String,
+    /// One log per edited relation, in relation order.
+    pub logs: Vec<EditLog>,
+}
+
+impl Codec for PendingLogs {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.peer);
+        encode_seq(&self.logs, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let peer = r.get_str()?.to_string();
+        let logs = decode_seq(r)?;
+        Ok(PendingLogs { peer, logs })
+    }
+}
+
+/// A complete, restartable image of CDSS state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The last epoch whose effects are included in `db`.
+    pub epoch: u64,
+    /// Opaque system manifest (peers, mappings, policies, engine), encoded
+    /// by `orchestra-core`; this layer only stores and checksums it.
+    pub manifest: Vec<u8>,
+    /// The full auxiliary store: all internal (`R_l`, `R_r`, `R_i`, `R_o`)
+    /// and provenance relations of every peer.
+    pub db: Database,
+    /// Unpublished pending edit logs at snapshot time.
+    pub pending: Vec<PendingLogs>,
+}
+
+impl Snapshot {
+    /// Borrow this snapshot's fields for encoding.
+    pub fn as_parts(&self) -> SnapshotRef<'_> {
+        SnapshotRef {
+            epoch: self.epoch,
+            manifest: &self.manifest,
+            db: &self.db,
+            pending: &self.pending,
+        }
+    }
+}
+
+/// A borrowed view of snapshot state, so writers can serialize a live
+/// database without cloning it first (checkpointing a large instance would
+/// otherwise double peak memory).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotRef<'a> {
+    /// See [`Snapshot::epoch`].
+    pub epoch: u64,
+    /// See [`Snapshot::manifest`].
+    pub manifest: &'a [u8],
+    /// See [`Snapshot::db`].
+    pub db: &'a Database,
+    /// See [`Snapshot::pending`].
+    pub pending: &'a [PendingLogs],
+}
+
+impl SnapshotRef<'_> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_bytes(self.manifest);
+        self.db.encode(w);
+        encode_seq(self.pending, w);
+    }
+
+    fn to_bytes(self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+impl Codec for Snapshot {
+    fn encode(&self, w: &mut Writer) {
+        self.as_parts().encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let epoch = r.get_u64()?;
+        let manifest = r.get_bytes()?.to_vec();
+        let db = Database::decode(r)?;
+        let pending = decode_seq(r)?;
+        Ok(Snapshot {
+            epoch,
+            manifest,
+            db,
+            pending,
+        })
+    }
+}
+
+/// Write a snapshot to `path` atomically: encode, write to `path.tmp`,
+/// fsync, rename over `path`, fsync the directory.
+pub fn write_snapshot(path: impl AsRef<Path>, snapshot: SnapshotRef<'_>) -> Result<()> {
+    let path = path.as_ref();
+    let payload = snapshot.to_bytes();
+    let len = u32::try_from(payload.len()).map_err(|_| PersistError::FrameTooLarge {
+        artifact: "snapshot",
+        len: payload.len(),
+    })?;
+    let mut header = Writer::new();
+    header.put_u32(crc32(&payload));
+    header.put_u32(len);
+
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)
+        .map_err(|e| PersistError::io(format!("creating snapshot temp {}", tmp.display()), &e))?;
+    file.write_all(SNAPSHOT_MAGIC)
+        .and_then(|()| file.write_all(&[SNAPSHOT_VERSION]))
+        .and_then(|()| file.write_all(header.as_bytes()))
+        .and_then(|()| file.write_all(&payload))
+        .and_then(|()| file.sync_all())
+        .map_err(|e| PersistError::io(format!("writing snapshot {}", tmp.display()), &e))?;
+    drop(file);
+
+    std::fs::rename(&tmp, path).map_err(|e| {
+        PersistError::io(
+            format!(
+                "installing snapshot {} -> {}",
+                tmp.display(),
+                path.display()
+            ),
+            &e,
+        )
+    })?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+    }
+    Ok(())
+}
+
+/// Load and validate a snapshot. Returns `Ok(None)` if the file does not
+/// exist; corruption (bad magic, CRC mismatch, undecodable payload) is an
+/// error — a damaged snapshot must not be silently treated as "no state".
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Option<Snapshot>> {
+    let path = path.as_ref();
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| PersistError::io(format!("reading snapshot {}", path.display()), &e))?;
+
+    if bytes.len() < 13 || &bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(PersistError::corrupt(0, "bad snapshot magic"));
+    }
+    if bytes[4] != SNAPSHOT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            artifact: "snapshot",
+            version: bytes[4],
+        });
+    }
+    let crc = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
+    if bytes.len() - 13 != len {
+        return Err(PersistError::corrupt(
+            13,
+            format!(
+                "snapshot payload length mismatch: header says {len}, file has {}",
+                bytes.len() - 13
+            ),
+        ));
+    }
+    let payload = &bytes[13..];
+    if crc32(payload) != crc {
+        return Err(PersistError::corrupt(13, "snapshot CRC mismatch"));
+    }
+    Snapshot::from_bytes(payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use orchestra_storage::tuple::int_tuple;
+    use orchestra_storage::RelationSchema;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("B_l", &["id", "nam"]))
+            .unwrap();
+        db.insert("B_l", int_tuple(&[3, 5])).unwrap();
+        let mut log = EditLog::new("B");
+        log.push_insert(int_tuple(&[7, 8]));
+        Snapshot {
+            epoch: 4,
+            manifest: vec![1, 2, 3, 4],
+            db,
+            pending: vec![PendingLogs {
+                peer: "PBioSQL".into(),
+                logs: vec![log],
+            }],
+        }
+    }
+
+    #[test]
+    fn write_then_load_roundtrips() {
+        let dir = TempDir::new("snap-roundtrip");
+        let path = dir.path().join("state.snapshot");
+        let snap = sample_snapshot();
+        write_snapshot(&path, snap.as_parts()).unwrap();
+        let back = load_snapshot(&path).unwrap().expect("snapshot exists");
+        assert_eq!(back, snap);
+        assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = TempDir::new("snap-missing");
+        assert_eq!(
+            load_snapshot(dir.path().join("none.snapshot")).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn rewriting_replaces_atomically() {
+        let dir = TempDir::new("snap-rewrite");
+        let path = dir.path().join("state.snapshot");
+        let mut snap = sample_snapshot();
+        write_snapshot(&path, snap.as_parts()).unwrap();
+        snap.epoch = 9;
+        write_snapshot(&path, snap.as_parts()).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().unwrap().epoch, 9);
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_ignored() {
+        let dir = TempDir::new("snap-corrupt");
+        let path = dir.path().join("state.snapshot");
+        write_snapshot(&path, sample_snapshot().as_parts()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}

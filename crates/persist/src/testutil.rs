@@ -1,0 +1,67 @@
+//! Small helpers for tests, benches, and examples (no external crates).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+///
+/// Lives in the library (rather than each consumer's test module) so the
+/// integration tests, benches, and examples of other crates can share it.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `\u{2026}/orchestra-<label>-<pid>-<n>` fresh.
+    pub fn new(label: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("orchestra-{label}-{}-{n}", std::process::id()));
+        // A stale directory from a crashed previous run is removed first so
+        // every TempDir starts empty.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir is creatable");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Keep the directory on drop (for debugging a failing test).
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdirs_are_unique_and_cleaned_up() {
+        let a = TempDir::new("x");
+        let b = TempDir::new("x");
+        assert_ne!(a.path(), b.path());
+        let kept = a.path().to_path_buf();
+        assert!(kept.exists());
+        drop(a);
+        assert!(!kept.exists());
+
+        let kept = b.into_path();
+        assert!(kept.exists(), "into_path keeps the directory");
+        std::fs::remove_dir_all(kept).unwrap();
+    }
+}

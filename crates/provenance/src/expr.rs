@@ -248,7 +248,10 @@ mod tests {
     fn simplification_rules() {
         let t = ProvenanceExpr::token(tok("R", &[1]));
         assert_eq!(ProvenanceExpr::sum(vec![]), ProvenanceExpr::Zero);
-        assert_eq!(ProvenanceExpr::sum(vec![ProvenanceExpr::Zero, t.clone()]), t);
+        assert_eq!(
+            ProvenanceExpr::sum(vec![ProvenanceExpr::Zero, t.clone()]),
+            t
+        );
         assert_eq!(ProvenanceExpr::product(vec![]), ProvenanceExpr::One);
         assert_eq!(
             ProvenanceExpr::product(vec![ProvenanceExpr::Zero, t.clone()]),
@@ -275,17 +278,11 @@ mod tests {
         // PBioSQL trusts p3 (from GUS) and p1 (its own), distrusts p2 (uBio's
         // (2,5)); all mappings trivially trusted. T·T + T·T·D = T.
         let expr = example_expr();
-        let trusted = expr.evaluate_trust(
-            &|t| t.relation != "U_l",
-            &|_| true,
-        );
+        let trusted = expr.evaluate_trust(&|t| t.relation != "U_l", &|_| true);
         assert!(trusted);
 
         // Distrusting p3 and mapping m4 kills both derivations.
-        let trusted = expr.evaluate_trust(
-            &|t| t.relation != "G_l",
-            &|m| m != "m4",
-        );
+        let trusted = expr.evaluate_trust(&|t| t.relation != "G_l", &|m| m != "m4");
         assert!(!trusted);
 
         // The paper's observation: distrusting p2 and m1 rejects B(3,2)...

@@ -236,7 +236,10 @@ mod tests {
         assert_eq!(TropicalSemiring::zero().plus(&b), b);
         assert_eq!(TropicalSemiring::one().times(&b), b);
         // zero annihilates (saturating add with infinity stays infinity)
-        assert_eq!(TropicalSemiring::zero().times(&b), TropicalSemiring::INFINITY);
+        assert_eq!(
+            TropicalSemiring::zero().times(&b),
+            TropicalSemiring::INFINITY
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::Result;
 ///
 /// Relation names are kept in a `BTreeMap` so iteration order (and therefore
 /// every listing and statistic derived from it) is deterministic.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
     relations: BTreeMap<RelationName, Relation>,
 }
@@ -64,6 +64,19 @@ impl Database {
         self.relations
             .entry(name)
             .or_insert_with(|| Relation::new(schema))
+    }
+
+    /// Adopt a fully built relation into the catalog (used by the
+    /// persistence layer when decoding snapshots).
+    ///
+    /// Fails if a relation with the same name already exists.
+    pub fn adopt_relation(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::RelationExists(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
     }
 
     /// Drop a relation. Returns true if it existed.
@@ -172,9 +185,11 @@ mod tests {
     #[test]
     fn duplicate_creation_fails_but_if_absent_succeeds() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("B", &["id"])).unwrap();
+        db.create_relation(RelationSchema::new("B", &["id"]))
+            .unwrap();
         assert!(matches!(
-            db.create_relation(RelationSchema::new("B", &["id"])).unwrap_err(),
+            db.create_relation(RelationSchema::new("B", &["id"]))
+                .unwrap_err(),
             StorageError::RelationExists(_)
         ));
         // if_absent returns the existing relation untouched
@@ -200,8 +215,10 @@ mod tests {
     #[test]
     fn totals_and_clear() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
-        db.create_relation(RelationSchema::new("B", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("A", &["x"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("B", &["x"]))
+            .unwrap();
         db.insert("A", int_tuple(&[1])).unwrap();
         db.insert("A", int_tuple(&[2])).unwrap();
         db.insert("B", int_tuple(&[3])).unwrap();
@@ -214,16 +231,20 @@ mod tests {
     #[test]
     fn relation_names_are_sorted() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("Z", &["x"])).unwrap();
-        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
-        db.create_relation(RelationSchema::new("M", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("Z", &["x"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("A", &["x"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("M", &["x"]))
+            .unwrap();
         assert_eq!(db.relation_names(), vec!["A", "M", "Z"]);
     }
 
     #[test]
     fn snapshot_is_independent() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("A", &["x"]))
+            .unwrap();
         db.insert("A", int_tuple(&[1])).unwrap();
         let snap = db.snapshot();
         db.insert("A", int_tuple(&[2])).unwrap();
@@ -234,7 +255,8 @@ mod tests {
     #[test]
     fn drop_relation() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("A", &["x"]))
+            .unwrap();
         assert!(db.drop_relation("A"));
         assert!(!db.drop_relation("A"));
         assert!(!db.has_relation("A"));

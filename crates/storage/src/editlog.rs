@@ -99,6 +99,15 @@ impl EditLog {
         }
     }
 
+    /// Reassemble a log from previously recorded entries (used by the
+    /// persistence layer when decoding WAL epochs and snapshots).
+    pub fn from_ops(relation: impl Into<String>, ops: Vec<EditOp>) -> Self {
+        EditLog {
+            relation: relation.into(),
+            ops,
+        }
+    }
+
     /// The logical relation this log belongs to.
     pub fn relation(&self) -> &str {
         &self.relation
@@ -224,7 +233,10 @@ mod tests {
         log.push_insert(int_tuple(&[1, 2, 3]));
         log.push_insert(int_tuple(&[3, 5, 2]));
         let n = log.normalize(&HashSet::new());
-        assert_eq!(n.contributions, vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])]);
+        assert_eq!(
+            n.contributions,
+            vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])]
+        );
         assert!(n.rejections.is_empty());
         assert!(n.retracted_contributions.is_empty());
     }

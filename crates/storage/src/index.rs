@@ -110,7 +110,11 @@ mod tests {
 
     #[test]
     fn build_and_probe() {
-        let tuples = vec![int_tuple(&[1, 10]), int_tuple(&[1, 20]), int_tuple(&[2, 30])];
+        let tuples = [
+            int_tuple(&[1, 10]),
+            int_tuple(&[1, 20]),
+            int_tuple(&[2, 30]),
+        ];
         let idx = HashIndex::build(vec![0], tuples.iter());
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.distinct_keys(), 2);
@@ -122,7 +126,7 @@ mod tests {
 
     #[test]
     fn multi_column_keys() {
-        let tuples = vec![int_tuple(&[1, 10, 5]), int_tuple(&[1, 20, 5])];
+        let tuples = [int_tuple(&[1, 10, 5]), int_tuple(&[1, 20, 5])];
         let idx = HashIndex::build(vec![0, 2], tuples.iter());
         assert_eq!(idx.probe(&[Value::int(1), Value::int(5)]).len(), 2);
         assert_eq!(idx.probe(&[Value::int(1), Value::int(10)]).len(), 0);
@@ -145,7 +149,7 @@ mod tests {
     fn empty_key_indexes_everything_together() {
         // A zero-column index is a degenerate "scan bucket"; it must still work
         // because rules with no bound columns fall back to it.
-        let tuples = vec![int_tuple(&[1]), int_tuple(&[2])];
+        let tuples = [int_tuple(&[1]), int_tuple(&[2])];
         let idx = HashIndex::build(vec![], tuples.iter());
         assert_eq!(idx.probe(&[]).len(), 2);
     }

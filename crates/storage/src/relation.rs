@@ -193,6 +193,16 @@ impl Relation {
     }
 }
 
+/// Two relations are equal when they have the same schema and the same set
+/// of tuples; secondary indexes are derived data and do not participate.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
@@ -295,10 +305,14 @@ mod tests {
     fn bulk_operations_report_counts() {
         let mut r = rel();
         let n = r
-            .insert_all(vec![int_tuple(&[1, 1]), int_tuple(&[1, 1]), int_tuple(&[2, 2])])
+            .insert_all(vec![
+                int_tuple(&[1, 1]),
+                int_tuple(&[1, 1]),
+                int_tuple(&[2, 2]),
+            ])
             .unwrap();
         assert_eq!(n, 2);
-        let ts = vec![int_tuple(&[1, 1]), int_tuple(&[9, 9])];
+        let ts = [int_tuple(&[1, 1]), int_tuple(&[9, 9])];
         let n = r.remove_all(ts.iter()).unwrap();
         assert_eq!(n, 1);
     }

@@ -110,10 +110,7 @@ impl RelationSchema {
     }
 
     /// Create a schema with explicit attribute types.
-    pub fn with_types(
-        name: impl Into<String>,
-        attributes: &[(&str, DataType)],
-    ) -> Self {
+    pub fn with_types(name: impl Into<String>, attributes: &[(&str, DataType)]) -> Self {
         RelationSchema {
             name: name.into(),
             attributes: attributes
@@ -121,7 +118,11 @@ impl RelationSchema {
                 .map(|(a, _)| a.to_string())
                 .collect::<Vec<_>>()
                 .into(),
-            types: attributes.iter().map(|(_, t)| *t).collect::<Vec<_>>().into(),
+            types: attributes
+                .iter()
+                .map(|(_, t)| *t)
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
@@ -212,7 +213,10 @@ mod tests {
     #[test]
     fn anonymous_schema_names_columns() {
         let s = RelationSchema::anonymous("P", 3);
-        assert_eq!(s.attributes(), &["c0".to_string(), "c1".to_string(), "c2".to_string()]);
+        assert_eq!(
+            s.attributes(),
+            &["c0".to_string(), "c1".to_string(), "c2".to_string()]
+        );
     }
 
     #[test]

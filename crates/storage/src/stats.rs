@@ -77,7 +77,11 @@ impl fmt::Display for DatabaseStats {
             self.total_mib()
         )?;
         for rs in self.relations.values() {
-            writeln!(f, "  {:<24} {:>8} tuples {:>10} bytes", rs.name, rs.tuples, rs.bytes)?;
+            writeln!(
+                f,
+                "  {:<24} {:>8} tuples {:>10} bytes",
+                rs.name, rs.tuples, rs.bytes
+            )?;
         }
         Ok(())
     }
@@ -92,8 +96,10 @@ mod tests {
     #[test]
     fn collects_per_relation_and_totals() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("A", &["x", "y"])).unwrap();
-        db.create_relation(RelationSchema::new("B", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("A", &["x", "y"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("B", &["x"]))
+            .unwrap();
         db.insert("A", int_tuple(&[1, 2])).unwrap();
         db.insert("A", int_tuple(&[3, 4])).unwrap();
         db.insert("B", text_tuple(&["hello"])).unwrap();
@@ -114,8 +120,10 @@ mod tests {
     #[test]
     fn filtered_totals_select_by_name() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("B_o", &["x"])).unwrap();
-        db.create_relation(RelationSchema::new("B_i", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("B_o", &["x"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("B_i", &["x"]))
+            .unwrap();
         db.insert("B_o", int_tuple(&[1])).unwrap();
         db.insert("B_i", int_tuple(&[1])).unwrap();
         db.insert("B_i", int_tuple(&[2])).unwrap();
@@ -130,7 +138,8 @@ mod tests {
     #[test]
     fn display_lists_all_relations() {
         let mut db = Database::new();
-        db.create_relation(RelationSchema::new("A", &["x"])).unwrap();
+        db.create_relation(RelationSchema::new("A", &["x"]))
+            .unwrap();
         db.insert("A", int_tuple(&[1])).unwrap();
         let s = db.stats().to_string();
         assert!(s.contains('A'));

@@ -55,12 +55,7 @@ impl SkolemValue {
     /// Depth of nesting of Skolem terms inside this value. A labeled null
     /// whose arguments are all constants has depth 1.
     pub fn depth(&self) -> usize {
-        1 + self
-            .args
-            .iter()
-            .map(Value::skolem_depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.args.iter().map(Value::skolem_depth).max().unwrap_or(0)
     }
 }
 
@@ -158,9 +153,7 @@ impl Value {
         match self {
             Value::Int(_) => 8,
             Value::Text(s) => 16 + s.len(),
-            Value::Null(s) => {
-                16 + s.args.iter().map(Value::size_bytes).sum::<usize>() + 4
-            }
+            Value::Null(s) => 16 + s.args.iter().map(Value::size_bytes).sum::<usize>() + 4,
         }
     }
 
@@ -304,19 +297,13 @@ mod tests {
     fn hashing_is_consistent_with_equality() {
         let mut set = HashSet::new();
         set.insert(Value::labeled_null(SkolemFnId(7), vec![Value::text("x")]));
-        assert!(set.contains(&Value::labeled_null(
-            SkolemFnId(7),
-            vec![Value::text("x")]
-        )));
-        assert!(!set.contains(&Value::labeled_null(
-            SkolemFnId(7),
-            vec![Value::text("y")]
-        )));
+        assert!(set.contains(&Value::labeled_null(SkolemFnId(7), vec![Value::text("x")])));
+        assert!(!set.contains(&Value::labeled_null(SkolemFnId(7), vec![Value::text("y")])));
     }
 
     #[test]
     fn ordering_is_total_and_groups_by_kind() {
-        let mut vs = vec![
+        let mut vs = [
             Value::labeled_null(SkolemFnId(0), vec![]),
             Value::text("b"),
             Value::int(10),
@@ -364,7 +351,9 @@ mod tests {
         assert_eq!(Value::int(3).as_int(), Some(3));
         assert_eq!(Value::int(3).as_text(), None);
         assert_eq!(Value::text("t").as_text(), Some("t"));
-        assert!(Value::labeled_null(SkolemFnId(0), vec![]).as_skolem().is_some());
+        assert!(Value::labeled_null(SkolemFnId(0), vec![])
+            .as_skolem()
+            .is_some());
         assert!(Value::int(0).as_skolem().is_none());
         assert!(Value::int(0).is_constant());
         assert!(!Value::labeled_null(SkolemFnId(0), vec![]).is_constant());

@@ -137,8 +137,12 @@ pub fn generate(config: &WorkloadConfig) -> orchestra_core::Result<GeneratedCdss
         };
 
         // Partition the attributes across a Zipf-skewed number of relations.
-        let rel_count = zipf_sample(&mut rng, config.max_relations_per_peer.max(1), config.zipf_skew)
-            .min(attrs.len());
+        let rel_count = zipf_sample(
+            &mut rng,
+            config.max_relations_per_peer.max(1),
+            config.zipf_skew,
+        )
+        .min(attrs.len());
         let mut shuffled = attrs.clone();
         shuffled.shuffle(&mut rng);
         let mut relations: Vec<(String, Vec<usize>)> = (0..rel_count)
@@ -166,7 +170,9 @@ pub fn generate(config: &WorkloadConfig) -> orchestra_core::Result<GeneratedCdss
         Atom::new(rel.clone(), terms)
     };
     let all_atoms = |peer: &GeneratedPeer| -> Vec<Atom> {
-        (0..peer.relations.len()).map(|i| atom_for(peer, i)).collect()
+        (0..peer.relations.len())
+            .map(|i| atom_for(peer, i))
+            .collect()
     };
 
     let mut tgds = Vec::new();

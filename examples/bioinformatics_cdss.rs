@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p orchestra-bench --example bioinformatics_cdss
+//! cargo run --example bioinformatics_cdss
 //! ```
 
 use orchestra_core::CdssBuilder;
@@ -15,7 +15,10 @@ use orchestra_storage::RelationSchema;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Example 2: peer schemas and mappings.
     let mut cdss = CdssBuilder::new()
-        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer(
+            "PGUS",
+            vec![RelationSchema::new("G", &["id", "can", "nam"])],
+        )
         .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
         .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
         .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -76,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in cdss.certain_answers("PBioSQL", "B")? {
         println!("  B{t}");
     }
-    println!("  (U now has {} tuples)", cdss.local_instance("PuBio", "U")?.len());
+    println!(
+        "  (U now has {} tuples)",
+        cdss.local_instance("PuBio", "U")?.len()
+    );
 
     Ok(())
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p orchestra-bench --example incremental_sync --release
+//! cargo run --example incremental_sync --release
 //! ```
 
 use std::time::Instant;
@@ -72,9 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dred_copy = generate(&config)?;
     dred_copy.cdss.set_engine(EngineKind::Pipelined);
     dred_copy.load_base()?;
-    dred_copy
-        .cdss
-        .apply_insertions_incremental(&batch)?;
+    dred_copy.cdss.apply_insertions_incremental(&batch)?;
     let report = dred_copy.cdss.apply_deletions_dred(&deletions)?;
     println!(
         "DRed deletion of the same 5%: -{} then +{} re-derived tuples in {:?}",

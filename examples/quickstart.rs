@@ -2,7 +2,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p orchestra-bench --example quickstart
+//! cargo run --example quickstart
 //! ```
 
 use orchestra_core::CdssBuilder;

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p orchestra-bench --example trust_and_provenance
+//! cargo run --example trust_and_provenance
 //! ```
 
 use orchestra_core::{CdssBuilder, CmpOp, Predicate, TrustPolicy};
@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_condition("m4", Predicate::cmp(1, CmpOp::Eq, 2i64));
 
     let mut cdss = CdssBuilder::new()
-        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer(
+            "PGUS",
+            vec![RelationSchema::new("G", &["id", "can", "nam"])],
+        )
         .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
         .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
         .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nPv(B(3,2)) = {expr}");
 
     let derivations: CountingSemiring = expr.eval(&|_| CountingSemiring(1), &|_, x| x);
-    println!("number of derivations (counting semiring): {}", derivations.0);
+    println!(
+        "number of derivations (counting semiring): {}",
+        derivations.0
+    );
 
     let lineage: Lineage = expr.eval(&|t| Lineage::of_token(t.clone()), &|_, x| x);
     println!(

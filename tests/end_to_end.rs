@@ -15,7 +15,10 @@ use orchestra_workload::{generate, DatasetKind, GeneratedCdss, WorkloadConfig};
 /// The paper's running example CDSS.
 fn running_example(engine: EngineKind) -> Cdss {
     CdssBuilder::new()
-        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer(
+            "PGUS",
+            vec![RelationSchema::new("G", &["id", "can", "nam"])],
+        )
         .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
         .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
         .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -28,9 +31,12 @@ fn running_example(engine: EngineKind) -> Cdss {
 }
 
 fn load_running_example(cdss: &mut Cdss) {
-    cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3])).unwrap();
-    cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2])).unwrap();
-    cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5])).unwrap();
+    cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3]))
+        .unwrap();
+    cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2]))
+        .unwrap();
+    cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5]))
+        .unwrap();
     cdss.insert_local("PuBio", "U", int_tuple(&[2, 5])).unwrap();
     cdss.update_exchange_all().unwrap();
 }
@@ -129,7 +135,10 @@ fn incremental_exchange_equals_recomputation_on_generated_workload() {
         .unwrap();
     recomputed.cdss.recompute_all().unwrap();
 
-    assert_eq!(all_instances(&incremental.cdss), all_instances(&recomputed.cdss));
+    assert_eq!(
+        all_instances(&incremental.cdss),
+        all_instances(&recomputed.cdss)
+    );
 }
 
 #[test]
@@ -157,7 +166,10 @@ fn trust_conditions_compose_along_mapping_paths() {
     // PuBio distrusts everything arriving via m3 (from BioSQL); it still
     // receives GUS data via m2, and BioSQL's instance is unaffected.
     let mut cdss = CdssBuilder::new()
-        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer(
+            "PGUS",
+            vec![RelationSchema::new("G", &["id", "can", "nam"])],
+        )
         .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
         .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
         .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -186,11 +198,14 @@ fn trust_predicates_filter_generated_workload_data() {
     let mapping = "m0"; // the chain mapping peer0 -> peer1
     let policy = TrustPolicy::trust_all().with_condition(
         mapping,
-        Predicate::And(vec![Predicate::cmp(0, CmpOp::Ge, 0i64), Predicate::Not(Box::new(
-            // keys are positive and consecutive; "odd" ≅ key % 2 = 1 is not
-            // directly expressible, so reject keys above a threshold instead.
-            Predicate::cmp(0, CmpOp::Gt, 1_000i64),
-        ))]),
+        Predicate::And(vec![
+            Predicate::cmp(0, CmpOp::Ge, 0i64),
+            Predicate::Not(Box::new(
+                // keys are positive and consecutive; "odd" ≅ key % 2 = 1 is not
+                // directly expressible, so reject keys above a threshold instead.
+                Predicate::cmp(0, CmpOp::Gt, 1_000i64),
+            )),
+        ]),
     );
     g.cdss.set_trust_policy(peer1.clone(), policy).unwrap();
     g.load_base().unwrap();
@@ -215,7 +230,13 @@ fn provenance_graph_tracks_generated_workload_derivations() {
     // derivable from current base data.
     let last = g.peers.last().unwrap().id.clone();
     for rel in g.cdss.peer(&last).unwrap().relation_names() {
-        for t in g.cdss.certain_answers(&last, &rel).unwrap().into_iter().take(5) {
+        for t in g
+            .cdss
+            .certain_answers(&last, &rel)
+            .unwrap()
+            .into_iter()
+            .take(5)
+        {
             assert!(g.cdss.is_derivable(&rel, &t), "{rel}{t} not derivable");
         }
     }

@@ -145,7 +145,8 @@ fn tc_program() -> Program {
 
 fn edge_db(edges: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
-    db.create_relation(RelationSchema::new("edge", &["s", "d"])).unwrap();
+    db.create_relation(RelationSchema::new("edge", &["s", "d"]))
+        .unwrap();
     for (s, d) in edges {
         db.insert("edge", int_tuple(&[*s, *d])).unwrap();
     }
@@ -236,15 +237,14 @@ proptest! {
         for t in &retracted {
             prop_assert!(prior_set.contains(*t));
         }
-        // A tuple's outcome matches the last operation that mentions it.
-        for (is_insert, v) in ops.iter().rev() {
+        // The final operation's tuple has the matching outcome.
+        if let Some((is_insert, v)) = ops.last() {
             let t = int_tuple(&[*v]);
             if *is_insert {
                 prop_assert!(!rejections.contains(&t) && !retracted.contains(&t));
             } else {
                 prop_assert!(!contributions.contains(&t));
             }
-            break;
         }
     }
 }
@@ -256,7 +256,10 @@ proptest! {
 
 fn running_example() -> Cdss {
     CdssBuilder::new()
-        .add_peer("PGUS", vec![RelationSchema::new("G", &["id", "can", "nam"])])
+        .add_peer(
+            "PGUS",
+            vec![RelationSchema::new("G", &["id", "can", "nam"])],
+        )
         .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
         .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
         .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
@@ -271,7 +274,10 @@ fn instances(cdss: &Cdss) -> BTreeMap<(String, String), Vec<Tuple>> {
     let mut out = BTreeMap::new();
     for peer in cdss.peer_ids() {
         for rel in cdss.peer(&peer).unwrap().relation_names() {
-            out.insert((peer.clone(), rel.clone()), cdss.local_instance(&peer, &rel).unwrap());
+            out.insert(
+                (peer.clone(), rel.clone()),
+                cdss.local_instance(&peer, &rel).unwrap(),
+            );
         }
     }
     out

@@ -1,0 +1,232 @@
+//! Local stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate provides
+//! a small, dependency-free timing harness with the criterion API surface
+//! the `orchestra-bench` benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It runs a short warm-up, then measures `sample_size` samples (bounded by
+//! `measurement_time`) and prints the min / mean / max wall-clock time per
+//! iteration. It intentionally performs no statistical analysis, HTML
+//! reporting, or baseline comparison — the numbers are for relative,
+//! same-machine comparisons, which is all the paper-figure benches need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier for one benchmark case: a function name plus a
+/// parameter rendered through `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Build an id from only a parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in harness runs one
+/// setup per measured iteration regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Passed to the measured closure; drives the timing loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    measurement_time: Duration,
+    records: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measure a closure, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        std::hint::black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.records.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Measure a closure with per-iteration setup; only the routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.records.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget. The stand-in harness warms up with a single untimed
+    /// call, so this only exists for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upper bound on the measured portion of each case.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark case with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut records = Vec::new();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            records: &mut records,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &records);
+        self
+    }
+
+    /// Run one benchmark case without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut records = Vec::new();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            records: &mut records,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &records);
+        self
+    }
+
+    fn report(&self, id: &str, records: &[Duration]) {
+        if records.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        let total: Duration = records.iter().sum();
+        let mean = total / records.len() as u32;
+        let min = records.iter().min().unwrap();
+        let max = records.iter().max().unwrap();
+        println!(
+            "{}/{id:<40} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  ({} samples)",
+            self.name,
+            records.len()
+        );
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmark cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("── {name} ──");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+}
+
+/// Prevent the optimiser from discarding a value (re-export of the std
+/// hint, matching criterion's public helper).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

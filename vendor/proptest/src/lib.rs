@@ -1,0 +1,579 @@
+//! Local stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate
+//! reimplements the slice of the proptest API its tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, `prop_recursive` and
+//! `boxed`, range / tuple / [`strategy::Just`] / collection strategies,
+//! [`arbitrary::any`], the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs in
+//!   scope; rerunning is deterministic (the RNG is seeded from the test's
+//!   module path), so failures reproduce exactly;
+//! * `prop_assert!` panics instead of returning `Err`, which is equivalent
+//!   under the harness here;
+//! * generation is uniform rather than bias-tuned.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving generation.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the hermetic test suite
+            // fast while still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator seeding each property from its
+    /// fully qualified test name, so every test has a stable, independent
+    /// stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary string (the test's module path).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Seed from a raw integer.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` (rejection sampled, `bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators built on it.
+
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with a function.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feed generated values into a function producing a dependent
+        /// strategy (e.g. pick an arity, then generate tuples of it).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Build a recursive strategy: `self` generates leaves, and `expand`
+        /// wraps an inner strategy into one generating the next nesting
+        /// level, up to `depth` levels. The `_desired_size` and
+        /// `_expected_branch` tuning hints of upstream proptest are accepted
+        /// and ignored.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let expanded = expand(strat).boxed();
+                strat = one_of(vec![leaf.clone(), expanded]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// The result of [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// A reference-counted, type-erased strategy (cheap to clone).
+    pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> std::fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (behind [`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Clone for OneOf<V> {
+        fn clone(&self) -> Self {
+            OneOf {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].gen_value(rng)
+        }
+    }
+
+    /// Build a [`OneOf`] from boxed alternatives (must be non-empty).
+    pub fn one_of<V>(options: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = (self.start as i128 - <$t>::MIN as i128) as u64;
+                    let hi = (self.end as i128 - <$t>::MIN as i128) as u64;
+                    ((lo + rng.below(hi - lo)) as i128 + <$t>::MIN as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let lo = (*self.start() as i128 - <$t>::MIN as i128) as u64;
+                    let hi = (*self.end() as i128 - <$t>::MIN as i128) as u64;
+                    let span = hi - lo;
+                    let draw = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        lo + rng.below(span + 1)
+                    };
+                    (draw as i128 + <$t>::MIN as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    );
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type, behind [`any`].
+
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// That canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Construct the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T` (e.g. `any::<bool>()`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-range strategy used for the numeric `Arbitrary` impls.
+    #[derive(Debug, Clone)]
+    pub struct AnyValue<T>(PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyValue<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyValue<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyValue(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyValue<bool> {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyValue<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyValue(PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A vector strategy with the given element strategy and length range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works as in upstream
+/// proptest's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, mirroring upstream's prelude.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property (panics with the generated inputs in scope).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Declare property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind! { (__rng) $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (($rng:ident)) => {};
+    (($rng:ident) $arg:pat in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+        $crate::__proptest_bind! { ($rng) $($rest)* }
+    };
+    (($rng:ident) $arg:pat in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(42);
+        for _ in 0..500 {
+            let v = (0i64..6).gen_value(&mut rng);
+            assert!((0..6).contains(&v));
+            let (a, b) = (0u32..3, 10usize..=12).gen_value(&mut rng);
+            assert!(a < 3);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = crate::test_runner::TestRng::from_seed(43);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0i64..4, 1..5).gen_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..4).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_compose() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::from_seed(44);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 4);
+            if matches!(t, Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion never expanded");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_binds_patterns(a in 0i64..5, (b, c) in (0i64..5, any::<bool>())) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert_eq!(c, c);
+        }
+    }
+}

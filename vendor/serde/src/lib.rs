@@ -1,0 +1,16 @@
+//! Local stand-in for the `serde` facade crate.
+//!
+//! The workspace builds hermetically (no crates.io). The orchestra crates
+//! only use `#[derive(Serialize, Deserialize)]` annotations; no code path
+//! serializes through serde (durability is handled by the hand-rolled codec
+//! in `orchestra-persist`). This facade provides the two marker traits and
+//! re-exports the no-op derives so the annotations compile unchanged, and a
+//! build against the real serde remains a drop-in swap.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
