@@ -1,0 +1,108 @@
+//! Network service-layer benchmark (beyond the paper's figures): what the
+//! wire protocol costs relative to in-process calls.
+//!
+//! * `fig_net_publish` — bulk edit ingestion: admitting a batch of fresh
+//!   tuples through `PublishEdits` over loopback vs recording the same
+//!   edits with `Cdss::insert_local` directly. Reported per batch; divide
+//!   by the batch size for tuples/sec.
+//! * `fig_net_query` — read round-trip: `QueryCertain` over loopback vs
+//!   `Cdss::certain_answers` in process, on identical state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use orchestra_net::scenario::example_scenario;
+use orchestra_net::{serve, EditBatch, NetClient};
+use orchestra_storage::tuple::int_tuple;
+use orchestra_storage::Tuple;
+
+const BATCH: usize = 100;
+
+/// Fresh three-column tuples for `G`, disjoint per iteration.
+fn batch_tuples(iteration: i64) -> Vec<Tuple> {
+    (0..BATCH as i64)
+        .map(|i| int_tuple(&[iteration * BATCH as i64 + i, i, i + 1]))
+        .collect()
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_net_publish");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // In-process baseline: record the same edits directly.
+    let mut cdss = example_scenario();
+    let mut iteration = 0i64;
+    group.bench_with_input(
+        BenchmarkId::new("in-process", format!("{BATCH}ops")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                iteration += 1;
+                for t in batch_tuples(iteration) {
+                    cdss.insert_local("PGUS", "G", t).unwrap();
+                }
+            });
+        },
+    );
+
+    // Loopback: the same batches through the wire protocol.
+    let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    let mut iteration = 0i64;
+    group.bench_with_input(
+        BenchmarkId::new("loopback", format!("{BATCH}ops")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                iteration += 1;
+                let batch = EditBatch::for_peer("PGUS").insert("G", batch_tuples(iteration));
+                client.publish_edits(batch).unwrap()
+            });
+        },
+    );
+    group.finish();
+    handle.stop_and_join();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_net_query");
+    group.sample_size(50);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1000));
+
+    // Identical loaded state on both sides (the paper's Example 3 data
+    // plus a bulk of extra G rows so the answer has some size).
+    fn loaded() -> orchestra_core::Cdss {
+        let mut cdss = example_scenario();
+        cdss.insert_local("PGUS", "G", int_tuple(&[1, 2, 3]))
+            .unwrap();
+        cdss.insert_local("PGUS", "G", int_tuple(&[3, 5, 2]))
+            .unwrap();
+        cdss.insert_local("PBioSQL", "B", int_tuple(&[3, 5]))
+            .unwrap();
+        cdss.insert_local("PuBio", "U", int_tuple(&[2, 5])).unwrap();
+        for i in 0..200 {
+            cdss.insert_local("PGUS", "G", int_tuple(&[100 + i, i, i]))
+                .unwrap();
+        }
+        cdss.update_exchange_all().unwrap();
+        cdss
+    }
+
+    let local = loaded();
+    group.bench_with_input(BenchmarkId::new("in-process", "B"), &(), |b, ()| {
+        b.iter(|| local.certain_answers("PBioSQL", "B").unwrap());
+    });
+
+    let handle = serve(loaded(), "127.0.0.1:0").unwrap();
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    group.bench_with_input(BenchmarkId::new("loopback", "B"), &(), |b, ()| {
+        b.iter(|| client.query_certain("PBioSQL", "B").unwrap());
+    });
+    group.finish();
+    handle.stop_and_join();
+}
+
+criterion_group!(benches, bench_publish, bench_query);
+criterion_main!(benches);

@@ -282,9 +282,9 @@ impl Cdss {
     // Queries and provenance (paper §2.1, §3.2)
     // ------------------------------------------------------------------
 
-    /// The full local instance of one of a peer's relations (the contents of
-    /// its curated output table `R_o`), including tuples with labeled nulls.
-    pub fn local_instance(&self, peer: &str, relation: &str) -> Result<Vec<Tuple>> {
+    /// Validate that `peer` owns `relation` and return the relation's
+    /// curated output table `R_o`. The shared preamble of every read API.
+    fn output_relation(&self, peer: &str, relation: &str) -> Result<&orchestra_storage::Relation> {
         let p = self.peer(peer)?;
         if !p.owns(relation) {
             return Err(CdssError::NotPeerRelation {
@@ -293,21 +293,51 @@ impl Cdss {
             });
         }
         let out = internal_name(relation, InternalRole::Output);
-        Ok(self.db.relation(&out)?.sorted_tuples())
+        Ok(self.db.relation(&out)?)
+    }
+
+    /// The full local instance of one of a peer's relations (the contents of
+    /// its curated output table `R_o`), including tuples with labeled nulls.
+    pub fn local_instance(&self, peer: &str, relation: &str) -> Result<Vec<Tuple>> {
+        Ok(self.output_relation(peer, relation)?.sorted_tuples())
     }
 
     /// The certain answers over one of a peer's relations: the local instance
     /// with tuples containing labeled nulls discarded (paper §2.1).
     pub fn certain_answers(&self, peer: &str, relation: &str) -> Result<Vec<Tuple>> {
-        let p = self.peer(peer)?;
-        if !p.owns(relation) {
-            return Err(CdssError::NotPeerRelation {
-                peer: peer.to_string(),
-                relation: relation.to_string(),
-            });
-        }
-        let out = internal_name(relation, InternalRole::Output);
-        Ok(self.db.relation(&out)?.certain_tuples())
+        Ok(self.output_relation(peer, relation)?.certain_tuples())
+    }
+
+    /// Borrowed iterator over the local instance of one of a peer's
+    /// relations, in arbitrary order. Unlike [`Cdss::local_instance`] this
+    /// copies nothing, so read-heavy callers (the network query handlers,
+    /// statistics, containment checks) can scan a relation without cloning
+    /// it; collect and sort if a deterministic listing is needed.
+    pub fn local_instance_iter(
+        &self,
+        peer: &str,
+        relation: &str,
+    ) -> Result<impl Iterator<Item = &Tuple>> {
+        Ok(self.output_relation(peer, relation)?.iter())
+    }
+
+    /// Borrowed iterator over the certain answers of one of a peer's
+    /// relations (tuples without labeled nulls), in arbitrary order. The
+    /// zero-copy counterpart of [`Cdss::certain_answers`].
+    pub fn certain_answers_iter(
+        &self,
+        peer: &str,
+        relation: &str,
+    ) -> Result<impl Iterator<Item = &Tuple>> {
+        Ok(self
+            .local_instance_iter(peer, relation)?
+            .filter(|t| !t.has_labeled_null()))
+    }
+
+    /// Number of tuples in the local instance of one of a peer's relations,
+    /// without materialising it.
+    pub fn local_instance_len(&self, peer: &str, relation: &str) -> Result<usize> {
+        Ok(self.output_relation(peer, relation)?.len())
     }
 
     /// Evaluate an ad-hoc conjunctive query whose body refers to *logical*
@@ -383,6 +413,13 @@ impl Cdss {
             .sum()
     }
 }
+
+// The service layer (`orchestra-net`) shares one `Cdss` across server
+// threads behind an `RwLock`; keep that property checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Cdss>()
+};
 
 // ----------------------------------------------------------------------
 // Trust filtering and provenance graph maintenance helpers. These are free

@@ -1,0 +1,225 @@
+//! Binary encodings ([`Encode`] / [`Decode`]) for the CDSS-level types that
+//! cross process boundaries: trust predicates and trust policies.
+//!
+//! The persistence manifest (`crates/core/src/durability.rs`) and the wire
+//! protocol (`orchestra-net`) share these implementations, so a policy
+//! checkpointed to disk and a policy sent over a socket are byte-identical.
+//! Layout follows the conventions of [`orchestra_persist::codec`]: `u8`
+//! variant tags, `u32` counts, length-prefixed strings.
+
+use orchestra_persist::codec::{Decode, Encode, Reader, Writer};
+use orchestra_persist::PersistError;
+use orchestra_storage::Value;
+
+use crate::trust::{CmpOp, Predicate, TrustPolicy};
+
+impl Encode for CmpOp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        });
+    }
+}
+
+impl Decode for CmpOp {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        let offset = r.offset();
+        Ok(match r.get_u8()? {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            5 => CmpOp::Ge,
+            tag => {
+                return Err(PersistError::corrupt(
+                    offset,
+                    format!("unknown cmp op tag {tag}"),
+                ))
+            }
+        })
+    }
+}
+
+impl Encode for Predicate {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Predicate::True => w.put_u8(0),
+            Predicate::False => w.put_u8(1),
+            Predicate::Cmp { column, op, value } => {
+                w.put_u8(2);
+                w.put_u64(*column as u64);
+                op.encode(w);
+                value.encode(w);
+            }
+            Predicate::And(ps) => {
+                w.put_u8(3);
+                w.put_u32(ps.len() as u32);
+                for q in ps {
+                    q.encode(w);
+                }
+            }
+            Predicate::Or(ps) => {
+                w.put_u8(4);
+                w.put_u32(ps.len() as u32);
+                for q in ps {
+                    q.encode(w);
+                }
+            }
+            Predicate::Not(q) => {
+                w.put_u8(5);
+                q.encode(w);
+            }
+        }
+    }
+}
+
+/// Maximum nesting depth of a decoded predicate. Hand-written trust
+/// conditions are a handful of levels deep; the cap exists because this
+/// decoder also runs on untrusted wire payloads (`SetTrustPolicy`), where
+/// unbounded recursion on a crafted `Not(Not(…))` chain would overflow
+/// the stack.
+const MAX_PREDICATE_DEPTH: u32 = 128;
+
+fn decode_predicate(r: &mut Reader<'_>, depth: u32) -> orchestra_persist::Result<Predicate> {
+    let offset = r.offset();
+    if depth > MAX_PREDICATE_DEPTH {
+        return Err(PersistError::corrupt(
+            offset,
+            format!("predicate nesting exceeds {MAX_PREDICATE_DEPTH} levels"),
+        ));
+    }
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => Predicate::True,
+        1 => Predicate::False,
+        2 => {
+            let column = r.get_u64()? as usize;
+            let op = CmpOp::decode(r)?;
+            let value = Value::decode(r)?;
+            Predicate::Cmp { column, op, value }
+        }
+        3 | 4 => {
+            let n = r.get_u32()? as usize;
+            let mut ps = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                ps.push(decode_predicate(r, depth + 1)?);
+            }
+            if tag == 3 {
+                Predicate::And(ps)
+            } else {
+                Predicate::Or(ps)
+            }
+        }
+        5 => Predicate::Not(Box::new(decode_predicate(r, depth + 1)?)),
+        tag => {
+            return Err(PersistError::corrupt(
+                offset,
+                format!("unknown predicate tag {tag}"),
+            ))
+        }
+    })
+}
+
+impl Decode for Predicate {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        decode_predicate(r, 0)
+    }
+}
+
+impl Encode for TrustPolicy {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.distrusted_mappings.len() as u32);
+        for m in &self.distrusted_mappings {
+            w.put_str(m);
+        }
+        w.put_u32(self.conditions.len() as u32);
+        for (mapping, predicate) in &self.conditions {
+            w.put_str(mapping);
+            predicate.encode(w);
+        }
+    }
+}
+
+impl Decode for TrustPolicy {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        let mut policy = TrustPolicy::trust_all();
+        let ndis = r.get_u32()? as usize;
+        for _ in 0..ndis {
+            policy.distrusted_mappings.insert(r.get_str()?.to_string());
+        }
+        let ncond = r.get_u32()? as usize;
+        for _ in 0..ncond {
+            let mapping = r.get_str()?.to_string();
+            let predicate = Predicate::decode(r)?;
+            policy.conditions.insert(mapping, predicate);
+        }
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+        let back = T::from_bytes(&v.to_bytes()).expect("decodes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn predicates_roundtrip() {
+        roundtrip(&Predicate::True);
+        roundtrip(&Predicate::False);
+        roundtrip(&Predicate::cmp(1, CmpOp::Ge, 3i64));
+        roundtrip(&Predicate::And(vec![
+            Predicate::cmp(0, CmpOp::Eq, Value::text("x")),
+            Predicate::Not(Box::new(Predicate::Or(vec![
+                Predicate::True,
+                Predicate::cmp(2, CmpOp::Lt, 9i64),
+            ]))),
+        ]));
+    }
+
+    #[test]
+    fn trust_policies_roundtrip() {
+        roundtrip(&TrustPolicy::trust_all());
+        roundtrip(
+            &TrustPolicy::trust_all()
+                .distrusting("m2")
+                .with_condition("m1", Predicate::cmp(1, CmpOp::Ne, 5i64)),
+        );
+    }
+
+    #[test]
+    fn corrupt_tags_are_rejected() {
+        let mut bytes = Predicate::True.to_bytes();
+        bytes[0] = 99;
+        assert!(Predicate::from_bytes(&bytes).is_err());
+        assert!(CmpOp::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_a_stack_overflow() {
+        // A wire client could send megabytes of `Not(` tags; decoding must
+        // fail with a corruption error at the depth cap, not recurse until
+        // the process aborts.
+        let mut bytes = vec![5u8; 100_000];
+        bytes.push(0); // innermost Predicate::True
+        assert!(matches!(
+            Predicate::from_bytes(&bytes),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // Deep but sane nesting still decodes.
+        let mut p = Predicate::True;
+        for _ in 0..100 {
+            p = Predicate::Not(Box::new(p));
+        }
+        roundtrip(&p);
+    }
+}

@@ -35,7 +35,7 @@ use orchestra_datalog::atom::Atom;
 use orchestra_datalog::term::Term;
 use orchestra_datalog::EngineKind;
 use orchestra_mappings::{ProvenanceEncoding, Tgd};
-use orchestra_persist::codec::{Codec, Reader, Writer};
+use orchestra_persist::codec::{Decode, Encode, Reader, Writer};
 use orchestra_persist::snapshot::SnapshotRef;
 use orchestra_persist::{EpochRecord, PendingLogs, PersistentStore};
 use orchestra_storage::{EditLog, RelationSchema, Value};
@@ -43,7 +43,7 @@ use orchestra_storage::{EditLog, RelationSchema, Value};
 use crate::cdss::{rebuild_graph, Cdss};
 use crate::error::CdssError;
 use crate::peer::Peer;
-use crate::trust::{CmpOp, Predicate, TrustPolicy};
+use crate::trust::TrustPolicy;
 use crate::Result;
 
 /// Version byte of the manifest encoding.
@@ -133,92 +133,6 @@ fn decode_atoms(r: &mut Reader<'_>) -> orchestra_persist::Result<Vec<Atom>> {
     Ok(atoms)
 }
 
-fn encode_predicate(p: &Predicate, w: &mut Writer) {
-    match p {
-        Predicate::True => w.put_u8(0),
-        Predicate::False => w.put_u8(1),
-        Predicate::Cmp { column, op, value } => {
-            w.put_u8(2);
-            w.put_u64(*column as u64);
-            w.put_u8(match op {
-                CmpOp::Eq => 0,
-                CmpOp::Ne => 1,
-                CmpOp::Lt => 2,
-                CmpOp::Le => 3,
-                CmpOp::Gt => 4,
-                CmpOp::Ge => 5,
-            });
-            value.encode(w);
-        }
-        Predicate::And(ps) => {
-            w.put_u8(3);
-            w.put_u32(ps.len() as u32);
-            for q in ps {
-                encode_predicate(q, w);
-            }
-        }
-        Predicate::Or(ps) => {
-            w.put_u8(4);
-            w.put_u32(ps.len() as u32);
-            for q in ps {
-                encode_predicate(q, w);
-            }
-        }
-        Predicate::Not(q) => {
-            w.put_u8(5);
-            encode_predicate(q, w);
-        }
-    }
-}
-
-fn decode_predicate(r: &mut Reader<'_>) -> orchestra_persist::Result<Predicate> {
-    use orchestra_persist::PersistError;
-    let offset = r.offset();
-    let tag = r.get_u8()?;
-    Ok(match tag {
-        0 => Predicate::True,
-        1 => Predicate::False,
-        2 => {
-            let column = r.get_u64()? as usize;
-            let op = match r.get_u8()? {
-                0 => CmpOp::Eq,
-                1 => CmpOp::Ne,
-                2 => CmpOp::Lt,
-                3 => CmpOp::Le,
-                4 => CmpOp::Gt,
-                5 => CmpOp::Ge,
-                tag => {
-                    return Err(PersistError::corrupt(
-                        offset,
-                        format!("unknown cmp op tag {tag}"),
-                    ))
-                }
-            };
-            let value = Value::decode(r)?;
-            Predicate::Cmp { column, op, value }
-        }
-        3 | 4 => {
-            let n = r.get_u32()? as usize;
-            let mut ps = Vec::with_capacity(n.min(1 << 12));
-            for _ in 0..n {
-                ps.push(decode_predicate(r)?);
-            }
-            if tag == 3 {
-                Predicate::And(ps)
-            } else {
-                Predicate::Or(ps)
-            }
-        }
-        5 => Predicate::Not(Box::new(decode_predicate(r)?)),
-        tag => {
-            return Err(PersistError::corrupt(
-                offset,
-                format!("unknown predicate tag {tag}"),
-            ))
-        }
-    })
-}
-
 impl Manifest {
     pub(crate) fn from_cdss(cdss: &Cdss) -> Self {
         let system = cdss.mapping_system();
@@ -260,15 +174,7 @@ impl Manifest {
         w.put_u32(self.policies.len() as u32);
         for (peer, policy) in &self.policies {
             w.put_str(peer);
-            w.put_u32(policy.distrusted_mappings.len() as u32);
-            for m in &policy.distrusted_mappings {
-                w.put_str(m);
-            }
-            w.put_u32(policy.conditions.len() as u32);
-            for (mapping, predicate) in &policy.conditions {
-                w.put_str(mapping);
-                encode_predicate(predicate, &mut w);
-            }
+            policy.encode(&mut w);
         }
         w.put_u8(match self.engine {
             EngineKind::Batch => 0,
@@ -317,18 +223,7 @@ impl Manifest {
         let mut policies = Vec::with_capacity(npol.min(1 << 12));
         for _ in 0..npol {
             let peer = r.get_str()?.to_string();
-            let mut policy = TrustPolicy::trust_all();
-            let ndis = r.get_u32()? as usize;
-            for _ in 0..ndis {
-                policy.distrusted_mappings.insert(r.get_str()?.to_string());
-            }
-            let ncond = r.get_u32()? as usize;
-            for _ in 0..ncond {
-                let mapping = r.get_str()?.to_string();
-                let predicate = decode_predicate(&mut r)?;
-                policy.conditions.insert(mapping, predicate);
-            }
-            policies.push((peer, policy));
+            policies.push((peer, TrustPolicy::decode(&mut r)?));
         }
         let offset = r.offset();
         let engine = match r.get_u8()? {

@@ -40,6 +40,7 @@
 
 pub mod builder;
 pub mod cdss;
+pub mod codec;
 pub mod durability;
 pub mod error;
 pub mod exchange;

@@ -1,0 +1,69 @@
+//! Error type for the network layer.
+
+use std::fmt;
+
+use crate::proto::ErrorCode;
+
+/// Errors raised by the framing layer, the client, and the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A socket operation failed. The `io::Error` is flattened to text so
+    /// this type stays `Clone + Eq` like the rest of the workspace's error
+    /// types.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// The byte stream violates the wire protocol (bad magic, bad CRC,
+    /// oversized frame, undecodable payload).
+    Protocol(String),
+    /// The peer closed the connection cleanly between frames.
+    Disconnected,
+    /// A read timed out between frames (only surfaced on sockets with a
+    /// read timeout; the server uses it to poll its shutdown flag).
+    Timeout,
+    /// The server answered with an error response.
+    Remote {
+        /// Machine-readable error category.
+        code: ErrorCode,
+        /// Human-readable description from the server.
+        message: String,
+    },
+}
+
+impl NetError {
+    /// Wrap an `io::Error` with context.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        NetError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Build a protocol-violation error.
+    pub fn protocol(message: impl Into<String>) -> Self {
+        NetError::Protocol(message.into())
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, message } => write!(f, "i/o error ({context}): {message}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "read timed out between frames"),
+            NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<orchestra_persist::PersistError> for NetError {
+    fn from(e: orchestra_persist::PersistError) -> Self {
+        NetError::Protocol(e.to_string())
+    }
+}

@@ -1,0 +1,755 @@
+//! Wire protocol messages: requests, responses, and their binary codecs.
+//!
+//! Payloads are encoded with the canonical [`orchestra_persist::codec`]
+//! format (the same bytes the WAL and snapshots use), so a [`Tuple`] or
+//! [`TrustPolicy`] on the wire is byte-identical to one on disk. Every
+//! message is a `u8` tag followed by the variant payload.
+//!
+//! | Tag | Request | Response |
+//! |----:|---------|----------|
+//! | 0 | `PublishEdits` | `EditsQueued` |
+//! | 1 | `UpdateExchange` | `ExchangeDone` |
+//! | 2 | `QueryLocal` | `Tuples` |
+//! | 3 | `QueryCertain` | `Provenance` |
+//! | 4 | `ProvenanceOf` | `Policy` |
+//! | 5 | `GetTrustPolicy` | `Stats` |
+//! | 6 | `SetTrustPolicy` | `Ok` |
+//! | 7 | `Stats` | `Error` |
+//! | 8 | `Checkpoint` | |
+//! | 9 | `Shutdown` | |
+
+use std::fmt;
+
+use orchestra_core::TrustPolicy;
+use orchestra_persist::codec::{
+    decode_seq, encode_seq, encode_seq_iter, Decode, Encode, Reader, Writer,
+};
+use orchestra_persist::PersistError;
+use orchestra_storage::Tuple;
+
+/// One client's batch of edits against peers' logical relations, queued by
+/// the server and applied at the next update exchange.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditBatch {
+    /// The peer the edits belong to.
+    pub peer: String,
+    /// Insertions per logical relation.
+    pub inserts: Vec<(String, Vec<Tuple>)>,
+    /// Deletions per logical relation (retractions or curation rejections,
+    /// classified by the server exactly as in the in-process API).
+    pub deletes: Vec<(String, Vec<Tuple>)>,
+}
+
+impl EditBatch {
+    /// A batch for one peer with no edits yet.
+    pub fn for_peer(peer: impl Into<String>) -> Self {
+        EditBatch {
+            peer: peer.into(),
+            ..EditBatch::default()
+        }
+    }
+
+    /// Add insertions for a relation (builder style).
+    pub fn insert(mut self, relation: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        self.inserts.push((relation.into(), tuples));
+        self
+    }
+
+    /// Add deletions for a relation (builder style).
+    pub fn delete(mut self, relation: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        self.deletes.push((relation.into(), tuples));
+        self
+    }
+
+    /// Total number of edit operations in the batch.
+    pub fn ops(&self) -> usize {
+        self.inserts
+            .iter()
+            .chain(self.deletes.iter())
+            .map(|(_, ts)| ts.len())
+            .sum()
+    }
+}
+
+fn encode_rel_tuples(groups: &[(String, Vec<Tuple>)], w: &mut Writer) {
+    w.put_u32(groups.len() as u32);
+    for (relation, tuples) in groups {
+        w.put_str(relation);
+        encode_seq(tuples, w);
+    }
+}
+
+fn decode_rel_tuples(r: &mut Reader<'_>) -> orchestra_persist::Result<Vec<(String, Vec<Tuple>)>> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let relation = r.get_str()?.to_string();
+        out.push((relation, decode_seq(r)?));
+    }
+    Ok(out)
+}
+
+impl Encode for EditBatch {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.peer);
+        encode_rel_tuples(&self.inserts, w);
+        encode_rel_tuples(&self.deletes, w);
+    }
+}
+
+impl Decode for EditBatch {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        Ok(EditBatch {
+            peer: r.get_str()?.to_string(),
+            inserts: decode_rel_tuples(r)?,
+            deletes: decode_rel_tuples(r)?,
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Queue a batch of edits for ingestion. Admitted concurrently; applied
+    /// in admission order at the next `UpdateExchange`.
+    PublishEdits(EditBatch),
+    /// Run an update exchange. With a peer, only that peer's queued
+    /// batches are drained and exchanged (everyone else's stay queued);
+    /// with `None`, the whole queue is drained and every peer exchanges in
+    /// id order.
+    UpdateExchange {
+        /// Restrict the exchange to this peer.
+        peer: Option<String>,
+    },
+    /// The full local instance of a peer's relation, sorted, including
+    /// tuples with labeled nulls.
+    QueryLocal {
+        /// The peer.
+        peer: String,
+        /// The logical relation.
+        relation: String,
+    },
+    /// The certain answers of a peer's relation, sorted.
+    QueryCertain {
+        /// The peer.
+        peer: String,
+        /// The logical relation.
+        relation: String,
+    },
+    /// The provenance expression of a tuple of a logical relation.
+    ProvenanceOf {
+        /// The logical relation.
+        relation: String,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// A peer's current trust policy.
+    GetTrustPolicy {
+        /// The peer.
+        peer: String,
+    },
+    /// Replace a peer's trust policy (takes effect at the next exchange or
+    /// recomputation, as in the in-process API).
+    SetTrustPolicy {
+        /// The peer.
+        peer: String,
+        /// The new policy.
+        policy: TrustPolicy,
+    },
+    /// Server and instance statistics.
+    Stats,
+    /// Fold the WAL into a durable snapshot (persistent servers only).
+    Checkpoint,
+    /// Stop accepting connections and shut the server down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Short label used for per-request metrics.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::PublishEdits(_) => RequestKind::PublishEdits,
+            Request::UpdateExchange { .. } => RequestKind::UpdateExchange,
+            Request::QueryLocal { .. } => RequestKind::QueryLocal,
+            Request::QueryCertain { .. } => RequestKind::QueryCertain,
+            Request::ProvenanceOf { .. } => RequestKind::ProvenanceOf,
+            Request::GetTrustPolicy { .. } => RequestKind::GetTrustPolicy,
+            Request::SetTrustPolicy { .. } => RequestKind::SetTrustPolicy,
+            Request::Stats => RequestKind::Stats,
+            Request::Checkpoint => RequestKind::Checkpoint,
+            Request::Shutdown => RequestKind::Shutdown,
+        }
+    }
+}
+
+/// The request kinds, used to key per-request server metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `PublishEdits`.
+    PublishEdits,
+    /// `UpdateExchange`.
+    UpdateExchange,
+    /// `QueryLocal`.
+    QueryLocal,
+    /// `QueryCertain`.
+    QueryCertain,
+    /// `ProvenanceOf`.
+    ProvenanceOf,
+    /// `GetTrustPolicy`.
+    GetTrustPolicy,
+    /// `SetTrustPolicy`.
+    SetTrustPolicy,
+    /// `Stats`.
+    Stats,
+    /// `Checkpoint`.
+    Checkpoint,
+    /// `Shutdown`.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// Every request kind, in tag order.
+    pub const ALL: [RequestKind; 10] = [
+        RequestKind::PublishEdits,
+        RequestKind::UpdateExchange,
+        RequestKind::QueryLocal,
+        RequestKind::QueryCertain,
+        RequestKind::ProvenanceOf,
+        RequestKind::GetTrustPolicy,
+        RequestKind::SetTrustPolicy,
+        RequestKind::Stats,
+        RequestKind::Checkpoint,
+        RequestKind::Shutdown,
+    ];
+
+    /// Stable label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::PublishEdits => "publish-edits",
+            RequestKind::UpdateExchange => "update-exchange",
+            RequestKind::QueryLocal => "query-local",
+            RequestKind::QueryCertain => "query-certain",
+            RequestKind::ProvenanceOf => "provenance-of",
+            RequestKind::GetTrustPolicy => "get-trust-policy",
+            RequestKind::SetTrustPolicy => "set-trust-policy",
+            RequestKind::Stats => "stats",
+            RequestKind::Checkpoint => "checkpoint",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::PublishEdits(batch) => {
+                w.put_u8(0);
+                batch.encode(w);
+            }
+            Request::UpdateExchange { peer } => {
+                w.put_u8(1);
+                match peer {
+                    Some(p) => {
+                        w.put_u8(1);
+                        w.put_str(p);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Request::QueryLocal { peer, relation } => {
+                w.put_u8(2);
+                w.put_str(peer);
+                w.put_str(relation);
+            }
+            Request::QueryCertain { peer, relation } => {
+                w.put_u8(3);
+                w.put_str(peer);
+                w.put_str(relation);
+            }
+            Request::ProvenanceOf { relation, tuple } => {
+                w.put_u8(4);
+                w.put_str(relation);
+                tuple.encode(w);
+            }
+            Request::GetTrustPolicy { peer } => {
+                w.put_u8(5);
+                w.put_str(peer);
+            }
+            Request::SetTrustPolicy { peer, policy } => {
+                w.put_u8(6);
+                w.put_str(peer);
+                policy.encode(w);
+            }
+            Request::Stats => w.put_u8(7),
+            Request::Checkpoint => w.put_u8(8),
+            Request::Shutdown => w.put_u8(9),
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        let offset = r.offset();
+        Ok(match r.get_u8()? {
+            0 => Request::PublishEdits(EditBatch::decode(r)?),
+            1 => Request::UpdateExchange {
+                peer: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_str()?.to_string()),
+                    tag => {
+                        return Err(PersistError::corrupt(
+                            offset,
+                            format!("unknown option tag {tag}"),
+                        ))
+                    }
+                },
+            },
+            2 => Request::QueryLocal {
+                peer: r.get_str()?.to_string(),
+                relation: r.get_str()?.to_string(),
+            },
+            3 => Request::QueryCertain {
+                peer: r.get_str()?.to_string(),
+                relation: r.get_str()?.to_string(),
+            },
+            4 => Request::ProvenanceOf {
+                relation: r.get_str()?.to_string(),
+                tuple: Tuple::decode(r)?,
+            },
+            5 => Request::GetTrustPolicy {
+                peer: r.get_str()?.to_string(),
+            },
+            6 => Request::SetTrustPolicy {
+                peer: r.get_str()?.to_string(),
+                policy: TrustPolicy::decode(r)?,
+            },
+            7 => Request::Stats,
+            8 => Request::Checkpoint,
+            9 => Request::Shutdown,
+            tag => {
+                return Err(PersistError::corrupt(
+                    offset,
+                    format!("unknown request tag {tag}"),
+                ))
+            }
+        })
+    }
+}
+
+/// Machine-readable error categories returned by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request refers to an unknown peer.
+    UnknownPeer,
+    /// The request refers to a relation the peer does not own.
+    UnknownRelation,
+    /// The request is malformed (arity mismatch, undecodable payload…).
+    BadRequest,
+    /// `Checkpoint` was sent to a server without persistence.
+    NotPersistent,
+    /// The server is shutting down and no longer serves requests.
+    ShuttingDown,
+    /// The operation failed inside the CDSS engine.
+    Internal,
+}
+
+impl ErrorCode {
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnknownPeer => 0,
+            ErrorCode::UnknownRelation => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::NotPersistent => 3,
+            ErrorCode::ShuttingDown => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u8(v: u8, offset: u64) -> orchestra_persist::Result<Self> {
+        Ok(match v {
+            0 => ErrorCode::UnknownPeer,
+            1 => ErrorCode::UnknownRelation,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::NotPersistent,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::Internal,
+            tag => {
+                return Err(PersistError::corrupt(
+                    offset,
+                    format!("unknown error code tag {tag}"),
+                ))
+            }
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::UnknownPeer => "unknown-peer",
+            ErrorCode::UnknownRelation => "unknown-relation",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::NotPersistent => "not-persistent",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Summary of one server-side update exchange.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangeSummary {
+    /// Queued edit batches drained and applied.
+    pub batches_applied: u64,
+    /// Peers whose pending edits were exchanged.
+    pub peers_exchanged: u64,
+    /// Tuples inserted into derived relations.
+    pub inserted: u64,
+    /// Tuples deleted from derived relations.
+    pub deleted: u64,
+    /// The server's epoch watermark after the exchange (0 when the server
+    /// is not persistent).
+    pub epoch: u64,
+}
+
+impl Encode for ExchangeSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.batches_applied);
+        w.put_u64(self.peers_exchanged);
+        w.put_u64(self.inserted);
+        w.put_u64(self.deleted);
+        w.put_u64(self.epoch);
+    }
+}
+
+impl Decode for ExchangeSummary {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        Ok(ExchangeSummary {
+            batches_applied: r.get_u64()?,
+            peers_exchanged: r.get_u64()?,
+            inserted: r.get_u64()?,
+            deleted: r.get_u64()?,
+            epoch: r.get_u64()?,
+        })
+    }
+}
+
+/// Server and instance statistics returned by [`Request::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Number of peers hosted.
+    pub peers: u64,
+    /// Number of logical relations across all peers.
+    pub relations: u64,
+    /// Total tuples in the auxiliary store (all internal relations).
+    pub total_tuples: u64,
+    /// Total tuples in the peers' curated output tables.
+    pub output_tuples: u64,
+    /// Edit batches admitted but not yet applied by an exchange.
+    pub pending_batches: u64,
+    /// Durable epoch watermark (0 when not persistent).
+    pub epoch: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Per-request counters: `(kind label, served count)`.
+    pub requests: Vec<(String, u64)>,
+}
+
+impl ServerStats {
+    /// Total requests served across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|(_, n)| n).sum()
+    }
+}
+
+impl Encode for ServerStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.peers);
+        w.put_u64(self.relations);
+        w.put_u64(self.total_tuples);
+        w.put_u64(self.output_tuples);
+        w.put_u64(self.pending_batches);
+        w.put_u64(self.epoch);
+        w.put_u64(self.connections);
+        w.put_u32(self.requests.len() as u32);
+        for (kind, count) in &self.requests {
+            w.put_str(kind);
+            w.put_u64(*count);
+        }
+    }
+}
+
+impl Decode for ServerStats {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        let peers = r.get_u64()?;
+        let relations = r.get_u64()?;
+        let total_tuples = r.get_u64()?;
+        let output_tuples = r.get_u64()?;
+        let pending_batches = r.get_u64()?;
+        let epoch = r.get_u64()?;
+        let connections = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut requests = Vec::with_capacity(n.min(1 << 8));
+        for _ in 0..n {
+            let kind = r.get_str()?.to_string();
+            requests.push((kind, r.get_u64()?));
+        }
+        Ok(ServerStats {
+            peers,
+            relations,
+            total_tuples,
+            output_tuples,
+            pending_batches,
+            epoch,
+            connections,
+            requests,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Edits were admitted to the ingestion queue. `seq` is the global
+    /// admission sequence number: replaying batches in `seq` order through
+    /// the in-process API reproduces the server's state exactly.
+    EditsQueued {
+        /// Admission sequence number.
+        seq: u64,
+        /// Operations admitted.
+        ops: u64,
+    },
+    /// An update exchange completed.
+    ExchangeDone(ExchangeSummary),
+    /// Query answers, sorted.
+    Tuples(Vec<Tuple>),
+    /// Provenance of a tuple.
+    Provenance {
+        /// The provenance expression, rendered (Example 6's notation).
+        expression: String,
+        /// Number of alternative derivations.
+        derivations: u64,
+        /// Is the tuple currently derivable from base data?
+        derivable: bool,
+    },
+    /// A peer's trust policy.
+    Policy(TrustPolicy),
+    /// Server statistics.
+    Stats(ServerStats),
+    /// The operation succeeded with nothing to return.
+    Ok,
+    /// The operation failed.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Encode a `Response::Tuples` payload directly from borrowed tuples, so
+/// the server can serialize a query answer under its read lock without
+/// cloning the relation. `len` must equal the iterator's length.
+pub fn encode_tuples_response<'a>(len: usize, tuples: impl Iterator<Item = &'a Tuple>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(2);
+    encode_seq_iter(len, tuples, &mut w);
+    w.into_bytes()
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::EditsQueued { seq, ops } => {
+                w.put_u8(0);
+                w.put_u64(*seq);
+                w.put_u64(*ops);
+            }
+            Response::ExchangeDone(summary) => {
+                w.put_u8(1);
+                summary.encode(w);
+            }
+            Response::Tuples(tuples) => {
+                w.put_u8(2);
+                encode_seq(tuples, w);
+            }
+            Response::Provenance {
+                expression,
+                derivations,
+                derivable,
+            } => {
+                w.put_u8(3);
+                w.put_str(expression);
+                w.put_u64(*derivations);
+                w.put_u8(u8::from(*derivable));
+            }
+            Response::Policy(policy) => {
+                w.put_u8(4);
+                policy.encode(w);
+            }
+            Response::Stats(stats) => {
+                w.put_u8(5);
+                stats.encode(w);
+            }
+            Response::Ok => w.put_u8(6),
+            Response::Error { code, message } => {
+                w.put_u8(7);
+                w.put_u8(code.as_u8());
+                w.put_str(message);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        let offset = r.offset();
+        Ok(match r.get_u8()? {
+            0 => Response::EditsQueued {
+                seq: r.get_u64()?,
+                ops: r.get_u64()?,
+            },
+            1 => Response::ExchangeDone(ExchangeSummary::decode(r)?),
+            2 => Response::Tuples(decode_seq(r)?),
+            3 => Response::Provenance {
+                expression: r.get_str()?.to_string(),
+                derivations: r.get_u64()?,
+                derivable: r.get_u8()? != 0,
+            },
+            4 => Response::Policy(TrustPolicy::decode(r)?),
+            5 => Response::Stats(ServerStats::decode(r)?),
+            6 => Response::Ok,
+            7 => {
+                let code_offset = r.offset();
+                let code = ErrorCode::from_u8(r.get_u8()?, code_offset)?;
+                Response::Error {
+                    code,
+                    message: r.get_str()?.to_string(),
+                }
+            }
+            tag => {
+                return Err(PersistError::corrupt(
+                    offset,
+                    format!("unknown response tag {tag}"),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_core::{CmpOp, Predicate};
+    use orchestra_storage::tuple::int_tuple;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+        let back = T::from_bytes(&v.to_bytes()).expect("decodes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(&Request::PublishEdits(
+            EditBatch::for_peer("PGUS")
+                .insert("G", vec![int_tuple(&[1, 2, 3])])
+                .delete("G", vec![int_tuple(&[9, 9, 9])]),
+        ));
+        roundtrip(&Request::UpdateExchange { peer: None });
+        roundtrip(&Request::UpdateExchange {
+            peer: Some("PGUS".into()),
+        });
+        roundtrip(&Request::QueryLocal {
+            peer: "PBioSQL".into(),
+            relation: "B".into(),
+        });
+        roundtrip(&Request::QueryCertain {
+            peer: "PuBio".into(),
+            relation: "U".into(),
+        });
+        roundtrip(&Request::ProvenanceOf {
+            relation: "B".into(),
+            tuple: int_tuple(&[3, 2]),
+        });
+        roundtrip(&Request::GetTrustPolicy {
+            peer: "PBioSQL".into(),
+        });
+        roundtrip(&Request::SetTrustPolicy {
+            peer: "PBioSQL".into(),
+            policy: orchestra_core::TrustPolicy::trust_all()
+                .distrusting("m2")
+                .with_condition("m1", Predicate::cmp(1, CmpOp::Lt, 3i64)),
+        });
+        roundtrip(&Request::Stats);
+        roundtrip(&Request::Checkpoint);
+        roundtrip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip(&Response::EditsQueued { seq: 7, ops: 12 });
+        roundtrip(&Response::ExchangeDone(ExchangeSummary {
+            batches_applied: 3,
+            peers_exchanged: 2,
+            inserted: 40,
+            deleted: 5,
+            epoch: 9,
+        }));
+        roundtrip(&Response::Tuples(vec![
+            int_tuple(&[1, 2]),
+            int_tuple(&[3, 4]),
+        ]));
+        roundtrip(&Response::Provenance {
+            expression: "m1(G_l(3, 5, 2))".into(),
+            derivations: 2,
+            derivable: true,
+        });
+        roundtrip(&Response::Policy(
+            orchestra_core::TrustPolicy::trust_all().distrusting("m3"),
+        ));
+        roundtrip(&Response::Stats(ServerStats {
+            peers: 3,
+            relations: 3,
+            total_tuples: 100,
+            output_tuples: 40,
+            pending_batches: 2,
+            epoch: 5,
+            connections: 11,
+            requests: vec![("publish-edits".into(), 9), ("stats".into(), 1)],
+        }));
+        roundtrip(&Response::Ok);
+        roundtrip(&Response::Error {
+            code: ErrorCode::UnknownPeer,
+            message: "unknown peer `nobody`".into(),
+        });
+    }
+
+    #[test]
+    fn borrowed_tuple_encoding_matches_owned() {
+        let tuples = vec![int_tuple(&[1, 2]), int_tuple(&[3, 4])];
+        let borrowed = encode_tuples_response(tuples.len(), tuples.iter());
+        let owned = Response::Tuples(tuples).to_bytes();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(Request::from_bytes(&[200]).is_err());
+        assert!(Response::from_bytes(&[200]).is_err());
+    }
+
+    #[test]
+    fn edit_batch_counts_ops() {
+        let batch = EditBatch::for_peer("p")
+            .insert("R", vec![int_tuple(&[1]), int_tuple(&[2])])
+            .delete("R", vec![int_tuple(&[3])]);
+        assert_eq!(batch.ops(), 3);
+    }
+}

@@ -1,0 +1,528 @@
+//! The threaded `orchestrad` server.
+//!
+//! One [`Cdss`] is shared behind an `RwLock` by a thread-per-connection
+//! accept loop (`vendor/` carries no async runtime, so plain OS threads are
+//! the concurrency substrate):
+//!
+//! * **Reads scale**: `QueryLocal` / `QueryCertain` / `ProvenanceOf` /
+//!   `Stats` / `GetTrustPolicy` take the read lock and serialize their
+//!   answers straight from borrowed tuples ([`Cdss::local_instance_iter`])
+//!   — no relation is cloned while the lock is held.
+//! * **Writes batch**: `PublishEdits` does *not* touch the write lock. The
+//!   batch is validated against the schema under the read lock and admitted
+//!   to an ingestion queue guarded by its own mutex, tagged with a global
+//!   admission sequence number. Many clients publish concurrently while an
+//!   exchange runs.
+//! * **Exchanges serialize**: `UpdateExchange` drains the queue in
+//!   admission order under the write lock and runs the ordinary
+//!   update-exchange machinery, so epochs are totally ordered and the final
+//!   state equals a serial replay of the admitted batches.
+//!
+//! Shutdown is graceful: the `Shutdown` request (or
+//! [`ServerHandle::stop`]) flips a flag, wakes the accept loop, and every
+//! connection thread drains at its next poll tick; [`ServerHandle::join`]
+//! collects them all.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Duration;
+
+use orchestra_core::{Cdss, CdssError};
+use orchestra_persist::codec::{Decode, Encode};
+
+use crate::error::NetError;
+use crate::frame::{read_frame_expecting, write_frame, FrameKind};
+use crate::proto::{
+    encode_tuples_response, EditBatch, ErrorCode, ExchangeSummary, Request, RequestKind, Response,
+    ServerStats,
+};
+use crate::Result;
+
+/// How often an idle connection thread wakes up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Per-request-kind counters.
+#[derive(Debug, Default)]
+struct Metrics {
+    served: [AtomicU64; RequestKind::ALL.len()],
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    fn record(&self, kind: RequestKind) {
+        self.served[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<(String, u64)> {
+        RequestKind::ALL
+            .iter()
+            .map(|k| {
+                (
+                    k.label().to_string(),
+                    self.served[*k as usize].load(Ordering::Relaxed),
+                )
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+}
+
+/// The edit-ingestion queue: admitted batches in admission order.
+#[derive(Debug, Default)]
+struct Ingest {
+    next_seq: u64,
+    batches: VecDeque<(u64, EditBatch)>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    cdss: RwLock<Cdss>,
+    ingest: Mutex<Ingest>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn read_cdss(&self) -> std::sync::RwLockReadGuard<'_, Cdss> {
+        self.cdss.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_cdss(&self) -> std::sync::RwLockWriteGuard<'_, Cdss> {
+        self.cdss.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_ingest(&self) -> std::sync::MutexGuard<'_, Ingest> {
+        self.ingest.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Handle to a running server: its bound address, and control over its
+/// lifecycle.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Has shutdown been requested (by a `Shutdown` request or
+    /// [`ServerHandle::stop`])?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown from the hosting process (equivalent to a client
+    /// sending [`Request::Shutdown`]).
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        wake_accept_loop(self.shared.addr);
+    }
+
+    /// Block until the accept loop and every connection thread have
+    /// exited. Returns the CDSS so the hosting process can checkpoint or
+    /// inspect the final state.
+    pub fn join(mut self) -> Cdss {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let workers: Vec<_> = {
+            let mut guard = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let shared = self.shared;
+        // Both loops have exited; this is the only Arc holder left (every
+        // worker thread's clone is dropped when the thread exits).
+        match Arc::try_unwrap(shared) {
+            Ok(s) => s.cdss.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(_) => unreachable!("all server threads joined"),
+        }
+    }
+
+    /// Convenience: [`ServerHandle::stop`] then [`ServerHandle::join`].
+    pub fn stop_and_join(self) -> Cdss {
+        self.stop();
+        self.join()
+    }
+}
+
+/// Connect to our own listener so a blocked `accept` returns and the loop
+/// can observe the shutdown flag. A wildcard bind address (`0.0.0.0` /
+/// `::`) is not itself connectable everywhere, so the wake connection
+/// targets the loopback of the same family instead.
+fn wake_accept_loop(addr: SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        match target {
+            SocketAddr::V4(_) => target.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+            SocketAddr::V6(_) => target.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+        }
+    }
+    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(500));
+}
+
+/// Start serving a CDSS on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port). Returns once the listener is bound; requests are served on
+/// background threads until shutdown.
+pub fn serve(cdss: Cdss, addr: impl ToSocketAddrs) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr).map_err(|e| NetError::io("binding listener", &e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| NetError::io("resolving local address", &e))?;
+
+    let shared = Arc::new(Shared {
+        cdss: RwLock::new(cdss),
+        ingest: Mutex::new(Ingest::default()),
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+    let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_workers = Arc::clone(&workers);
+    let accept = std::thread::Builder::new()
+        .name("orchestrad-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared, accept_workers))
+        .map_err(|e| NetError::io("spawning accept thread", &e))?;
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _)) = conn else {
+            // Transient accept failure (e.g. aborted handshake): keep going.
+            continue;
+        };
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("orchestrad-conn".into())
+            .spawn(move || connection_loop(stream, conn_shared));
+        if let Ok(handle) = handle {
+            let mut guard = workers.lock().unwrap_or_else(PoisonError::into_inner);
+            // Reap handles of finished connections so a long-running
+            // server does not accumulate one per connection ever accepted.
+            guard.retain(|h| !h.is_finished());
+            guard.push(handle);
+        }
+    }
+}
+
+/// Serve one connection until the client disconnects, the protocol is
+/// violated, or the server shuts down.
+fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    // A finite read timeout lets the thread poll the shutdown flag while
+    // idle, keeping `ServerHandle::join` bounded.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match read_frame_expecting(&mut stream, FrameKind::Request) {
+            Ok(payload) => payload,
+            Err(NetError::Timeout) => continue,
+            Err(NetError::Disconnected) => break,
+            Err(NetError::Protocol(message)) => {
+                // Framing is broken; answer once (best effort) and hang up.
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message,
+                };
+                let _ = write_frame(&mut stream, FrameKind::Response, &resp.to_bytes());
+                break;
+            }
+            Err(_) => break,
+        };
+
+        let (mut response_payload, shutdown_requested) = match Request::from_bytes(&payload) {
+            Ok(request) => {
+                let is_shutdown = request == Request::Shutdown;
+                shared.metrics.record(request.kind());
+                (handle_request(&shared, request), is_shutdown)
+            }
+            Err(e) => (
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("undecodable request: {e}"),
+                }
+                .to_bytes(),
+                false,
+            ),
+        };
+
+        // An answer the framing cannot carry becomes an error response
+        // rather than a silently dropped connection.
+        if response_payload.len() > crate::frame::MAX_PAYLOAD_LEN as usize {
+            response_payload = error_response(
+                ErrorCode::Internal,
+                format!(
+                    "response of {} bytes exceeds the frame limit; narrow the query",
+                    response_payload.len()
+                ),
+            );
+        }
+        if write_frame(&mut stream, FrameKind::Response, &response_payload).is_err() {
+            break;
+        }
+        if shutdown_requested {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            wake_accept_loop(shared.addr);
+            break;
+        }
+    }
+}
+
+fn error_response(code: ErrorCode, message: impl Into<String>) -> Vec<u8> {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+    .to_bytes()
+}
+
+fn cdss_error_response(e: &CdssError) -> Vec<u8> {
+    let code = match e {
+        CdssError::UnknownPeer(_) => ErrorCode::UnknownPeer,
+        CdssError::NotPeerRelation { .. } => ErrorCode::UnknownRelation,
+        CdssError::ArityMismatch { .. } | CdssError::UnknownMapping(_) => ErrorCode::BadRequest,
+        CdssError::Persistence(_) => ErrorCode::NotPersistent,
+        _ => ErrorCode::Internal,
+    };
+    error_response(code, e.to_string())
+}
+
+/// Dispatch one decoded request to the shared state, returning the encoded
+/// response payload.
+fn handle_request(shared: &Shared, request: Request) -> Vec<u8> {
+    if shared.shutdown.load(Ordering::SeqCst) && request != Request::Shutdown {
+        return error_response(ErrorCode::ShuttingDown, "server is shutting down");
+    }
+    match request {
+        Request::PublishEdits(batch) => handle_publish(shared, batch),
+        Request::UpdateExchange { peer } => handle_exchange(shared, peer.as_deref()),
+        Request::QueryLocal { peer, relation } => handle_query(shared, &peer, &relation, false),
+        Request::QueryCertain { peer, relation } => handle_query(shared, &peer, &relation, true),
+        Request::ProvenanceOf { relation, tuple } => {
+            let cdss = shared.read_cdss();
+            // Canonical form: remote provenance answers are deterministic
+            // regardless of the graph's internal iteration order.
+            let expr = cdss.provenance_of(&relation, &tuple).canonical();
+            Response::Provenance {
+                expression: expr.to_string(),
+                derivations: expr.num_derivations() as u64,
+                derivable: cdss.is_derivable(&relation, &tuple),
+            }
+            .to_bytes()
+        }
+        Request::GetTrustPolicy { peer } => {
+            let cdss = shared.read_cdss();
+            match cdss.peer(&peer) {
+                Ok(_) => Response::Policy(cdss.trust_policy(&peer)).to_bytes(),
+                Err(e) => cdss_error_response(&e),
+            }
+        }
+        Request::SetTrustPolicy { peer, policy } => {
+            let mut cdss = shared.write_cdss();
+            match cdss.set_trust_policy(peer, policy) {
+                Ok(()) => Response::Ok.to_bytes(),
+                Err(e) => cdss_error_response(&e),
+            }
+        }
+        Request::Stats => handle_stats(shared),
+        Request::Checkpoint => {
+            let mut cdss = shared.write_cdss();
+            if !cdss.is_persistent() {
+                return error_response(
+                    ErrorCode::NotPersistent,
+                    "server has no persistence directory",
+                );
+            }
+            match cdss.checkpoint() {
+                Ok(()) => Response::Ok.to_bytes(),
+                Err(e) => cdss_error_response(&e),
+            }
+        }
+        Request::Shutdown => Response::Ok.to_bytes(),
+    }
+}
+
+/// Answer `QueryLocal` / `QueryCertain`: serialize the (sorted) answer
+/// straight from borrowed tuples under the read lock — only references
+/// move, the relation itself is never copied.
+fn handle_query(shared: &Shared, peer: &str, relation: &str, certain: bool) -> Vec<u8> {
+    let cdss = shared.read_cdss();
+    let collected: std::result::Result<Vec<_>, _> = if certain {
+        cdss.certain_answers_iter(peer, relation)
+            .map(Iterator::collect)
+    } else {
+        cdss.local_instance_iter(peer, relation)
+            .map(Iterator::collect)
+    };
+    match collected {
+        Ok(mut tuples) => {
+            tuples.sort();
+            encode_tuples_response(tuples.len(), tuples.into_iter())
+        }
+        Err(e) => cdss_error_response(&e),
+    }
+}
+
+/// Admit a batch to the ingestion queue. Validation (peer exists, owns the
+/// relations, arities match) runs under the read lock so bad batches are
+/// rejected at the door, with the error attached to the request that
+/// caused it rather than a later exchange.
+fn handle_publish(shared: &Shared, batch: EditBatch) -> Vec<u8> {
+    {
+        let cdss = shared.read_cdss();
+        let peer = match cdss.peer(&batch.peer) {
+            Ok(p) => p,
+            Err(e) => return cdss_error_response(&e),
+        };
+        for (relation, tuples) in batch.inserts.iter().chain(batch.deletes.iter()) {
+            let Some(schema) = peer.relation(relation) else {
+                return cdss_error_response(&CdssError::NotPeerRelation {
+                    peer: batch.peer.clone(),
+                    relation: relation.clone(),
+                });
+            };
+            for t in tuples {
+                if t.arity() != schema.arity() {
+                    return cdss_error_response(&CdssError::ArityMismatch {
+                        relation: relation.clone(),
+                        expected: schema.arity(),
+                        actual: t.arity(),
+                    });
+                }
+            }
+        }
+    }
+
+    let ops = batch.ops() as u64;
+    let mut ingest = shared.lock_ingest();
+    let seq = ingest.next_seq;
+    ingest.next_seq += 1;
+    ingest.batches.push_back((seq, batch));
+    Response::EditsQueued { seq, ops }.to_bytes()
+}
+
+/// Drain the ingestion queue in admission order and run an update
+/// exchange, all under the write lock — exchanges are serialized and the
+/// result is identical to a serial replay of the admitted batches. A
+/// single-peer exchange drains only that peer's batches; everyone else's
+/// stay queued (and counted in `Stats.pending_batches`) until an exchange
+/// covers them.
+fn handle_exchange(shared: &Shared, peer: Option<&str>) -> Vec<u8> {
+    let mut cdss = shared.write_cdss();
+    // Drain *after* taking the write lock: batches admitted from here on
+    // belong to the next exchange.
+    let drained: Vec<(u64, EditBatch)> = {
+        let mut ingest = shared.lock_ingest();
+        match peer {
+            Some(p) => {
+                let (drain, keep): (VecDeque<_>, VecDeque<_>) = ingest
+                    .batches
+                    .drain(..)
+                    .partition(|(_, batch)| batch.peer == p);
+                ingest.batches = keep;
+                drain.into_iter().collect()
+            }
+            None => ingest.batches.drain(..).collect(),
+        }
+    };
+
+    let mut summary = ExchangeSummary {
+        batches_applied: drained.len() as u64,
+        ..ExchangeSummary::default()
+    };
+
+    for (_seq, batch) in &drained {
+        for (relation, tuples) in &batch.inserts {
+            for t in tuples {
+                if let Err(e) = cdss.insert_local(&batch.peer, relation, t.clone()) {
+                    return cdss_error_response(&e);
+                }
+            }
+        }
+        for (relation, tuples) in &batch.deletes {
+            for t in tuples {
+                if let Err(e) = cdss.delete_local(&batch.peer, relation, t.clone()) {
+                    return cdss_error_response(&e);
+                }
+            }
+        }
+    }
+
+    let exchanged = match peer {
+        Some(p) => cdss.update_exchange(p).map(|(pub_report, reports)| {
+            summary.peers_exchanged = u64::from(!pub_report.is_empty());
+            reports
+        }),
+        None => cdss.update_exchange_all().map(|results| {
+            let mut reports = Vec::new();
+            for (_peer, pub_report, peer_reports) in results {
+                if !pub_report.is_empty() {
+                    summary.peers_exchanged += 1;
+                }
+                reports.extend(peer_reports);
+            }
+            reports
+        }),
+    };
+    match exchanged {
+        Ok(reports) => {
+            for report in &reports {
+                summary.inserted += report.total_inserted() as u64;
+                summary.deleted += report.total_deleted() as u64;
+            }
+            summary.epoch = cdss.current_epoch();
+            Response::ExchangeDone(summary).to_bytes()
+        }
+        Err(e) => cdss_error_response(&e),
+    }
+}
+
+fn handle_stats(shared: &Shared) -> Vec<u8> {
+    let cdss = shared.read_cdss();
+    let peers = cdss.peer_ids();
+    let relations: usize = peers
+        .iter()
+        .map(|p| cdss.peer(p).map(|peer| peer.relations.len()).unwrap_or(0))
+        .sum();
+    let stats = ServerStats {
+        peers: peers.len() as u64,
+        relations: relations as u64,
+        total_tuples: cdss.instance_stats().total_tuples as u64,
+        output_tuples: cdss.total_output_tuples() as u64,
+        pending_batches: shared.lock_ingest().batches.len() as u64,
+        epoch: cdss.current_epoch(),
+        connections: shared.metrics.connections.load(Ordering::Relaxed),
+        requests: shared.metrics.snapshot(),
+    };
+    Response::Stats(stats).to_bytes()
+}

@@ -21,7 +21,7 @@ use orchestra_storage::{
 use crate::error::PersistError;
 use crate::Result;
 
-/// Append-only byte sink used by [`Codec::encode`].
+/// Append-only byte sink used by [`Encode::encode`].
 #[derive(Debug, Default, Clone)]
 pub struct Writer {
     buf: Vec<u8>,
@@ -75,7 +75,7 @@ impl Writer {
     }
 }
 
-/// Cursor over encoded bytes used by [`Codec::decode`].
+/// Cursor over encoded bytes used by [`Decode::decode`].
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {
     data: &'a [u8],
@@ -156,13 +156,25 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Types with a binary encoding in the persistence format.
-pub trait Codec: Sized {
+/// Types that can append their canonical binary encoding to a [`Writer`].
+///
+/// `Encode` is deliberately independent of [`Decode`] so that producers
+/// (the wire protocol in `orchestra-net`, the WAL, snapshots) can serialize
+/// borrowed data without owning a decodable artifact, and so downstream
+/// crates can encode a [`Tuple`] without pulling in any of the store
+/// machinery.
+///
+/// ```
+/// use orchestra_persist::{Decode, Encode};
+/// use orchestra_storage::tuple::int_tuple;
+/// use orchestra_storage::Tuple;
+///
+/// let bytes = int_tuple(&[3, 5]).to_bytes();
+/// assert_eq!(Tuple::from_bytes(&bytes).unwrap(), int_tuple(&[3, 5]));
+/// ```
+pub trait Encode {
     /// Append the encoding of `self` to the writer.
     fn encode(&self, w: &mut Writer);
-
-    /// Decode one value from the reader.
-    fn decode(r: &mut Reader<'_>) -> Result<Self>;
 
     /// Encode into a fresh byte vector.
     fn to_bytes(&self) -> Vec<u8> {
@@ -170,6 +182,29 @@ pub trait Codec: Sized {
         self.encode(&mut w);
         w.into_bytes()
     }
+}
+
+/// Types that can be reconstructed from the binary encoding produced by
+/// their [`Encode`] implementation.
+///
+/// Decoding is strict: unknown tags, truncation and trailing garbage all
+/// surface as [`PersistError::Corrupt`] with the byte offset of the fault.
+///
+/// ```
+/// use orchestra_persist::{Decode, Encode, PersistError};
+/// use orchestra_storage::Value;
+///
+/// let bytes = Value::text("hello").to_bytes();
+/// assert_eq!(Value::from_bytes(&bytes).unwrap(), Value::text("hello"));
+/// // Truncated input is rejected, not silently accepted.
+/// assert!(matches!(
+///     Value::from_bytes(&bytes[..bytes.len() - 1]),
+///     Err(PersistError::Corrupt { .. })
+/// ));
+/// ```
+pub trait Decode: Sized {
+    /// Decode one value from the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
 
     /// Decode from a byte slice, requiring every byte to be consumed.
     fn from_bytes(bytes: &[u8]) -> Result<Self> {
@@ -185,16 +220,37 @@ pub trait Codec: Sized {
     }
 }
 
+/// Types with a full round-trippable binary encoding: both [`Encode`] and
+/// [`Decode`]. Implemented automatically; bound on this trait when an API
+/// needs both directions (e.g. WAL records, snapshot payloads).
+pub trait Codec: Encode + Decode {}
+
+impl<T: Encode + Decode> Codec for T {}
+
 /// Encode a sequence as a `u32` count followed by the elements.
-pub fn encode_seq<T: Codec>(items: &[T], w: &mut Writer) {
+pub fn encode_seq<T: Encode>(items: &[T], w: &mut Writer) {
     w.put_u32(u32::try_from(items.len()).expect("sequence fits in u32"));
     for item in items {
         item.encode(w);
     }
 }
 
+/// Encode an iterator of borrowed items as a `u32` count followed by the
+/// elements, without collecting them first. `len` must equal the number of
+/// items the iterator yields.
+pub fn encode_seq_iter<'a, T: Encode + 'a>(
+    len: usize,
+    items: impl Iterator<Item = &'a T>,
+    w: &mut Writer,
+) {
+    w.put_u32(u32::try_from(len).expect("sequence fits in u32"));
+    for item in items {
+        item.encode(w);
+    }
+}
+
 /// Decode a sequence written by [`encode_seq`].
-pub fn decode_seq<T: Codec>(r: &mut Reader<'_>) -> Result<Vec<T>> {
+pub fn decode_seq<T: Decode>(r: &mut Reader<'_>) -> Result<Vec<T>> {
     let n = r.get_u32()? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
@@ -207,7 +263,46 @@ const VALUE_INT: u8 = 0;
 const VALUE_TEXT: u8 = 1;
 const VALUE_NULL: u8 = 2;
 
-impl Codec for Value {
+/// Maximum nesting depth of labeled nulls inside one value. Real Skolem
+/// terms nest at most as deep as the mapping composition chain (single
+/// digits); the cap exists because decoders run on untrusted bytes (the
+/// network layer feeds wire payloads through this codec) and unbounded
+/// recursion would let a crafted payload overflow the stack.
+const MAX_VALUE_DEPTH: u32 = 128;
+
+fn decode_value(r: &mut Reader<'_>, depth: u32) -> Result<Value> {
+    let offset = r.offset();
+    if depth > MAX_VALUE_DEPTH {
+        return Err(PersistError::corrupt(
+            offset,
+            format!("labeled-null nesting exceeds {MAX_VALUE_DEPTH} levels"),
+        ));
+    }
+    match r.get_u8()? {
+        VALUE_INT => Ok(Value::Int(r.get_i64()?)),
+        VALUE_TEXT => Ok(Value::text(r.get_str()?)),
+        VALUE_NULL => {
+            let s = decode_skolem(r, depth + 1)?;
+            Ok(Value::labeled_null(s.function, s.args))
+        }
+        tag => Err(PersistError::corrupt(
+            offset,
+            format!("unknown value tag {tag}"),
+        )),
+    }
+}
+
+fn decode_skolem(r: &mut Reader<'_>, depth: u32) -> Result<SkolemValue> {
+    let function = SkolemFnId(r.get_u32()?);
+    let n = r.get_u32()? as usize;
+    let mut args = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        args.push(decode_value(r, depth)?);
+    }
+    Ok(SkolemValue::new(function, args))
+}
+
+impl Encode for Value {
     fn encode(&self, w: &mut Writer) {
         match self {
             Value::Int(v) => {
@@ -224,48 +319,40 @@ impl Codec for Value {
             }
         }
     }
+}
 
+impl Decode for Value {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let offset = r.offset();
-        match r.get_u8()? {
-            VALUE_INT => Ok(Value::Int(r.get_i64()?)),
-            VALUE_TEXT => Ok(Value::text(r.get_str()?)),
-            VALUE_NULL => {
-                let s = SkolemValue::decode(r)?;
-                Ok(Value::labeled_null(s.function, s.args))
-            }
-            tag => Err(PersistError::corrupt(
-                offset,
-                format!("unknown value tag {tag}"),
-            )),
-        }
+        decode_value(r, 0)
     }
 }
 
-impl Codec for SkolemValue {
+impl Encode for SkolemValue {
     fn encode(&self, w: &mut Writer) {
         w.put_u32(self.function.0);
         encode_seq(&self.args, w);
     }
+}
 
+impl Decode for SkolemValue {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let function = SkolemFnId(r.get_u32()?);
-        let args = decode_seq(r)?;
-        Ok(SkolemValue::new(function, args))
+        decode_skolem(r, 0)
     }
 }
 
-impl Codec for Tuple {
+impl Encode for Tuple {
     fn encode(&self, w: &mut Writer) {
         encode_seq(self.values(), w);
     }
+}
 
+impl Decode for Tuple {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(Tuple::new(decode_seq(r)?))
     }
 }
 
-impl Codec for DataType {
+impl Encode for DataType {
     fn encode(&self, w: &mut Writer) {
         w.put_u8(match self {
             DataType::Int => 0,
@@ -273,7 +360,9 @@ impl Codec for DataType {
             DataType::Any => 2,
         });
     }
+}
 
+impl Decode for DataType {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let offset = r.offset();
         match r.get_u8()? {
@@ -288,7 +377,7 @@ impl Codec for DataType {
     }
 }
 
-impl Codec for RelationSchema {
+impl Encode for RelationSchema {
     fn encode(&self, w: &mut Writer) {
         w.put_str(self.name());
         w.put_u32(u32::try_from(self.arity()).expect("arity fits in u32"));
@@ -299,7 +388,9 @@ impl Codec for RelationSchema {
             ty.encode(w);
         }
     }
+}
 
+impl Decode for RelationSchema {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let name = r.get_str()?.to_string();
         let arity = r.get_u32()? as usize;
@@ -316,13 +407,15 @@ impl Codec for RelationSchema {
     }
 }
 
-impl Codec for Relation {
+impl Encode for Relation {
     fn encode(&self, w: &mut Writer) {
         self.schema().encode(w);
         // Canonical order: equal relations encode to identical bytes.
         encode_seq(&self.sorted_tuples(), w);
     }
+}
 
+impl Decode for Relation {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let schema = RelationSchema::decode(r)?;
         let tuples: Vec<Tuple> = decode_seq(r)?;
@@ -332,7 +425,7 @@ impl Codec for Relation {
     }
 }
 
-impl Codec for Database {
+impl Encode for Database {
     fn encode(&self, w: &mut Writer) {
         let relations: Vec<&Relation> = self.relations().collect();
         w.put_u32(u32::try_from(relations.len()).expect("relation count fits in u32"));
@@ -340,7 +433,9 @@ impl Codec for Database {
             rel.encode(w);
         }
     }
+}
 
+impl Decode for Database {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let n = r.get_u32()? as usize;
         let mut db = Database::new();
@@ -351,14 +446,16 @@ impl Codec for Database {
     }
 }
 
-impl Codec for EditOpKind {
+impl Encode for EditOpKind {
     fn encode(&self, w: &mut Writer) {
         w.put_u8(match self {
             EditOpKind::Insert => 0,
             EditOpKind::Delete => 1,
         });
     }
+}
 
+impl Decode for EditOpKind {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let offset = r.offset();
         match r.get_u8()? {
@@ -372,12 +469,14 @@ impl Codec for EditOpKind {
     }
 }
 
-impl Codec for EditOp {
+impl Encode for EditOp {
     fn encode(&self, w: &mut Writer) {
         self.kind.encode(w);
         self.tuple.encode(w);
     }
+}
 
+impl Decode for EditOp {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let kind = EditOpKind::decode(r)?;
         let tuple = Tuple::decode(r)?;
@@ -385,12 +484,14 @@ impl Codec for EditOp {
     }
 }
 
-impl Codec for EditLog {
+impl Encode for EditLog {
     fn encode(&self, w: &mut Writer) {
         w.put_str(self.relation());
         encode_seq(self.ops(), w);
     }
+}
 
+impl Decode for EditLog {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let relation = r.get_str()?.to_string();
         let ops = decode_seq(r)?;
@@ -474,6 +575,29 @@ mod tests {
         log.push_insert(int_tuple(&[3, 2]));
         let back = EditLog::from_bytes(&log.to_bytes()).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn hostile_null_nesting_is_rejected_not_a_stack_overflow() {
+        // Each level: VALUE_NULL tag, Skolem function id, one argument.
+        let mut bytes = Vec::new();
+        for _ in 0..100_000 {
+            bytes.push(VALUE_NULL);
+            bytes.extend_from_slice(&7u32.to_le_bytes()); // function id
+            bytes.extend_from_slice(&1u32.to_le_bytes()); // one argument
+        }
+        bytes.push(VALUE_INT);
+        bytes.extend_from_slice(&0i64.to_le_bytes());
+        assert!(matches!(
+            Value::from_bytes(&bytes),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // Deep but sane nesting still decodes.
+        let mut v = Value::int(1);
+        for _ in 0..100 {
+            v = Value::labeled_null(SkolemFnId(0), vec![v]);
+        }
+        roundtrip(&v);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod store;
 pub mod testutil;
 pub mod wal;
 
-pub use codec::{Codec, Reader, Writer};
+pub use codec::{Codec, Decode, Encode, Reader, Writer};
 pub use error::PersistError;
 pub use snapshot::{PendingLogs, Snapshot};
 pub use store::PersistentStore;

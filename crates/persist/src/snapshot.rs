@@ -22,7 +22,7 @@ use std::path::Path;
 
 use orchestra_storage::{Database, EditLog};
 
-use crate::codec::{decode_seq, encode_seq, Codec, Reader, Writer};
+use crate::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use crate::crc::crc32;
 use crate::error::PersistError;
 use crate::Result;
@@ -41,12 +41,14 @@ pub struct PendingLogs {
     pub logs: Vec<EditLog>,
 }
 
-impl Codec for PendingLogs {
+impl Encode for PendingLogs {
     fn encode(&self, w: &mut Writer) {
         w.put_str(&self.peer);
         encode_seq(&self.logs, w);
     }
+}
 
+impl Decode for PendingLogs {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let peer = r.get_str()?.to_string();
         let logs = decode_seq(r)?;
@@ -111,11 +113,13 @@ impl SnapshotRef<'_> {
     }
 }
 
-impl Codec for Snapshot {
+impl Encode for Snapshot {
     fn encode(&self, w: &mut Writer) {
         self.as_parts().encode(w);
     }
+}
 
+impl Decode for Snapshot {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let epoch = r.get_u64()?;
         let manifest = r.get_bytes()?.to_vec();

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use orchestra_storage::EditLog;
 
-use crate::codec::{decode_seq, encode_seq, Codec, Reader, Writer};
+use crate::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use crate::crc::crc32;
 use crate::error::PersistError;
 use crate::Result;
@@ -54,13 +54,15 @@ impl EpochRecord {
     }
 }
 
-impl Codec for EpochRecord {
+impl Encode for EpochRecord {
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.epoch);
         w.put_str(&self.peer);
         encode_seq(&self.logs, w);
     }
+}
 
+impl Decode for EpochRecord {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let epoch = r.get_u64()?;
         let peer = r.get_str()?.to_string();

@@ -97,6 +97,34 @@ impl ProvenanceExpr {
         }
     }
 
+    /// Recursively sort sum and product operands into a canonical order.
+    ///
+    /// The provenance graph stores derivations in hash-map order, so two
+    /// graphs recording the same derivations can render an expression with
+    /// its `+`/`·` operands permuted. Both operations are commutative in
+    /// every provenance semiring, so sorting loses nothing — after
+    /// canonicalization, semantically equal expressions compare and render
+    /// identically. The network layer canonicalizes every `ProvenanceOf`
+    /// answer so remote provenance is deterministic.
+    pub fn canonicalize(&mut self) {
+        match self {
+            ProvenanceExpr::Sum(v) | ProvenanceExpr::Product(v) => {
+                for e in v.iter_mut() {
+                    e.canonicalize();
+                }
+                v.sort_by_cached_key(|e| e.to_string());
+            }
+            ProvenanceExpr::Mapping(_, e) => e.canonicalize(),
+            ProvenanceExpr::Zero | ProvenanceExpr::One | ProvenanceExpr::Token(_) => {}
+        }
+    }
+
+    /// [`ProvenanceExpr::canonicalize`], by value.
+    pub fn canonical(mut self) -> Self {
+        self.canonicalize();
+        self
+    }
+
     /// All tokens mentioned anywhere in the expression.
     pub fn tokens(&self) -> Vec<&ProvenanceToken> {
         let mut out = Vec::new();
@@ -329,5 +357,18 @@ mod tests {
         assert_eq!(expr.num_derivations(), 2);
         assert!(!expr.is_zero());
         assert!(ProvenanceExpr::Zero.is_zero());
+    }
+
+    #[test]
+    fn canonicalization_orders_commutative_operands() {
+        let t = |name: &str| ProvenanceExpr::token(tok(name, &[1]));
+        let a = ProvenanceExpr::sum(vec![ProvenanceExpr::product(vec![t("b"), t("a")]), t("c")]);
+        let b = ProvenanceExpr::sum(vec![t("c"), ProvenanceExpr::product(vec![t("a"), t("b")])]);
+        assert_ne!(a, b, "permuted operands differ structurally");
+        let (a, b) = (a.canonical(), b.canonical());
+        assert_eq!(a, b, "canonical forms agree");
+        assert_eq!(a.to_string(), b.to_string());
+        // Canonicalization preserves the derivation count.
+        assert_eq!(a.num_derivations(), 2);
     }
 }

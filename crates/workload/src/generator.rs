@@ -351,7 +351,7 @@ mod tests {
             let relations = g.cdss.peer(&peer).unwrap().relation_names();
             let total: usize = relations
                 .iter()
-                .map(|r| g.cdss.local_instance(&peer, r).unwrap().len())
+                .map(|r| g.cdss.local_instance_len(&peer, r).unwrap())
                 .sum();
             assert!(total >= 10, "peer {peer} has only {total} tuples");
         }

@@ -19,15 +19,20 @@
 //!   close cycles (Figure 10), and insertion/deletion batches sampled the
 //!   way §6.1 describes;
 //! * [`config`] holds the knobs (number of peers, base size, dataset kind,
-//!   number of cycles, RNG seed) swept by the benchmark harness.
+//!   number of cycles, RNG seed) swept by the benchmark harness;
+//! * [`netload`] is the client-driven load mode: concurrent
+//!   [`orchestra_net::NetClient`] workers publishing edit batches against a
+//!   running `orchestrad` server, measuring service-level throughput.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
 pub mod generator;
+pub mod netload;
 pub mod swissprot;
 
 pub use config::{DatasetKind, WorkloadConfig};
 pub use generator::{generate, GeneratedCdss, GeneratedPeer};
+pub use netload::{run_net_load, NetLoadConfig, NetLoadReport};
 pub use swissprot::{UniversalEntry, UniversalSchema, NUM_ATTRIBUTES};

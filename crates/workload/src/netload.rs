@@ -1,0 +1,206 @@
+//! Client-driven network load mode: drive a running `orchestrad` server
+//! with concurrent [`NetClient`] workers.
+//!
+//! The in-process generator ([`crate::generator`]) measures the engine;
+//! this module measures the *service*: N worker threads each open their own
+//! connection, publish deterministic edit batches against the server's
+//! logical relations, and one final exchange folds everything in. The
+//! report carries admitted-operation throughput and the exchange summary,
+//! making protocol overhead visible next to the in-process numbers (see
+//! the `fig_net` bench).
+
+use std::time::{Duration, Instant};
+
+use orchestra_net::{EditBatch, ExchangeSummary, NetClient, NetError};
+use orchestra_storage::tuple::int_tuple;
+
+/// One publish target: `(peer, relation, arity)`.
+pub type NetTarget = (String, String, usize);
+
+/// Knobs of a network load run.
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Server address, e.g. `"127.0.0.1:4747"`.
+    pub addr: String,
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Batches each client publishes.
+    pub batches_per_client: usize,
+    /// Insert operations per batch.
+    pub ops_per_batch: usize,
+    /// The relations to publish into, round-robin per batch. Defaults to
+    /// the three relations of `orchestrad`'s example scenario.
+    pub targets: Vec<NetTarget>,
+    /// Seed folded into the generated tuple values.
+    pub seed: u64,
+    /// Run a final `UpdateExchange` (all peers) after the publish phase.
+    pub exchange_at_end: bool,
+}
+
+impl Default for NetLoadConfig {
+    fn default() -> Self {
+        NetLoadConfig {
+            addr: "127.0.0.1:4747".to_string(),
+            clients: 4,
+            batches_per_client: 8,
+            ops_per_batch: 25,
+            targets: orchestra_net::scenario::example_targets(),
+            seed: 42,
+            exchange_at_end: true,
+        }
+    }
+}
+
+/// Outcome of a network load run.
+#[derive(Debug, Clone)]
+pub struct NetLoadReport {
+    /// Operations admitted by the server across all clients.
+    pub published_ops: u64,
+    /// Batches admitted across all clients.
+    pub published_batches: u64,
+    /// Wall-clock time of the concurrent publish phase.
+    pub publish_wall: Duration,
+    /// Admitted operations per second of publish wall-clock.
+    pub ops_per_sec: f64,
+    /// Summary of the final exchange (`None` when `exchange_at_end` is
+    /// off).
+    pub exchange: Option<ExchangeSummary>,
+    /// Wall-clock time of the final exchange.
+    pub exchange_wall: Duration,
+}
+
+/// The deterministic tuple a given `(seed, client, batch, op)` coordinate
+/// publishes: values are spread so distinct coordinates rarely collide,
+/// keeping batch sizes honest under set semantics.
+fn tuple_for(seed: u64, client: usize, batch: usize, op: usize, arity: usize) -> Vec<i64> {
+    // All coordinate bits stay below the 2^31 mask: client in 24..31,
+    // batch in 14..24, op in 0..14 — distinct coordinates yield distinct
+    // values (up to 128 clients, 1024 batches, 16384 ops per batch).
+    let base = seed
+        .wrapping_mul(1_000_003)
+        .wrapping_add((client as u64) << 24)
+        .wrapping_add((batch as u64) << 14)
+        .wrapping_add(op as u64) as i64;
+    (0..arity)
+        .map(|col| (base.wrapping_add(col as i64 * 7919)) & 0x7FFF_FFFF)
+        .collect()
+}
+
+/// Run the load: spawn `clients` worker threads publishing
+/// `batches_per_client` batches each, then (optionally) run one update
+/// exchange over a fresh connection.
+pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
+    let publish_start = Instant::now();
+    let mut handles = Vec::with_capacity(config.clients);
+    for client_idx in 0..config.clients {
+        let cfg = config.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<(u64, u64), NetError> {
+                let mut client =
+                    NetClient::connect_with_retry(&*cfg.addr, 20, Duration::from_millis(50))?;
+                let mut ops_admitted = 0u64;
+                let mut batches_admitted = 0u64;
+                for batch_idx in 0..cfg.batches_per_client {
+                    let (peer, relation, arity) =
+                        &cfg.targets[(client_idx + batch_idx) % cfg.targets.len()];
+                    let tuples: Vec<_> = (0..cfg.ops_per_batch)
+                        .map(|op| {
+                            int_tuple(&tuple_for(cfg.seed, client_idx, batch_idx, op, *arity))
+                        })
+                        .collect();
+                    let batch = EditBatch::for_peer(peer.clone()).insert(relation.clone(), tuples);
+                    let (_seq, ops) = client.publish_edits(batch)?;
+                    ops_admitted += ops;
+                    batches_admitted += 1;
+                }
+                Ok((ops_admitted, batches_admitted))
+            },
+        ));
+    }
+
+    // Join every worker before reporting, so a failure in one client never
+    // leaves the others publishing detached against the server.
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    let mut published_ops = 0u64;
+    let mut published_batches = 0u64;
+    let mut first_error = None;
+    for outcome in outcomes {
+        match outcome.map_err(|_| NetError::protocol("load client thread panicked")) {
+            Ok(Ok((ops, batches))) => {
+                published_ops += ops;
+                published_batches += batches;
+            }
+            Ok(Err(e)) | Err(e) => first_error = first_error.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let publish_wall = publish_start.elapsed();
+
+    let (exchange, exchange_wall) = if config.exchange_at_end {
+        let mut client =
+            NetClient::connect_with_retry(&*config.addr, 20, Duration::from_millis(50))?;
+        let start = Instant::now();
+        let summary = client.update_exchange(None)?;
+        (Some(summary), start.elapsed())
+    } else {
+        (None, Duration::ZERO)
+    };
+
+    let secs = publish_wall.as_secs_f64();
+    Ok(NetLoadReport {
+        published_ops,
+        published_batches,
+        publish_wall,
+        ops_per_sec: if secs > 0.0 {
+            published_ops as f64 / secs
+        } else {
+            0.0
+        },
+        exchange,
+        exchange_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_net::scenario::example_scenario;
+    use orchestra_net::serve;
+
+    #[test]
+    fn load_mode_drives_a_server() {
+        let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+        let config = NetLoadConfig {
+            addr: handle.addr().to_string(),
+            clients: 3,
+            batches_per_client: 4,
+            ops_per_batch: 5,
+            ..NetLoadConfig::default()
+        };
+        let report = run_net_load(&config).unwrap();
+        assert_eq!(report.published_batches, 12);
+        assert_eq!(report.published_ops, 60);
+        let exchange = report.exchange.expect("exchange ran");
+        assert_eq!(exchange.batches_applied, 12);
+        assert!(exchange.inserted > 0);
+        assert!(report.ops_per_sec > 0.0);
+
+        let cdss = handle.stop_and_join();
+        // Every admitted edit landed: the union of the peers' instances
+        // covers at least the distinct published tuples.
+        assert!(cdss.total_output_tuples() > 0);
+    }
+
+    #[test]
+    fn tuples_are_deterministic_per_coordinate() {
+        assert_eq!(tuple_for(1, 0, 0, 0, 3), tuple_for(1, 0, 0, 0, 3));
+        assert_ne!(tuple_for(1, 0, 0, 0, 3), tuple_for(1, 0, 0, 1, 3));
+        assert_ne!(tuple_for(1, 0, 0, 0, 3), tuple_for(2, 0, 0, 0, 3));
+        // The client index must survive the 31-bit mask: concurrent
+        // clients publishing into the same relation must not collide.
+        assert_ne!(tuple_for(1, 0, 0, 0, 3), tuple_for(1, 7, 0, 0, 3));
+        assert_ne!(tuple_for(1, 0, 1, 0, 3), tuple_for(1, 0, 0, 0, 3));
+    }
+}

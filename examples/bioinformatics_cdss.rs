@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nlocal instances after update exchange (Example 3):");
     for (peer, rel) in [("PGUS", "G"), ("PBioSQL", "B"), ("PuBio", "U")] {
         println!("  {peer}.{rel}:");
-        for t in cdss.local_instance(peer, rel)? {
+        // Borrowed accessor: scan the relation without cloning it; sorting
+        // the references keeps the listing deterministic.
+        let mut tuples: Vec<_> = cdss.local_instance_iter(peer, rel)?.collect();
+        tuples.sort();
+        for t in tuples {
             println!("    {rel}{t}");
         }
     }
@@ -76,12 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cdss.delete_local("PBioSQL", "B", int_tuple(&[3, 2]))?;
     let (published, _) = cdss.update_exchange("PBioSQL")?;
     println!("\nafter PBioSQL's curation deletion of B(3,2): {published}");
-    for t in cdss.certain_answers("PBioSQL", "B")? {
+    let mut b: Vec<_> = cdss.certain_answers_iter("PBioSQL", "B")?.collect();
+    b.sort();
+    for t in b {
         println!("  B{t}");
     }
     println!(
         "  (U now has {} tuples)",
-        cdss.local_instance("PuBio", "U")?.len()
+        cdss.local_instance_len("PuBio", "U")?
     );
 
     Ok(())

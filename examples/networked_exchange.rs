@@ -1,0 +1,95 @@
+//! Update exchange over the network: the paper's three-peer bioinformatics
+//! scenario (Figure 1 / Example 3) served by `orchestrad` and driven
+//! entirely through the `orchestra-net` wire protocol.
+//!
+//! Run with `cargo run --example networked_exchange`.
+
+use std::time::Duration;
+
+use orchestra_net::scenario::example_scenario;
+use orchestra_net::{serve, EditBatch, NetClient};
+use orchestra_storage::tuple::int_tuple;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // In production `orchestrad` runs as its own process; here we host it
+    // on a background thread and an ephemeral loopback port.
+    let handle = serve(example_scenario(), "127.0.0.1:0")?;
+    let addr = handle.addr();
+    println!("orchestrad serving the three-peer scenario on {addr}\n");
+
+    // Each peer's curator connects separately — publishes are admitted
+    // concurrently into the server's ingestion queue.
+    println!("publishing Example 3's edit logs over TCP:");
+    let mut curators = Vec::new();
+    let edits = [
+        (
+            "PGUS",
+            "G",
+            vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])],
+        ),
+        ("PBioSQL", "B", vec![int_tuple(&[3, 5])]),
+        ("PuBio", "U", vec![int_tuple(&[2, 5])]),
+    ];
+    for (peer, relation, tuples) in edits {
+        curators.push(std::thread::spawn(move || {
+            let mut client =
+                NetClient::connect_with_retry(addr, 10, Duration::from_millis(50)).unwrap();
+            let count = tuples.len();
+            let (seq, ops) = client
+                .publish_edits(EditBatch::for_peer(peer).insert(relation, tuples))
+                .unwrap();
+            println!(
+                "  {peer}: {count} tuples into {relation} admitted as batch #{seq} ({ops} ops)"
+            );
+        }));
+    }
+    for c in curators {
+        c.join().expect("curator thread");
+    }
+
+    // Any client can trigger the exchange; the server serializes it.
+    let mut client = NetClient::connect(addr)?;
+    let summary = client.update_exchange(None)?;
+    println!(
+        "\nupdate exchange: {} batches applied, {} peers exchanged, +{} / -{} tuples\n",
+        summary.batches_applied, summary.peers_exchanged, summary.inserted, summary.deleted
+    );
+
+    // Remote queries: certain answers and full instances.
+    println!("certain answers of PBioSQL's B (Example 3):");
+    for t in client.query_certain("PBioSQL", "B")? {
+        println!("  B{t}");
+    }
+    let u_all = client.query_local("PuBio", "U")?;
+    println!(
+        "PuBio's U has {} tuples, {} of them with labeled nulls",
+        u_all.len(),
+        u_all.iter().filter(|t| t.has_labeled_null()).count()
+    );
+
+    // Remote provenance (Example 6).
+    let prov = client.provenance_of("B", int_tuple(&[3, 2]))?;
+    println!(
+        "\nprovenance of B(3, 2): {} ({} derivations, derivable: {})",
+        prov.expression, prov.derivations, prov.derivable
+    );
+
+    // Server-side metrics.
+    let stats = client.stats()?;
+    println!(
+        "\nserver stats: {} peers, {} output tuples, {} connections, {} requests served",
+        stats.peers,
+        stats.output_tuples,
+        stats.connections,
+        stats.total_requests()
+    );
+
+    // Graceful shutdown; the hosting process gets the final state back.
+    client.shutdown()?;
+    let cdss = handle.join();
+    println!(
+        "\nserver shut down cleanly; final instance holds {} output tuples",
+        cdss.total_output_tuples()
+    );
+    Ok(())
+}

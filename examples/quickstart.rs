@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The mirror now sees the translated data in its own schema.
     println!("\nmirror's local instance of Mirror:");
-    for t in cdss.certain_answers("mirror", "Mirror")? {
+    let mut tuples: Vec<_> = cdss.certain_answers_iter("mirror", "Mirror")?.collect();
+    tuples.sort();
+    for t in tuples {
         println!("  Mirror{t}");
     }
 
@@ -51,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cdss.delete_local("mirror", "Mirror", int_tuple(&[2, 8]))?;
     cdss.update_exchange("mirror")?;
     println!("\nafter the mirror rejects Mirror(2, 8):");
-    for t in cdss.certain_answers("mirror", "Mirror")? {
+    let mut tuples: Vec<_> = cdss.certain_answers_iter("mirror", "Mirror")?.collect();
+    tuples.sort();
+    for t in tuples {
         println!("  Mirror{t}");
     }
 

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cdss.update_exchange_all()?;
 
     println!("PBioSQL's instance of B under the Example 4 trust conditions:");
-    for t in cdss.certain_answers("PBioSQL", "B")? {
+    let mut b: Vec<_> = cdss.certain_answers_iter("PBioSQL", "B")?.collect();
+    b.sort();
+    for t in b {
         println!("  B{t}");
     }
     println!("(B(1,3) and B(3,3) were rejected; untrusted data never propagates further)");
@@ -77,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cdss.set_trust_policy("PBioSQL", TrustPolicy::trust_all().distrusting("m1"))?;
     cdss.recompute_all()?;
     println!("\nafter PBioSQL distrusts mapping m1 entirely and recomputes:");
-    for t in cdss.certain_answers("PBioSQL", "B")? {
+    let mut b: Vec<_> = cdss.certain_answers_iter("PBioSQL", "B")?.collect();
+    b.sort();
+    for t in b {
         println!("  B{t}");
     }
 

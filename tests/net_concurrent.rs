@@ -1,0 +1,256 @@
+//! Integration tests for the `orchestra-net` service layer: concurrent
+//! clients, serializable-equivalent final state, and the three-peer
+//! end-to-end scenario over TCP (ISSUE 2 acceptance criteria).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use orchestra_net::scenario::{example_scenario, example_targets};
+use orchestra_net::{serve, EditBatch, NetClient};
+use orchestra_persist::codec::Encode;
+use orchestra_storage::tuple::int_tuple;
+use orchestra_storage::Tuple;
+
+/// The tuple a given `(client, batch, op)` coordinate publishes.
+fn coord_tuple(client: usize, batch: usize, op: usize, arity: usize) -> Tuple {
+    let base = ((client as i64) << 16) + ((batch as i64) << 8) + op as i64;
+    int_tuple(&(0..arity as i64).map(|c| base + c).collect::<Vec<_>>())
+}
+
+/// N client threads publish interleaved edits (inserts and deletes, some
+/// targeting tuples other clients inserted), then one exchange folds
+/// everything in. The final instances and provenance graph must be
+/// byte-identical to a serial replay of the same batches in the server's
+/// admission order.
+#[test]
+fn concurrent_publishes_equal_serial_replay() {
+    const CLIENTS: usize = 8;
+    const BATCHES: usize = 6;
+    const OPS: usize = 10;
+
+    let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let targets = example_targets();
+
+    // Publish phase: every client thread records the admission sequence
+    // number the server assigned to each of its batches.
+    let mut workers = Vec::new();
+    for client_idx in 0..CLIENTS {
+        let targets = targets.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client =
+                NetClient::connect_with_retry(addr, 20, Duration::from_millis(50)).unwrap();
+            let mut admitted: Vec<(u64, EditBatch)> = Vec::new();
+            for batch_idx in 0..BATCHES {
+                let (peer, relation, arity) = &targets[(client_idx + batch_idx) % targets.len()];
+                let inserts: Vec<Tuple> = (0..OPS)
+                    .map(|op| coord_tuple(client_idx, batch_idx, op, *arity))
+                    .collect();
+                // Odd batches also delete a tuple a *different* client
+                // inserts (or will insert), exercising retraction vs
+                // rejection classification under interleaving.
+                let mut batch = EditBatch::for_peer(peer.clone()).insert(relation.clone(), inserts);
+                if batch_idx % 2 == 1 {
+                    let victim = coord_tuple((client_idx + 1) % CLIENTS, batch_idx, 0, *arity);
+                    batch = batch.delete(relation.clone(), vec![victim]);
+                }
+                let (seq, _ops) = client.publish_edits(batch.clone()).unwrap();
+                admitted.push((seq, batch));
+            }
+            admitted
+        }));
+    }
+    let mut admitted: Vec<(u64, EditBatch)> = Vec::new();
+    for worker in workers {
+        admitted.extend(worker.join().unwrap());
+    }
+
+    // One exchange over the wire; the server drains the queue in admission
+    // order under the write lock.
+    let mut client = NetClient::connect(addr).unwrap();
+    let summary = client.update_exchange(None).unwrap();
+    assert_eq!(summary.batches_applied, (CLIENTS * BATCHES) as u64);
+
+    // Read the final state remotely, including every tuple's provenance.
+    let mut remote_instances: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    let mut remote_provenance: BTreeMap<(String, Tuple), String> = BTreeMap::new();
+    for (peer, relation, _) in &targets {
+        let tuples = client.query_local(peer, relation).unwrap();
+        for t in &tuples {
+            let prov = client.provenance_of(relation, t.clone()).unwrap();
+            remote_provenance.insert((relation.clone(), t.clone()), prov.expression);
+        }
+        remote_instances.insert(relation.clone(), tuples);
+    }
+    client.shutdown().unwrap();
+    let server_cdss = handle.join();
+
+    // Serial replay: the same batches, one by one, in admission order,
+    // against a fresh in-process CDSS, then one exchange for every peer in
+    // id order (exactly what the server runs).
+    let mut replay = example_scenario();
+    admitted.sort_by_key(|(seq, _)| *seq);
+    assert_eq!(admitted.len(), CLIENTS * BATCHES);
+    for (_seq, batch) in &admitted {
+        for (relation, tuples) in &batch.inserts {
+            for t in tuples {
+                replay
+                    .insert_local(&batch.peer, relation, t.clone())
+                    .unwrap();
+            }
+        }
+        for (relation, tuples) in &batch.deletes {
+            for t in tuples {
+                replay
+                    .delete_local(&batch.peer, relation, t.clone())
+                    .unwrap();
+            }
+        }
+    }
+    replay.update_exchange_all().unwrap();
+
+    // Instances agree, byte for byte, remotely and in the returned state.
+    for (peer, relation, _) in &targets {
+        let replayed = replay.local_instance(peer, relation).unwrap();
+        assert_eq!(
+            remote_instances[relation], replayed,
+            "instance of {relation} diverges from serial replay"
+        );
+        assert_eq!(
+            server_cdss.local_instance(peer, relation).unwrap(),
+            replayed
+        );
+    }
+    assert_eq!(
+        server_cdss.database().to_bytes(),
+        replay.database().to_bytes(),
+        "auxiliary stores (instances + provenance relations) must be byte-identical"
+    );
+
+    // Provenance graphs agree on every output tuple: what the server
+    // answered over the wire equals the replay's canonical expression, and
+    // so does the returned server state.
+    for (peer, relation, _) in &targets {
+        for t in replay.local_instance(peer, relation).unwrap() {
+            let replayed = replay.provenance_of(relation, &t).canonical().to_string();
+            assert_eq!(
+                remote_provenance[&(relation.clone(), t.clone())],
+                replayed,
+                "remote provenance of {relation} tuple {t} diverges"
+            );
+            assert_eq!(
+                server_cdss
+                    .provenance_of(relation, &t)
+                    .canonical()
+                    .to_string(),
+                replayed,
+                "provenance of {relation} tuple {t} diverges"
+            );
+        }
+    }
+}
+
+/// The acceptance scenario: a three-peer CDSS served over loopback TCP —
+/// publish, exchange, certain answers, remote provenance — plus publishing
+/// concurrently *while* exchanges run (queued edits are never lost).
+#[test]
+fn three_peer_scenario_end_to_end_over_tcp() {
+    let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    // Example 3's edits, one connection per peer as if each peer's DBMS
+    // were a separate process.
+    let edits: [(&str, &str, Vec<Tuple>); 3] = [
+        (
+            "PGUS",
+            "G",
+            vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])],
+        ),
+        ("PBioSQL", "B", vec![int_tuple(&[3, 5])]),
+        ("PuBio", "U", vec![int_tuple(&[2, 5])]),
+    ];
+    for (peer, relation, tuples) in edits {
+        let mut client = NetClient::connect(addr).unwrap();
+        client
+            .publish_edits(EditBatch::for_peer(peer).insert(relation, tuples))
+            .unwrap();
+    }
+
+    let mut client = NetClient::connect(addr).unwrap();
+    let summary = client.update_exchange(None).unwrap();
+    assert_eq!(summary.peers_exchanged, 3);
+
+    let b = client.query_certain("PBioSQL", "B").unwrap();
+    assert_eq!(
+        b,
+        vec![
+            int_tuple(&[1, 3]),
+            int_tuple(&[3, 2]),
+            int_tuple(&[3, 3]),
+            int_tuple(&[3, 5]),
+        ]
+    );
+
+    let prov = client.provenance_of("B", int_tuple(&[3, 2])).unwrap();
+    assert_eq!(prov.derivations, 2);
+    assert!(prov.expression.contains("m4("), "{}", prov.expression);
+
+    // Publishes racing exchanges: edits admitted mid-exchange are applied
+    // by a later exchange, never dropped.
+    let publisher = std::thread::spawn(move || {
+        let mut client = NetClient::connect(addr).unwrap();
+        for i in 0..20 {
+            client
+                .publish_edits(
+                    EditBatch::for_peer("PGUS").insert("G", vec![int_tuple(&[500 + i, i, i])]),
+                )
+                .unwrap();
+        }
+    });
+    let mut exchange_client = NetClient::connect(addr).unwrap();
+    for _ in 0..5 {
+        exchange_client.update_exchange(None).unwrap();
+    }
+    publisher.join().unwrap();
+    exchange_client.update_exchange(None).unwrap();
+
+    let g = exchange_client.query_local("PGUS", "G").unwrap();
+    assert_eq!(g.len(), 2 + 20, "all raced publishes must land");
+    let stats = exchange_client.stats().unwrap();
+    assert_eq!(stats.pending_batches, 0);
+
+    handle.stop_and_join();
+}
+
+/// A persistent server checkpoints over the wire and recovers its state.
+#[test]
+fn remote_checkpoint_then_recover() {
+    use orchestra_net::scenario::example_scenario_builder;
+    use orchestra_persist::testutil::TempDir;
+
+    let dir = TempDir::new("net-checkpoint");
+    let cdss = example_scenario_builder()
+        .with_persistence(dir.path())
+        .build()
+        .unwrap();
+
+    let handle = serve(cdss, "127.0.0.1:0").unwrap();
+    let mut client = NetClient::connect(handle.addr()).unwrap();
+    client
+        .publish_edits(
+            EditBatch::for_peer("PGUS")
+                .insert("G", vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])]),
+        )
+        .unwrap();
+    let summary = client.update_exchange(Some("PGUS")).unwrap();
+    assert_eq!(summary.epoch, 1);
+    client.checkpoint().unwrap();
+    client.shutdown().unwrap();
+    let served = handle.join();
+    let expected = served.database().to_bytes();
+
+    let (recovered, report) = orchestra_core::Cdss::open_or_recover(dir.path()).unwrap();
+    assert_eq!(report.snapshot_epoch, 1);
+    assert_eq!(report.replayed_epochs, 0);
+    assert_eq!(recovered.database().to_bytes(), expected);
+}

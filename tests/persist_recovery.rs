@@ -5,7 +5,7 @@
 //! (truncated or bit-flipped) is detected and recovered past gracefully.
 
 use orchestra_core::{Cdss, CdssBuilder, CmpOp, Predicate, TrustPolicy};
-use orchestra_persist::codec::Codec;
+use orchestra_persist::codec::Encode;
 use orchestra_persist::store::WAL_FILE;
 use orchestra_persist::testutil::TempDir;
 use orchestra_storage::tuple::int_tuple;

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use orchestra_core::{Cdss, CdssBuilder};
-use orchestra_persist::codec::Codec;
+use orchestra_persist::codec::{Decode, Encode};
 use orchestra_persist::testutil::TempDir;
 use orchestra_storage::tuple::int_tuple;
 use orchestra_storage::{Database, EditLog, Relation, RelationSchema, SkolemFnId, Tuple, Value};
