@@ -9,12 +9,61 @@
 //! The output of this binary is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
 
+use orchestra_bench::snapshot::{entry_json, merge_entry, run_snapshot};
 use orchestra_bench::{
     run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
 };
 
+/// Run the reduced snapshot workloads and write `BENCH_joins.json`-style
+/// output (see [`orchestra_bench::snapshot`]). Returns the exit code.
+fn snapshot_mode(label: &str, out_path: &str, scale: Scale) -> i32 {
+    println!("snapshot mode (scale = {}, label = {label})", scale.0);
+    let rows = run_snapshot(scale);
+    println!(
+        "{:<36} {:>14} {:>10} {:>12}",
+        "workload", "median_ns", "ops", "ns/op"
+    );
+    for r in &rows {
+        println!(
+            "{:<36} {:>14} {:>10} {:>12.1}",
+            r.workload, r.median_ns, r.ops, r.ns_per_op
+        );
+    }
+    // Merge into an existing record (replacing a same-labeled entry,
+    // appending otherwise) so re-runs never clobber the curated history.
+    let existing = std::fs::read_to_string(out_path).ok();
+    let Some(doc) = merge_entry(existing.as_deref(), label, entry_json(label, &rows)) else {
+        eprintln!("{out_path} exists but is not a bench-joins-v1 document; refusing to overwrite");
+        return 1;
+    };
+    match std::fs::write(out_path, doc) {
+        Ok(()) => {
+            println!("wrote {out_path} (entry `{label}`)");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--snapshot") {
+        let value_of = |flag: &str, default: &str| -> String {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| default.to_string())
+        };
+        let label = value_of("--label", "snapshot");
+        let out = value_of("--out", "BENCH_joins.json");
+        std::process::exit(snapshot_mode(&label, &out, scale));
+    }
     println!(
         "ORCHESTRA update-exchange experiment harness (scale = {})",
         scale.0

@@ -28,6 +28,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod snapshot;
+
 use std::time::Instant;
 
 use orchestra_core::ExchangeReport;

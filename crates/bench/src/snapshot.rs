@@ -1,0 +1,398 @@
+//! Reduced-size join/exchange workloads with JSON output, so the perf
+//! trajectory of the evaluator hot path is tracked across PRs.
+//!
+//! `cargo run -p orchestra-bench --bin experiments --release -- --snapshot`
+//! runs each workload several times, takes the **median** wall-clock time,
+//! normalises it by the number of work units the workload performs (derived
+//! tuples for fixpoints, propagated tuples for incremental updates — a
+//! quantity that is identical across code versions because the semantics are
+//! fixed), and writes the rows to `BENCH_joins.json`.
+//!
+//! The committed `BENCH_joins.json` keeps one entry per recorded snapshot
+//! (e.g. `pr3-before` / `pr3-after`), so successive PRs can quote their
+//! speedups against an honest, reproducible baseline.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use orchestra_datalog::{parse_program, EngineKind, Evaluator};
+use orchestra_storage::{tuple::int_tuple, Database, RelationSchema};
+use orchestra_workload::DatasetKind;
+
+use crate::{build_loaded, Scale};
+
+/// Number of timed repetitions per workload; the median is reported.
+pub const SNAPSHOT_RUNS: usize = 5;
+
+/// One measured workload cell.
+#[derive(Debug, Clone)]
+pub struct SnapshotRow {
+    /// Workload name, e.g. `fig5_join/strings/pipelined`.
+    pub workload: String,
+    /// Median wall-clock nanoseconds for one run.
+    pub median_ns: u128,
+    /// Work units performed by one run (tuples derived / inserted /
+    /// deleted — identical across code versions).
+    pub ops: usize,
+    /// Median nanoseconds per work unit.
+    pub ns_per_op: f64,
+    /// Number of timed runs the median was taken over.
+    pub runs: usize,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time `op` over a fresh `setup` state `SNAPSHOT_RUNS` times and produce a
+/// row. Only the operation itself is timed — workload generation and base
+/// loading happen outside the measured window.
+fn measure<T>(
+    workload: &str,
+    mut setup: impl FnMut() -> T,
+    mut op: impl FnMut(&mut T) -> usize,
+) -> SnapshotRow {
+    let mut samples = Vec::with_capacity(SNAPSHOT_RUNS);
+    let mut ops = 0;
+    for _ in 0..SNAPSHOT_RUNS {
+        let mut state = setup();
+        let start = Instant::now();
+        ops = op(&mut state);
+        samples.push(start.elapsed().as_nanos());
+    }
+    let med = median_ns(samples);
+    SnapshotRow {
+        workload: workload.to_string(),
+        median_ns: med,
+        ops,
+        ns_per_op: med as f64 / ops.max(1) as f64,
+        runs: SNAPSHOT_RUNS,
+    }
+}
+
+/// A transitive-closure database: a chain of `chain` nodes plus `extra`
+/// pseudo-random shortcut edges (deterministic, seedless LCG).
+fn tc_database(chain: i64, extra: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("edge", &["s", "d"]))
+        .unwrap();
+    for i in 0..chain - 1 {
+        db.insert("edge", int_tuple(&[i, i + 1])).unwrap();
+    }
+    let mut state: i64 = 88172645463325252;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.rem_euclid(chain)
+    };
+    let mut added = 0;
+    while added < extra {
+        let (a, b) = (next(), next());
+        if a != b && db.insert("edge", int_tuple(&[a, b])).unwrap() {
+            added += 1;
+        }
+    }
+    db
+}
+
+/// The pure-datalog join core workload: transitive closure to fixpoint.
+fn tc_fixpoint(engine: EngineKind, scale: Scale) -> SnapshotRow {
+    let program = parse_program(
+        "path(x, y) :- edge(x, y).\n\
+         path(x, z) :- path(x, y), edge(y, z).",
+    )
+    .unwrap();
+    let chain = scale.entries(60) as i64;
+    let extra = scale.entries(30);
+    measure(
+        &format!("tc_fixpoint/{}", engine_key(engine)),
+        || tc_database(chain, extra),
+        |db| {
+            let mut eval = Evaluator::new(engine);
+            eval.run(&program, db).unwrap();
+            db.relation("path").unwrap().len()
+        },
+    )
+}
+
+/// Incremental transitive-closure insertions: the delta-join workload.
+fn tc_incremental(engine: EngineKind, scale: Scale) -> SnapshotRow {
+    let program = parse_program(
+        "path(x, y) :- edge(x, y).\n\
+         path(x, z) :- path(x, y), edge(y, z).",
+    )
+    .unwrap();
+    let chain = scale.entries(60) as i64;
+    let extra = scale.entries(30);
+    measure(
+        &format!("tc_incremental/{}", engine_key(engine)),
+        || {
+            let mut db = tc_database(chain, extra);
+            Evaluator::new(engine).run(&program, &mut db).unwrap();
+            db
+        },
+        |db| {
+            // Append a fresh chain extension and propagate it.
+            let mut eval = Evaluator::new(engine);
+            let mut deltas = HashMap::new();
+            deltas.insert(
+                "edge".to_string(),
+                (0..10)
+                    .map(|i| int_tuple(&[chain + i, chain + i + 1]))
+                    .chain(std::iter::once(int_tuple(&[chain - 1, chain])))
+                    .collect::<Vec<_>>(),
+            );
+            let new = eval
+                .propagate_insertions(&program, db, &deltas, None)
+                .unwrap();
+            new.values().map(Vec::len).sum()
+        },
+    )
+}
+
+fn engine_key(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Batch => "batch",
+        EngineKind::Pipelined => "pipelined",
+    }
+}
+
+/// Figure 5 reduced workload: full recomputation ("time to join") on the
+/// SWISS-PROT-style string dataset.
+fn fig5_join(engine: EngineKind, scale: Scale) -> SnapshotRow {
+    let base = scale.entries(50);
+    measure(
+        &format!("fig5_join/strings/{}", engine_key(engine)),
+        || build_loaded(5, base, DatasetKind::Strings, 0, engine, 23),
+        |g| {
+            let report = g.cdss.recompute_all().unwrap();
+            report.total_inserted()
+        },
+    )
+}
+
+/// Figure 7 reduced workload: incremental insertions on the string dataset.
+fn fig7_insertions(engine: EngineKind, scale: Scale) -> SnapshotRow {
+    let base = scale.entries(40);
+    measure(
+        &format!("fig7_insertions/strings/{}", engine_key(engine)),
+        || {
+            let mut g = build_loaded(5, base, DatasetKind::Strings, 0, engine, 41);
+            let count = g.entries_for_ratio(0.1);
+            let batch = g.fresh_insertions(count);
+            (g, batch)
+        },
+        |(g, batch)| {
+            let report = g.cdss.apply_insertions_incremental(batch).unwrap();
+            report.total_inserted()
+        },
+    )
+}
+
+/// Figure 9 reduced workload: incremental deletions on the integer dataset.
+fn fig9_deletions(scale: Scale) -> SnapshotRow {
+    let base = scale.entries(60);
+    measure(
+        "fig9_deletions/integers/pipelined",
+        || {
+            let mut g = build_loaded(5, base, DatasetKind::Integers, 0, EngineKind::Pipelined, 43);
+            let count = g.entries_for_ratio(0.1);
+            let batch = g.deletion_batch(count);
+            (g, batch)
+        },
+        |(g, batch)| {
+            let report = g.cdss.apply_deletions_incremental(batch).unwrap();
+            report.total_deleted()
+        },
+    )
+}
+
+/// Run every snapshot workload at the given scale.
+pub fn run_snapshot(scale: Scale) -> Vec<SnapshotRow> {
+    let mut rows = Vec::new();
+    for engine in EngineKind::all() {
+        rows.push(tc_fixpoint(engine, scale));
+    }
+    for engine in EngineKind::all() {
+        rows.push(tc_incremental(engine, scale));
+    }
+    for engine in EngineKind::all() {
+        rows.push(fig5_join(engine, scale));
+    }
+    for engine in EngineKind::all() {
+        rows.push(fig7_insertions(engine, scale));
+    }
+    rows.push(fig9_deletions(scale));
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render one labeled snapshot entry as a JSON object (hand-rolled — the
+/// workspace is hermetic and carries no JSON dependency).
+pub fn entry_json(label: &str, rows: &[SnapshotRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "    {{\n      \"label\": \"{}\",\n      \"workloads\": {{\n",
+        json_escape(label)
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "        \"{}\": {{ \"median_ns\": {}, \"ops\": {}, \"ns_per_op\": {:.1}, \"runs\": {} }}{}\n",
+            json_escape(&r.workload),
+            r.median_ns,
+            r.ops,
+            r.ns_per_op,
+            r.runs,
+            comma
+        ));
+    }
+    out.push_str("      }\n    }");
+    out
+}
+
+/// Render a full `BENCH_joins.json` document holding the given entries.
+pub fn document_json(entries: &[String]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"bench-joins-v1\",\n  \"entries\": [\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Split an existing document produced by [`document_json`] back into its
+/// entry blocks (label, rendered text). Returns `None` when the text does
+/// not look like one of our documents — callers then refuse to overwrite
+/// it rather than clobbering unknown content.
+pub fn parse_entries(doc: &str) -> Option<Vec<(String, String)>> {
+    if !doc.contains("\"schema\": \"bench-joins-v1\"") {
+        return None;
+    }
+    let mut out = Vec::new();
+    // Entries are exactly the `    {` … `    }` blocks emitted by
+    // `entry_json` — recover them by brace tracking at that indentation.
+    let mut current: Vec<&str> = Vec::new();
+    let mut label: Option<String> = None;
+    for line in doc.lines() {
+        if line == "    {" {
+            current = vec![line];
+            label = None;
+            continue;
+        }
+        if current.is_empty() {
+            continue;
+        }
+        current.push(line);
+        if let Some(rest) = line.trim().strip_prefix("\"label\": \"") {
+            label = rest
+                .trim_end_matches(',')
+                .strip_suffix('"')
+                .map(str::to_string);
+        }
+        if line == "    }" || line == "    }," {
+            let text = current.join("\n").trim_end_matches(',').to_string();
+            out.push((label.take()?, text));
+            current.clear();
+        }
+    }
+    Some(out)
+}
+
+/// Merge a freshly rendered entry into an existing document's entries:
+/// an entry with the same label is replaced in place, otherwise the new
+/// entry is appended. The curated history in the committed
+/// `BENCH_joins.json` therefore survives re-runs.
+pub fn merge_entry(existing: Option<&str>, label: &str, entry: String) -> Option<String> {
+    let mut entries = match existing {
+        None => Vec::new(),
+        Some(doc) => parse_entries(doc)?,
+    };
+    match entries.iter_mut().find(|(l, _)| l == label) {
+        Some((_, text)) => *text = entry,
+        None => entries.push((label.to_string(), entry)),
+    }
+    let texts: Vec<String> = entries.into_iter().map(|(_, t)| t).collect();
+    Some(document_json(&texts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        assert_eq!(median_ns(vec![5, 1, 9]), 5);
+        assert_eq!(median_ns(vec![2, 1]), 2);
+        assert_eq!(median_ns(vec![7]), 7);
+    }
+
+    #[test]
+    fn tc_database_is_deterministic() {
+        let a = tc_database(20, 10);
+        let b = tc_database(20, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.relation("edge").unwrap().len(), 19 + 10);
+    }
+
+    #[test]
+    fn snapshot_rows_have_sane_shape() {
+        // One tiny cell end-to-end, so the harness itself is covered.
+        let row = tc_fixpoint(EngineKind::Pipelined, Scale(0.2));
+        assert!(row.ops > 0);
+        assert!(row.median_ns > 0);
+        assert!(row.ns_per_op > 0.0);
+        assert_eq!(row.runs, SNAPSHOT_RUNS);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let rows = vec![SnapshotRow {
+            workload: "w/x".into(),
+            median_ns: 10,
+            ops: 2,
+            ns_per_op: 5.0,
+            runs: 3,
+        }];
+        let doc = document_json(&[entry_json("test", &rows)]);
+        assert!(doc.contains("\"label\": \"test\""));
+        assert!(doc.contains("\"w/x\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    fn row(ns: u128) -> Vec<SnapshotRow> {
+        vec![SnapshotRow {
+            workload: "w".into(),
+            median_ns: ns,
+            ops: 1,
+            ns_per_op: ns as f64,
+            runs: 1,
+        }]
+    }
+
+    #[test]
+    fn merge_appends_new_labels_and_replaces_existing_ones() {
+        // Fresh file.
+        let doc1 = merge_entry(None, "a", entry_json("a", &row(1))).unwrap();
+        // Append a second label: the first entry survives.
+        let doc2 = merge_entry(Some(&doc1), "b", entry_json("b", &row(2))).unwrap();
+        assert!(doc2.contains("\"label\": \"a\""));
+        assert!(doc2.contains("\"label\": \"b\""));
+        // Re-running label `a` replaces it in place, keeping `b`.
+        let doc3 = merge_entry(Some(&doc2), "a", entry_json("a", &row(9))).unwrap();
+        assert!(doc3.contains("\"median_ns\": 9"));
+        assert!(!doc3.contains("\"median_ns\": 1,"));
+        assert!(doc3.contains("\"label\": \"b\""));
+        let entries = parse_entries(&doc3).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(doc3.matches('{').count(), doc3.matches('}').count());
+    }
+
+    #[test]
+    fn merge_refuses_foreign_files() {
+        assert!(merge_entry(Some("not our file"), "a", entry_json("a", &row(1))).is_none());
+    }
+}

@@ -3,7 +3,8 @@
 //! recomputation, incremental insertion/deletion, DRed) live in
 //! [`crate::exchange`].
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use orchestra_datalog::rule::Rule;
 use orchestra_datalog::{EngineKind, Evaluator};
@@ -50,7 +51,13 @@ pub struct Cdss {
     policies: BTreeMap<PeerId, TrustPolicy>,
     engine: EngineKind,
     pub(crate) db: Database,
-    graph: ProvenanceGraph,
+    /// The provenance graph, maintained **lazily**: bulk recomputation and
+    /// deletion propagation merely invalidate it, and the rebuild is paid on
+    /// the next read (provenance query, derivability test, or deletion
+    /// propagation). Insertion propagation extends a clean graph in place.
+    /// Behind a mutex so read-side APIs (`&self`, shared across server
+    /// threads) can rebuild on demand.
+    graph: Mutex<GraphCache>,
     /// Pending (unpublished) edit logs: peer → logical relation → log.
     pub(crate) pending: BTreeMap<PeerId, BTreeMap<String, EditLog>>,
     /// Durable backing store, when built with
@@ -77,7 +84,7 @@ impl Cdss {
             policies,
             engine,
             db,
-            graph: ProvenanceGraph::new(),
+            graph: Mutex::new(GraphCache::default()),
             pending: BTreeMap::new(),
             persistence: None,
             epoch: 0,
@@ -134,14 +141,23 @@ impl Cdss {
             &self.policies,
             &self.relation_owner,
             &mut self.db,
-            &mut self.graph,
+            self.graph.get_mut().unwrap_or_else(|e| e.into_inner()),
             self.engine,
         )
     }
 
-    /// The current provenance graph (tuple and mapping instantiation nodes).
-    pub fn provenance_graph(&self) -> &ProvenanceGraph {
-        &self.graph
+    /// Run a closure against the current provenance graph (tuple and mapping
+    /// instantiation nodes), rebuilding it first if a bulk operation
+    /// invalidated it.
+    ///
+    /// The graph lives behind a non-reentrant mutex: **do not call other
+    /// provenance APIs of the same `Cdss` (`provenance_of`, `is_derivable`,
+    /// or a nested `with_provenance_graph`) from inside the closure** — that
+    /// would re-lock the mutex and deadlock. Extract what you need from the
+    /// graph and return it instead.
+    pub fn with_provenance_graph<R>(&self, f: impl FnOnce(&ProvenanceGraph) -> R) -> R {
+        let mut cache = self.graph.lock().unwrap_or_else(|e| e.into_inner());
+        f(cache.ensure(&self.system, &self.db))
     }
 
     /// The trust policy of a peer (trust-everything if unset).
@@ -247,8 +263,8 @@ impl Cdss {
 
         for (relation, log) in logs {
             let rl_name = internal_name(&relation, InternalRole::LocalContributions);
-            let prior: HashSet<Tuple> = self.db.relation(&rl_name)?.iter().cloned().collect();
-            let normalized = log.normalize(&prior);
+            let prior = self.db.relation(&rl_name)?;
+            let normalized = log.normalize_with(|t| prior.contains(t));
 
             if !normalized.contributions.is_empty() {
                 report
@@ -378,13 +394,15 @@ impl Cdss {
     /// (Example 6). The tuple is looked up in the relation's input table
     /// (data arriving via mappings) and falls back to the output table.
     pub fn provenance_of(&self, relation: &str, tuple: &Tuple) -> ProvenanceExpr {
-        let input = internal_name(relation, InternalRole::Input);
-        let expr = self.graph.expression_for(&input, tuple);
-        if !expr.is_zero() {
-            return expr;
-        }
-        let output = internal_name(relation, InternalRole::Output);
-        self.graph.expression_for(&output, tuple)
+        self.with_provenance_graph(|graph| {
+            let input = internal_name(relation, InternalRole::Input);
+            let expr = graph.expression_for(&input, tuple);
+            if !expr.is_zero() {
+                return expr;
+            }
+            let output = internal_name(relation, InternalRole::Output);
+            graph.expression_for(&output, tuple)
+        })
     }
 
     /// Is a tuple of a logical relation's output table still derivable from
@@ -392,12 +410,13 @@ impl Cdss {
     pub fn is_derivable(&self, relation: &str, tuple: &Tuple) -> bool {
         let output = internal_name(relation, InternalRole::Output);
         let db = &self.db;
-        self.graph
-            .derivable(&output, tuple, |tok: &ProvenanceToken| {
+        self.with_provenance_graph(|graph| {
+            graph.derivable(&output, tuple, |tok: &ProvenanceToken| {
                 db.relation(&tok.relation)
                     .map(|r| r.contains(&tok.tuple))
                     .unwrap_or(false)
             })
+        })
     }
 
     /// Total number of tuples in all peers' curated output tables.
@@ -429,20 +448,112 @@ const _: () = {
 
 /// The split borrows handed to the evaluation strategies: immutable mapping
 /// system, trust policies and relation ownership alongside mutable database
-/// and provenance graph, plus the engine selection.
+/// and provenance-graph cache, plus the engine selection.
 pub(crate) type EvalParts<'a> = (
     &'a MappingSystem,
     &'a BTreeMap<PeerId, TrustPolicy>,
     &'a BTreeMap<String, PeerId>,
     &'a mut Database,
-    &'a mut ProvenanceGraph,
+    &'a mut GraphCache,
     EngineKind,
 );
+
+/// The provenance graph plus deferred-maintenance state.
+///
+/// Bulk operations (full recomputation, deletion propagation) used to pay an
+/// O(instance) graph rebuild inline on every call, and every insertion
+/// propagation paid its graph extension inline. Both are now deferred out
+/// of the exchange path: bulk operations [`GraphCache::invalidate`] (one
+/// rebuild on the next read), and insertion batches queue up and are folded
+/// in incrementally when the graph is next read. Update-exchange heavy
+/// workloads that rarely ask for provenance barely pay for the graph at
+/// all; provenance-heavy workloads pay exactly what they did before, once.
+#[derive(Debug, Default)]
+pub(crate) struct GraphCache {
+    graph: ProvenanceGraph,
+    dirty: bool,
+    /// Insertion batches propagated since the graph was last read, in
+    /// order. Drained by [`GraphCache::ensure`]; cleared by a rebuild.
+    pending: Vec<std::collections::HashMap<String, Vec<Tuple>>>,
+    /// Total tuples across `pending`, for the queue bound.
+    pending_tuples: usize,
+}
+
+impl GraphCache {
+    /// Above this many queued tuples the cache stops accumulating batches
+    /// and falls back to full invalidation (see
+    /// [`GraphCache::extend_with_insertions`]).
+    const MAX_PENDING_TUPLES: usize = 250_000;
+    /// Bring the graph up to date (full rebuild if stale, otherwise fold in
+    /// any queued insertion batches), then hand it out.
+    pub fn ensure(&mut self, system: &MappingSystem, db: &Database) -> &ProvenanceGraph {
+        if self.dirty {
+            rebuild_graph(system, db, &mut self.graph);
+            self.dirty = false;
+            self.pending.clear();
+            self.pending_tuples = 0;
+        } else {
+            for batch in self.pending.drain(..) {
+                extend_graph_with_insertions(system, db, &mut self.graph, &batch);
+            }
+            self.pending_tuples = 0;
+        }
+        &self.graph
+    }
+
+    /// Mark the graph stale; the next [`GraphCache::ensure`] rebuilds it.
+    pub fn invalidate(&mut self) {
+        self.dirty = true;
+        self.pending.clear();
+        self.pending_tuples = 0;
+    }
+
+    /// The graph as last ensured. Callers must have called
+    /// [`GraphCache::ensure`] on this store state first.
+    pub fn view(&self) -> &ProvenanceGraph {
+        debug_assert!(
+            !self.dirty && self.pending.is_empty(),
+            "view() on a stale graph cache"
+        );
+        &self.graph
+    }
+
+    /// Queue freshly propagated insertions for incremental folding on the
+    /// next read. A stale graph stays stale — it will be rebuilt from the
+    /// store (which already contains the insertions) on next use.
+    ///
+    /// The queue is bounded: once more than [`GraphCache::MAX_PENDING_TUPLES`]
+    /// tuples are queued, the cache collapses to a full invalidation. The
+    /// store already holds every queued tuple, so dropping the queue loses
+    /// nothing — it just trades the incremental fold for one rebuild — and
+    /// an insert-only workload that never reads provenance cannot grow the
+    /// queue without limit.
+    pub fn extend_with_insertions(
+        &mut self,
+        new_tuples: std::collections::HashMap<String, Vec<Tuple>>,
+    ) {
+        if self.dirty {
+            return;
+        }
+        self.pending_tuples += new_tuples.values().map(Vec::len).sum::<usize>();
+        self.pending.push(new_tuples);
+        if self.pending_tuples > Self::MAX_PENDING_TUPLES {
+            self.invalidate();
+        }
+    }
+}
 
 /// Map an internal input-table name (`B_i`) back to its logical relation
 /// (`B`), if it has the input suffix.
 pub(crate) fn logical_of_input(relation: &str) -> Option<&str> {
     relation.strip_suffix("_i")
+}
+
+/// True when every peer's policy trusts everything unconditionally — the
+/// common case, in which the evaluator can skip per-tuple filtering
+/// entirely.
+pub(crate) fn all_trust_all(policies: &BTreeMap<PeerId, TrustPolicy>) -> bool {
+    policies.values().all(TrustPolicy::is_trust_all)
 }
 
 /// Build the derivation filter enforcing trust conditions during evaluation
@@ -458,8 +569,8 @@ pub(crate) fn trust_filter<'a>(
             // Not a provenance relation: no trust condition applies here.
             return true;
         };
-        for (target_rel, target_tuple) in mapping.instantiate_targets(table_idx, row) {
-            let Some(logical) = logical_of_input(&target_rel) else {
+        for (target_rel, target_tuple) in mapping.targets_iter(table_idx, row) {
+            let Some(logical) = logical_of_input(target_rel) else {
                 continue;
             };
             let Some(owner) = relation_owner.get(logical) else {
@@ -498,32 +609,31 @@ pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut P
         let rl = internal_name(&logical, InternalRole::LocalContributions);
         if let Ok(rel) = db.relation(&rl) {
             for t in rel.iter() {
-                graph.mark_base(&rl, t.clone());
+                graph.mark_base(&rl, t);
             }
         }
     }
 
-    // Mapping instantiations from the stored provenance rows.
+    // Mapping instantiations from the stored provenance rows. The scratch
+    // vectors are reused across rows; tuples are instantiated once and
+    // moved, relation names stay borrowed.
+    let mut src_scratch: Vec<(&str, Tuple)> = Vec::new();
+    let mut tgt_scratch: Vec<(&str, Tuple)> = Vec::new();
     for compiled in &system.compiled {
         for (table_idx, table) in compiled.provenance.iter().enumerate() {
             let Ok(rel) = db.relation(&table.relation) else {
                 continue;
             };
             for row in rel.iter() {
-                let sources = compiled.instantiate_sources(row);
-                let targets = compiled.instantiate_targets(table_idx, row);
-                let src_refs: Vec<(&str, Tuple)> = sources
-                    .iter()
-                    .map(|(r, t)| (r.as_str(), t.clone()))
-                    .collect();
-                let tgt_refs: Vec<(&str, Tuple)> = targets
-                    .iter()
-                    .map(|(r, t)| (r.as_str(), t.clone()))
-                    .collect();
-                graph.add_derivation(compiled.name.clone(), &src_refs, &tgt_refs);
+                src_scratch.clear();
+                src_scratch.extend(compiled.sources_iter(row));
+                tgt_scratch.clear();
+                tgt_scratch.extend(compiled.targets_iter(table_idx, row));
+                graph.add_derivation(compiled.name.clone(), &src_scratch, &tgt_scratch);
             }
         }
     }
+    drop((src_scratch, tgt_scratch));
 
     // Internal edges: R_o tuples derive from R_l (local) and R_i (import).
     for logical in system.logical_relations() {
@@ -533,20 +643,16 @@ pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut P
         let Ok(out_rel) = db.relation(&ro) else {
             continue;
         };
+        let local = local_edge(&logical);
+        let import = import_edge(&logical);
+        let rl_rel = db.relation(&rl).ok();
+        let ri_rel = db.relation(&ri).ok();
         for t in out_rel.iter() {
-            if db.contains(&rl, t).unwrap_or(false) {
-                graph.add_derivation(
-                    local_edge(&logical),
-                    &[(&rl, t.clone())],
-                    &[(&ro, t.clone())],
-                );
+            if rl_rel.is_some_and(|r| r.contains(t)) {
+                graph.add_derivation(local.clone(), &[(&rl, t.clone())], &[(&ro, t.clone())]);
             }
-            if db.contains(&ri, t).unwrap_or(false) {
-                graph.add_derivation(
-                    import_edge(&logical),
-                    &[(&ri, t.clone())],
-                    &[(&ro, t.clone())],
-                );
+            if ri_rel.is_some_and(|r| r.contains(t)) {
+                graph.add_derivation(import.clone(), &[(&ri, t.clone())], &[(&ro, t.clone())]);
             }
         }
     }
@@ -568,7 +674,7 @@ pub(crate) fn extend_graph_with_insertions(
         if let Some(logical) = relation.strip_suffix("_l") {
             let ro = internal_name(logical, InternalRole::Output);
             for t in tuples {
-                graph.mark_base(relation, t.clone());
+                graph.mark_base(relation, t);
                 if db.contains(&ro, t).unwrap_or(false) {
                     graph.add_derivation(
                         local_edge(logical),
@@ -581,18 +687,14 @@ pub(crate) fn extend_graph_with_insertions(
         }
         // New provenance rows become mapping nodes.
         if let Some((compiled, table_idx)) = system.mapping_for_provenance_relation(relation) {
+            let mut src_scratch: Vec<(&str, Tuple)> = Vec::new();
+            let mut tgt_scratch: Vec<(&str, Tuple)> = Vec::new();
             for row in tuples {
-                let sources = compiled.instantiate_sources(row);
-                let targets = compiled.instantiate_targets(table_idx, row);
-                let src_refs: Vec<(&str, Tuple)> = sources
-                    .iter()
-                    .map(|(r, t)| (r.as_str(), t.clone()))
-                    .collect();
-                let tgt_refs: Vec<(&str, Tuple)> = targets
-                    .iter()
-                    .map(|(r, t)| (r.as_str(), t.clone()))
-                    .collect();
-                graph.add_derivation(compiled.name.clone(), &src_refs, &tgt_refs);
+                src_scratch.clear();
+                src_scratch.extend(compiled.sources_iter(row));
+                tgt_scratch.clear();
+                tgt_scratch.extend(compiled.targets_iter(table_idx, row));
+                graph.add_derivation(compiled.name.clone(), &src_scratch, &tgt_scratch);
             }
             continue;
         }

@@ -40,7 +40,7 @@ use orchestra_persist::snapshot::SnapshotRef;
 use orchestra_persist::{EpochRecord, PendingLogs, PersistentStore};
 use orchestra_storage::{EditLog, RelationSchema, Value};
 
-use crate::cdss::{rebuild_graph, Cdss};
+use crate::cdss::Cdss;
 use crate::error::CdssError;
 use crate::peer::Peer;
 use crate::trust::TrustPolicy;
@@ -430,8 +430,10 @@ impl Cdss {
             })
             .collect();
         {
-            let (system, _policies, _owner, db, graph, _engine) = cdss.split_for_eval();
-            rebuild_graph(system, db, graph);
+            // The snapshot carries no graph; it is rebuilt lazily on first
+            // provenance read.
+            let (_system, _policies, _owner, _db, graph, _engine) = cdss.split_for_eval();
+            graph.invalidate();
         }
 
         // Replay the WAL past the snapshot watermark. Recording is off (no

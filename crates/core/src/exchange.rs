@@ -21,15 +21,12 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
 
 use orchestra_datalog::delta::deletion_candidates;
-use orchestra_datalog::Evaluator;
+use orchestra_datalog::{DerivationFilter, Evaluator};
 use orchestra_provenance::ProvenanceToken;
 use orchestra_storage::schema::{internal_name, InternalRole};
 use orchestra_storage::Tuple;
 
-use crate::cdss::{
-    extend_graph_with_insertions, logical_of_input, rebuild_graph, trust_filter, Cdss,
-    PublishedChanges,
-};
+use crate::cdss::{all_trust_all, logical_of_input, trust_filter, Cdss, PublishedChanges};
 use crate::error::CdssError;
 use crate::peer::PeerId;
 use crate::report::{ExchangeReport, ExchangeStrategy, PublishReport};
@@ -79,9 +76,18 @@ impl Cdss {
             db.relation_mut(&p)?.clear();
         }
 
+        // When every policy is unconditional trust-all (the common case) the
+        // evaluator runs with no per-tuple filter at all.
         let filter = trust_filter(system, policies, owner);
+        let active: Option<&DerivationFilter<'_>> = if all_trust_all(policies) {
+            None
+        } else {
+            Some(&filter)
+        };
         let mut eval = Evaluator::new(engine);
-        report.eval_stats = eval.run_filtered(&system.program, db, Some(&filter))?;
+        let t_eval = Instant::now();
+        report.eval_stats = eval.run_filtered(&system.program, db, active)?;
+        let eval_elapsed = t_eval.elapsed();
 
         for logical in system.logical_relations() {
             for role in [InternalRole::Input, InternalRole::Output] {
@@ -93,7 +99,16 @@ impl Cdss {
             report.add_inserted(&p, db.relation(&p)?.len());
         }
 
-        rebuild_graph(system, db, graph);
+        // The graph is stale relative to the recomputed store; rebuild it
+        // lazily on the next provenance read instead of inline here.
+        graph.invalidate();
+        if std::env::var_os("ORCHESTRA_TRACE_PHASES").is_some() {
+            eprintln!(
+                "recompute_all: eval={:?} total={:?}",
+                eval_elapsed,
+                start.elapsed()
+            );
+        }
         report.duration = start.elapsed();
         Ok(report)
     }
@@ -126,14 +141,31 @@ impl Cdss {
             .collect();
 
         let filter = trust_filter(system, policies, owner);
+        let active: Option<&DerivationFilter<'_>> = if all_trust_all(policies) {
+            None
+        } else {
+            Some(&filter)
+        };
         let mut eval = Evaluator::new(engine);
-        let new = eval.propagate_insertions(&system.program, db, &base, Some(&filter))?;
+        let t_eval = Instant::now();
+        let new = eval.propagate_insertions(&system.program, db, &base, active)?;
+        let eval_elapsed = t_eval.elapsed();
         report.eval_stats = eval.take_stats();
 
         for (rel, ts) in &new {
             report.add_inserted(rel, ts.len());
         }
-        extend_graph_with_insertions(system, db, graph, &new);
+        let t_graph = Instant::now();
+        graph.extend_with_insertions(new);
+        if std::env::var_os("ORCHESTRA_TRACE_PHASES").is_some() {
+            eprintln!(
+                "apply_insertions: eval={:?} graph={:?} total={:?} stats[{}]",
+                eval_elapsed,
+                t_graph.elapsed(),
+                start.elapsed(),
+                report.eval_stats,
+            );
+        }
         report.duration = start.elapsed();
         Ok(report)
     }
@@ -193,6 +225,9 @@ impl Cdss {
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalDeletion);
 
         let (system, policies, owner, db, graph, _engine) = self.split_for_eval();
+        // The derivability test below needs the graph in sync with the
+        // pre-deletion store.
+        graph.ensure(system, db);
 
         // 1. Apply the base changes.
         for (logical, tuples) in retractions {
@@ -215,7 +250,8 @@ impl Cdss {
         //    not blocked by rejections, and through mapping instantiations
         //    still accepted by the target peer's trust policy (Fig. 3 l.16).
         let db_ref: &orchestra_storage::Database = db;
-        let valid = graph.trusted_set(
+        let gview = graph.view();
+        let valid = gview.trusted_set(
             |tok: &ProvenanceToken| {
                 db_ref
                     .relation(&tok.relation)
@@ -243,11 +279,11 @@ impl Cdss {
 
         // 3. Remove derived tuples that lost all their derivations.
         let mut to_remove: Vec<(String, Tuple)> = Vec::new();
-        for (rel, tuple, _base) in graph.tuple_nodes() {
+        for (rel, tuple, _base) in gview.tuple_nodes() {
             if !(rel.ends_with("_i") || rel.ends_with("_o")) {
                 continue;
             }
-            let id = graph
+            let id = gview
                 .tuple_node(rel, tuple)
                 .expect("iterated node exists in the graph");
             if !valid.contains(&id) {
@@ -262,23 +298,31 @@ impl Cdss {
 
         // 4. Drop provenance rows whose rule instantiation lost a source
         //    tuple (the deletions to the provenance relations of Fig. 3 l.7).
+        //    The read pass borrows rows in place and clones only the doomed
+        //    ones (typically a small fraction), which are then removed.
         for compiled in &system.compiled {
             for table in &compiled.provenance {
-                let rows: Vec<Tuple> = db.relation(&table.relation)?.iter().cloned().collect();
-                for row in rows {
-                    let gone = compiled
-                        .instantiate_sources(&row)
-                        .iter()
-                        .any(|(r, t)| !db.contains(r, t).unwrap_or(false));
-                    if gone && db.remove(&table.relation, &row)? {
+                let doomed: Vec<Tuple> = db
+                    .relation(&table.relation)?
+                    .iter()
+                    .filter(|row| {
+                        compiled
+                            .sources_iter(row)
+                            .any(|(r, t)| !db.contains(r, &t).unwrap_or(false))
+                    })
+                    .cloned()
+                    .collect();
+                for row in doomed {
+                    if db.remove(&table.relation, &row)? {
                         report.add_deleted(&table.relation, 1);
                     }
                 }
             }
         }
 
-        // 5. The graph now contains stale nodes; rebuild it from the store.
-        rebuild_graph(system, db, graph);
+        // 5. The graph now contains stale nodes; it is rebuilt lazily on
+        //    the next provenance read.
+        graph.invalidate();
         report.duration = start.elapsed();
         Ok(report)
     }
@@ -353,6 +397,11 @@ impl Cdss {
         //    (This full re-evaluation of the rules is exactly why DRed is
         //    more expensive than the provenance-guided algorithm, §4.2.)
         let filter = trust_filter(system, policies, owner);
+        let active: Option<&DerivationFilter<'_>> = if all_trust_all(policies) {
+            None
+        } else {
+            Some(&filter)
+        };
         let mut eval = Evaluator::new(engine);
         let mut rederive: HashMap<String, Vec<Tuple>> = HashMap::new();
         for rule in system.program.rules() {
@@ -362,7 +411,7 @@ impl Cdss {
             if dead.is_empty() {
                 continue;
             }
-            let produced = eval.evaluate_rule(rule, db, None, Some(&filter))?;
+            let produced = eval.evaluate_rule(rule, db, None, active)?;
             for t in produced {
                 if dead.contains(&t) {
                     rederive
@@ -376,14 +425,13 @@ impl Cdss {
             ts.sort();
             ts.dedup();
         }
-        let reinserted =
-            eval.propagate_insertions(&system.program, db, &rederive, Some(&filter))?;
+        let reinserted = eval.propagate_insertions(&system.program, db, &rederive, active)?;
         for (rel, ts) in &reinserted {
             report.add_inserted(rel, ts.len());
         }
         report.eval_stats = eval.take_stats();
 
-        rebuild_graph(system, db, graph);
+        graph.invalidate();
         report.duration = start.elapsed();
         Ok(report)
     }

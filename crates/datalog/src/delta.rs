@@ -20,8 +20,9 @@ use std::collections::{HashMap, HashSet};
 use orchestra_storage::{Database, Tuple};
 
 use crate::atom::{Atom, Literal};
+use crate::compile::CompiledRule;
 use crate::engine::EngineKind;
-use crate::eval::{compile_all, eval_rule};
+use crate::eval::{cardinality_estimator, eval_rule};
 use crate::program::Program;
 use crate::rule::Rule;
 use crate::stats::EvalStats;
@@ -113,26 +114,36 @@ pub fn deletion_candidates(
     deleted: &HashMap<String, HashSet<Tuple>>,
     kind: EngineKind,
 ) -> Result<HashMap<String, HashSet<Tuple>>> {
-    let compiled = compile_all(program)?;
     let mut stats = EvalStats::new();
     let mut out: HashMap<String, HashSet<Tuple>> = HashMap::new();
 
-    for c in &compiled {
-        for pos in &c.positives {
-            let Some(del) = deleted.get(&pos.relation) else {
+    for rule in program.rules() {
+        for (body_index, lit) in rule.body.iter().enumerate() {
+            if lit.negated {
+                continue;
+            }
+            let Some(del) = deleted.get(lit.relation()) else {
                 continue;
             };
             if del.is_empty() {
                 continue;
             }
+            // Compile a delta-first plan: the deleted tuples lead the join.
+            let c = {
+                let estimate = cardinality_estimator(db);
+                CompiledRule::compile_ordered(rule, &estimate, Some(body_index))?
+            };
             let del_vec: Vec<Tuple> = del.iter().cloned().collect();
             let produced = eval_rule(
                 kind,
-                c,
+                &c,
                 db,
-                Some((pos.body_index, &del_vec)),
+                Some((body_index, &del_vec)),
                 None,
                 &mut stats,
+                // Deletion candidates *are* currently-present tuples: the
+                // dedup-against-head shortcut would discard everything.
+                false,
             )?;
             if !produced.is_empty() {
                 out.entry(c.head_relation.clone())

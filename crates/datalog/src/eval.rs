@@ -6,17 +6,42 @@
 //! *insertion* half of incremental update exchange (§4.2): externally
 //! supplied base-tuple deltas are pushed through the program's delta rules
 //! until fixpoint, optionally filtered tuple-by-tuple by a trust predicate.
+//!
+//! ## The zero-copy join pipeline
+//!
+//! The join core never copies a tuple while exploring the search space:
+//!
+//! * candidate tuples are `&Tuple`s resolved from [`TupleId`]s (index
+//!   probes) or borrowed straight from relation scans / delta slices;
+//! * variable bindings hold `&Value` borrows into those tuples (and into
+//!   the compiled rule's constants) — values are cloned exactly once, when
+//!   a head tuple is materialised;
+//! * probe keys are `&Value` scratch buffers drawn from a per-evaluation
+//!   pool, so a rule application performs O(depth) key allocations total
+//!   instead of one per visited join combination;
+//! * semi-naive delta sets above [`DELTA_INDEX_MIN`] get an on-the-fly
+//!   [`HashIndex`] instead of a linear scan per probe.
+//!
+//! Index probes return *hash-bucket candidates* (the ID-addressed
+//! [`HashIndex`] hashes projections in place and may merge colliding keys),
+//! so every candidate is re-verified against the bound columns — the same
+//! check the scan paths need anyway.
 
 use std::collections::HashMap;
 
-use orchestra_storage::{Database, HashIndex, RelationSchema, Tuple, Value};
+use orchestra_storage::{Database, HashIndex, Relation, RelationSchema, Tuple, TupleId, Value};
 
-use crate::compile::CompiledRule;
+use crate::compile::{CompiledPositive, CompiledRule};
 use crate::engine::EngineKind;
 use crate::error::DatalogError;
 use crate::program::Program;
 use crate::stats::EvalStats;
 use crate::Result;
+
+/// Smallest delta set worth building an on-the-fly index over; below this a
+/// linear scan with bound-column filtering is cheaper than hashing every
+/// delta tuple.
+pub const DELTA_INDEX_MIN: usize = 16;
 
 /// A predicate consulted before a derived tuple is added to its relation.
 ///
@@ -96,14 +121,16 @@ impl Evaluator {
         program.validate()?;
         let strat = program.stratify()?;
         self.prepare_relations(program, db)?;
-        let compiled = compile_all(program)?;
+        let mut plans = ProgramPlans::new(program, db);
+        let occurrences = positive_occurrences(program);
 
         let mut total = EvalStats::new();
         for stratum_rules in &strat.rule_strata {
             if stratum_rules.is_empty() {
                 continue;
             }
-            let s = self.run_stratum_seminaive(&compiled, stratum_rules, db, filter)?;
+            let s =
+                self.run_stratum_seminaive(&mut plans, &occurrences, stratum_rules, db, filter)?;
             total += s;
         }
         self.stats += total;
@@ -130,9 +157,13 @@ impl Evaluator {
                 let mut stats = EvalStats::new();
                 for &ri in stratum_rules {
                     let c = &compiled[ri];
-                    let produced = eval_rule(self.kind, c, db, None, None, &mut stats)?;
+                    let produced = eval_rule(self.kind, c, db, None, None, &mut stats, true)?;
+                    if produced.is_empty() {
+                        continue;
+                    }
+                    let rel = db.relation_mut(&c.head_relation)?;
                     for t in produced {
-                        if db.insert(&c.head_relation, t)? {
+                        if rel.insert(t)? {
                             stats.tuples_inserted += 1;
                             changed = true;
                         }
@@ -151,7 +182,8 @@ impl Evaluator {
 
     fn run_stratum_seminaive(
         &mut self,
-        compiled: &[CompiledRule],
+        plans: &mut ProgramPlans<'_>,
+        occurrences: &[Vec<(usize, String)>],
         stratum_rules: &[usize],
         db: &mut Database,
         filter: Option<&DerivationFilter<'_>>,
@@ -162,43 +194,49 @@ impl Evaluator {
         // database; the newly inserted tuples seed the delta.
         let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
         for &ri in stratum_rules {
-            let c = &compiled[ri];
-            let produced = eval_rule(self.kind, c, db, None, filter, &mut stats)?;
-            for t in produced {
-                if db.insert(&c.head_relation, t.clone())? {
-                    stats.tuples_inserted += 1;
-                    delta.entry(c.head_relation.clone()).or_default().push(t);
-                }
+            let c = plans.base(ri)?;
+            let produced = eval_rule(self.kind, c, db, None, filter, &mut stats, true)?;
+            if produced.is_empty() {
+                continue;
+            }
+            let head = c.head_relation.clone();
+            let fresh = insert_batch(db, &head, produced, &mut stats)?;
+            if !fresh.is_empty() {
+                delta.entry(head).or_default().extend(fresh);
             }
         }
         stats.iterations += 1;
 
         // Subsequent rounds: only evaluate rule occurrences that can consume
-        // something from the previous round's delta.
+        // something from the previous round's delta, each with its
+        // delta-first compiled variant.
         while !delta.is_empty() {
             let mut next: HashMap<String, Vec<Tuple>> = HashMap::new();
             for &ri in stratum_rules {
-                let c = &compiled[ri];
-                for pos in &c.positives {
-                    let Some(d) = delta.get(&pos.relation) else {
+                for (body_index, relation) in &occurrences[ri] {
+                    let Some(d) = delta.get(relation) else {
                         continue;
                     };
                     if d.is_empty() {
                         continue;
                     }
+                    let c = plans.delta(ri, *body_index)?;
                     let produced = eval_rule(
                         self.kind,
                         c,
                         db,
-                        Some((pos.body_index, d)),
+                        Some((*body_index, d)),
                         filter,
                         &mut stats,
+                        true,
                     )?;
-                    for t in produced {
-                        if db.insert(&c.head_relation, t.clone())? {
-                            stats.tuples_inserted += 1;
-                            next.entry(c.head_relation.clone()).or_default().push(t);
-                        }
+                    if produced.is_empty() {
+                        continue;
+                    }
+                    let head = c.head_relation.clone();
+                    let fresh = insert_batch(db, &head, produced, &mut stats)?;
+                    if !fresh.is_empty() {
+                        next.entry(head).or_default().extend(fresh);
                     }
                 }
             }
@@ -230,7 +268,8 @@ impl Evaluator {
     ) -> Result<HashMap<String, Vec<Tuple>>> {
         program.validate()?;
         self.prepare_relations(program, db)?;
-        let compiled = compile_all(program)?;
+        let mut plans = ProgramPlans::new(program, db);
+        let occurrences = positive_occurrences(program);
 
         // Reject deltas on negated relations.
         for rule in program.rules() {
@@ -265,33 +304,39 @@ impl Evaluator {
             }
         }
 
-        // Push deltas through the rules until fixpoint.
+        // Push deltas through the rules until fixpoint, each occurrence with
+        // its delta-first compiled variant.
         while !delta.is_empty() {
             let mut next: HashMap<String, Vec<Tuple>> = HashMap::new();
-            for c in &compiled {
-                for pos in &c.positives {
-                    let Some(d) = delta.get(&pos.relation) else {
+            for (ri, rule_occurrences) in occurrences.iter().enumerate() {
+                for (body_index, relation) in rule_occurrences {
+                    let Some(d) = delta.get(relation) else {
                         continue;
                     };
                     if d.is_empty() {
                         continue;
                     }
+                    let c = plans.delta(ri, *body_index)?;
                     let produced = eval_rule(
                         self.kind,
                         c,
                         db,
-                        Some((pos.body_index, d)),
+                        Some((*body_index, d)),
                         filter,
                         &mut stats,
+                        true,
                     )?;
-                    for t in produced {
-                        if db.insert(&c.head_relation, t.clone())? {
-                            stats.tuples_inserted += 1;
-                            next.entry(c.head_relation.clone())
-                                .or_default()
-                                .push(t.clone());
-                            all_new.entry(c.head_relation.clone()).or_default().push(t);
-                        }
+                    if produced.is_empty() {
+                        continue;
+                    }
+                    let head = c.head_relation.clone();
+                    let fresh = insert_batch(db, &head, produced, &mut stats)?;
+                    if !fresh.is_empty() {
+                        all_new
+                            .entry(head.clone())
+                            .or_default()
+                            .extend(fresh.iter().cloned());
+                        next.entry(head).or_default().extend(fresh);
                     }
                 }
             }
@@ -314,36 +359,272 @@ impl Evaluator {
         delta_at: Option<(usize, &[Tuple])>,
         filter: Option<&DerivationFilter<'_>>,
     ) -> Result<Vec<Tuple>> {
-        let c = CompiledRule::compile(rule)?;
+        let c = {
+            let estimate = cardinality_estimator(db);
+            CompiledRule::compile_ordered(rule, &estimate, delta_at.map(|(bi, _)| bi))?
+        };
         let mut stats = EvalStats::new();
-        let out = eval_rule(self.kind, &c, db, delta_at, filter, &mut stats)?;
+        let out = eval_rule(self.kind, &c, db, delta_at, filter, &mut stats, false)?;
         self.stats += stats;
         Ok(out)
     }
 }
 
-/// Compile every rule of a program.
+/// A cardinality estimator backed by the database's current relation sizes
+/// (unknown relations estimate to 0 — they will be created empty).
+pub(crate) fn cardinality_estimator(db: &Database) -> impl Fn(&str) -> usize + '_ {
+    |name: &str| db.relation(name).map(Relation::len).unwrap_or(0)
+}
+
+/// Lazily compiled, cost-ordered join plans for a program's rules: one base
+/// plan per rule (full evaluation) plus one delta-first variant per positive
+/// body occurrence actually exercised. A typical incremental propagation
+/// touches only a few occurrences, so plans are compiled on first use and
+/// cached for the duration of one evaluator call.
+pub(crate) struct ProgramPlans<'p> {
+    program: &'p Program,
+    /// Relation cardinalities snapshotted at call entry — the cost model
+    /// for greedy body ordering.
+    cards: HashMap<String, usize>,
+    plans: Vec<RulePlan>,
+}
+
+#[derive(Default, Clone)]
+struct RulePlan {
+    base: Option<CompiledRule>,
+    /// Delta-first variants, keyed by the forced occurrence's body index.
+    deltas: HashMap<usize, CompiledRule>,
+}
+
+impl<'p> ProgramPlans<'p> {
+    /// Snapshot the database's cardinalities and set up empty plan slots.
+    pub fn new(program: &'p Program, db: &Database) -> Self {
+        let cards = db
+            .relations()
+            .map(|r| (r.name().to_string(), r.len()))
+            .collect();
+        ProgramPlans {
+            program,
+            cards,
+            plans: vec![RulePlan::default(); program.rules().len()],
+        }
+    }
+
+    /// The cost-ordered base plan for rule `ri`.
+    pub fn base(&mut self, ri: usize) -> Result<&CompiledRule> {
+        let rule = &self.program.rules()[ri];
+        let cards = &self.cards;
+        let plan = &mut self.plans[ri];
+        if plan.base.is_none() {
+            let estimate = |name: &str| cards.get(name).copied().unwrap_or(0);
+            plan.base = Some(CompiledRule::compile_ordered(rule, &estimate, None)?);
+        }
+        Ok(plan.base.as_ref().expect("just compiled"))
+    }
+
+    /// The delta-first plan for rule `ri` with the positive occurrence at
+    /// `body_index` forced to the front of the join.
+    pub fn delta(&mut self, ri: usize, body_index: usize) -> Result<&CompiledRule> {
+        let rule = &self.program.rules()[ri];
+        let cards = &self.cards;
+        let plan = &mut self.plans[ri];
+        if let std::collections::hash_map::Entry::Vacant(slot) = plan.deltas.entry(body_index) {
+            let estimate = |name: &str| cards.get(name).copied().unwrap_or(0);
+            slot.insert(CompiledRule::compile_ordered(
+                rule,
+                &estimate,
+                Some(body_index),
+            )?);
+        }
+        Ok(&plan.deltas[&body_index])
+    }
+}
+
+/// For each rule, the `(body_index, relation)` of every positive body
+/// occurrence — the occurrences a semi-naive delta can substitute into.
+pub(crate) fn positive_occurrences(program: &Program) -> Vec<Vec<(usize, String)>> {
+    program
+        .rules()
+        .iter()
+        .map(|r| {
+            r.body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.negated)
+                .map(|(i, l)| (i, l.relation().to_string()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Insert a batch of produced head tuples into one relation, resolving the
+/// relation once for the whole batch. Returns the genuinely new tuples.
+fn insert_batch(
+    db: &mut Database,
+    relation: &str,
+    produced: Vec<Tuple>,
+    stats: &mut EvalStats,
+) -> Result<Vec<Tuple>> {
+    let rel = db.relation_mut(relation)?;
+    rel.reserve(produced.len());
+    let mut fresh = Vec::with_capacity(produced.len());
+    for t in produced {
+        if rel.insert(t.clone())? {
+            stats.tuples_inserted += 1;
+            fresh.push(t);
+        }
+    }
+    Ok(fresh)
+}
+
+/// Compile every rule of a program in written body order (the reference
+/// plan; used by the naive oracle strategy).
 pub(crate) fn compile_all(program: &Program) -> Result<Vec<CompiledRule>> {
     program.rules().iter().map(CompiledRule::compile).collect()
 }
 
-/// How a positive literal accesses its relation during the join.
+/// How a positive literal accesses its relation during the join. All
+/// variants yield **borrowed** candidate tuples; nothing is copied.
 enum Access<'a> {
-    /// Scan an externally supplied delta set.
-    Delta(&'a [Tuple]),
-    /// Probe a throwaway index built for this rule application (batch
-    /// backend).
-    TempIndex(HashIndex),
+    /// Linear scan of an externally supplied delta slice.
+    DeltaScan(&'a [Tuple]),
+    /// Probe a throwaway index over a delta slice (built when the delta is
+    /// large enough to amortise hashing); ids are offsets into the slice.
+    DeltaIndex {
+        /// The delta slice the index's ids address.
+        tuples: &'a [Tuple],
+        /// Hash index over the bound columns.
+        index: HashIndex,
+    },
+    /// Probe a throwaway index over the stored relation (batch backend).
+    TempIndex {
+        /// The relation the index's ids address.
+        rel: &'a Relation,
+        /// Hash index over the bound columns.
+        index: HashIndex,
+    },
     /// Probe a persistent index stored on the relation (pipelined backend).
-    PersistentIndex(Vec<usize>),
+    Persistent {
+        /// The indexed relation.
+        rel: &'a Relation,
+        /// The relation-owned index over the bound columns.
+        index: &'a HashIndex,
+    },
     /// Scan the stored relation.
-    FullScan,
+    FullScan(&'a Relation),
+}
+
+/// Where an id-addressed candidate set resolves its ids.
+#[derive(Clone, Copy)]
+enum IdSource<'a> {
+    /// Offsets into a delta slice.
+    Slice(&'a [Tuple]),
+    /// Slab ids of a stored relation.
+    Rel(&'a Relation),
+}
+
+impl<'a> IdSource<'a> {
+    #[inline]
+    fn get(&self, id: TupleId) -> &'a Tuple {
+        match self {
+            IdSource::Slice(ts) => &ts[id.index()],
+            IdSource::Rel(rel) => rel.tuple_by_id(id),
+        }
+    }
+}
+
+/// Borrowed candidate stream for one join level. `'a` is the data lifetime
+/// (database / delta / compiled rule), `'b` the (shorter) borrow of the
+/// access-path list the probed id buckets live in.
+enum Candidates<'a, 'b> {
+    Slice(std::slice::Iter<'a, Tuple>),
+    Ids {
+        src: IdSource<'a>,
+        ids: std::slice::Iter<'b, TupleId>,
+    },
+    Scan(orchestra_storage::TupleIter<'a>),
+}
+
+impl<'a, 'b> Candidates<'a, 'b> {
+    /// Probe / open the access path for one key. The key is only used for
+    /// the probe; the returned stream does not retain it.
+    fn open(access: &'b Access<'a>, key: &[&Value], stats: &mut EvalStats) -> Self {
+        match access {
+            Access::DeltaScan(ts) => Candidates::Slice(ts.iter()),
+            Access::DeltaIndex { tuples, index } => Candidates::Ids {
+                src: IdSource::Slice(tuples),
+                ids: index.probe_ids_ref(key).iter(),
+            },
+            Access::TempIndex { rel, index } => Candidates::Ids {
+                src: IdSource::Rel(rel),
+                ids: index.probe_ids_ref(key).iter(),
+            },
+            Access::Persistent { rel, index } => {
+                stats.index_probes += 1;
+                Candidates::Ids {
+                    src: IdSource::Rel(rel),
+                    ids: index.probe_ids_ref(key).iter(),
+                }
+            }
+            Access::FullScan(rel) => Candidates::Scan(rel.iter()),
+        }
+    }
+}
+
+impl<'a, 'b> Iterator for Candidates<'a, 'b> {
+    type Item = &'a Tuple;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            Candidates::Slice(it) => it.next(),
+            Candidates::Ids { src, ids } => ids.next().map(|&id| src.get(id)),
+            Candidates::Scan(it) => it.next(),
+        }
+    }
+}
+
+/// Mutable join state threaded through the recursion: bindings, scratch
+/// buffers, and the output. All `&Value` borrows live for the data
+/// lifetime `'a`.
+struct JoinState<'a> {
+    bindings: Vec<Option<&'a Value>>,
+    /// Reusable probe-key buffers, one in flight per recursion level. A rule
+    /// application allocates at most `positives.len()` of these, total —
+    /// not one per visited join combination.
+    key_pool: Vec<Vec<&'a Value>>,
+    /// Scratch for instantiating negated literals.
+    neg_scratch: Vec<Value>,
+    /// Scratch for instantiating head values, so duplicate derivations are
+    /// detected against `head_rel` *before* a `Tuple` is allocated.
+    head_scratch: Vec<Value>,
+    /// When set, head instantiations already present in this relation are
+    /// dropped without materialising a tuple (monotone fixpoint paths).
+    head_rel: Option<&'a Relation>,
+    out: Vec<Tuple>,
+}
+
+/// Does a candidate tuple match the bound columns? Required after index
+/// probes too: the ID-addressed index returns hash-bucket candidates.
+#[inline]
+fn matches_bound(pos: &CompiledPositive, key: &[&Value], t: &Tuple) -> bool {
+    pos.bound
+        .iter()
+        .zip(key.iter())
+        .all(|((col, _), v)| &t[*col] == *v)
 }
 
 /// Evaluate one compiled rule and return the head tuples it produces.
 ///
 /// `delta_at` optionally restricts the body occurrence with the given
 /// `body_index` to the supplied tuples (semi-naive evaluation / delta rules).
+///
+/// With `skip_existing`, head instantiations already present in the head
+/// relation are dropped inside the join (before any allocation) — correct
+/// only for monotone insertion paths, where the caller would discard them
+/// as duplicates anyway; deletion delta rules and ad-hoc rule evaluation
+/// must pass `false` because they expect previously derived tuples back.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_rule(
     kind: EngineKind,
     c: &CompiledRule,
@@ -351,158 +632,176 @@ pub(crate) fn eval_rule(
     delta_at: Option<(usize, &[Tuple])>,
     filter: Option<&DerivationFilter<'_>>,
     stats: &mut EvalStats,
+    skip_existing: bool,
 ) -> Result<Vec<Tuple>> {
     stats.rule_applications += 1;
+    if c.reordered {
+        stats.reorders_applied += 1;
+    }
 
-    // Phase 1: choose an access path per positive literal. This is the only
-    // phase that needs mutable access to the database (to build persistent
-    // indexes for the pipelined backend).
-    let mut accesses: Vec<Access<'_>> = Vec::with_capacity(c.positives.len());
+    // Phase 1 (mutable): validate relations and make sure the pipelined
+    // backend's persistent indexes exist. This is the only phase that may
+    // mutate the database.
     for pos in &c.positives {
         if !db.has_relation(&pos.relation) {
             return Err(DatalogError::MissingRelation(pos.relation.clone()));
         }
         let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
-        if is_delta {
-            let (_, tuples) = delta_at.unwrap();
-            accesses.push(Access::Delta(tuples));
+        if is_delta || kind != EngineKind::Pipelined {
             continue;
         }
         let bound_cols = pos.bound_columns();
+        if !bound_cols.is_empty() {
+            db.relation_mut(&pos.relation)?.ensure_index(&bound_cols)?;
+        }
+    }
+
+    // Phase 2 (immutable): pick a borrowed access path per positive literal.
+    let db_ref: &Database = db;
+    let mut accesses: Vec<Access<'_>> = Vec::with_capacity(c.positives.len());
+    for pos in &c.positives {
+        let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
+        let bound_cols = pos.bound_columns();
+        if is_delta {
+            let (_, tuples) = delta_at.unwrap();
+            if !bound_cols.is_empty() && tuples.len() >= DELTA_INDEX_MIN {
+                let index = HashIndex::build_from(
+                    bound_cols,
+                    tuples
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| (TupleId::from_index(i), t)),
+                );
+                stats.delta_indexes_built += 1;
+                accesses.push(Access::DeltaIndex { tuples, index });
+            } else {
+                accesses.push(Access::DeltaScan(tuples));
+            }
+            continue;
+        }
+        let rel = db_ref.relation(&pos.relation)?;
         if bound_cols.is_empty() {
-            accesses.push(Access::FullScan);
+            accesses.push(Access::FullScan(rel));
             continue;
         }
         match kind {
             EngineKind::Batch => {
-                let rel = db.relation(&pos.relation)?;
-                let idx = HashIndex::build(bound_cols, rel.iter());
+                let index = HashIndex::build_from(bound_cols, rel.iter_ids());
                 stats.temp_indexes_built += 1;
-                accesses.push(Access::TempIndex(idx));
+                accesses.push(Access::TempIndex { rel, index });
             }
-            EngineKind::Pipelined => {
-                db.relation_mut(&pos.relation)?.ensure_index(&bound_cols)?;
-                accesses.push(Access::PersistentIndex(bound_cols));
-            }
+            EngineKind::Pipelined => match rel.index(&bound_cols) {
+                Some(index) => accesses.push(Access::Persistent { rel, index }),
+                // Unreachable after phase 1, but degrade to a scan rather
+                // than assume.
+                None => accesses.push(Access::FullScan(rel)),
+            },
         }
     }
 
-    // Phase 2: nested-loop join over the chosen access paths (database is
-    // only read from here on).
-    let db_ref: &Database = db;
-    let mut bindings: Vec<Option<Value>> = vec![None; c.var_count];
-    let mut out: Vec<Tuple> = Vec::new();
-    join_literal(
-        kind,
-        c,
-        db_ref,
-        &accesses,
-        0,
-        &mut bindings,
-        filter,
-        &mut out,
-        stats,
-    )?;
-    Ok(out)
+    // Phase 3: borrowed nested-loop join over the chosen access paths.
+    let head_rel = if skip_existing {
+        Some(db_ref.relation(&c.head_relation)?)
+    } else {
+        None
+    };
+    let mut state = JoinState {
+        bindings: vec![None; c.var_count],
+        key_pool: Vec::new(),
+        neg_scratch: Vec::new(),
+        head_scratch: Vec::new(),
+        head_rel,
+        out: Vec::new(),
+    };
+    join_literal(c, db_ref, &accesses, 0, &mut state, filter, stats)?;
+    Ok(state.out)
 }
 
-#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
-fn join_literal(
-    kind: EngineKind,
-    c: &CompiledRule,
-    db: &Database,
-    accesses: &[Access<'_>],
+fn join_literal<'a>(
+    c: &'a CompiledRule,
+    db: &'a Database,
+    accesses: &[Access<'a>],
     idx: usize,
-    bindings: &mut Vec<Option<Value>>,
+    st: &mut JoinState<'a>,
     filter: Option<&DerivationFilter<'_>>,
-    out: &mut Vec<Tuple>,
     stats: &mut EvalStats,
 ) -> Result<()> {
     if idx == c.positives.len() {
-        // All positive literals satisfied; check negated literals.
+        // All positive literals satisfied; check negated literals against
+        // the scratch buffer (no Tuple is allocated for the lookup).
         for neg in &c.negatives {
-            let vals: Vec<Value> = neg
-                .columns
-                .iter()
-                .map(|s| CompiledRule::resolve(s, bindings))
-                .collect();
-            let tuple = Tuple::new(vals);
-            if db.relation(&neg.relation)?.contains(&tuple) {
+            st.neg_scratch.clear();
+            for s in &neg.columns {
+                st.neg_scratch
+                    .push(CompiledRule::resolve(s, &st.bindings).clone());
+            }
+            if db.relation(&neg.relation)?.contains_values(&st.neg_scratch) {
                 return Ok(());
             }
         }
-        // Instantiate the head.
-        let head_vals: Vec<Value> = c
-            .head
-            .iter()
-            .map(|t| CompiledRule::eval_head_term(t, bindings))
-            .collect();
-        let tuple = Tuple::new(head_vals);
+        // Instantiate the head into the scratch buffer — the single point
+        // where values are cloned.
+        st.head_scratch.clear();
+        for t in &c.head {
+            st.head_scratch
+                .push(CompiledRule::eval_head_term(t, &st.bindings));
+        }
         stats.tuples_derived += 1;
+        // Duplicate derivations are dropped before a Tuple is allocated,
+        // and the content hash computed for the check is reused by the
+        // tuple constructed for genuinely new rows.
+        let hash = orchestra_storage::tuple::values_hash(&st.head_scratch);
+        if let Some(hr) = st.head_rel {
+            if hr.contains_values_hashed(hash, &st.head_scratch) {
+                return Ok(());
+            }
+        }
+        let tuple = Tuple::from_prehashed(std::mem::take(&mut st.head_scratch), hash);
         if let Some(f) = filter {
             if !f(&c.head_relation, &tuple) {
                 stats.filtered_out += 1;
                 return Ok(());
             }
         }
-        out.push(tuple);
+        st.out.push(tuple);
         return Ok(());
     }
 
     let pos = &c.positives[idx];
-    let key: Vec<Value> = pos
-        .bound
-        .iter()
-        .map(|(_, s)| CompiledRule::resolve(s, bindings))
-        .collect();
 
-    // Helper: does a candidate tuple match the bound columns?
-    let matches_bound = |t: &Tuple| -> bool {
-        pos.bound
-            .iter()
-            .zip(key.iter())
-            .all(|((col, _), v)| &t[*col] == v)
-    };
+    // Assemble the probe key from borrowed values in a pooled buffer.
+    let mut key = st.key_pool.pop().unwrap_or_default();
+    for (_, s) in &pos.bound {
+        key.push(CompiledRule::resolve(s, &st.bindings));
+    }
 
-    // Collect matching candidates. For index accesses the bound columns are
-    // already guaranteed to match.
-    let candidates: Vec<Tuple> = match &accesses[idx] {
-        Access::Delta(ts) => ts.iter().filter(|t| matches_bound(t)).cloned().collect(),
-        Access::TempIndex(index) => index.probe(&key).to_vec(),
-        Access::PersistentIndex(cols) => {
-            stats.index_probes += 1;
-            match db.relation(&pos.relation)?.index(cols) {
-                Some(index) => index.probe(&key).to_vec(),
-                None => db.relation(&pos.relation)?.select_eq(cols, &key),
-            }
-        }
-        Access::FullScan => db
-            .relation(&pos.relation)?
-            .iter()
-            .filter(|t| matches_bound(t))
-            .cloned()
-            .collect(),
-    };
-
+    let candidates = Candidates::open(&accesses[idx], &key, stats);
     for t in candidates {
-        // Bind the free columns.
+        stats.candidates_scanned += 1;
+        if !matches_bound(pos, &key, t) {
+            continue;
+        }
+        // Bind the free columns by reference.
         for (col, slot) in &pos.free {
-            bindings[*slot] = Some(t[*col].clone());
+            st.bindings[*slot] = Some(&t[*col]);
         }
         // Enforce repeated variables within this same atom (e.g. R(x, x)).
         let intra_ok = pos
             .intra
             .iter()
-            .all(|(col, slot)| bindings[*slot].as_ref() == Some(&t[*col]));
+            .all(|(col, slot)| st.bindings[*slot] == Some(&t[*col]));
         if !intra_ok {
             continue;
         }
-        join_literal(kind, c, db, accesses, idx + 1, bindings, filter, out, stats)?;
+        join_literal(c, db, accesses, idx + 1, st, filter, stats)?;
     }
-    // Unbind this literal's free slots before returning to the caller.
+    // Unbind this literal's free slots and return the key buffer to the
+    // pool before handing control back.
     for (_, slot) in &pos.free {
-        bindings[*slot] = None;
+        st.bindings[*slot] = None;
     }
+    key.clear();
+    st.key_pool.push(key);
     Ok(())
 }
 

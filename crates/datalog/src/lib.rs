@@ -60,6 +60,7 @@ pub mod error;
 pub mod eval;
 pub mod parser;
 pub mod program;
+pub mod reference;
 pub mod rule;
 pub mod stats;
 pub mod term;

@@ -32,6 +32,19 @@ pub struct EvalStats {
     /// Number of derived tuples rejected by the derivation filter
     /// (trust conditions).
     pub filtered_out: usize,
+    /// Number of candidate tuples examined by the join pipeline across all
+    /// levels (after index probing, before bound-column verification). The
+    /// ratio of `candidates_scanned` to `tuples_derived` measures join
+    /// selectivity: a well-ordered body keeps it close to 1.
+    pub candidates_scanned: usize,
+    /// Number of on-the-fly hash indexes built over semi-naive delta sets
+    /// (only deltas above a size threshold are worth indexing; smaller ones
+    /// are scanned linearly).
+    pub delta_indexes_built: usize,
+    /// Number of rule applications that ran with a cost-reordered body (the
+    /// greedy most-bound / smallest-relation-first plan differed from the
+    /// written body order).
+    pub reorders_applied: usize,
 }
 
 impl EvalStats {
@@ -56,6 +69,9 @@ impl AddAssign for EvalStats {
         self.temp_indexes_built += o.temp_indexes_built;
         self.index_probes += o.index_probes;
         self.filtered_out += o.filtered_out;
+        self.candidates_scanned += o.candidates_scanned;
+        self.delta_indexes_built += o.delta_indexes_built;
+        self.reorders_applied += o.reorders_applied;
     }
 }
 
@@ -63,7 +79,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={}",
+            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={}",
             self.iterations,
             self.rule_applications,
             self.tuples_derived,
@@ -71,7 +87,10 @@ impl fmt::Display for EvalStats {
             self.tuples_deleted,
             self.temp_indexes_built,
             self.index_probes,
-            self.filtered_out
+            self.filtered_out,
+            self.candidates_scanned,
+            self.delta_indexes_built,
+            self.reorders_applied
         )
     }
 }
@@ -91,6 +110,9 @@ mod tests {
             temp_indexes_built: 6,
             index_probes: 7,
             filtered_out: 8,
+            candidates_scanned: 9,
+            delta_indexes_built: 10,
+            reorders_applied: 11,
         };
         let b = a;
         a.merge(&b);
@@ -102,6 +124,9 @@ mod tests {
         assert_eq!(a.temp_indexes_built, 12);
         assert_eq!(a.index_probes, 14);
         assert_eq!(a.filtered_out, 16);
+        assert_eq!(a.candidates_scanned, 18);
+        assert_eq!(a.delta_indexes_built, 20);
+        assert_eq!(a.reorders_applied, 22);
     }
 
     #[test]
@@ -116,6 +141,9 @@ mod tests {
             "temp_indexes",
             "probes",
             "filtered",
+            "candidates",
+            "delta_indexes",
+            "reorders",
         ] {
             assert!(s.contains(key), "missing {key} in `{s}`");
         }

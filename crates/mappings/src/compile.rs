@@ -158,6 +158,31 @@ impl CompiledMapping {
             })
             .collect()
     }
+
+    /// Borrowed variant of [`CompiledMapping::instantiate_sources`]: relation
+    /// names come back as `&str`, so the caller allocates nothing but the
+    /// instantiated tuples themselves. This is the provenance-graph
+    /// construction hot path.
+    pub fn sources_iter<'a>(&'a self, row: &'a Tuple) -> impl Iterator<Item = (&'a str, Tuple)> {
+        self.sources
+            .iter()
+            .map(move |t| (t.relation.as_str(), t.instantiate(row)))
+    }
+
+    /// Borrowed variant of [`CompiledMapping::instantiate_targets`].
+    pub fn targets_iter<'a>(
+        &'a self,
+        table_index: usize,
+        row: &'a Tuple,
+    ) -> impl Iterator<Item = (&'a str, Tuple)> {
+        self.provenance[table_index]
+            .target_indexes
+            .iter()
+            .map(move |&ti| {
+                let t = &self.targets[ti];
+                (t.relation.as_str(), t.instantiate(row))
+            })
+    }
 }
 
 /// Allocates globally unique Skolem function ids across all mappings of a

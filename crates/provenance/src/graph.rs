@@ -55,7 +55,11 @@ struct MappingNode {
 pub struct ProvenanceGraph {
     tuples: Vec<TupleNode>,
     mappings: Vec<MappingNode>,
-    tuple_index: HashMap<(String, Tuple), TupleNodeId>,
+    /// Nested index (relation → tuple → node) so the hot lookups
+    /// ([`ProvenanceGraph::tuple_node`], [`ProvenanceGraph::ensure_tuple`])
+    /// are allocation-free: the outer map is probed with `&str`, the inner
+    /// with `&Tuple`.
+    tuple_index: HashMap<String, HashMap<Tuple, TupleNodeId>>,
     mapping_dedup: HashSet<(MappingId, Vec<TupleNodeId>, Vec<TupleNodeId>)>,
 }
 
@@ -75,11 +79,9 @@ impl ProvenanceGraph {
         self.mappings.len()
     }
 
-    /// Look up the node for a tuple, if present.
+    /// Look up the node for a tuple, if present. Allocation-free.
     pub fn tuple_node(&self, relation: &str, tuple: &Tuple) -> Option<TupleNodeId> {
-        self.tuple_index
-            .get(&(relation.to_string(), tuple.clone()))
-            .copied()
+        self.tuple_index.get(relation)?.get(tuple).copied()
     }
 
     /// The (relation, tuple) pair of a node.
@@ -88,29 +90,34 @@ impl ProvenanceGraph {
         (&n.relation, &n.tuple)
     }
 
-    /// Get or create the tuple node for `(relation, tuple)`.
-    pub fn ensure_tuple(&mut self, relation: &str, tuple: Tuple) -> TupleNodeId {
-        let key = (relation.to_string(), tuple.clone());
-        if let Some(&id) = self.tuple_index.get(&key) {
+    /// Get or create the tuple node for `(relation, tuple)`. Only a cache
+    /// miss clones the arguments.
+    pub fn ensure_tuple(&mut self, relation: &str, tuple: &Tuple) -> TupleNodeId {
+        if let Some(&id) = self.tuple_index.get(relation).and_then(|m| m.get(tuple)) {
             return id;
         }
         let id = TupleNodeId(self.tuples.len());
         self.tuples.push(TupleNode {
             relation: relation.to_string(),
-            tuple,
+            tuple: tuple.clone(),
             base_token: None,
             derived_by: Vec::new(),
             feeds: Vec::new(),
         });
-        self.tuple_index.insert(key, id);
+        self.tuple_index
+            .entry(relation.to_string())
+            .or_default()
+            .insert(tuple.clone(), id);
         id
     }
 
     /// Mark a tuple as base data (a local contribution): it is annotated with
     /// its own provenance token.
-    pub fn mark_base(&mut self, relation: &str, tuple: Tuple) -> TupleNodeId {
-        let id = self.ensure_tuple(relation, tuple.clone());
-        self.tuples[id.0].base_token = Some(ProvenanceToken::new(relation, tuple));
+    pub fn mark_base(&mut self, relation: &str, tuple: &Tuple) -> TupleNodeId {
+        let id = self.ensure_tuple(relation, tuple);
+        if self.tuples[id.0].base_token.is_none() {
+            self.tuples[id.0].base_token = Some(ProvenanceToken::new(relation, tuple.clone()));
+        }
         id
     }
 
@@ -131,31 +138,32 @@ impl ProvenanceGraph {
         let mapping = mapping.into();
         let source_ids: Vec<TupleNodeId> = sources
             .iter()
-            .map(|(r, t)| self.ensure_tuple(r, t.clone()))
+            .map(|(r, t)| self.ensure_tuple(r, t))
             .collect();
         let target_ids: Vec<TupleNodeId> = targets
             .iter()
-            .map(|(r, t)| self.ensure_tuple(r, t.clone()))
+            .map(|(r, t)| self.ensure_tuple(r, t))
             .collect();
 
-        let key = (mapping.clone(), source_ids.clone(), target_ids.clone());
+        let key = (mapping, source_ids, target_ids);
         if self.mapping_dedup.contains(&key) {
             return None;
         }
+        let (mapping, source_ids, target_ids) = key.clone();
         self.mapping_dedup.insert(key);
 
         let id = MappingNodeId(self.mappings.len());
-        self.mappings.push(MappingNode {
-            mapping,
-            sources: source_ids.clone(),
-            targets: target_ids.clone(),
-        });
         for s in &source_ids {
             self.tuples[s.0].feeds.push(id);
         }
         for t in &target_ids {
             self.tuples[t.0].derived_by.push(id);
         }
+        self.mappings.push(MappingNode {
+            mapping,
+            sources: source_ids,
+            targets: target_ids,
+        });
         Some(id)
     }
 
@@ -384,10 +392,10 @@ mod tests {
     /// m3: B(i,n) -> U(n, c)       gives U(5,c1), U(2,c2), U(3,c3)
     fn example_graph() -> ProvenanceGraph {
         let mut g = ProvenanceGraph::new();
-        g.mark_base("G", int_tuple(&[1, 2, 3]));
-        g.mark_base("G", int_tuple(&[3, 5, 2]));
-        g.mark_base("B", int_tuple(&[3, 5]));
-        g.mark_base("U", int_tuple(&[2, 5]));
+        g.mark_base("G", &int_tuple(&[1, 2, 3]));
+        g.mark_base("G", &int_tuple(&[3, 5, 2]));
+        g.mark_base("B", &int_tuple(&[3, 5]));
+        g.mark_base("U", &int_tuple(&[2, 5]));
 
         g.add_derivation(
             "m1",
@@ -494,7 +502,7 @@ mod tests {
         );
 
         // Adding a base anchor makes both derivable.
-        g.mark_base("A", int_tuple(&[1]));
+        g.mark_base("A", &int_tuple(&[1]));
         assert!(g.derivable("A", &int_tuple(&[1]), |_| true));
         assert!(g.derivable("B", &int_tuple(&[1]), |_| true));
         let e = g.expression_for("B", &int_tuple(&[1]));

@@ -159,6 +159,17 @@ impl EditLog {
     /// peer's local-contributions table from earlier publishes; deleting one
     /// of those retracts the contribution rather than creating a rejection.
     pub fn normalize(&self, previously_contributed: &HashSet<Tuple>) -> NormalizedEdits {
+        self.normalize_with(|t| previously_contributed.contains(t))
+    }
+
+    /// Like [`EditLog::normalize`], but with membership in the prior
+    /// contributions answered by a predicate — callers holding a
+    /// [`crate::Relation`] can pass `|t| rel.contains(t)` directly instead
+    /// of materialising its tuples into a set first.
+    pub fn normalize_with(
+        &self,
+        previously_contributed: impl Fn(&Tuple) -> bool,
+    ) -> NormalizedEdits {
         let mut inserted: Vec<Tuple> = Vec::new();
         let mut inserted_set: HashSet<Tuple> = HashSet::new();
         let mut rejections: Vec<Tuple> = Vec::new();
@@ -186,7 +197,7 @@ impl EditLog {
                         // Deleting something inserted earlier in this same log:
                         // the insertion simply never happened.
                         inserted.retain(|t| t != &op.tuple);
-                    } else if previously_contributed.contains(&op.tuple) {
+                    } else if previously_contributed(&op.tuple) {
                         // Deleting one of the peer's own earlier contributions:
                         // remove it from R_l (a retraction), not a rejection.
                         if retracted_set.insert(op.tuple.clone()) {

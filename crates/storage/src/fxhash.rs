@@ -1,0 +1,190 @@
+//! Fast, deterministic hashing for the storage hot paths.
+//!
+//! The default `std` hasher (SipHash-1-3 behind `RandomState`) is designed
+//! to resist hash-flooding from adversarial keys. The storage layer's inner
+//! loops — tuple set membership, join-index maintenance, probe keys —
+//! hash short, trusted, internally generated data millions of times per
+//! exchange, where SipHash's per-call overhead dominates. Two special-purpose
+//! hashers fix that:
+//!
+//! * [`FxHasher`] — the multiply-rotate word hasher popularized by Firefox
+//!   and rustc. Used to compute **content hashes** (of values, strings, and
+//!   whole tuples) exactly once, at construction.
+//! * [`IdentityHasher`] — a pass-through for maps whose keys *are already*
+//!   such content hashes (`u64`), so bucketing costs a single multiply
+//!   instead of re-hashing the hash.
+//!
+//! Tuple *contents* can originate from untrusted network peers (the wire
+//! layer re-encodes payloads, but re-encoding preserves content), so the Fx
+//! state is seeded with a **per-process random value**: collisions cannot be
+//! precomputed offline against a public constant. Fx's mixing is still far
+//! weaker than SipHash — a peer who can observe timing side channels in
+//! detail might search for collisions adaptively — which is an accepted
+//! trade-off for an order-of-magnitude cheaper hot loop; revisit if the
+//! system ever faces genuinely adversarial multi-tenant traffic.
+
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Per-process random initial state for content hashing. Content hashes are
+/// never persisted or sent over the wire (codecs rebuild values through
+/// their constructors), so the seed only needs intra-process stability.
+fn process_seed() -> u64 {
+    static PROCESS_SEED: OnceLock<u64> = OnceLock::new();
+    *PROCESS_SEED.get_or_init(|| {
+        use std::hash::BuildHasher;
+        // RandomState draws from the OS entropy pool once per process.
+        std::collections::hash_map::RandomState::new().hash_one(0x5eed_u64)
+    })
+}
+
+/// The rustc/Firefox "Fx" word-at-a-time hasher, starting from a
+/// per-process random state (see [`process_seed`]).
+#[derive(Debug, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher {
+            hash: process_seed(),
+        }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add(u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            tail[7] = bytes.len() as u8;
+            self.add(u64::from_ne_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// Build-hasher for [`FxHasher`]. Zero-sized and deterministic **within one
+/// process**: equal input always hashes equally across instances, but the
+/// per-process random seed makes hashes differ between runs (nothing
+/// persists or transmits them).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Pass-through hasher for maps keyed by precomputed `u64` content hashes.
+/// A final multiply re-mixes the bits so maps indexed by the low bits still
+/// spread Fx output well.
+#[derive(Debug, Default, Clone)]
+pub struct IdentityHasher {
+    hash: u64,
+}
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash.wrapping_mul(SEED)
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher is only for u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = v;
+    }
+}
+
+/// Build-hasher for [`IdentityHasher`].
+pub type IdBuildHasher = BuildHasherDefault<IdentityHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn fx_is_deterministic_and_input_sensitive() {
+        let bh = FxBuildHasher::default();
+        let h = |s: &str| bh.hash_one(s);
+        assert_eq!(h("hello"), h("hello"));
+        assert_ne!(h("hello"), h("hellp"));
+        assert_ne!(h(""), h("\0"));
+        // Chunked vs tail boundaries.
+        assert_ne!(h("12345678"), h("123456789"));
+    }
+
+    #[test]
+    fn fx_integer_writes_match_hash_trait() {
+        let bh = FxBuildHasher::default();
+        let a = bh.hash_one(42u64);
+        let b = bh.hash_one(42u64);
+        assert_eq!(a, b);
+        assert_ne!(bh.hash_one(42u64), bh.hash_one(43u64));
+    }
+
+    #[test]
+    fn identity_map_works_with_u64_keys() {
+        let mut m: HashMap<u64, &str, IdBuildHasher> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&0x9E37_79B9_7F4A_7C15u64));
+    }
+
+    #[test]
+    fn value_hashing_through_fx_is_consistent() {
+        use crate::value::Value;
+        let bh = FxBuildHasher::default();
+        let hash_of = |v: &Value| bh.hash_one(v);
+        assert_eq!(hash_of(&Value::int(5)), hash_of(&Value::int(5)));
+        assert_ne!(hash_of(&Value::int(5)), hash_of(&Value::text("5")));
+        assert_eq!(hash_of(&Value::text("ab")), hash_of(&Value::text("ab")));
+    }
+}

@@ -1,22 +1,159 @@
-//! Hash indexes over column subsets of a relation.
+//! ID-addressed hash indexes over column subsets of a relation.
 //!
 //! The Tukwila-style pipelined execution backend (paper §5.2) relies on
 //! being able to probe a relation by a bound subset of its columns while
 //! joining rule bodies; the DB2-style batch backend builds the same indexes
 //! lazily per rule application. Both are served by [`HashIndex`].
+//!
+//! The index is deliberately **zero-copy**: it never stores tuples or even
+//! projected key values. Each entry maps the *hash* of a tuple's projection
+//! onto the indexed columns (computed in place, no `Vec<Value>` key is ever
+//! materialised) to a small inline vector of [`TupleId`]s addressing the
+//! owning relation's tuple slab. A probe therefore returns candidate ids
+//! whose projection *hash* matches; because distinct keys can collide on the
+//! hash, **callers must re-verify the bound columns against each candidate
+//! tuple** (the join pipeline does this anyway, so verification is free).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+use crate::fxhash::{FxBuildHasher, IdBuildHasher};
 
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// A hash index mapping a key (the projection of a tuple onto a fixed set of
-/// column positions) to the list of tuples with that key.
-#[derive(Debug, Clone, Default)]
+/// A stable identifier of a tuple inside one [`crate::Relation`]'s slab (or,
+/// for throwaway delta indexes, an offset into a delta slice).
+///
+/// Ids are relation-local: they are assigned on insertion, stay valid until
+/// the tuple is removed, and may be reused afterwards. They are `u32` so id
+/// buckets pack four ids into the space of a single `Tuple` handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// Build an id from a slab/slice offset.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        TupleId(u32::try_from(i).expect("relation slab exceeds u32 addressing"))
+    }
+
+    /// The slab/slice offset this id addresses.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How many ids an [`IdVec`] stores inline before spilling to the heap.
+const IDVEC_INLINE: usize = 4;
+
+/// A small-vector of [`TupleId`]s: up to [`IDVEC_INLINE`] ids inline, then a
+/// heap `Vec`. Join keys are usually close to unique, so the inline form
+/// covers almost every bucket without a per-bucket heap allocation.
+#[derive(Debug, Clone)]
+pub enum IdVec {
+    /// Up to `IDVEC_INLINE` ids stored inline.
+    Inline {
+        /// Number of occupied slots.
+        len: u8,
+        /// Id storage; slots at `len..` are meaningless.
+        ids: [TupleId; IDVEC_INLINE],
+    },
+    /// Spilled to the heap.
+    Heap(Vec<TupleId>),
+}
+
+impl Default for IdVec {
+    fn default() -> Self {
+        IdVec::Inline {
+            len: 0,
+            ids: [TupleId(0); IDVEC_INLINE],
+        }
+    }
+}
+
+impl IdVec {
+    /// Number of stored ids.
+    pub fn len(&self) -> usize {
+        match self {
+            IdVec::Inline { len, .. } => *len as usize,
+            IdVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when no ids are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored ids as a slice.
+    pub fn as_slice(&self) -> &[TupleId] {
+        match self {
+            IdVec::Inline { len, ids } => &ids[..*len as usize],
+            IdVec::Heap(v) => v,
+        }
+    }
+
+    /// Append an id, spilling to the heap when the inline capacity is full.
+    pub fn push(&mut self, id: TupleId) {
+        match self {
+            IdVec::Inline { len, ids } => {
+                if (*len as usize) < IDVEC_INLINE {
+                    ids[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(IDVEC_INLINE * 2);
+                    v.extend_from_slice(&ids[..]);
+                    v.push(id);
+                    *self = IdVec::Heap(v);
+                }
+            }
+            IdVec::Heap(v) => v.push(id),
+        }
+    }
+
+    /// Remove one occurrence of `id` (order is not preserved). Returns true
+    /// if it was present.
+    pub fn swap_remove_id(&mut self, id: TupleId) -> bool {
+        match self {
+            IdVec::Inline { len, ids } => {
+                let n = *len as usize;
+                if let Some(pos) = ids[..n].iter().position(|&x| x == id) {
+                    ids[pos] = ids[n - 1];
+                    *len -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            IdVec::Heap(v) => {
+                if let Some(pos) = v.iter().position(|&x| x == id) {
+                    v.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// A hash index mapping the in-place hash of a tuple's projection onto a
+/// fixed set of column positions to the ids of tuples with that projection
+/// hash. See the module docs for the collision contract.
+#[derive(Debug, Clone)]
 pub struct HashIndex {
     columns: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<Tuple>>,
+    hasher: FxBuildHasher,
+    map: HashMap<u64, IdVec, IdBuildHasher>,
     len: usize,
+}
+
+impl Default for HashIndex {
+    fn default() -> Self {
+        HashIndex::new(Vec::new())
+    }
 }
 
 impl HashIndex {
@@ -24,16 +161,20 @@ impl HashIndex {
     pub fn new(columns: Vec<usize>) -> Self {
         HashIndex {
             columns,
-            map: HashMap::new(),
+            hasher: FxBuildHasher::default(),
+            map: HashMap::default(),
             len: 0,
         }
     }
 
-    /// Build an index over the given columns from an iterator of tuples.
-    pub fn build<'a>(columns: Vec<usize>, tuples: impl IntoIterator<Item = &'a Tuple>) -> Self {
+    /// Build an index over the given columns from `(id, tuple)` pairs.
+    pub fn build_from<'a>(
+        columns: Vec<usize>,
+        entries: impl IntoIterator<Item = (TupleId, &'a Tuple)>,
+    ) -> Self {
         let mut idx = HashIndex::new(columns);
-        for t in tuples {
-            idx.insert(t.clone());
+        for (id, t) in entries {
+            idx.insert(id, t);
         }
         idx
     }
@@ -43,57 +184,78 @@ impl HashIndex {
         &self.columns
     }
 
-    /// Number of indexed tuples.
+    /// Number of indexed ids.
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// True if no tuples are indexed.
+    /// True if no ids are indexed.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
-    /// Number of distinct keys in the index.
+    /// Number of distinct hash buckets (equals the number of distinct keys
+    /// up to hash collisions).
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
 
-    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
-        self.columns.iter().map(|&c| tuple[c].clone()).collect()
+    /// Hash a sequence of values with this index's hasher. The projection of
+    /// a tuple and a caller-assembled probe key hash identically as long as
+    /// they yield equal values in the same order.
+    fn hash_values<'v>(&self, vals: impl Iterator<Item = &'v Value>) -> u64 {
+        let mut h = self.hasher.build_hasher();
+        for v in vals {
+            v.hash(&mut h);
+        }
+        h.finish()
     }
 
-    /// Insert a tuple into the index.
-    pub fn insert(&mut self, tuple: Tuple) {
-        let key = self.key_of(&tuple);
-        self.map.entry(key).or_default().push(tuple);
+    /// The bucket hash of a tuple's projection onto the indexed columns,
+    /// computed in place (no key is materialised).
+    #[inline]
+    pub fn hash_of(&self, tuple: &Tuple) -> u64 {
+        self.hash_values(self.columns.iter().map(|&c| &tuple[c]))
+    }
+
+    /// Insert a tuple's id into the index.
+    pub fn insert(&mut self, id: TupleId, tuple: &Tuple) {
+        let h = self.hash_of(tuple);
+        self.map.entry(h).or_default().push(id);
         self.len += 1;
     }
 
-    /// Remove one occurrence of a tuple from the index. Returns true if the
-    /// tuple was present.
-    pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        let key = self.key_of(tuple);
-        if let Some(bucket) = self.map.get_mut(&key) {
-            if let Some(pos) = bucket.iter().position(|t| t == tuple) {
-                bucket.swap_remove(pos);
-                self.len -= 1;
-                if bucket.is_empty() {
-                    self.map.remove(&key);
-                }
-                return true;
+    /// Remove a tuple's id from the index. Returns true if the id was
+    /// present; `len` only shrinks when it actually was (so a double-remove
+    /// cannot underflow the bookkeeping).
+    pub fn remove(&mut self, id: TupleId, tuple: &Tuple) -> bool {
+        let h = self.hash_of(tuple);
+        let Some(bucket) = self.map.get_mut(&h) else {
+            return false;
+        };
+        let removed = bucket.swap_remove_id(id);
+        if removed {
+            self.len -= 1;
+            if bucket.is_empty() {
+                self.map.remove(&h);
             }
         }
-        false
+        removed
     }
 
-    /// All tuples whose projection on the indexed columns equals `key`.
-    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    /// Ids of tuples whose projection onto the indexed columns *hashes* like
+    /// `key`. Callers must verify the bound columns against each candidate —
+    /// distinct keys can share a bucket.
+    pub fn probe_ids(&self, key: &[Value]) -> &[TupleId] {
+        let h = self.hash_values(key.iter());
+        self.map.get(&h).map(IdVec::as_slice).unwrap_or(&[])
     }
 
-    /// Iterate over all (key, bucket) pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<Tuple>)> {
-        self.map.iter()
+    /// Like [`HashIndex::probe_ids`] but for a key assembled from borrowed
+    /// values (the join pipeline's scratch key holds `&Value`s).
+    pub fn probe_ids_ref(&self, key: &[&Value]) -> &[TupleId] {
+        let h = self.hash_values(key.iter().copied());
+        self.map.get(&h).map(IdVec::as_slice).unwrap_or(&[])
     }
 
     /// Drop all entries, keeping the column specification.
@@ -108,6 +270,22 @@ mod tests {
     use super::*;
     use crate::tuple::int_tuple;
 
+    fn ids(tuples: &[Tuple]) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId::from_index(i), t))
+    }
+
+    /// Probe and verify, as real callers must.
+    fn probe_verified<'a>(idx: &HashIndex, tuples: &'a [Tuple], key: &[Value]) -> Vec<&'a Tuple> {
+        idx.probe_ids(key)
+            .iter()
+            .map(|id| &tuples[id.index()])
+            .filter(|t| idx.columns().iter().zip(key).all(|(&c, v)| &t[c] == v))
+            .collect()
+    }
+
     #[test]
     fn build_and_probe() {
         let tuples = [
@@ -115,34 +293,134 @@ mod tests {
             int_tuple(&[1, 20]),
             int_tuple(&[2, 30]),
         ];
-        let idx = HashIndex::build(vec![0], tuples.iter());
+        let idx = HashIndex::build_from(vec![0], ids(&tuples));
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.distinct_keys(), 2);
-        assert_eq!(idx.probe(&[Value::int(1)]).len(), 2);
-        assert_eq!(idx.probe(&[Value::int(2)]).len(), 1);
-        assert_eq!(idx.probe(&[Value::int(3)]).len(), 0);
+        assert_eq!(probe_verified(&idx, &tuples, &[Value::int(1)]).len(), 2);
+        assert_eq!(probe_verified(&idx, &tuples, &[Value::int(2)]).len(), 1);
+        assert_eq!(probe_verified(&idx, &tuples, &[Value::int(3)]).len(), 0);
         assert_eq!(idx.columns(), &[0]);
     }
 
     #[test]
     fn multi_column_keys() {
         let tuples = [int_tuple(&[1, 10, 5]), int_tuple(&[1, 20, 5])];
-        let idx = HashIndex::build(vec![0, 2], tuples.iter());
-        assert_eq!(idx.probe(&[Value::int(1), Value::int(5)]).len(), 2);
-        assert_eq!(idx.probe(&[Value::int(1), Value::int(10)]).len(), 0);
+        let idx = HashIndex::build_from(vec![0, 2], ids(&tuples));
+        let k = [Value::int(1), Value::int(5)];
+        assert_eq!(probe_verified(&idx, &tuples, &k).len(), 2);
+        let k = [Value::int(1), Value::int(10)];
+        assert_eq!(probe_verified(&idx, &tuples, &k).len(), 0);
     }
 
     #[test]
-    fn insert_and_remove() {
+    fn probe_by_ref_key_agrees_with_owned_key() {
+        let tuples = [int_tuple(&[7, 1]), int_tuple(&[7, 2]), int_tuple(&[8, 3])];
+        let idx = HashIndex::build_from(vec![0], ids(&tuples));
+        let owned = [Value::int(7)];
+        let refs: Vec<&Value> = owned.iter().collect();
+        assert_eq!(idx.probe_ids(&owned), idx.probe_ids_ref(&refs));
+        assert_eq!(idx.probe_ids(&owned).len(), 2);
+    }
+
+    #[test]
+    fn insert_and_remove_keep_len_consistent() {
+        let t1 = int_tuple(&[7, 1]);
+        let t2 = int_tuple(&[7, 2]);
         let mut idx = HashIndex::new(vec![0]);
-        idx.insert(int_tuple(&[7, 1]));
-        idx.insert(int_tuple(&[7, 2]));
-        assert!(idx.remove(&int_tuple(&[7, 1])));
-        assert!(!idx.remove(&int_tuple(&[7, 1])));
-        assert_eq!(idx.probe(&[Value::int(7)]).len(), 1);
+        idx.insert(TupleId(0), &t1);
+        idx.insert(TupleId(1), &t2);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.remove(TupleId(0), &t1));
+        // Double-remove of the same id must not disturb the bookkeeping.
+        assert!(!idx.remove(TupleId(0), &t1));
         assert_eq!(idx.len(), 1);
+        assert_eq!(idx.probe_ids(&[Value::int(7)]), &[TupleId(1)]);
         idx.clear();
         assert!(idx.is_empty());
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn remove_with_wrong_tuple_for_id_is_a_noop() {
+        // The id is present but under a different key's bucket: the remove
+        // must not find it (and must not corrupt `len`).
+        let t1 = int_tuple(&[7, 1]);
+        let other = int_tuple(&[9, 9]);
+        let mut idx = HashIndex::new(vec![0]);
+        idx.insert(TupleId(0), &t1);
+        assert!(!idx.remove(TupleId(0), &other));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(TupleId(0), &t1));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_maintenance() {
+        let tuples: Vec<Tuple> = (0..50).map(|i| int_tuple(&[i % 7, i])).collect();
+        let built = HashIndex::build_from(vec![0], ids(&tuples));
+        let mut maintained = HashIndex::new(vec![0]);
+        for (id, t) in ids(&tuples) {
+            maintained.insert(id, t);
+        }
+        assert_eq!(built.len(), maintained.len());
+        for k in 0..7 {
+            let key = [Value::int(k)];
+            let mut a: Vec<TupleId> = built.probe_ids(&key).to_vec();
+            let mut b: Vec<TupleId> = maintained.probe_ids(&key).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            // Same hasher instance? No — different RandomState per index, but
+            // the *verified* candidate sets must agree.
+            let va = probe_verified(&built, &tuples, &key).len();
+            let vb = probe_verified(&maintained, &tuples, &key).len();
+            assert_eq!(va, vb);
+            assert!(!a.is_empty() && !b.is_empty());
+        }
+    }
+
+    #[test]
+    fn len_is_sum_of_bucket_lens_under_churn() {
+        let tuples: Vec<Tuple> = (0..40).map(|i| int_tuple(&[i % 5, i])).collect();
+        let mut idx = HashIndex::new(vec![0]);
+        for (id, t) in ids(&tuples) {
+            idx.insert(id, t);
+        }
+        // Remove every third tuple, then re-add half of those.
+        for (i, t) in tuples.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+            assert!(idx.remove(TupleId::from_index(i), t));
+        }
+        for (i, t) in tuples.iter().enumerate().filter(|(i, _)| i % 6 == 0) {
+            idx.insert(TupleId::from_index(i), t);
+        }
+        let bucket_sum: usize = (0..5)
+            .map(|k| probe_verified(&idx, &tuples, &[Value::int(k)]).len())
+            .sum();
+        assert_eq!(idx.len(), bucket_sum);
+    }
+
+    #[test]
+    fn idvec_inline_to_heap_transition() {
+        let mut v = IdVec::default();
+        assert!(v.is_empty());
+        for i in 0..10u32 {
+            v.push(TupleId(i));
+            assert_eq!(v.len(), i as usize + 1);
+        }
+        assert!(matches!(v, IdVec::Heap(_)));
+        assert_eq!(v.as_slice().len(), 10);
+        assert!(v.swap_remove_id(TupleId(3)));
+        assert!(!v.swap_remove_id(TupleId(3)));
+        assert_eq!(v.len(), 9);
+
+        // Inline removal shuffles but keeps the set.
+        let mut v = IdVec::default();
+        for i in 0..4u32 {
+            v.push(TupleId(i));
+        }
+        assert!(v.swap_remove_id(TupleId(0)));
+        let mut s: Vec<u32> = v.as_slice().iter().map(|t| t.0).collect();
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2, 3]);
     }
 
     #[test]
@@ -150,7 +428,7 @@ mod tests {
         // A zero-column index is a degenerate "scan bucket"; it must still work
         // because rules with no bound columns fall back to it.
         let tuples = [int_tuple(&[1]), int_tuple(&[2])];
-        let idx = HashIndex::build(vec![], tuples.iter());
-        assert_eq!(idx.probe(&[]).len(), 2);
+        let idx = HashIndex::build_from(vec![], ids(&tuples));
+        assert_eq!(idx.probe_ids(&[]).len(), 2);
     }
 }

@@ -41,6 +41,7 @@
 pub mod database;
 pub mod editlog;
 pub mod error;
+pub mod fxhash;
 pub mod index;
 pub mod relation;
 pub mod schema;
@@ -51,12 +52,13 @@ pub mod value;
 pub use database::Database;
 pub use editlog::{EditLog, EditOp, EditOpKind};
 pub use error::StorageError;
-pub use index::HashIndex;
-pub use relation::Relation;
+pub use fxhash::{FxBuildHasher, IdBuildHasher};
+pub use index::{HashIndex, IdVec, TupleId};
+pub use relation::{Relation, SelectEqRef, TupleIdIter, TupleIter};
 pub use schema::{AttributeName, DataType, RelationName, RelationSchema};
 pub use stats::{DatabaseStats, RelationStats};
 pub use tuple::Tuple;
-pub use value::{SkolemFnId, SkolemValue, Value};
+pub use value::{SkolemFnId, SkolemValue, Str, Value};
 
 /// Convenience result alias used throughout the storage crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

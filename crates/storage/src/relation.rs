@@ -1,13 +1,20 @@
-//! In-memory relation instances with set semantics and secondary indexes.
+//! In-memory relation instances with set semantics, a stable tuple slab, and
+//! ID-addressed secondary indexes.
+//!
+//! Tuples are stored once, in a slab addressed by [`TupleId`]; everything
+//! else (the set-semantics lookup table and every secondary [`HashIndex`])
+//! refers to tuples by id. Indexes are therefore O(ids) rather than O(data),
+//! and the evaluator's join pipeline can work entirely over borrowed
+//! `&Tuple`s resolved from ids — see [`Relation::probe_ids`],
+//! [`Relation::iter_ids`], and [`Relation::select_eq_ref`].
 
 use std::collections::HashMap;
-use std::collections::HashSet;
 use std::fmt;
 
 use crate::error::StorageError;
-use crate::index::HashIndex;
+use crate::index::{HashIndex, IdVec, TupleId};
 use crate::schema::RelationSchema;
-use crate::tuple::Tuple;
+use crate::tuple::{values_hash, Tuple};
 use crate::value::Value;
 use crate::Result;
 
@@ -21,7 +28,18 @@ use crate::Result;
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
-    tuples: HashSet<Tuple>,
+    /// Stable tuple slab: `slab[id]` is the tuple with that [`TupleId`], or
+    /// `None` for a freed slot awaiting reuse.
+    slab: Vec<Option<Tuple>>,
+    /// Freed slab slots, reused before the slab grows.
+    free: Vec<TupleId>,
+    /// Set-semantics lookup: cached content hash → candidate ids, verified
+    /// against the slab. Probing never re-hashes tuple content (tuples
+    /// carry their hash; raw value slices hash once via
+    /// [`values_hash`]), and the map stores ids, not tuple handles.
+    ids: HashMap<u64, IdVec, crate::fxhash::IdBuildHasher>,
+    /// Number of live tuples.
+    live: usize,
     indexes: HashMap<Vec<usize>, HashIndex>,
 }
 
@@ -30,7 +48,10 @@ impl Relation {
     pub fn new(schema: RelationSchema) -> Self {
         Relation {
             schema,
-            tuples: HashSet::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            ids: HashMap::default(),
+            live: 0,
             indexes: HashMap::new(),
         }
     }
@@ -47,17 +68,68 @@ impl Relation {
 
     /// Number of tuples currently stored.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.live
     }
 
     /// True if the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live == 0
     }
 
-    /// Does the relation contain this exact tuple?
+    /// Find the live id whose slab tuple has these values, among the
+    /// candidates bucketed under `hash`.
+    #[inline]
+    fn find_id(&self, hash: u64, values: &[Value]) -> Option<TupleId> {
+        let bucket = self.ids.get(&hash)?;
+        bucket
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&id| self.tuple_by_id(id).values() == values)
+    }
+
+    /// Does the relation contain this exact tuple? Uses the tuple's cached
+    /// content hash — no re-hashing.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.tuples.contains(tuple)
+        self.find_id(tuple.content_hash(), tuple.values()).is_some()
+    }
+
+    /// Does the relation contain a tuple with exactly these values? Unlike
+    /// [`Relation::contains`] this needs no `Tuple` allocation, so the join
+    /// pipeline can test negated literals and duplicate head derivations
+    /// from a scratch buffer.
+    pub fn contains_values(&self, values: &[Value]) -> bool {
+        self.find_id(values_hash(values), values).is_some()
+    }
+
+    /// Like [`Relation::contains_values`] but with the caller supplying the
+    /// precomputed [`values_hash`], so a subsequent
+    /// [`Tuple::from_prehashed`](crate::tuple::Tuple::from_prehashed)
+    /// construction reuses the same hash — one content hash per derived
+    /// row, total.
+    pub fn contains_values_hashed(&self, hash: u64, values: &[Value]) -> bool {
+        debug_assert_eq!(hash, values_hash(values));
+        self.find_id(hash, values).is_some()
+    }
+
+    /// The id of this exact tuple, if present.
+    pub fn id_of(&self, tuple: &Tuple) -> Option<TupleId> {
+        self.find_id(tuple.content_hash(), tuple.values())
+    }
+
+    /// The tuple addressed by `id`, if the slot is live.
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.slab.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// The tuple addressed by `id`; panics on a dead slot (which indicates
+    /// an id-bookkeeping bug, wanted loudly in the join pipeline).
+    #[inline]
+    pub fn tuple_by_id(&self, id: TupleId) -> &Tuple {
+        self.slab[id.index()]
+            .as_ref()
+            .expect("TupleId addresses a live slab slot")
     }
 
     fn check_arity(&self, tuple: &Tuple) -> Result<()> {
@@ -74,44 +146,95 @@ impl Relation {
     /// Insert a tuple. Returns `Ok(true)` if the tuple was new, `Ok(false)`
     /// if it was already present (set semantics).
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        Ok(self.insert_full(tuple)?.1)
+    }
+
+    /// Reserve room for `additional` more tuples across the slab and the
+    /// lookup table, so bulk fixpoint rounds do not pay incremental
+    /// rehash/regrow cascades.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slab.reserve(additional);
+        self.ids.reserve(additional);
+    }
+
+    /// Insert a tuple, returning its id and whether it was new.
+    pub fn insert_full(&mut self, tuple: Tuple) -> Result<(TupleId, bool)> {
         self.check_arity(&tuple)?;
-        let fresh = self.tuples.insert(tuple.clone());
-        if fresh {
-            for idx in self.indexes.values_mut() {
-                idx.insert(tuple.clone());
-            }
+        let hash = tuple.content_hash();
+        if let Some(id) = self.find_id(hash, tuple.values()) {
+            return Ok((id, false));
         }
-        Ok(fresh)
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slab[id.index()] = Some(tuple);
+                id
+            }
+            None => {
+                let id = TupleId::from_index(self.slab.len());
+                self.slab.push(Some(tuple));
+                id
+            }
+        };
+        self.ids.entry(hash).or_default().push(id);
+        self.live += 1;
+        let stored = self.slab[id.index()].as_ref().expect("just stored");
+        for idx in self.indexes.values_mut() {
+            idx.insert(id, stored);
+        }
+        Ok((id, true))
     }
 
     /// Remove a tuple. Returns `Ok(true)` if it was present.
     pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
         self.check_arity(tuple)?;
-        let removed = self.tuples.remove(tuple);
-        if removed {
-            for idx in self.indexes.values_mut() {
-                idx.remove(tuple);
-            }
+        let hash = tuple.content_hash();
+        let Some(id) = self.find_id(hash, tuple.values()) else {
+            return Ok(false);
+        };
+        let bucket = self.ids.get_mut(&hash).expect("bucket found above");
+        bucket.swap_remove_id(id);
+        if bucket.is_empty() {
+            self.ids.remove(&hash);
         }
-        Ok(removed)
+        self.live -= 1;
+        let stored = self.slab[id.index()]
+            .take()
+            .expect("ids map and slab agree");
+        for idx in self.indexes.values_mut() {
+            idx.remove(id, &stored);
+        }
+        self.free.push(id);
+        Ok(true)
     }
 
     /// Remove every tuple, keeping schema and index definitions.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.ids.clear();
+        self.live = 0;
         for idx in self.indexes.values_mut() {
             idx.clear();
         }
     }
 
-    /// Iterate over all tuples (in arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Iterate over all tuples, in slab (insertion) order.
+    pub fn iter(&self) -> TupleIter<'_> {
+        TupleIter {
+            inner: self.slab.iter(),
+        }
+    }
+
+    /// Iterate over `(id, tuple)` pairs, in slab order.
+    pub fn iter_ids(&self) -> TupleIdIter<'_> {
+        TupleIdIter {
+            inner: self.slab.iter().enumerate(),
+        }
     }
 
     /// All tuples, sorted, for deterministic listings in tests and examples.
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.iter().cloned().collect();
         v.sort();
         v
     }
@@ -128,7 +251,13 @@ impl Relation {
             }
         }
         if !self.indexes.contains_key(columns) {
-            let idx = HashIndex::build(columns.to_vec(), self.tuples.iter());
+            let idx = HashIndex::build_from(
+                columns.to_vec(),
+                self.slab
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, slot)| slot.as_ref().map(|t| (TupleId::from_index(i), t))),
+            );
             self.indexes.insert(columns.to_vec(), idx);
         }
         Ok(&self.indexes[columns])
@@ -139,17 +268,35 @@ impl Relation {
         self.indexes.get(columns)
     }
 
-    /// Tuples whose values at `columns` equal `key`, using an index if one
-    /// exists and falling back to a scan otherwise.
-    pub fn select_eq(&self, columns: &[usize], key: &[Value]) -> Vec<Tuple> {
-        if let Some(idx) = self.indexes.get(columns) {
-            return idx.probe(key).to_vec();
+    /// Candidate ids whose projection onto `columns` hashes like `key`, if
+    /// an index over those columns exists. Candidates must be re-verified
+    /// against the key (hash buckets can merge distinct keys).
+    pub fn probe_ids(&self, columns: &[usize], key: &[Value]) -> Option<&[TupleId]> {
+        self.indexes.get(columns).map(|idx| idx.probe_ids(key))
+    }
+
+    /// Borrowed selection: all tuples whose values at `columns` equal `key`,
+    /// using an index if one exists and falling back to a scan otherwise.
+    /// Candidates are verified, so the result is exact.
+    pub fn select_eq_ref<'a>(&'a self, columns: &'a [usize], key: &'a [Value]) -> SelectEqRef<'a> {
+        let inner = match self.indexes.get(columns) {
+            Some(idx) => SelectInner::Probe {
+                rel: self,
+                ids: idx.probe_ids(key).iter(),
+            },
+            None => SelectInner::Scan(self.iter()),
+        };
+        SelectEqRef {
+            inner,
+            columns,
+            key,
         }
-        self.tuples
-            .iter()
-            .filter(|t| columns.iter().zip(key.iter()).all(|(&c, v)| &t[c] == v))
-            .cloned()
-            .collect()
+    }
+
+    /// Tuples whose values at `columns` equal `key`, as owned clones. Prefer
+    /// [`Relation::select_eq_ref`] where a borrow suffices.
+    pub fn select_eq(&self, columns: &[usize], key: &[Value]) -> Vec<Tuple> {
+        self.select_eq_ref(columns, key).cloned().collect()
     }
 
     /// Bulk-insert tuples, returning how many were new.
@@ -178,7 +325,6 @@ impl Relation {
     /// i.e. the certain-answer projection of the instance (paper §2.1).
     pub fn certain_tuples(&self) -> Vec<Tuple> {
         let mut v: Vec<Tuple> = self
-            .tuples
             .iter()
             .filter(|t| !t.has_labeled_null())
             .cloned()
@@ -189,15 +335,98 @@ impl Relation {
 
     /// Total payload size of all tuples in bytes (Figure 6's "DB size").
     pub fn size_bytes(&self) -> usize {
-        self.tuples.iter().map(Tuple::size_bytes).sum()
+        self.iter().map(Tuple::size_bytes).sum()
+    }
+}
+
+/// Borrowed iterator over a relation's tuples (live slab slots).
+#[derive(Debug, Clone)]
+pub struct TupleIter<'a> {
+    inner: std::slice::Iter<'a, Option<Tuple>>,
+}
+
+impl<'a> Iterator for TupleIter<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        for slot in self.inner.by_ref() {
+            if let Some(t) = slot.as_ref() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
+}
+
+/// Borrowed iterator over a relation's `(id, tuple)` pairs.
+#[derive(Debug, Clone)]
+pub struct TupleIdIter<'a> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, Option<Tuple>>>,
+}
+
+impl<'a> Iterator for TupleIdIter<'a> {
+    type Item = (TupleId, &'a Tuple);
+
+    fn next(&mut self) -> Option<(TupleId, &'a Tuple)> {
+        for (i, slot) in self.inner.by_ref() {
+            if let Some(t) = slot.as_ref() {
+                return Some((TupleId::from_index(i), t));
+            }
+        }
+        None
+    }
+}
+
+/// Iterator returned by [`Relation::select_eq_ref`].
+#[derive(Debug)]
+pub struct SelectEqRef<'a> {
+    inner: SelectInner<'a>,
+    columns: &'a [usize],
+    key: &'a [Value],
+}
+
+#[derive(Debug)]
+enum SelectInner<'a> {
+    Probe {
+        rel: &'a Relation,
+        ids: std::slice::Iter<'a, TupleId>,
+    },
+    Scan(TupleIter<'a>),
+}
+
+impl<'a> Iterator for SelectEqRef<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        loop {
+            let t = match &mut self.inner {
+                SelectInner::Probe { rel, ids } => rel.tuple_by_id(*ids.next()?),
+                SelectInner::Scan(it) => it.next()?,
+            };
+            if self
+                .columns
+                .iter()
+                .zip(self.key.iter())
+                .all(|(&c, v)| &t[c] == v)
+            {
+                return Some(t);
+            }
+        }
     }
 }
 
 /// Two relations are equal when they have the same schema and the same set
-/// of tuples; secondary indexes are derived data and do not participate.
+/// of tuples; ids and secondary indexes are derived data and do not
+/// participate.
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.tuples == other.tuples
+        self.schema == other.schema
+            && self.len() == other.len()
+            && self.iter().all(|t| other.contains(t))
     }
 }
 
@@ -254,6 +483,44 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_stable_and_reused_after_removal() {
+        let mut r = rel();
+        let (id1, fresh) = r.insert_full(int_tuple(&[1, 10])).unwrap();
+        assert!(fresh);
+        let (id2, _) = r.insert_full(int_tuple(&[2, 20])).unwrap();
+        assert_ne!(id1, id2);
+        // Duplicate insertion returns the existing id.
+        let (again, fresh) = r.insert_full(int_tuple(&[1, 10])).unwrap();
+        assert_eq!(again, id1);
+        assert!(!fresh);
+        // id lookup and resolution agree.
+        assert_eq!(r.id_of(&int_tuple(&[2, 20])), Some(id2));
+        assert_eq!(r.tuple(id2), Some(&int_tuple(&[2, 20])));
+        assert_eq!(r.tuple_by_id(id1), &int_tuple(&[1, 10]));
+        // Removal frees the slot; the next insert reuses it.
+        r.remove(&int_tuple(&[1, 10])).unwrap();
+        assert_eq!(r.tuple(id1), None);
+        let (id3, _) = r.insert_full(int_tuple(&[3, 30])).unwrap();
+        assert_eq!(id3, id1, "freed slot is reused");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iter_ids_matches_iter() {
+        let mut r = rel();
+        for i in 0..5 {
+            r.insert(int_tuple(&[i, i * 10])).unwrap();
+        }
+        r.remove(&int_tuple(&[2, 20])).unwrap();
+        let via_ids: Vec<&Tuple> = r.iter_ids().map(|(_, t)| t).collect();
+        let direct: Vec<&Tuple> = r.iter().collect();
+        assert_eq!(via_ids, direct);
+        for (id, t) in r.iter_ids() {
+            assert_eq!(r.tuple_by_id(id), t);
+        }
+    }
+
+    #[test]
     fn indexes_stay_consistent_under_mutation() {
         let mut r = rel();
         r.insert(int_tuple(&[1, 10])).unwrap();
@@ -261,9 +528,17 @@ mod tests {
         r.insert(int_tuple(&[1, 20])).unwrap();
         r.insert(int_tuple(&[2, 30])).unwrap();
         r.remove(&int_tuple(&[1, 10])).unwrap();
-        let idx = r.index(&[0]).unwrap();
-        assert_eq!(idx.probe(&[Value::int(1)]).len(), 1);
-        assert_eq!(idx.probe(&[Value::int(2)]).len(), 1);
+        let cols = [0usize];
+        let one = [Value::int(1)];
+        let two = [Value::int(2)];
+        assert_eq!(r.select_eq_ref(&cols, &one).count(), 1);
+        assert_eq!(r.select_eq_ref(&cols, &two).count(), 1);
+        // The freed slot's id must have left the index: re-inserting a tuple
+        // with a *different* key into the reused slot must not resurrect it.
+        r.insert(int_tuple(&[9, 90])).unwrap();
+        assert_eq!(r.select_eq_ref(&cols, &one).count(), 1);
+        assert_eq!(r.select_eq_ref(&cols, &[Value::int(9)]).count(), 1);
+        assert_eq!(r.index(&cols).unwrap().len(), r.len());
     }
 
     #[test]
@@ -281,10 +556,21 @@ mod tests {
         r.insert(int_tuple(&[2, 30])).unwrap();
         // no index: scan
         assert_eq!(r.select_eq(&[0], &[Value::int(1)]).len(), 2);
+        assert!(r.probe_ids(&[0], &[Value::int(1)]).is_none());
         // with index: probe
         r.ensure_index(&[0]).unwrap();
         assert_eq!(r.select_eq(&[0], &[Value::int(1)]).len(), 2);
         assert_eq!(r.select_eq(&[0], &[Value::int(9)]).len(), 0);
+        assert!(r.probe_ids(&[0], &[Value::int(1)]).is_some());
+    }
+
+    #[test]
+    fn contains_values_matches_contains() {
+        let mut r = rel();
+        r.insert(int_tuple(&[3, 5])).unwrap();
+        assert!(r.contains_values(&[Value::int(3), Value::int(5)]));
+        assert!(!r.contains_values(&[Value::int(5), Value::int(3)]));
+        assert!(!r.contains_values(&[Value::int(3)]));
     }
 
     #[test]
@@ -326,6 +612,23 @@ mod tests {
         let v = r.sorted_tuples();
         assert_eq!(v[0], int_tuple(&[1, 0]));
         assert_eq!(v[2], int_tuple(&[3, 0]));
+    }
+
+    #[test]
+    fn equality_ignores_ids_and_indexes() {
+        let mut a = rel();
+        let mut b = rel();
+        a.insert(int_tuple(&[1, 1])).unwrap();
+        a.insert(int_tuple(&[2, 2])).unwrap();
+        // b gets the same tuples in a different slab layout, plus an index.
+        b.insert(int_tuple(&[9, 9])).unwrap();
+        b.insert(int_tuple(&[2, 2])).unwrap();
+        b.remove(&int_tuple(&[9, 9])).unwrap();
+        b.insert(int_tuple(&[1, 1])).unwrap();
+        b.ensure_index(&[0]).unwrap();
+        assert_eq!(a, b);
+        b.insert(int_tuple(&[3, 3])).unwrap();
+        assert_ne!(a, b);
     }
 
     #[test]

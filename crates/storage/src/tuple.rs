@@ -1,6 +1,8 @@
 //! Tuples: immutable, cheaply clonable rows of [`Value`]s.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Index;
 use std::sync::Arc;
 
@@ -14,16 +16,51 @@ use crate::value::Value;
 /// between a peer's input table, its curated output table, and the
 /// provenance relations that mention it, without copying the (potentially
 /// large, SWISS-PROT sized) string payloads.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// The **content hash is computed once at construction** (see
+/// [`Tuple::content_hash`]): every hash container keyed by tuples — relation
+/// sets, dedup sets, provenance-graph node tables — then hashes 8 bytes per
+/// operation instead of re-walking the row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tuple {
     values: Arc<[Value]>,
+    hash: u64,
+}
+
+/// The canonical content hash of a row: the deterministic hash of its value
+/// slice. [`Tuple::new`] caches exactly this, so a value slice that has not
+/// been wrapped in a `Tuple` yet (e.g. a join head scratch buffer) can still
+/// be tested against id-addressed relation storage without allocating.
+pub fn values_hash(values: &[Value]) -> u64 {
+    let mut h = crate::fxhash::FxHasher::default();
+    values.hash(&mut h);
+    h.finish()
 }
 
 impl Tuple {
     /// Create a tuple from a vector of values.
     pub fn new(values: Vec<Value>) -> Self {
+        let hash = values_hash(&values);
         Tuple {
             values: values.into(),
+            hash,
+        }
+    }
+
+    /// The content hash cached at construction (equals
+    /// [`values_hash`] of [`Tuple::values`]).
+    #[inline]
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Create a tuple whose [`values_hash`] the caller already computed
+    /// (e.g. for a duplicate check against a relation before allocating).
+    pub fn from_prehashed(values: Vec<Value>, hash: u64) -> Self {
+        debug_assert_eq!(hash, values_hash(&values));
+        Tuple {
+            values: values.into(),
+            hash,
         }
     }
 
@@ -85,6 +122,42 @@ impl Tuple {
     /// Iterate over the values.
     pub fn iter(&self) -> std::slice::Iter<'_, Value> {
         self.values.iter()
+    }
+}
+
+/// Equality compares the cached hashes first (a constant-time negative fast
+/// path), then the value slices; consistent because equal slices always
+/// cache equal hashes.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.values, &other.values) || self.values == other.values)
+    }
+}
+
+impl Eq for Tuple {}
+
+/// Hashing writes the cached content hash. Hash containers must therefore
+/// only ever be probed with keys hashed the same way (other `Tuple`s, or
+/// raw-hash structures fed from [`values_hash`]) — never with a bare
+/// `[Value]` slice.
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Ordering is by value content (the cached hash does not participate), so
+/// sorted listings stay deterministic and human-meaningful.
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.values.cmp(&other.values)
     }
 }
 

@@ -13,9 +13,105 @@ use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::ops::Deref;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+/// An immutable, reference-counted string whose **content hash is computed
+/// once at construction** and cached.
+///
+/// SWISS-PROT style workloads carry wide string payloads through every hash
+/// container in the system — relation sets, join indexes, provenance-graph
+/// node tables, dedup sets. Without caching, each of those hashes the full
+/// string content again; with it, hashing any [`Value::Text`] costs a single
+/// `u64` write regardless of length. Equality also gets a constant-time
+/// negative fast path (different hashes ⇒ different strings).
+///
+/// The cache uses a deterministic hasher, so equal contents always cache
+/// equal hashes and `Eq`/`Hash` stay consistent.
+#[derive(Debug, Clone)]
+pub struct Str {
+    hash: u64,
+    s: Arc<str>,
+}
+
+impl Str {
+    /// Wrap a string, hashing its content once.
+    pub fn new(s: impl Into<Arc<str>>) -> Self {
+        let s = s.into();
+        let mut h = crate::fxhash::FxHasher::default();
+        s.hash(&mut h);
+        Str {
+            hash: h.finish(),
+            s,
+        }
+    }
+
+    /// The cached content hash.
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The string content.
+    pub fn as_str(&self) -> &str {
+        &self.s
+    }
+}
+
+impl Deref for Str {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.s
+    }
+}
+
+impl AsRef<str> for Str {
+    fn as_ref(&self) -> &str {
+        &self.s
+    }
+}
+
+impl From<&str> for Str {
+    fn from(s: &str) -> Self {
+        Str::new(s)
+    }
+}
+
+impl PartialEq for Str {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash inequality proves content inequality without touching the
+        // string bytes; pointer equality proves equality the same way.
+        self.hash == other.hash && (Arc::ptr_eq(&self.s, &other.s) || self.s == other.s)
+    }
+}
+
+impl Eq for Str {}
+
+impl PartialOrd for Str {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Str {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.s.cmp(&other.s)
+    }
+}
+
+impl Hash for Str {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl fmt::Display for Str {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.s)
+    }
+}
 
 /// Identifier of a Skolem function.
 ///
@@ -82,9 +178,11 @@ impl fmt::Display for SkolemValue {
 pub enum Value {
     /// A 64-bit integer constant.
     Int(i64),
-    /// A string constant. Stored behind an `Arc` so that wide SWISS-PROT
-    /// style tuples can be copied between peer instances cheaply.
-    Text(Arc<str>),
+    /// A string constant. Stored behind an `Arc` (so that wide SWISS-PROT
+    /// style tuples can be copied between peer instances cheaply) with its
+    /// content hash cached at construction (so that hash containers never
+    /// re-hash string payloads — see [`Str`]).
+    Text(Str),
     /// A labeled null (Skolem term) standing for an unknown value.
     Null(Arc<SkolemValue>),
 }
@@ -97,7 +195,7 @@ impl Value {
 
     /// Construct a string value.
     pub fn text(v: impl Into<String>) -> Self {
-        Value::Text(Arc::from(v.into().as_str()))
+        Value::Text(Str::new(v.into().as_str()))
     }
 
     /// Construct a labeled null from a Skolem function applied to arguments.

@@ -222,9 +222,11 @@ fn trust_predicates_filter_generated_workload_data() {
 fn provenance_graph_tracks_generated_workload_derivations() {
     let mut g = small_workload(DatasetKind::Integers, 0);
     g.load_base().unwrap();
-    let graph = g.cdss.provenance_graph();
-    assert!(graph.num_tuple_nodes() > 0);
-    assert!(graph.num_mapping_nodes() > 0);
+    let (tuple_nodes, mapping_nodes) = g
+        .cdss
+        .with_provenance_graph(|graph| (graph.num_tuple_nodes(), graph.num_mapping_nodes()));
+    assert!(tuple_nodes > 0);
+    assert!(mapping_nodes > 0);
 
     // Every imported tuple at the last peer has non-zero provenance and is
     // derivable from current base data.
