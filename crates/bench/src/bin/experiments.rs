@@ -9,10 +9,51 @@
 //! The output of this binary is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
 
-use orchestra_bench::snapshot::{entry_json, merge_entry, run_snapshot};
+use orchestra_bench::snapshot::{check_against_baseline, entry_json, merge_entry, run_snapshot};
 use orchestra_bench::{
     run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
 };
+
+/// Workload-name prefixes gated by `--check`: a >25% median regression on
+/// any of these vs the recorded baseline fails the run.
+const GATED: [&str; 3] = ["fig5_join", "fig7_insertions", "fig9_deletions"];
+
+/// Re-measure the snapshot workloads and gate fig5/fig7/fig9 medians
+/// against a recorded baseline entry (CI regression check). Returns the
+/// exit code.
+fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: Scale) -> i32 {
+    println!(
+        "check mode (scale = {}, baseline = `{baseline_label}` in {baseline_path}, limit {max_ratio}x)",
+        scale.0
+    );
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let rows = run_snapshot(scale);
+    for r in &rows {
+        println!("{:<36} {:>14} ns", r.workload, r.median_ns);
+    }
+    match check_against_baseline(&rows, &baseline, baseline_label, &GATED, max_ratio) {
+        Err(e) => {
+            eprintln!("check failed: {e}");
+            1
+        }
+        Ok(offenders) if offenders.is_empty() => {
+            println!("check passed: no gated workload regressed more than {max_ratio}x");
+            0
+        }
+        Ok(offenders) => {
+            for o in &offenders {
+                eprintln!("REGRESSION {o}");
+            }
+            1
+        }
+    }
+}
 
 /// Run the reduced snapshot workloads and write `BENCH_joins.json`-style
 /// output (see [`orchestra_bench::snapshot`]). Returns the exit code.
@@ -52,14 +93,20 @@ fn main() {
     let scale = Scale::from_env();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    if args.iter().any(|a| a == "--check") {
+        let baseline = value_of("--baseline", "BENCH_joins.json");
+        let label = value_of("--against", "pr3-after");
+        let max_ratio: f64 = value_of("--max-ratio", "1.25").parse().unwrap_or(1.25);
+        std::process::exit(check_mode(&baseline, &label, max_ratio, scale));
+    }
     if args.iter().any(|a| a == "--snapshot") {
-        let value_of = |flag: &str, default: &str| -> String {
-            args.iter()
-                .position(|a| a == flag)
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-                .unwrap_or_else(|| default.to_string())
-        };
         let label = value_of("--label", "snapshot");
         let out = value_of("--out", "BENCH_joins.json");
         std::process::exit(snapshot_mode(&label, &out, scale));

@@ -7,11 +7,11 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use orchestra_datalog::rule::Rule;
-use orchestra_datalog::{EngineKind, Evaluator};
+use orchestra_datalog::{EngineKind, Evaluator, PlanCache};
 use orchestra_mappings::MappingSystem;
 use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
 use orchestra_storage::schema::{internal_name, InternalRole};
-use orchestra_storage::{Database, DatabaseStats, EditLog, Tuple};
+use orchestra_storage::{Database, DatabaseStats, EditLog, PoolStats, Tuple};
 
 use crate::error::CdssError;
 use crate::peer::{Peer, PeerId};
@@ -58,6 +58,12 @@ pub struct Cdss {
     /// Behind a mutex so read-side APIs (`&self`, shared across server
     /// threads) can rebuild on demand.
     graph: Mutex<GraphCache>,
+    /// The cross-exchange join-plan cache: the mapping program is fixed per
+    /// CDSS, so validated stratification and compiled (cost-ordered,
+    /// id-resolved) plans persist here across exchanges, invalidated only
+    /// when relation cardinality bands shift (see
+    /// [`orchestra_datalog::PlanCache`]). Bound to `db`'s value pool.
+    plans: PlanCache,
     /// Pending (unpublished) edit logs: peer → logical relation → log.
     pub(crate) pending: BTreeMap<PeerId, BTreeMap<String, EditLog>>,
     /// Durable backing store, when built with
@@ -85,6 +91,7 @@ impl Cdss {
             engine,
             db,
             graph: Mutex::new(GraphCache::default()),
+            plans: PlanCache::new(),
             pending: BTreeMap::new(),
             persistence: None,
             epoch: 0,
@@ -142,8 +149,19 @@ impl Cdss {
             &self.relation_owner,
             &mut self.db,
             self.graph.get_mut().unwrap_or_else(|e| e.into_inner()),
+            &mut self.plans,
             self.engine,
         )
+    }
+
+    /// Intern-pool hit/miss counters of the shared store.
+    pub fn intern_stats(&self) -> PoolStats {
+        self.db.pool_stats()
+    }
+
+    /// Compiled join plans reused from the cross-exchange plan cache.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.plans.hit_count()
     }
 
     /// Run a closure against the current provenance graph (tuple and mapping
@@ -447,14 +465,15 @@ const _: () = {
 // ----------------------------------------------------------------------
 
 /// The split borrows handed to the evaluation strategies: immutable mapping
-/// system, trust policies and relation ownership alongside mutable database
-/// and provenance-graph cache, plus the engine selection.
+/// system, trust policies and relation ownership alongside mutable database,
+/// provenance-graph cache and plan cache, plus the engine selection.
 pub(crate) type EvalParts<'a> = (
     &'a MappingSystem,
     &'a BTreeMap<PeerId, TrustPolicy>,
     &'a BTreeMap<String, PeerId>,
     &'a mut Database,
     &'a mut GraphCache,
+    &'a mut PlanCache,
     EngineKind,
 );
 
@@ -598,9 +617,27 @@ pub(crate) fn local_edge(relation: &str) -> String {
     format!("local:{relation}")
 }
 
+/// Resolve a reconstructed `(relation, tuple)` pair to a graph node through
+/// the stored-tuple fast index when the tuple is present in its relation
+/// (the common case: provenance rows only mention stored tuples), falling
+/// back to the value-keyed path otherwise.
+fn ensure_node(
+    graph: &mut ProvenanceGraph,
+    rel: Option<&orchestra_storage::Relation>,
+    name: &str,
+    tuple: &Tuple,
+) -> orchestra_provenance::TupleNodeId {
+    match rel.and_then(|r| r.id_of(tuple)) {
+        Some(tid) => graph.ensure_stored_tuple(name, tid, tuple),
+        None => graph.ensure_tuple(name, tuple),
+    }
+}
+
 /// Rebuild the provenance graph from scratch from the current contents of
 /// the local-contribution tables, the provenance relations, and the internal
-/// input/output tables.
+/// input/output tables. Nodes are registered through the graph's
+/// `(RelId, TupleId)` stored-tuple index — tuple ids come for free from the
+/// relations' id iterators, so maintenance probes integers, not payloads.
 pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut ProvenanceGraph) {
     *graph = ProvenanceGraph::new();
 
@@ -608,32 +645,45 @@ pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut P
     for logical in system.logical_relations() {
         let rl = internal_name(&logical, InternalRole::LocalContributions);
         if let Ok(rel) = db.relation(&rl) {
-            for t in rel.iter() {
-                graph.mark_base(&rl, t);
+            for (tid, t) in rel.iter_ids() {
+                graph.mark_base_stored(&rl, tid, t);
             }
         }
     }
 
-    // Mapping instantiations from the stored provenance rows. The scratch
-    // vectors are reused across rows; tuples are instantiated once and
-    // moved, relation names stay borrowed.
-    let mut src_scratch: Vec<(&str, Tuple)> = Vec::new();
-    let mut tgt_scratch: Vec<(&str, Tuple)> = Vec::new();
+    // Mapping instantiations from the stored provenance rows. Source and
+    // target relations are fixed per mapping, so they are resolved once per
+    // table; the node scratch vectors are reused across rows.
     for compiled in &system.compiled {
+        let src_rels: Vec<_> = compiled
+            .sources
+            .iter()
+            .map(|t| db.relation(&t.relation).ok())
+            .collect();
         for (table_idx, table) in compiled.provenance.iter().enumerate() {
             let Ok(rel) = db.relation(&table.relation) else {
                 continue;
             };
+            let tgt_rels: Vec<_> = table
+                .target_indexes
+                .iter()
+                .map(|&ti| db.relation(&compiled.targets[ti].relation).ok())
+                .collect();
             for row in rel.iter() {
-                src_scratch.clear();
-                src_scratch.extend(compiled.sources_iter(row));
-                tgt_scratch.clear();
-                tgt_scratch.extend(compiled.targets_iter(table_idx, row));
-                graph.add_derivation(compiled.name.clone(), &src_scratch, &tgt_scratch);
+                let src_nodes: Vec<_> = compiled
+                    .sources_iter(row)
+                    .zip(&src_rels)
+                    .map(|((name, t), rel)| ensure_node(graph, *rel, name, &t))
+                    .collect();
+                let tgt_nodes: Vec<_> = compiled
+                    .targets_iter(table_idx, row)
+                    .zip(&tgt_rels)
+                    .map(|((name, t), rel)| ensure_node(graph, *rel, name, &t))
+                    .collect();
+                graph.add_derivation_nodes(compiled.name.clone(), src_nodes, tgt_nodes);
             }
         }
     }
-    drop((src_scratch, tgt_scratch));
 
     // Internal edges: R_o tuples derive from R_l (local) and R_i (import).
     for logical in system.logical_relations() {
@@ -647,12 +697,16 @@ pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut P
         let import = import_edge(&logical);
         let rl_rel = db.relation(&rl).ok();
         let ri_rel = db.relation(&ri).ok();
-        for t in out_rel.iter() {
-            if rl_rel.is_some_and(|r| r.contains(t)) {
-                graph.add_derivation(local.clone(), &[(&rl, t.clone())], &[(&ro, t.clone())]);
+        for (tid, t) in out_rel.iter_ids() {
+            if let Some(src_tid) = rl_rel.and_then(|r| r.id_of(t)) {
+                let src = graph.ensure_stored_tuple(&rl, src_tid, t);
+                let tgt = graph.ensure_stored_tuple(&ro, tid, t);
+                graph.add_derivation_nodes(local.clone(), vec![src], vec![tgt]);
             }
-            if ri_rel.is_some_and(|r| r.contains(t)) {
-                graph.add_derivation(import.clone(), &[(&ri, t.clone())], &[(&ro, t.clone())]);
+            if let Some(src_tid) = ri_rel.and_then(|r| r.id_of(t)) {
+                let src = graph.ensure_stored_tuple(&ri, src_tid, t);
+                let tgt = graph.ensure_stored_tuple(&ro, tid, t);
+                graph.add_derivation_nodes(import.clone(), vec![src], vec![tgt]);
             }
         }
     }
@@ -668,33 +722,50 @@ pub(crate) fn extend_graph_with_insertions(
     new_tuples: &std::collections::HashMap<String, Vec<Tuple>>,
 ) {
     for (relation, tuples) in new_tuples {
+        let own_rel = db.relation(relation).ok();
         // New base data. If the corresponding output tuple already exists
         // (it was previously derivable only via imports), the local edge
         // must be added now.
         if let Some(logical) = relation.strip_suffix("_l") {
             let ro = internal_name(logical, InternalRole::Output);
+            let ro_rel = db.relation(&ro).ok();
             for t in tuples {
-                graph.mark_base(relation, t);
-                if db.contains(&ro, t).unwrap_or(false) {
-                    graph.add_derivation(
-                        local_edge(logical),
-                        &[(relation.as_str(), t.clone())],
-                        &[(&ro, t.clone())],
-                    );
+                match own_rel.and_then(|r| r.id_of(t)) {
+                    Some(tid) => graph.mark_base_stored(relation, tid, t),
+                    None => graph.mark_base(relation, t),
+                };
+                if let Some(out_tid) = ro_rel.and_then(|r| r.id_of(t)) {
+                    let src = ensure_node(graph, own_rel, relation, t);
+                    let tgt = graph.ensure_stored_tuple(&ro, out_tid, t);
+                    graph.add_derivation_nodes(local_edge(logical), vec![src], vec![tgt]);
                 }
             }
             continue;
         }
         // New provenance rows become mapping nodes.
         if let Some((compiled, table_idx)) = system.mapping_for_provenance_relation(relation) {
-            let mut src_scratch: Vec<(&str, Tuple)> = Vec::new();
-            let mut tgt_scratch: Vec<(&str, Tuple)> = Vec::new();
+            let src_rels: Vec<_> = compiled
+                .sources
+                .iter()
+                .map(|t| db.relation(&t.relation).ok())
+                .collect();
+            let tgt_rels: Vec<_> = compiled.provenance[table_idx]
+                .target_indexes
+                .iter()
+                .map(|&ti| db.relation(&compiled.targets[ti].relation).ok())
+                .collect();
             for row in tuples {
-                src_scratch.clear();
-                src_scratch.extend(compiled.sources_iter(row));
-                tgt_scratch.clear();
-                tgt_scratch.extend(compiled.targets_iter(table_idx, row));
-                graph.add_derivation(compiled.name.clone(), &src_scratch, &tgt_scratch);
+                let src_nodes: Vec<_> = compiled
+                    .sources_iter(row)
+                    .zip(&src_rels)
+                    .map(|((name, t), rel)| ensure_node(graph, *rel, name, &t))
+                    .collect();
+                let tgt_nodes: Vec<_> = compiled
+                    .targets_iter(table_idx, row)
+                    .zip(&tgt_rels)
+                    .map(|((name, t), rel)| ensure_node(graph, *rel, name, &t))
+                    .collect();
+                graph.add_derivation_nodes(compiled.name.clone(), src_nodes, tgt_nodes);
             }
             continue;
         }
@@ -702,20 +773,18 @@ pub(crate) fn extend_graph_with_insertions(
         if let Some(logical) = relation.strip_suffix("_o") {
             let rl = internal_name(logical, InternalRole::LocalContributions);
             let ri = internal_name(logical, InternalRole::Input);
+            let rl_rel = db.relation(&rl).ok();
+            let ri_rel = db.relation(&ri).ok();
             for t in tuples {
-                if db.contains(&rl, t).unwrap_or(false) {
-                    graph.add_derivation(
-                        local_edge(logical),
-                        &[(&rl, t.clone())],
-                        &[(relation.as_str(), t.clone())],
-                    );
+                if let Some(src_tid) = rl_rel.and_then(|r| r.id_of(t)) {
+                    let src = graph.ensure_stored_tuple(&rl, src_tid, t);
+                    let tgt = ensure_node(graph, own_rel, relation, t);
+                    graph.add_derivation_nodes(local_edge(logical), vec![src], vec![tgt]);
                 }
-                if db.contains(&ri, t).unwrap_or(false) {
-                    graph.add_derivation(
-                        import_edge(logical),
-                        &[(&ri, t.clone())],
-                        &[(relation.as_str(), t.clone())],
-                    );
+                if let Some(src_tid) = ri_rel.and_then(|r| r.id_of(t)) {
+                    let src = graph.ensure_stored_tuple(&ri, src_tid, t);
+                    let tgt = ensure_node(graph, own_rel, relation, t);
+                    graph.add_derivation_nodes(import_edge(logical), vec![src], vec![tgt]);
                 }
             }
             continue;
@@ -724,13 +793,12 @@ pub(crate) fn extend_graph_with_insertions(
         // was previously derivable only locally), add the import edge.
         if let Some(logical) = logical_of_input(relation) {
             let ro = internal_name(logical, InternalRole::Output);
+            let ro_rel = db.relation(&ro).ok();
             for t in tuples {
-                if db.contains(&ro, t).unwrap_or(false) {
-                    graph.add_derivation(
-                        import_edge(logical),
-                        &[(relation.as_str(), t.clone())],
-                        &[(&ro, t.clone())],
-                    );
+                if let Some(out_tid) = ro_rel.and_then(|r| r.id_of(t)) {
+                    let src = ensure_node(graph, own_rel, relation, t);
+                    let tgt = graph.ensure_stored_tuple(&ro, out_tid, t);
+                    graph.add_derivation_nodes(import_edge(logical), vec![src], vec![tgt]);
                 }
             }
         }

@@ -64,7 +64,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::FullRecomputation);
 
-        let (system, policies, owner, db, graph, engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
 
         for logical in system.logical_relations() {
             db.relation_mut(&internal_name(&logical, InternalRole::Input))?
@@ -86,7 +86,7 @@ impl Cdss {
         };
         let mut eval = Evaluator::new(engine);
         let t_eval = Instant::now();
-        report.eval_stats = eval.run_filtered(&system.program, db, active)?;
+        report.eval_stats = eval.run_filtered_cached(plans, &system.program, db, active)?;
         let eval_elapsed = t_eval.elapsed();
 
         for logical in system.logical_relations() {
@@ -128,7 +128,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalInsertion);
 
-        let (system, policies, owner, db, graph, engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
 
         let base: HashMap<String, Vec<Tuple>> = insertions
             .iter()
@@ -148,7 +148,7 @@ impl Cdss {
         };
         let mut eval = Evaluator::new(engine);
         let t_eval = Instant::now();
-        let new = eval.propagate_insertions(&system.program, db, &base, active)?;
+        let new = eval.propagate_insertions_cached(plans, &system.program, db, &base, active)?;
         let eval_elapsed = t_eval.elapsed();
         report.eval_stats = eval.take_stats();
 
@@ -224,7 +224,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalDeletion);
 
-        let (system, policies, owner, db, graph, _engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, _plans, _engine) = self.split_for_eval();
         // The derivability test below needs the graph in sync with the
         // pre-deletion store.
         graph.ensure(system, db);
@@ -277,15 +277,13 @@ impl Cdss {
             },
         );
 
-        // 3. Remove derived tuples that lost all their derivations.
+        // 3. Remove derived tuples that lost all their derivations. The
+        //    iterator carries node ids, so no by-value re-lookup happens.
         let mut to_remove: Vec<(String, Tuple)> = Vec::new();
-        for (rel, tuple, _base) in gview.tuple_nodes() {
+        for (id, rel, tuple) in gview.tuple_nodes_with_ids() {
             if !(rel.ends_with("_i") || rel.ends_with("_o")) {
                 continue;
             }
-            let id = gview
-                .tuple_node(rel, tuple)
-                .expect("iterated node exists in the graph");
             if !valid.contains(&id) {
                 to_remove.push((rel.to_string(), tuple.clone()));
             }
@@ -338,7 +336,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::DRed);
 
-        let (system, policies, owner, db, graph, engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
 
         // 1. Apply the base changes and seed the over-deletion frontier.
         let mut frontier: HashMap<String, HashSet<Tuple>> = HashMap::new();
@@ -425,7 +423,8 @@ impl Cdss {
             ts.sort();
             ts.dedup();
         }
-        let reinserted = eval.propagate_insertions(&system.program, db, &rederive, active)?;
+        let reinserted =
+            eval.propagate_insertions_cached(plans, &system.program, db, &rederive, active)?;
         for (rel, ts) in &reinserted {
             report.add_inserted(rel, ts.len());
         }

@@ -140,7 +140,17 @@ impl CompiledRule {
         first: Option<usize>,
     ) -> Result<CompiledRule> {
         rule.validate()?;
+        Self::compile_ordered_prevalidated(rule, estimate, first)
+    }
 
+    /// [`CompiledRule::compile_ordered`] for a rule the caller has already
+    /// validated (e.g. as part of whole-program validation in the plan
+    /// cache) — skips the per-rule safety re-check.
+    pub(crate) fn compile_ordered_prevalidated(
+        rule: &Rule,
+        estimate: &dyn Fn(&str) -> usize,
+        first: Option<usize>,
+    ) -> Result<CompiledRule> {
         let mut remaining: Vec<usize> = rule
             .body
             .iter()

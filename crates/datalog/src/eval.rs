@@ -7,33 +7,44 @@
 //! supplied base-tuple deltas are pushed through the program's delta rules
 //! until fixpoint, optionally filtered tuple-by-tuple by a trust predicate.
 //!
-//! ## The zero-copy join pipeline
+//! ## The interned join pipeline
 //!
-//! The join core never copies a tuple while exploring the search space:
+//! The semi-naive fixpoint and insertion-propagation paths run entirely in
+//! **id currency** ([`ValueId`]s from the database's intern pool and
+//! [`TupleId`]s from the relations' slabs):
 //!
-//! * candidate tuples are `&Tuple`s resolved from [`TupleId`]s (index
-//!   probes) or borrowed straight from relation scans / delta slices;
-//! * variable bindings hold `&Value` borrows into those tuples (and into
-//!   the compiled rule's constants) — values are cloned exactly once, when
-//!   a head tuple is materialised;
-//! * probe keys are `&Value` scratch buffers drawn from a per-evaluation
-//!   pool, so a rule application performs O(depth) key allocations total
-//!   instead of one per visited join combination;
-//! * semi-naive delta sets above [`DELTA_INDEX_MIN`] get an on-the-fly
-//!   [`HashIndex`] instead of a linear scan per probe.
+//! * candidate rows are `&[ValueId]` slices borrowed from the relation's
+//!   row arena (index probes, scans, and delta sets all resolve through
+//!   [`TupleId`]s — delta sets *are* `Vec<TupleId>` between rounds);
+//! * variable bindings, probe keys and duplicate-head checks are `u32`
+//!   compares against cached hashes; rule constants are interned once at
+//!   plan-compile time ([`PlanCache`]);
+//! * a duplicate head derivation is dropped after an integer row-hash
+//!   probe — no value is cloned and nothing allocates;
+//! * only a genuinely fresh head row materialises a `Tuple` (and a head
+//!   containing a Skolem term goes through the value path, since it
+//!   constructs a labeled null that may not be pooled yet).
 //!
-//! Index probes return *hash-bucket candidates* (the ID-addressed
-//! [`HashIndex`] hashes projections in place and may merge colliding keys),
-//! so every candidate is re-verified against the bound columns — the same
-//! check the scan paths need anyway.
+//! Join plans are compiled lazily, cost-ordered, and **cached across
+//! evaluations** in a [`PlanCache`] (the `Cdss` keeps one per database),
+//! invalidated when relation cardinality bands shift.
+//!
+//! A value-based pipeline (borrowed `&Tuple`/`&Value`, as in PR 3) remains
+//! for the naive oracle ([`Evaluator::run_naive`]) and ad-hoc single-rule
+//! evaluation ([`Evaluator::evaluate_rule`]), whose delta slices may carry
+//! tuples that are not stored (and so not interned) anywhere.
 
 use std::collections::HashMap;
 
-use orchestra_storage::{Database, HashIndex, Relation, RelationSchema, Tuple, TupleId, Value};
+use orchestra_storage::{
+    Database, HashIndex, Relation, RelationSchema, RowIter, Tuple, TupleId, Value, ValueId,
+    ValuePool,
+};
 
-use crate::compile::{CompiledPositive, CompiledRule};
+use crate::compile::{CompiledHeadTerm, CompiledPositive, CompiledRule};
 use crate::engine::EngineKind;
 use crate::error::DatalogError;
+use crate::plan::{CompiledPlan, PlanCache, PreparedProgram, TempIndexes, TEMP_PROMOTE_AFTER};
 use crate::program::Program;
 use crate::stats::EvalStats;
 use crate::Result;
@@ -87,18 +98,27 @@ impl Evaluator {
     /// (creating empty relations with anonymous attribute names if needed)
     /// and that existing relations have the arity the program expects.
     pub fn prepare_relations(&self, program: &Program, db: &mut Database) -> Result<()> {
-        for (name, arity) in program.relation_arities()? {
-            if db.has_relation(&name) {
-                let actual = db.relation(&name)?.schema().arity();
+        Self::prepare_relations_from(&program.relation_arities()?, db)
+    }
+
+    /// [`Evaluator::prepare_relations`] over precomputed arities (the plan
+    /// cache memoises them, so repeated exchanges skip the rule walk).
+    fn prepare_relations_from(
+        arities: &std::collections::BTreeMap<String, usize>,
+        db: &mut Database,
+    ) -> Result<()> {
+        for (name, &arity) in arities {
+            if db.has_relation(name) {
+                let actual = db.relation(name)?.schema().arity();
                 if actual != arity {
                     return Err(DatalogError::ArityConflict {
-                        relation: name,
+                        relation: name.clone(),
                         first: actual,
                         second: arity,
                     });
                 }
             } else {
-                db.create_relation(RelationSchema::anonymous(&name, arity))?;
+                db.create_relation(RelationSchema::anonymous(name, arity))?;
             }
         }
         Ok(())
@@ -118,21 +138,40 @@ impl Evaluator {
         db: &mut Database,
         filter: Option<&DerivationFilter<'_>>,
     ) -> Result<EvalStats> {
-        program.validate()?;
-        let strat = program.stratify()?;
-        self.prepare_relations(program, db)?;
-        let mut plans = ProgramPlans::new(program, db);
-        let occurrences = positive_occurrences(program);
+        let mut cache = PlanCache::new();
+        self.run_filtered_cached(&mut cache, program, db, filter)
+    }
+
+    /// Like [`Evaluator::run_filtered`] with an external [`PlanCache`]: the
+    /// validated stratification and compiled join plans persist in `cache`
+    /// across calls (the CDSS layer keeps one cache per database and reuses
+    /// it for every exchange against the same mapping program).
+    pub fn run_filtered_cached(
+        &mut self,
+        cache: &mut PlanCache,
+        program: &Program,
+        db: &mut Database,
+        filter: Option<&DerivationFilter<'_>>,
+    ) -> Result<EvalStats> {
+        let prepared = cache.prepare(program)?;
+        Self::prepare_relations_from(&*cache.arities(program)?, db)?;
+        cache.refresh(program, db);
+        let pool_before = db.pool_stats();
+        let plan_hits_before = cache.hits;
 
         let mut total = EvalStats::new();
-        for stratum_rules in &strat.rule_strata {
+        for stratum_rules in &prepared.strata.rule_strata {
             if stratum_rules.is_empty() {
                 continue;
             }
             let s =
-                self.run_stratum_seminaive(&mut plans, &occurrences, stratum_rules, db, filter)?;
+                self.run_stratum_seminaive(cache, &prepared, stratum_rules, program, db, filter)?;
             total += s;
         }
+        let pool_after = db.pool_stats();
+        total.intern_hits += (pool_after.hits - pool_before.hits) as usize;
+        total.intern_misses += (pool_after.misses - pool_before.misses) as usize;
+        total.plan_cache_hits += (cache.hits - plan_hits_before) as usize;
         self.stats += total;
         Ok(total)
     }
@@ -140,7 +179,7 @@ impl Evaluator {
     /// Naive (non-semi-naive) evaluation: repeatedly apply every rule of each
     /// stratum until nothing changes. Exponentially redundant but trivially
     /// correct; used as a differential-testing oracle for the semi-naive
-    /// engine.
+    /// engine. Runs on the value-based pipeline.
     pub fn run_naive(&mut self, program: &Program, db: &mut Database) -> Result<EvalStats> {
         program.validate()?;
         let strat = program.stratify()?;
@@ -161,9 +200,9 @@ impl Evaluator {
                     if produced.is_empty() {
                         continue;
                     }
-                    let rel = db.relation_mut(&c.head_relation)?;
+                    let (rel, pool) = db.relation_and_pool_mut(&c.head_relation)?;
                     for t in produced {
-                        if rel.insert(t)? {
+                        if rel.insert(pool, t)? {
                             stats.tuples_inserted += 1;
                             changed = true;
                         }
@@ -182,25 +221,29 @@ impl Evaluator {
 
     fn run_stratum_seminaive(
         &mut self,
-        plans: &mut ProgramPlans<'_>,
-        occurrences: &[Vec<(usize, String)>],
+        cache: &mut PlanCache,
+        prepared: &PreparedProgram,
         stratum_rules: &[usize],
+        program: &Program,
         db: &mut Database,
         filter: Option<&DerivationFilter<'_>>,
     ) -> Result<EvalStats> {
         let mut stats = EvalStats::new();
+        let mut sc = EvalScratch::default();
 
         // Round 0: evaluate every rule of the stratum against the full
-        // database; the newly inserted tuples seed the delta.
-        let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        // database; the newly inserted tuple ids seed the delta.
+        let mut delta: HashMap<String, Vec<TupleId>> = HashMap::new();
         for &ri in stratum_rules {
-            let c = plans.base(ri)?;
-            let produced = eval_rule(self.kind, c, db, None, filter, &mut stats, true)?;
+            let (plan, temp) = cache.base(program, ri, db.pool_mut())?;
+            let produced = eval_rule_ids(
+                self.kind, plan, db, None, filter, &mut stats, temp, &mut sc, true,
+            )?;
             if produced.is_empty() {
                 continue;
             }
-            let head = c.head_relation.clone();
-            let fresh = insert_batch(db, &head, produced, &mut stats)?;
+            let head = plan.rule.head_relation.clone();
+            let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
             if !fresh.is_empty() {
                 delta.entry(head).or_default().extend(fresh);
             }
@@ -209,32 +252,35 @@ impl Evaluator {
 
         // Subsequent rounds: only evaluate rule occurrences that can consume
         // something from the previous round's delta, each with its
-        // delta-first compiled variant.
+        // delta-first compiled variant. Deltas are id sets into the stored
+        // relations — nothing is re-materialised between rounds.
         while !delta.is_empty() {
-            let mut next: HashMap<String, Vec<Tuple>> = HashMap::new();
+            let mut next: HashMap<String, Vec<TupleId>> = HashMap::new();
             for &ri in stratum_rules {
-                for (body_index, relation) in &occurrences[ri] {
+                for (body_index, relation) in &prepared.occurrences[ri] {
                     let Some(d) = delta.get(relation) else {
                         continue;
                     };
                     if d.is_empty() {
                         continue;
                     }
-                    let c = plans.delta(ri, *body_index)?;
-                    let produced = eval_rule(
+                    let (plan, temp) = cache.delta(program, ri, *body_index, db.pool_mut())?;
+                    let produced = eval_rule_ids(
                         self.kind,
-                        c,
+                        plan,
                         db,
                         Some((*body_index, d)),
                         filter,
                         &mut stats,
+                        temp,
+                        &mut sc,
                         true,
                     )?;
                     if produced.is_empty() {
                         continue;
                     }
-                    let head = c.head_relation.clone();
-                    let fresh = insert_batch(db, &head, produced, &mut stats)?;
+                    let head = plan.rule.head_relation.clone();
+                    let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
                     if !fresh.is_empty() {
                         next.entry(head).or_default().extend(fresh);
                     }
@@ -266,10 +312,25 @@ impl Evaluator {
         base_deltas: &HashMap<String, Vec<Tuple>>,
         filter: Option<&DerivationFilter<'_>>,
     ) -> Result<HashMap<String, Vec<Tuple>>> {
-        program.validate()?;
-        self.prepare_relations(program, db)?;
-        let mut plans = ProgramPlans::new(program, db);
-        let occurrences = positive_occurrences(program);
+        let mut cache = PlanCache::new();
+        self.propagate_insertions_cached(&mut cache, program, db, base_deltas, filter)
+    }
+
+    /// Like [`Evaluator::propagate_insertions`] with an external
+    /// [`PlanCache`] (see [`Evaluator::run_filtered_cached`]).
+    pub fn propagate_insertions_cached(
+        &mut self,
+        cache: &mut PlanCache,
+        program: &Program,
+        db: &mut Database,
+        base_deltas: &HashMap<String, Vec<Tuple>>,
+        filter: Option<&DerivationFilter<'_>>,
+    ) -> Result<HashMap<String, Vec<Tuple>>> {
+        let prepared = cache.prepare(program)?;
+        Self::prepare_relations_from(&*cache.arities(program)?, db)?;
+        cache.refresh(program, db);
+        let pool_before = db.pool_stats();
+        let plan_hits_before = cache.hits;
 
         // Reject deltas on negated relations.
         for rule in program.rules() {
@@ -287,28 +348,36 @@ impl Evaluator {
         }
 
         let mut stats = EvalStats::new();
-        let mut all_new: HashMap<String, Vec<Tuple>> = HashMap::new();
+        let mut sc = EvalScratch::default();
+        let mut all_new: HashMap<String, Vec<TupleId>> = HashMap::new();
 
-        // Apply the base deltas, keeping only genuinely new tuples.
-        let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        // Apply the base deltas, keeping only genuinely new tuples (as ids).
+        let mut delta: HashMap<String, Vec<TupleId>> = HashMap::new();
         for (rel, tuples) in base_deltas {
+            if !db.has_relation(rel) {
+                return Err(DatalogError::MissingRelation(rel.clone()));
+            }
             for t in tuples {
-                if !db.has_relation(rel) {
-                    return Err(DatalogError::MissingRelation(rel.clone()));
-                }
-                if db.insert(rel, t.clone())? {
+                let (tid, fresh) = db.insert_full(rel, t.clone())?;
+                if fresh {
                     stats.tuples_inserted += 1;
-                    delta.entry(rel.clone()).or_default().push(t.clone());
-                    all_new.entry(rel.clone()).or_default().push(t.clone());
+                    delta.entry(rel.clone()).or_default().push(tid);
+                    all_new.entry(rel.clone()).or_default().push(tid);
                 }
             }
         }
 
         // Push deltas through the rules until fixpoint, each occurrence with
         // its delta-first compiled variant.
+        let trace = std::env::var_os("ORCHESTRA_TRACE_EVAL").is_some();
+        let (mut t_plan, mut t_eval, mut t_insert) = (
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+        );
         while !delta.is_empty() {
-            let mut next: HashMap<String, Vec<Tuple>> = HashMap::new();
-            for (ri, rule_occurrences) in occurrences.iter().enumerate() {
+            let mut next: HashMap<String, Vec<TupleId>> = HashMap::new();
+            for (ri, rule_occurrences) in prepared.occurrences.iter().enumerate() {
                 for (body_index, relation) in rule_occurrences {
                     let Some(d) = delta.get(relation) else {
                         continue;
@@ -316,26 +385,40 @@ impl Evaluator {
                     if d.is_empty() {
                         continue;
                     }
-                    let c = plans.delta(ri, *body_index)?;
-                    let produced = eval_rule(
+                    let t0 = trace.then(std::time::Instant::now);
+                    let (plan, temp) = cache.delta(program, ri, *body_index, db.pool_mut())?;
+                    if let Some(t0) = t0 {
+                        t_plan += t0.elapsed();
+                    }
+                    let t0 = trace.then(std::time::Instant::now);
+                    let produced = eval_rule_ids(
                         self.kind,
-                        c,
+                        plan,
                         db,
                         Some((*body_index, d)),
                         filter,
                         &mut stats,
+                        temp,
+                        &mut sc,
                         true,
                     )?;
+                    if let Some(t0) = t0 {
+                        t_eval += t0.elapsed();
+                    }
                     if produced.is_empty() {
                         continue;
                     }
-                    let head = c.head_relation.clone();
-                    let fresh = insert_batch(db, &head, produced, &mut stats)?;
+                    let head = plan.rule.head_relation.clone();
+                    let t0 = trace.then(std::time::Instant::now);
+                    let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
+                    if let Some(t0) = t0 {
+                        t_insert += t0.elapsed();
+                    }
                     if !fresh.is_empty() {
                         all_new
                             .entry(head.clone())
                             .or_default()
-                            .extend(fresh.iter().cloned());
+                            .extend(fresh.iter().copied());
                         next.entry(head).or_default().extend(fresh);
                     }
                 }
@@ -343,15 +426,33 @@ impl Evaluator {
             stats.iterations += 1;
             delta = next;
         }
+        if trace {
+            eprintln!("propagate: plan={t_plan:?} eval={t_eval:?} insert={t_insert:?}");
+        }
 
+        let pool_after = db.pool_stats();
+        stats.intern_hits += (pool_after.hits - pool_before.hits) as usize;
+        stats.intern_misses += (pool_after.misses - pool_before.misses) as usize;
+        stats.plan_cache_hits += (cache.hits - plan_hits_before) as usize;
         self.stats += stats;
-        Ok(all_new)
+
+        // Materialise the new-tuple ids into tuples (cheap `Arc` clones of
+        // the stored rows) for the public API.
+        let mut out: HashMap<String, Vec<Tuple>> = HashMap::with_capacity(all_new.len());
+        for (name, ids) in all_new {
+            let rel = db.relation(&name)?;
+            let tuples = ids.iter().map(|&id| rel.tuple_by_id(id).clone()).collect();
+            out.insert(name, tuples);
+        }
+        Ok(out)
     }
 
     /// Evaluate a single rule against the database (without inserting its
     /// results), optionally constraining one body occurrence to a supplied
     /// set of tuples. This is the building block the CDSS layer uses for
-    /// deletion delta rules and derivability tests.
+    /// deletion delta rules and derivability tests. Runs on the value-based
+    /// pipeline, because the supplied delta tuples need not be stored (or
+    /// interned) anywhere.
     pub fn evaluate_rule(
         &mut self,
         rule: &crate::rule::Rule,
@@ -376,114 +477,548 @@ pub(crate) fn cardinality_estimator(db: &Database) -> impl Fn(&str) -> usize + '
     |name: &str| db.relation(name).map(Relation::len).unwrap_or(0)
 }
 
-/// Lazily compiled, cost-ordered join plans for a program's rules: one base
-/// plan per rule (full evaluation) plus one delta-first variant per positive
-/// body occurrence actually exercised. A typical incremental propagation
-/// touches only a few occurrences, so plans are compiled on first use and
-/// cached for the duration of one evaluator call.
-pub(crate) struct ProgramPlans<'p> {
-    program: &'p Program,
-    /// Relation cardinalities snapshotted at call entry — the cost model
-    /// for greedy body ordering.
-    cards: HashMap<String, usize>,
-    plans: Vec<RulePlan>,
-}
-
-#[derive(Default, Clone)]
-struct RulePlan {
-    base: Option<CompiledRule>,
-    /// Delta-first variants, keyed by the forced occurrence's body index.
-    deltas: HashMap<usize, CompiledRule>,
-}
-
-impl<'p> ProgramPlans<'p> {
-    /// Snapshot the database's cardinalities and set up empty plan slots.
-    pub fn new(program: &'p Program, db: &Database) -> Self {
-        let cards = db
-            .relations()
-            .map(|r| (r.name().to_string(), r.len()))
-            .collect();
-        ProgramPlans {
-            program,
-            cards,
-            plans: vec![RulePlan::default(); program.rules().len()],
-        }
-    }
-
-    /// The cost-ordered base plan for rule `ri`.
-    pub fn base(&mut self, ri: usize) -> Result<&CompiledRule> {
-        let rule = &self.program.rules()[ri];
-        let cards = &self.cards;
-        let plan = &mut self.plans[ri];
-        if plan.base.is_none() {
-            let estimate = |name: &str| cards.get(name).copied().unwrap_or(0);
-            plan.base = Some(CompiledRule::compile_ordered(rule, &estimate, None)?);
-        }
-        Ok(plan.base.as_ref().expect("just compiled"))
-    }
-
-    /// The delta-first plan for rule `ri` with the positive occurrence at
-    /// `body_index` forced to the front of the join.
-    pub fn delta(&mut self, ri: usize, body_index: usize) -> Result<&CompiledRule> {
-        let rule = &self.program.rules()[ri];
-        let cards = &self.cards;
-        let plan = &mut self.plans[ri];
-        if let std::collections::hash_map::Entry::Vacant(slot) = plan.deltas.entry(body_index) {
-            let estimate = |name: &str| cards.get(name).copied().unwrap_or(0);
-            slot.insert(CompiledRule::compile_ordered(
-                rule,
-                &estimate,
-                Some(body_index),
-            )?);
-        }
-        Ok(&plan.deltas[&body_index])
-    }
-}
-
-/// For each rule, the `(body_index, relation)` of every positive body
-/// occurrence — the occurrences a semi-naive delta can substitute into.
-pub(crate) fn positive_occurrences(program: &Program) -> Vec<Vec<(usize, String)>> {
-    program
-        .rules()
-        .iter()
-        .map(|r| {
-            r.body
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| !l.negated)
-                .map(|(i, l)| (i, l.relation().to_string()))
-                .collect()
-        })
-        .collect()
-}
-
-/// Insert a batch of produced head tuples into one relation, resolving the
-/// relation once for the whole batch. Returns the genuinely new tuples.
-fn insert_batch(
-    db: &mut Database,
-    relation: &str,
-    produced: Vec<Tuple>,
-    stats: &mut EvalStats,
-) -> Result<Vec<Tuple>> {
-    let rel = db.relation_mut(relation)?;
-    rel.reserve(produced.len());
-    let mut fresh = Vec::with_capacity(produced.len());
-    for t in produced {
-        if rel.insert(t.clone())? {
-            stats.tuples_inserted += 1;
-            fresh.push(t);
-        }
-    }
-    Ok(fresh)
-}
-
 /// Compile every rule of a program in written body order (the reference
 /// plan; used by the naive oracle strategy).
 pub(crate) fn compile_all(program: &Program) -> Result<Vec<CompiledRule>> {
     program.rules().iter().map(CompiledRule::compile).collect()
 }
 
-/// How a positive literal accesses its relation during the join. All
+// ---------------------------------------------------------------------
+// The interned (id-currency) join pipeline.
+// ---------------------------------------------------------------------
+
+/// Rows produced by one rule application, in the currency the head was
+/// instantiated in.
+pub(crate) enum ProducedRows {
+    /// Skolem-free heads: flat interned rows with their combined hashes.
+    Rows {
+        /// Head arity (row stride in `ids`).
+        arity: usize,
+        /// Flattened rows: row `i` is `ids[i*arity .. (i+1)*arity]`.
+        ids: Vec<ValueId>,
+        /// Combined pool hash per row.
+        hashes: Vec<u64>,
+    },
+    /// Heads with Skolem terms: materialised tuples (interned on insert).
+    Tuples(Vec<Tuple>),
+}
+
+impl ProducedRows {
+    fn is_empty(&self) -> bool {
+        match self {
+            ProducedRows::Rows { hashes, .. } => hashes.is_empty(),
+            ProducedRows::Tuples(ts) => ts.is_empty(),
+        }
+    }
+}
+
+/// Insert one rule application's produced rows into the head relation,
+/// resolving the relation once for the whole batch. Returns the ids of the
+/// genuinely new tuples.
+fn insert_rows(
+    db: &mut Database,
+    relation: &str,
+    produced: ProducedRows,
+    stats: &mut EvalStats,
+    sc: &mut EvalScratch,
+) -> Result<Vec<TupleId>> {
+    let (rel, pool) = db.relation_and_pool_mut(relation)?;
+    match produced {
+        ProducedRows::Rows {
+            arity,
+            mut ids,
+            mut hashes,
+        } => {
+            rel.reserve(hashes.len());
+            let mut fresh = Vec::with_capacity(hashes.len());
+            for (i, &hash) in hashes.iter().enumerate() {
+                let row = &ids[i * arity..(i + 1) * arity];
+                let (tid, new) = rel.insert_row(pool, row, hash)?;
+                if new {
+                    stats.tuples_inserted += 1;
+                    fresh.push(tid);
+                }
+            }
+            // Recycle the output buffers for the next rule application.
+            ids.clear();
+            hashes.clear();
+            sc.out_ids = ids;
+            sc.out_hashes = hashes;
+            Ok(fresh)
+        }
+        ProducedRows::Tuples(mut tuples) => {
+            rel.reserve(tuples.len());
+            let mut fresh = Vec::with_capacity(tuples.len());
+            for t in tuples.drain(..) {
+                let (tid, new) = rel.insert_full(pool, t)?;
+                if new {
+                    stats.tuples_inserted += 1;
+                    fresh.push(tid);
+                }
+            }
+            sc.out_tuples = tuples;
+            Ok(fresh)
+        }
+    }
+}
+
+/// How a positive literal accesses its relation during the interned join.
+/// All variants yield **borrowed** `&[ValueId]` rows; nothing is copied.
+enum AccessIds<'a> {
+    /// Linear scan of a delta id set.
+    DeltaScan {
+        /// The relation the ids address.
+        rel: &'a Relation,
+        /// The delta's tuple ids.
+        ids: &'a [TupleId],
+    },
+    /// Probe a throwaway index over a delta id set (built when the delta is
+    /// large enough to amortise hashing).
+    DeltaIndex {
+        /// The relation the index's ids address.
+        rel: &'a Relation,
+        /// Hash index over the bound columns.
+        index: HashIndex,
+    },
+    /// Probe a throwaway index from the per-evaluation cache (batch
+    /// backend).
+    TempIndex {
+        /// The relation the index's ids address.
+        rel: &'a Relation,
+        /// The cached index over the bound columns.
+        index: &'a HashIndex,
+    },
+    /// Probe a persistent index stored on the relation (pipelined backend).
+    Persistent {
+        /// The indexed relation.
+        rel: &'a Relation,
+        /// The relation-owned index over the bound columns.
+        index: &'a HashIndex,
+    },
+    /// Scan the stored relation's rows.
+    FullScan(&'a Relation),
+}
+
+/// Borrowed row stream for one join level. `'a` is the data lifetime
+/// (database / delta ids / plan), `'b` the (shorter) borrow of the
+/// access-path list the probed id buckets live in.
+enum RowCandidates<'a, 'b> {
+    Ids {
+        rel: &'a Relation,
+        ids: std::slice::Iter<'b, TupleId>,
+    },
+    Scan(RowIter<'a>),
+}
+
+impl<'a, 'b> RowCandidates<'a, 'b> {
+    /// Probe / open the access path for one interned key. The key is only
+    /// used for the probe; the returned stream does not retain it.
+    fn open(
+        access: &'b AccessIds<'a>,
+        key: &[ValueId],
+        pool: &ValuePool,
+        stats: &mut EvalStats,
+    ) -> Self {
+        match access {
+            AccessIds::DeltaScan { rel, ids } => RowCandidates::Ids {
+                rel,
+                ids: ids.iter(),
+            },
+            AccessIds::DeltaIndex { rel, index } => RowCandidates::Ids {
+                rel,
+                ids: index.probe_row(key, pool).iter(),
+            },
+            AccessIds::TempIndex { rel, index } => RowCandidates::Ids {
+                rel,
+                ids: index.probe_row(key, pool).iter(),
+            },
+            AccessIds::Persistent { rel, index } => {
+                stats.index_probes += 1;
+                RowCandidates::Ids {
+                    rel,
+                    ids: index.probe_row(key, pool).iter(),
+                }
+            }
+            AccessIds::FullScan(rel) => RowCandidates::Scan(rel.iter_rows()),
+        }
+    }
+}
+
+impl<'a, 'b> Iterator for RowCandidates<'a, 'b> {
+    type Item = &'a [ValueId];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [ValueId]> {
+        match self {
+            RowCandidates::Ids { rel, ids } => ids.next().map(|&id| rel.row(id)),
+            RowCandidates::Scan(it) => it.next().map(|(_, row)| row),
+        }
+    }
+}
+
+/// Reusable join scratch, retained across rule applications within one
+/// evaluator call, so the interned pipeline performs no per-application
+/// buffer allocations (and, via [`insert_rows`] recycling the output
+/// buffers, no per-application output allocations either).
+#[derive(Default)]
+struct EvalScratch {
+    /// Variable bindings as value ids; [`ValueId::NONE`] marks unbound.
+    bindings: Vec<ValueId>,
+    /// Reusable probe-key buffers, one in flight per recursion level.
+    key_pool: Vec<Vec<ValueId>>,
+    /// Scratch for instantiating negated literals.
+    neg_scratch: Vec<ValueId>,
+    /// Scratch for instantiating id heads — duplicate derivations are
+    /// detected against the head relation from here, before anything
+    /// allocates.
+    head_scratch: Vec<ValueId>,
+    /// Scratch for instantiating value (Skolem) heads.
+    head_vals: Vec<Value>,
+    out_ids: Vec<ValueId>,
+    out_hashes: Vec<u64>,
+    out_tuples: Vec<Tuple>,
+}
+
+/// Mutable join state threaded through the interned recursion.
+struct JoinStateIds<'a, 's> {
+    sc: &'s mut EvalScratch,
+    /// When set, head instantiations already present in this relation are
+    /// dropped without materialising anything (monotone fixpoint paths).
+    head_rel: Option<&'a Relation>,
+    /// Pre-resolved relations of the negated literals, in rule order.
+    neg_rels: Vec<&'a Relation>,
+}
+
+/// Instantiate a compiled head term under id bindings, resolving pooled
+/// values and constructing labeled nulls for Skolem terms.
+fn eval_head_term_pooled(term: &CompiledHeadTerm, bindings: &[ValueId], pool: &ValuePool) -> Value {
+    match term {
+        CompiledHeadTerm::Var(s) => pool.value(bindings[*s]).clone(),
+        CompiledHeadTerm::Const(v) => v.clone(),
+        CompiledHeadTerm::Skolem(f, args) => Value::labeled_null(
+            *f,
+            args.iter()
+                .map(|a| eval_head_term_pooled(a, bindings, pool))
+                .collect(),
+        ),
+    }
+}
+
+/// Evaluate one compiled plan on the interned pipeline and return the head
+/// rows it produces.
+///
+/// `delta_at` optionally restricts the body occurrence with the given
+/// body index to the supplied tuple ids of that occurrence's relation
+/// (semi-naive evaluation / insertion delta rules). The ids must be live.
+///
+/// With `skip_existing`, head instantiations already present in the head
+/// relation are dropped inside the join (before any allocation) — correct
+/// only for monotone insertion paths, where the caller would discard them
+/// as duplicates anyway.
+#[allow(clippy::too_many_arguments)]
+fn eval_rule_ids(
+    kind: EngineKind,
+    plan: &CompiledPlan,
+    db: &mut Database,
+    delta_at: Option<(usize, &[TupleId])>,
+    filter: Option<&DerivationFilter<'_>>,
+    stats: &mut EvalStats,
+    temp: &mut TempIndexes,
+    sc: &mut EvalScratch,
+    skip_existing: bool,
+) -> Result<ProducedRows> {
+    stats.rule_applications += 1;
+    if plan.rule.reordered {
+        stats.reorders_applied += 1;
+    }
+    let c = &plan.rule;
+
+    // Phase 1 (mutable): validate relations and make sure persistent
+    // indexes exist — always for the pipelined backend; for the batch
+    // backend only where a throwaway index has been rebuilt often enough
+    // to be promoted to incremental maintenance. This is the only phase
+    // that may mutate the database.
+    for pos in &c.positives {
+        if !db.has_relation(&pos.relation) {
+            return Err(DatalogError::MissingRelation(pos.relation.clone()));
+        }
+        let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
+        if is_delta {
+            continue;
+        }
+        let bound_cols = pos.bound_columns();
+        if bound_cols.is_empty() {
+            continue;
+        }
+        // The builds map is bounded by the program's distinct access paths,
+        // so a scan beats allocating a lookup key per rule application.
+        let promote = kind == EngineKind::Pipelined
+            || temp.builds.iter().any(|((r, c), &n)| {
+                n >= TEMP_PROMOTE_AFTER && r == &pos.relation && *c == bound_cols
+            });
+        if promote {
+            db.relation_mut(&pos.relation)?.ensure_index(&bound_cols)?;
+        }
+    }
+
+    // Phase 2a: the batch backend refreshes its throwaway indexes (reused
+    // across evaluations while the relation's length is unchanged) for
+    // access paths not covered by a persistent index.
+    if kind == EngineKind::Batch {
+        let db_ref: &Database = db;
+        let pool = db_ref.pool();
+        for pos in &c.positives {
+            let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
+            if is_delta {
+                continue;
+            }
+            let bound_cols = pos.bound_columns();
+            if bound_cols.is_empty() {
+                continue;
+            }
+            let rel = db_ref.relation(&pos.relation)?;
+            if rel.index(&bound_cols).is_some() {
+                continue;
+            }
+            let current = temp
+                .built
+                .iter()
+                .find(|((r, c), _)| r == &pos.relation && *c == bound_cols)
+                .map(|(_, (version, _))| *version);
+            if current != Some(rel.version()) {
+                let index = HashIndex::build_from_rows(
+                    bound_cols.clone(),
+                    rel.len(),
+                    rel.iter_rows(),
+                    pool,
+                );
+                stats.temp_indexes_built += 1;
+                let key = (pos.relation.clone(), bound_cols);
+                *temp.builds.entry(key.clone()).or_insert(0) += 1;
+                temp.built.insert(key, (rel.version(), index));
+            }
+        }
+    }
+
+    // Phase 2b (immutable): pick a borrowed access path per positive
+    // literal and pre-resolve the negated literals' relations.
+    let db_ref: &Database = db;
+    let temp_ref: &TempIndexes = temp;
+    let pool = db_ref.pool();
+    let mut neg_rels: Vec<&Relation> = Vec::with_capacity(c.negatives.len());
+    for neg in &c.negatives {
+        neg_rels.push(db_ref.relation(&neg.relation)?);
+    }
+    let mut accesses: Vec<AccessIds<'_>> = Vec::with_capacity(c.positives.len());
+    for pos in &c.positives {
+        let rel = db_ref.relation(&pos.relation)?;
+        let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
+        let bound_cols = pos.bound_columns();
+        if is_delta {
+            let (_, ids) = delta_at.unwrap();
+            if !bound_cols.is_empty() && ids.len() >= DELTA_INDEX_MIN {
+                let index = HashIndex::build_from_rows(
+                    bound_cols,
+                    ids.len(),
+                    ids.iter().map(|&tid| (tid, rel.row(tid))),
+                    pool,
+                );
+                stats.delta_indexes_built += 1;
+                accesses.push(AccessIds::DeltaIndex { rel, index });
+            } else {
+                accesses.push(AccessIds::DeltaScan { rel, ids });
+            }
+            continue;
+        }
+        if bound_cols.is_empty() {
+            accesses.push(AccessIds::FullScan(rel));
+            continue;
+        }
+        match kind {
+            EngineKind::Batch => {
+                if let Some(index) = rel.index(&bound_cols) {
+                    // Promoted: maintained on the relation itself.
+                    accesses.push(AccessIds::Persistent { rel, index });
+                } else {
+                    let (_, (_, index)) = temp_ref
+                        .built
+                        .iter()
+                        .find(|((r, c), _)| r == &pos.relation && *c == bound_cols)
+                        .expect("built in phase 2a");
+                    accesses.push(AccessIds::TempIndex { rel, index });
+                }
+            }
+            EngineKind::Pipelined => match rel.index(&bound_cols) {
+                Some(index) => accesses.push(AccessIds::Persistent { rel, index }),
+                // Unreachable after phase 1, but degrade to a scan rather
+                // than assume.
+                None => accesses.push(AccessIds::FullScan(rel)),
+            },
+        }
+    }
+
+    // Phase 3: interned nested-loop join over the chosen access paths.
+    let head_rel = if skip_existing {
+        Some(db_ref.relation(&c.head_relation)?)
+    } else {
+        None
+    };
+    sc.bindings.clear();
+    sc.bindings.resize(c.var_count, ValueId::NONE);
+    debug_assert!(sc.out_ids.is_empty() && sc.out_hashes.is_empty() && sc.out_tuples.is_empty());
+    let mut state = JoinStateIds {
+        sc,
+        head_rel,
+        neg_rels,
+    };
+    join_literal_ids(plan, pool, &accesses, 0, &mut state, filter, stats)?;
+    Ok(if plan.ids.head.is_some() {
+        ProducedRows::Rows {
+            arity: c.head_arity,
+            ids: std::mem::take(&mut sc.out_ids),
+            hashes: std::mem::take(&mut sc.out_hashes),
+        }
+    } else {
+        ProducedRows::Tuples(std::mem::take(&mut sc.out_tuples))
+    })
+}
+
+fn join_literal_ids<'a>(
+    plan: &'a CompiledPlan,
+    pool: &'a ValuePool,
+    accesses: &[AccessIds<'a>],
+    idx: usize,
+    st: &mut JoinStateIds<'a, '_>,
+    filter: Option<&DerivationFilter<'_>>,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    let c = &plan.rule;
+    if idx == c.positives.len() {
+        // All positive literals satisfied; check negated literals from the
+        // id scratch buffer (integer probes against cached hashes).
+        for (ni, neg_srcs) in plan.ids.negatives.iter().enumerate() {
+            st.sc.neg_scratch.clear();
+            for s in neg_srcs {
+                st.sc.neg_scratch.push(s.resolve(&st.sc.bindings));
+            }
+            let h = pool.row_hash(&st.sc.neg_scratch);
+            if st.neg_rels[ni].contains_row_hashed(h, &st.sc.neg_scratch) {
+                return Ok(());
+            }
+        }
+        match &plan.ids.head {
+            Some(srcs) => {
+                // Id head: instantiate into the id scratch — copying u32s,
+                // no value is touched.
+                st.sc.head_scratch.clear();
+                for s in srcs {
+                    st.sc.head_scratch.push(s.resolve(&st.sc.bindings));
+                }
+                stats.tuples_derived += 1;
+                let hash = pool.row_hash(&st.sc.head_scratch);
+                if let Some(hr) = st.head_rel {
+                    // Duplicate derivations die here: an integer hash probe
+                    // plus id-row compare, zero allocations.
+                    if hr.contains_row_hashed(hash, &st.sc.head_scratch) {
+                        return Ok(());
+                    }
+                }
+                if let Some(f) = filter {
+                    let values: Vec<Value> = st
+                        .sc
+                        .head_scratch
+                        .iter()
+                        .map(|&id| pool.value(id).clone())
+                        .collect();
+                    let tuple = Tuple::from_prehashed(values, hash);
+                    if !f(&c.head_relation, &tuple) {
+                        stats.filtered_out += 1;
+                        return Ok(());
+                    }
+                }
+                st.sc.out_ids.extend_from_slice(&st.sc.head_scratch);
+                st.sc.out_hashes.push(hash);
+            }
+            None => {
+                // Value head (Skolem terms): construct the labeled nulls,
+                // still deduplicating before any tuple is allocated.
+                st.sc.head_vals.clear();
+                for t in &c.head {
+                    st.sc
+                        .head_vals
+                        .push(eval_head_term_pooled(t, &st.sc.bindings, pool));
+                }
+                stats.tuples_derived += 1;
+                let hash = orchestra_storage::tuple::values_hash(&st.sc.head_vals);
+                if let Some(hr) = st.head_rel {
+                    if hr.contains_values_hashed(hash, &st.sc.head_vals) {
+                        return Ok(());
+                    }
+                }
+                let tuple = Tuple::from_prehashed(std::mem::take(&mut st.sc.head_vals), hash);
+                if let Some(f) = filter {
+                    if !f(&c.head_relation, &tuple) {
+                        stats.filtered_out += 1;
+                        return Ok(());
+                    }
+                }
+                st.sc.out_tuples.push(tuple);
+            }
+        }
+        return Ok(());
+    }
+
+    let pos = &c.positives[idx];
+    let srcs = &plan.ids.bound[idx];
+
+    // Assemble the interned probe key in a pooled buffer.
+    let mut key = st.sc.key_pool.pop().unwrap_or_default();
+    for s in srcs {
+        key.push(s.resolve(&st.sc.bindings));
+    }
+
+    let candidates = RowCandidates::open(&accesses[idx], &key, pool, stats);
+    for row in candidates {
+        stats.candidates_scanned += 1;
+        // Verify the bound columns — integer compares (index probes return
+        // hash-bucket candidates; scans are unfiltered).
+        if !pos
+            .bound
+            .iter()
+            .zip(key.iter())
+            .all(|((col, _), &kid)| row[*col] == kid)
+        {
+            continue;
+        }
+        // Bind the free columns by id.
+        for (col, slot) in &pos.free {
+            st.sc.bindings[*slot] = row[*col];
+        }
+        // Enforce repeated variables within this same atom (e.g. R(x, x)).
+        let intra_ok = pos
+            .intra
+            .iter()
+            .all(|(col, slot)| st.sc.bindings[*slot] == row[*col]);
+        if !intra_ok {
+            continue;
+        }
+        join_literal_ids(plan, pool, accesses, idx + 1, st, filter, stats)?;
+    }
+    // Unbind this literal's free slots and return the key buffer to the
+    // pool before handing control back.
+    for (_, slot) in &pos.free {
+        st.sc.bindings[*slot] = ValueId::NONE;
+    }
+    key.clear();
+    st.sc.key_pool.push(key);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The value-based pipeline (naive oracle, ad-hoc rule evaluation).
+// ---------------------------------------------------------------------
+
+/// How a positive literal accesses its relation during the value join. All
 /// variants yield **borrowed** candidate tuples; nothing is copied.
 enum Access<'a> {
     /// Linear scan of an externally supplied delta slice.
@@ -584,8 +1119,8 @@ impl<'a, 'b> Iterator for Candidates<'a, 'b> {
     }
 }
 
-/// Mutable join state threaded through the recursion: bindings, scratch
-/// buffers, and the output. All `&Value` borrows live for the data
+/// Mutable join state threaded through the value recursion: bindings,
+/// scratch buffers, and the output. All `&Value` borrows live for the data
 /// lifetime `'a`.
 struct JoinState<'a> {
     bindings: Vec<Option<&'a Value>>,
@@ -614,10 +1149,12 @@ fn matches_bound(pos: &CompiledPositive, key: &[&Value], t: &Tuple) -> bool {
         .all(|((col, _), v)| &t[*col] == *v)
 }
 
-/// Evaluate one compiled rule and return the head tuples it produces.
+/// Evaluate one compiled rule on the value pipeline and return the head
+/// tuples it produces.
 ///
 /// `delta_at` optionally restricts the body occurrence with the given
-/// `body_index` to the supplied tuples (semi-naive evaluation / delta rules).
+/// `body_index` to the supplied tuples (delta rules over tuples that need
+/// not be stored anywhere).
 ///
 /// With `skip_existing`, head instantiations already present in the head
 /// relation are dropped inside the join (before any allocation) — correct
@@ -640,8 +1177,7 @@ pub(crate) fn eval_rule(
     }
 
     // Phase 1 (mutable): validate relations and make sure the pipelined
-    // backend's persistent indexes exist. This is the only phase that may
-    // mutate the database.
+    // backend's persistent indexes exist.
     for pos in &c.positives {
         if !db.has_relation(&pos.relation) {
             return Err(DatalogError::MissingRelation(pos.relation.clone()));
@@ -982,6 +1518,52 @@ mod tests {
     }
 
     #[test]
+    fn cached_plans_reproduce_uncached_results() {
+        // Reusing one PlanCache across many incremental propagations (the
+        // CDSS exchange pattern) must agree with fresh compilation, and the
+        // reuse must show up in the stats.
+        for kind in EngineKind::all() {
+            let program = tc_program();
+            let mut cached_db = edge_db(&[(1, 2), (2, 3)]);
+            let mut fresh_db = edge_db(&[(1, 2), (2, 3)]);
+            let mut cache = PlanCache::new();
+            let mut cached_eval = Evaluator::new(kind);
+            let mut fresh_eval = Evaluator::new(kind);
+            cached_eval
+                .run_filtered_cached(&mut cache, &program, &mut cached_db, None)
+                .unwrap();
+            fresh_eval.run(&program, &mut fresh_db).unwrap();
+            for step in 0..4i64 {
+                let mut deltas = HashMap::new();
+                deltas.insert(
+                    "edge".to_string(),
+                    vec![int_tuple(&[3 + step, 4 + step]), int_tuple(&[step, 7])],
+                );
+                cached_eval
+                    .propagate_insertions_cached(
+                        &mut cache,
+                        &program,
+                        &mut cached_db,
+                        &deltas,
+                        None,
+                    )
+                    .unwrap();
+                fresh_eval
+                    .propagate_insertions(&program, &mut fresh_db, &deltas, None)
+                    .unwrap();
+            }
+            assert_eq!(
+                cached_db.relation("path").unwrap().sorted_tuples(),
+                fresh_db.relation("path").unwrap().sorted_tuples(),
+                "engine {kind}"
+            );
+            let stats = cached_eval.take_stats();
+            assert!(stats.plan_cache_hits > 0, "engine {kind}: {stats}");
+            assert!(stats.intern_misses > 0);
+        }
+    }
+
+    #[test]
     fn insertion_delta_on_negated_relation_is_rejected() {
         let program = Program::from_rules(vec![Rule::new(
             atom("out", &["x"]),
@@ -1012,7 +1594,8 @@ mod tests {
         db.insert("path", int_tuple(&[2, 3])).unwrap();
         db.insert("path", int_tuple(&[1, 3])).unwrap();
 
-        // path(x,z) :- path(x,y), edge(y,z), with edge constrained to a delta.
+        // path(x,z) :- path(x,y), edge(y,z), with edge constrained to a delta
+        // of tuples that are stored nowhere (the value pipeline handles it).
         let rule = Rule::positive(
             atom("path", &["x", "z"]),
             vec![atom("path", &["x", "y"]), atom("edge", &["y", "z"])],
@@ -1066,6 +1649,27 @@ mod tests {
             let mut db = edge_db(&[(1, 2), (2, 3), (2, 4)]);
             Evaluator::new(kind).run(&program, &mut db).unwrap();
             assert_eq!(db.relation("two").unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn head_constants_and_duplicates_on_id_path() {
+        // mark(x, 7) :- edge(x, y): head mixes a slot and an interned
+        // constant; many y collapse to one (x, 7) row — the duplicate rows
+        // must deduplicate via the id path.
+        let program = Program::from_rules(vec![Rule::positive(
+            Atom::new("mark", vec![Term::var("x"), Term::constant(7i64)]),
+            vec![atom("edge", &["x", "y"])],
+        )]);
+        for kind in EngineKind::all() {
+            let mut db = edge_db(&[(1, 2), (1, 3), (1, 4), (2, 9)]);
+            let stats = Evaluator::new(kind).run(&program, &mut db).unwrap();
+            let mark = db.relation("mark").unwrap();
+            assert_eq!(mark.len(), 2, "engine {kind}");
+            assert!(mark.contains(&int_tuple(&[1, 7])));
+            assert!(mark.contains(&int_tuple(&[2, 7])));
+            assert!(stats.tuples_derived >= 4);
+            assert_eq!(stats.tuples_inserted, 2);
         }
     }
 

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod parser;
+pub mod plan;
 pub mod program;
 pub mod reference;
 pub mod rule;
@@ -70,6 +71,7 @@ pub use engine::EngineKind;
 pub use error::DatalogError;
 pub use eval::{DerivationFilter, Evaluator};
 pub use parser::{parse_atom, parse_program, parse_rule};
+pub use plan::{CompiledPlan, PlanCache, PreparedProgram};
 pub use program::{Program, Stratification};
 pub use rule::Rule;
 pub use stats::EvalStats;

@@ -1,0 +1,491 @@
+//! Compiled join plans and the cross-evaluation [`PlanCache`].
+//!
+//! PR 3 compiled cost-ordered plans lazily *per evaluator call*
+//! (`ProgramPlans`), so every update exchange re-validated the program,
+//! re-stratified it, re-walked the rules for positive occurrences, and
+//! re-compiled every exercised plan. The mapping program of a CDSS is fixed
+//! for its lifetime, so all of that is cacheable: a [`PlanCache`] owns the
+//! validated stratification, the occurrence lists, and the compiled
+//! base/delta plans, and survives across evaluations (the `Cdss` keeps one
+//! per database).
+//!
+//! **Invalidation rule:** plans are cost-ordered by relation cardinality,
+//! so the cache tracks the *cardinality band* (`floor(log2(len + 1))`) of
+//! every relation the program references at (re)planning time. A later
+//! evaluation whose bands differ anywhere drops the compiled plans (the
+//! stratification and occurrence lists never depend on cardinalities and
+//! are kept). Within a band, sizes have drifted by less than 2× and the
+//! greedy join order would not change meaningfully.
+//!
+//! Each cached plan carries an [`IdPlan`]: the rule's constants interned
+//! into the owning database's value pool, and its head classified as
+//! id-constructible or value-constructible (Skolem heads build fresh
+//! labeled nulls and must go through values). A `PlanCache` is therefore
+//! **bound to one `Database`** — its pool ids are meaningless elsewhere.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use orchestra_storage::{Database, HashIndex, Relation, ValueId, ValuePool};
+
+use crate::compile::{BoundSource, CompiledHeadTerm, CompiledRule};
+use crate::program::{Program, Stratification};
+use crate::Result;
+
+/// How many times a `(relation, columns)` throwaway index must have been
+/// built before the batch backend promotes the access path to a maintained
+/// persistent index on the relation (incremental maintenance then replaces
+/// full rebuilds). `1` = the second request for the same path promotes.
+pub(crate) const TEMP_PROMOTE_AFTER: u32 = 1;
+
+/// The batch backend's throwaway-index state, persisted across evaluations
+/// alongside the plan cache.
+///
+/// An index is keyed by `(relation, bound columns)` and stamped with the
+/// relation's **monotone content version** at build time: any insert,
+/// remove or clear bumps the version, so an unchanged stamp proves the
+/// index is current even across exchanges that delete and re-insert to the
+/// same length — there is exactly one live entry per key. Keys rebuilt
+/// more than [`TEMP_PROMOTE_AFTER`] times are *promoted*: the evaluator
+/// creates a persistent index on the relation instead (and drops the
+/// retained throwaway build), converting repeated O(relation) rebuilds
+/// into incremental maintenance.
+#[derive(Debug, Default)]
+pub(crate) struct TempIndexes {
+    /// `(relation, columns)` → (relation content version at build, index).
+    pub(crate) built: HashMap<(String, Vec<usize>), (u64, HashIndex)>,
+    /// Rebuild counters driving promotion.
+    pub(crate) builds: HashMap<(String, Vec<usize>), u32>,
+}
+
+/// Where an id-resolved bound column / negated column / head column gets
+/// its [`ValueId`] from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IdSrc {
+    /// An already-bound variable slot.
+    Slot(usize),
+    /// A rule constant, interned at plan-build time.
+    Const(ValueId),
+}
+
+impl IdSrc {
+    /// Resolve against the current bindings.
+    #[inline]
+    pub(crate) fn resolve(self, bindings: &[ValueId]) -> ValueId {
+        match self {
+            IdSrc::Slot(s) => bindings[s],
+            IdSrc::Const(id) => id,
+        }
+    }
+}
+
+/// The id-resolved side of a [`CompiledRule`]: everything the interned join
+/// pipeline compares or emits, as [`ValueId`]s.
+#[derive(Debug, Clone)]
+pub(crate) struct IdPlan {
+    /// Per positive literal (in join order): id sources of its bound
+    /// columns, parallel to `CompiledPositive::bound`.
+    pub bound: Vec<Vec<IdSrc>>,
+    /// Per negated literal: id sources per column, parallel to
+    /// `CompiledNegative::columns`.
+    pub negatives: Vec<Vec<IdSrc>>,
+    /// Head columns as id sources when the head is Skolem-free; `None`
+    /// sends head instantiation through the value path (labeled nulls are
+    /// constructed, then interned on insert).
+    pub head: Option<Vec<IdSrc>>,
+}
+
+impl IdPlan {
+    fn build(rule: &CompiledRule, pool: &mut ValuePool) -> IdPlan {
+        let mut id_src = |src: &BoundSource| match src {
+            BoundSource::Var(s) => IdSrc::Slot(*s),
+            BoundSource::Const(v) => IdSrc::Const(pool.intern(v)),
+        };
+        let bound = rule
+            .positives
+            .iter()
+            .map(|p| p.bound.iter().map(|(_, s)| id_src(s)).collect())
+            .collect();
+        let negatives = rule
+            .negatives
+            .iter()
+            .map(|n| n.columns.iter().map(&mut id_src).collect())
+            .collect();
+        let head = rule
+            .head
+            .iter()
+            .map(|t| match t {
+                CompiledHeadTerm::Var(s) => Some(IdSrc::Slot(*s)),
+                CompiledHeadTerm::Const(v) => Some(IdSrc::Const(pool.intern(v))),
+                CompiledHeadTerm::Skolem(_, _) => None,
+            })
+            .collect::<Option<Vec<IdSrc>>>();
+        IdPlan {
+            bound,
+            negatives,
+            head,
+        }
+    }
+}
+
+/// One compiled, cost-ordered plan plus its id-resolved side.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// The cost-ordered compiled rule.
+    pub rule: CompiledRule,
+    pub(crate) ids: IdPlan,
+}
+
+impl CompiledPlan {
+    fn build(
+        rule: &crate::rule::Rule,
+        estimate: &dyn Fn(&str) -> usize,
+        first: Option<usize>,
+        pool: &mut ValuePool,
+    ) -> Result<CompiledPlan> {
+        // The cache validated the whole program in `prepare`; skip the
+        // per-rule safety re-check on every (re)compile.
+        let compiled = CompiledRule::compile_ordered_prevalidated(rule, estimate, first)?;
+        let ids = IdPlan::build(&compiled, pool);
+        Ok(CompiledPlan {
+            rule: compiled,
+            ids,
+        })
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct RulePlan {
+    base: Option<CompiledPlan>,
+    /// Delta-first variants, keyed by the forced occurrence's body index.
+    deltas: HashMap<usize, CompiledPlan>,
+}
+
+/// Program facts that never depend on the data: the validated
+/// stratification and, per rule, the `(body_index, relation)` of every
+/// positive body occurrence. Cheap to clone (shared).
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    /// Rule indices per stratum, bottom-up.
+    pub strata: Arc<Stratification>,
+    /// Per rule, the positive body occurrences a delta can substitute into.
+    pub occurrences: Arc<Vec<Vec<(usize, String)>>>,
+}
+
+/// The cardinality band a relation size falls into.
+#[inline]
+fn band(len: usize) -> u32 {
+    usize::BITS - (len + 1).leading_zeros()
+}
+
+/// A persistent cache of compiled join plans for one fixed program against
+/// one database. See the module docs for the invalidation rule.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    prepared: Option<PreparedProgram>,
+    /// Structural fingerprint of the program the cache was prepared for; a
+    /// later call with a different program resets the cache instead of
+    /// silently evaluating it under the old stratification and plans.
+    fingerprint: u64,
+    plans: Vec<RulePlan>,
+    /// Every relation the program references, deduplicated once at
+    /// `prepare` so `refresh` walks a flat list instead of re-scanning the
+    /// rules.
+    tracked: Vec<String>,
+    /// Relation name → arity, memoised for `Evaluator::prepare_relations`.
+    arities: Option<Arc<std::collections::BTreeMap<String, usize>>>,
+    /// The batch backend's throwaway-index state (see [`TempIndexes`]).
+    pub(crate) temp: TempIndexes,
+    /// Relation name → (cardinality band, cardinality) at last replanning.
+    cards: HashMap<String, (u32, usize)>,
+    /// Compiled-plan reuses since construction.
+    pub(crate) hits: u64,
+    /// Plans compiled since construction.
+    pub(crate) misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of plan-cache hits so far.
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// A cheap structural fingerprint of a program: rule count plus, per
+    /// rule, the head/body relation names, negation flags and term shapes.
+    /// Walks borrowed data only — no formatting, no allocation.
+    fn fingerprint(program: &Program) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = orchestra_storage::fxhash::FxHasher::default();
+        h.write_usize(program.rules().len());
+        for rule in program.rules() {
+            rule.head.relation.hash(&mut h);
+            h.write_usize(rule.head.terms.len());
+            for t in &rule.head.terms {
+                t.hash(&mut h);
+            }
+            h.write_usize(rule.body.len());
+            for lit in &rule.body {
+                lit.negated.hash(&mut h);
+                lit.atom.relation.hash(&mut h);
+                for t in &lit.atom.terms {
+                    t.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Validate and stratify the program once, returning the shared
+    /// prepared facts. Subsequent calls with the same program are map
+    /// lookups; a *different* program resets the cache and re-prepares, so
+    /// stale stratifications or plan slots can never leak across programs.
+    pub fn prepare(&mut self, program: &Program) -> Result<PreparedProgram> {
+        let fp = Self::fingerprint(program);
+        if self.prepared.is_some() && self.fingerprint != fp {
+            *self = PlanCache::new();
+        }
+        if self.prepared.is_none() {
+            self.fingerprint = fp;
+            program.validate()?;
+            let strata = program.stratify()?;
+            let occurrences = program
+                .rules()
+                .iter()
+                .map(|r| {
+                    r.body
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| !l.negated)
+                        .map(|(i, l)| (i, l.relation().to_string()))
+                        .collect()
+                })
+                .collect();
+            self.prepared = Some(PreparedProgram {
+                strata: Arc::new(strata),
+                occurrences: Arc::new(occurrences),
+            });
+            self.plans = vec![RulePlan::default(); program.rules().len()];
+            let mut seen = std::collections::HashSet::new();
+            for rule in program.rules() {
+                for name in rule
+                    .body
+                    .iter()
+                    .map(|l| l.relation())
+                    .chain(std::iter::once(rule.head.relation.as_str()))
+                {
+                    if seen.insert(name) {
+                        self.tracked.push(name.to_string());
+                    }
+                }
+            }
+        }
+        Ok(self.prepared.clone().expect("just prepared"))
+    }
+
+    /// Re-check the cardinality bands of every relation the program
+    /// references; shifts drop the compiled plans (stratification and
+    /// occurrences are kept). Call once per evaluation, before fetching
+    /// plans.
+    pub fn refresh(&mut self, _program: &Program, db: &Database) {
+        let mut shifted = false;
+        for name in &self.tracked {
+            let len = db.relation(name).map(Relation::len).unwrap_or(0);
+            match self.cards.get_mut(name) {
+                Some((b, stored_len)) => {
+                    if band(len) != *b {
+                        *b = band(len);
+                        *stored_len = len;
+                        shifted = true;
+                    }
+                }
+                None => {
+                    self.cards.insert(name.clone(), (band(len), len));
+                    shifted = true;
+                }
+            }
+        }
+        if shifted {
+            for p in &mut self.plans {
+                *p = RulePlan::default();
+            }
+        }
+    }
+
+    /// Relation arities of the program, computed once.
+    pub fn arities(
+        &mut self,
+        program: &Program,
+    ) -> Result<Arc<std::collections::BTreeMap<String, usize>>> {
+        if self.arities.is_none() {
+            self.arities = Some(Arc::new(program.relation_arities()?));
+        }
+        Ok(self.arities.clone().expect("just computed"))
+    }
+
+    /// The cost-ordered base plan for rule `ri` (full evaluation), together
+    /// with the throwaway-index state (disjoint borrows of the cache).
+    pub(crate) fn base<'c>(
+        &'c mut self,
+        program: &Program,
+        ri: usize,
+        pool: &mut ValuePool,
+    ) -> Result<(&'c CompiledPlan, &'c mut TempIndexes)> {
+        if self.plans[ri].base.is_none() {
+            self.misses += 1;
+            let cards = &self.cards;
+            let estimate = |name: &str| cards.get(name).map(|(_, len)| *len).unwrap_or(0);
+            let plan = CompiledPlan::build(&program.rules()[ri], &estimate, None, pool)?;
+            self.plans[ri].base = Some(plan);
+        } else {
+            self.hits += 1;
+        }
+        Ok((
+            self.plans[ri].base.as_ref().expect("just compiled"),
+            &mut self.temp,
+        ))
+    }
+
+    /// The delta-first plan for rule `ri` with the positive occurrence at
+    /// `body_index` forced to the front of the join, together with the
+    /// throwaway-index state.
+    pub(crate) fn delta<'c>(
+        &'c mut self,
+        program: &Program,
+        ri: usize,
+        body_index: usize,
+        pool: &mut ValuePool,
+    ) -> Result<(&'c CompiledPlan, &'c mut TempIndexes)> {
+        if !self.plans[ri].deltas.contains_key(&body_index) {
+            self.misses += 1;
+            let cards = &self.cards;
+            let estimate = |name: &str| cards.get(name).map(|(_, len)| *len).unwrap_or(0);
+            let plan =
+                CompiledPlan::build(&program.rules()[ri], &estimate, Some(body_index), pool)?;
+            self.plans[ri].deltas.insert(body_index, plan);
+        } else {
+            self.hits += 1;
+        }
+        Ok((&self.plans[ri].deltas[&body_index], &mut self.temp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::rule::Rule;
+    use orchestra_storage::{tuple::int_tuple, RelationSchema};
+
+    fn tc_program() -> Program {
+        Program::from_rules(vec![
+            Rule::positive(
+                Atom::with_vars("path", &["x", "y"]),
+                vec![Atom::with_vars("edge", &["x", "y"])],
+            ),
+            Rule::positive(
+                Atom::with_vars("path", &["x", "z"]),
+                vec![
+                    Atom::with_vars("path", &["x", "y"]),
+                    Atom::with_vars("edge", &["y", "z"]),
+                ],
+            ),
+        ])
+    }
+
+    fn edge_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("edge", &["s", "d"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("path", &["s", "d"]))
+            .unwrap();
+        for i in 0..n {
+            db.insert("edge", int_tuple(&[i, i + 1])).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn plans_are_cached_until_bands_shift() {
+        let program = tc_program();
+        let mut db = edge_db(10);
+        let mut cache = PlanCache::new();
+        cache.prepare(&program).unwrap();
+        cache.refresh(&program, &db);
+        cache.base(&program, 0, db.pool_mut()).unwrap();
+        cache.base(&program, 1, db.pool_mut()).unwrap();
+        assert_eq!((cache.hits, cache.misses), (0, 2));
+        // Same sizes: reuse.
+        cache.refresh(&program, &db);
+        cache.base(&program, 0, db.pool_mut()).unwrap();
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+        // Growing within the band keeps plans; crossing it drops them.
+        for i in 100..104 {
+            db.insert("edge", int_tuple(&[i, i + 1])).unwrap();
+        }
+        cache.refresh(&program, &db);
+        cache.base(&program, 0, db.pool_mut()).unwrap();
+        assert_eq!((cache.hits, cache.misses), (2, 2));
+        for i in 200..300 {
+            db.insert("edge", int_tuple(&[i, i + 1])).unwrap();
+        }
+        cache.refresh(&program, &db);
+        cache.base(&program, 0, db.pool_mut()).unwrap();
+        assert_eq!((cache.hits, cache.misses), (2, 3));
+    }
+
+    #[test]
+    fn delta_plans_force_the_occurrence_first() {
+        let program = tc_program();
+        let mut db = edge_db(4);
+        let mut cache = PlanCache::new();
+        let prepared = cache.prepare(&program).unwrap();
+        cache.refresh(&program, &db);
+        assert_eq!(prepared.occurrences[1].len(), 2);
+        let (plan, _) = cache.delta(&program, 1, 1, db.pool_mut()).unwrap();
+        assert_eq!(plan.rule.positives[0].body_index, 1);
+        // Id side mirrors the compiled rule's shape.
+        assert_eq!(plan.ids.bound.len(), plan.rule.positives.len());
+        assert!(plan.ids.head.is_some());
+    }
+
+    #[test]
+    fn switching_programs_resets_the_cache() {
+        let tc = tc_program();
+        let other = Program::from_rules(vec![Rule::positive(
+            Atom::with_vars("q", &["x", "y"]),
+            vec![Atom::with_vars("edge", &["x", "y"])],
+        )]);
+        let mut db = edge_db(5);
+        let mut cache = PlanCache::new();
+        let prepared_tc = cache.prepare(&tc).unwrap();
+        cache.refresh(&tc, &db);
+        cache.base(&tc, 1, db.pool_mut()).unwrap();
+        assert_eq!(prepared_tc.occurrences.len(), 2);
+        // A different program must not be evaluated under tc's facts: the
+        // cache resets (fewer rules — indexing with tc's rule ids would
+        // otherwise panic or silently misplan).
+        let prepared_other = cache.prepare(&other).unwrap();
+        assert_eq!(prepared_other.occurrences.len(), 1);
+        cache.refresh(&other, &db);
+        let (plan, _) = cache.base(&other, 0, db.pool_mut()).unwrap();
+        assert_eq!(plan.rule.head_relation, "q");
+        // Same program again: still cached (no reset).
+        let hits_before = cache.hits;
+        cache.prepare(&other).unwrap();
+        cache.base(&other, 0, db.pool_mut()).unwrap();
+        assert_eq!(cache.hits, hits_before + 1);
+    }
+
+    #[test]
+    fn bands_group_sizes_logarithmically() {
+        assert_eq!(band(0), band(0));
+        assert_ne!(band(0), band(1));
+        assert_eq!(band(40), band(60));
+        assert_ne!(band(60), band(200));
+    }
+}

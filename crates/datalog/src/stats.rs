@@ -45,6 +45,16 @@ pub struct EvalStats {
     /// greedy most-bound / smallest-relation-first plan differed from the
     /// written body order).
     pub reorders_applied: usize,
+    /// Value-intern requests that found the value already pooled. Together
+    /// with `intern_misses` this measures how much of the evaluation's
+    /// vocabulary was reused instead of re-materialised: a high hit rate
+    /// means inserted tuples moved as dense ids, not payload copies.
+    pub intern_hits: usize,
+    /// Value-intern requests that admitted a new value to the pool.
+    pub intern_misses: usize,
+    /// Compiled join plans reused from the cross-evaluation [`PlanCache`]
+    /// (`crate::plan::PlanCache`) instead of being recompiled.
+    pub plan_cache_hits: usize,
 }
 
 impl EvalStats {
@@ -72,6 +82,9 @@ impl AddAssign for EvalStats {
         self.candidates_scanned += o.candidates_scanned;
         self.delta_indexes_built += o.delta_indexes_built;
         self.reorders_applied += o.reorders_applied;
+        self.intern_hits += o.intern_hits;
+        self.intern_misses += o.intern_misses;
+        self.plan_cache_hits += o.plan_cache_hits;
     }
 }
 
@@ -79,7 +92,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={}",
+            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={} intern_hits={} intern_misses={} plan_cache_hits={}",
             self.iterations,
             self.rule_applications,
             self.tuples_derived,
@@ -90,7 +103,10 @@ impl fmt::Display for EvalStats {
             self.filtered_out,
             self.candidates_scanned,
             self.delta_indexes_built,
-            self.reorders_applied
+            self.reorders_applied,
+            self.intern_hits,
+            self.intern_misses,
+            self.plan_cache_hits
         )
     }
 }
@@ -113,6 +129,9 @@ mod tests {
             candidates_scanned: 9,
             delta_indexes_built: 10,
             reorders_applied: 11,
+            intern_hits: 12,
+            intern_misses: 13,
+            plan_cache_hits: 14,
         };
         let b = a;
         a.merge(&b);
@@ -127,6 +146,9 @@ mod tests {
         assert_eq!(a.candidates_scanned, 18);
         assert_eq!(a.delta_indexes_built, 20);
         assert_eq!(a.reorders_applied, 22);
+        assert_eq!(a.intern_hits, 24);
+        assert_eq!(a.intern_misses, 26);
+        assert_eq!(a.plan_cache_hits, 28);
     }
 
     #[test]
@@ -144,6 +166,9 @@ mod tests {
             "candidates",
             "delta_indexes",
             "reorders",
+            "intern_hits",
+            "intern_misses",
+            "plan_cache_hits",
         ] {
             assert!(s.contains(key), "missing {key} in `{s}`");
         }

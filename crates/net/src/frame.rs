@@ -28,8 +28,12 @@ use crate::Result;
 /// Frame magic: `"ORCN"` in little-endian byte order.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCN");
 
-/// Wire-format version carried in every frame header.
-pub const VERSION: u8 = 1;
+/// Wire-format version carried in every frame header. Version 2 frames may
+/// carry pooled bulk payloads (see `proto`); version 1 frames are still
+/// accepted on read.
+pub const VERSION: u8 = 2;
+/// Oldest frame version still accepted on read.
+pub const MIN_VERSION: u8 = 1;
 
 /// Upper bound on a frame payload (64 MiB): a garbage length prefix must
 /// not make the receiver allocate unbounded memory.
@@ -156,9 +160,9 @@ pub fn read_frame(stream: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
             "bad frame magic {magic:#010x} (expected {MAGIC:#010x})"
         )));
     }
-    if header[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
         return Err(NetError::protocol(format!(
-            "unsupported wire version {} (expected {VERSION})",
+            "unsupported wire version {} (accepted: {MIN_VERSION}..={VERSION})",
             header[4]
         )));
     }

@@ -7,22 +7,34 @@
 //!
 //! | Tag | Request | Response |
 //! |----:|---------|----------|
-//! | 0 | `PublishEdits` | `EditsQueued` |
+//! | 0 | `PublishEdits` (legacy, plain tuples) | `EditsQueued` |
 //! | 1 | `UpdateExchange` | `ExchangeDone` |
-//! | 2 | `QueryLocal` | `Tuples` |
+//! | 2 | `QueryLocal` | `Tuples` (legacy, plain tuples) |
 //! | 3 | `QueryCertain` | `Provenance` |
 //! | 4 | `ProvenanceOf` | `Policy` |
 //! | 5 | `GetTrustPolicy` | `Stats` |
 //! | 6 | `SetTrustPolicy` | `Ok` |
 //! | 7 | `Stats` | `Error` |
-//! | 8 | `Checkpoint` | |
+//! | 8 | `Checkpoint` | `Tuples` (pooled) |
 //! | 9 | `Shutdown` | |
+//! | 10 | `PublishEdits` (pooled) | |
+//!
+//! Bulk payloads (`PublishEdits` batches, `Tuples` answers) are emitted in
+//! the **pooled** encoding of [`orchestra_persist::pooled`] — one value
+//! dictionary, then rows as dense ids — under the tags marked "pooled".
+//! Back-compat is **read-side**: decoders accept the legacy plain-tuple
+//! tags (and the frame layer accepts version-1 frames), so a new endpoint
+//! reads anything an old one sends or persisted. Writers always emit the
+//! pooled tags in version-2 frames, which old endpoints reject — mixed-
+//! version *live* deployments would additionally need the responder to
+//! echo the requester's frame version, which this layer does not do.
 
 use std::fmt;
 
 use orchestra_core::TrustPolicy;
-use orchestra_persist::codec::{
-    decode_seq, encode_seq, encode_seq_iter, Decode, Encode, Reader, Writer,
+use orchestra_persist::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
+use orchestra_persist::pooled::{
+    decode_tuple_seq_pooled, encode_tuple_seq_pooled, PooledDecoder, PooledEncoder,
 };
 use orchestra_persist::PersistError;
 use orchestra_storage::Tuple;
@@ -89,6 +101,7 @@ fn decode_rel_tuples(r: &mut Reader<'_>) -> orchestra_persist::Result<Vec<(Strin
     Ok(out)
 }
 
+/// Legacy (v1) plain-tuple batch layout.
 impl Encode for EditBatch {
     fn encode(&self, w: &mut Writer) {
         w.put_str(&self.peer);
@@ -103,6 +116,42 @@ impl Decode for EditBatch {
             peer: r.get_str()?.to_string(),
             inserts: decode_rel_tuples(r)?,
             deletes: decode_rel_tuples(r)?,
+        })
+    }
+}
+
+impl EditBatch {
+    /// The pooled wire layout: peer, one value dictionary, then the insert
+    /// and delete groups with tuples as dict ids.
+    fn encode_pooled(&self, w: &mut Writer) {
+        w.put_str(&self.peer);
+        let mut enc = PooledEncoder::new();
+        for groups in [&self.inserts, &self.deletes] {
+            enc.rows.put_u32(groups.len() as u32);
+            for (relation, tuples) in groups.iter() {
+                enc.rows.put_str(relation);
+                enc.put_tuple_seq(tuples.len(), tuples.iter());
+            }
+        }
+        enc.finish_into(w);
+    }
+
+    fn decode_pooled(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        let peer = r.get_str()?.to_string();
+        let dec = PooledDecoder::read(r)?;
+        let mut sections: [Vec<(String, Vec<Tuple>)>; 2] = [Vec::new(), Vec::new()];
+        for section in sections.iter_mut() {
+            let n = r.get_u32()? as usize;
+            for _ in 0..n {
+                let relation = r.get_str()?.to_string();
+                section.push((relation, dec.get_tuple_seq(r)?));
+            }
+        }
+        let [inserts, deletes] = sections;
+        Ok(EditBatch {
+            peer,
+            inserts,
+            deletes,
         })
     }
 }
@@ -249,8 +298,8 @@ impl Encode for Request {
     fn encode(&self, w: &mut Writer) {
         match self {
             Request::PublishEdits(batch) => {
-                w.put_u8(0);
-                batch.encode(w);
+                w.put_u8(10);
+                batch.encode_pooled(w);
             }
             Request::UpdateExchange { peer } => {
                 w.put_u8(1);
@@ -298,6 +347,7 @@ impl Decode for Request {
         let offset = r.offset();
         Ok(match r.get_u8()? {
             0 => Request::PublishEdits(EditBatch::decode(r)?),
+            10 => Request::PublishEdits(EditBatch::decode_pooled(r)?),
             1 => Request::UpdateExchange {
                 peer: match r.get_u8()? {
                     0 => None,
@@ -458,6 +508,12 @@ pub struct ServerStats {
     pub epoch: u64,
     /// Connections accepted since startup.
     pub connections: u64,
+    /// Value-intern hits in the shared store's pool (vocabulary reuse).
+    pub intern_hits: u64,
+    /// Value-intern misses (new values admitted to the pool).
+    pub intern_misses: u64,
+    /// Compiled join plans reused from the cross-exchange plan cache.
+    pub plan_cache_hits: u64,
     /// Per-request counters: `(kind label, served count)`.
     pub requests: Vec<(String, u64)>,
 }
@@ -478,6 +534,9 @@ impl Encode for ServerStats {
         w.put_u64(self.pending_batches);
         w.put_u64(self.epoch);
         w.put_u64(self.connections);
+        w.put_u64(self.intern_hits);
+        w.put_u64(self.intern_misses);
+        w.put_u64(self.plan_cache_hits);
         w.put_u32(self.requests.len() as u32);
         for (kind, count) in &self.requests {
             w.put_str(kind);
@@ -495,6 +554,9 @@ impl Decode for ServerStats {
         let pending_batches = r.get_u64()?;
         let epoch = r.get_u64()?;
         let connections = r.get_u64()?;
+        let intern_hits = r.get_u64()?;
+        let intern_misses = r.get_u64()?;
+        let plan_cache_hits = r.get_u64()?;
         let n = r.get_u32()? as usize;
         let mut requests = Vec::with_capacity(n.min(1 << 8));
         for _ in 0..n {
@@ -509,6 +571,9 @@ impl Decode for ServerStats {
             pending_batches,
             epoch,
             connections,
+            intern_hits,
+            intern_misses,
+            plan_cache_hits,
             requests,
         })
     }
@@ -556,11 +621,12 @@ pub enum Response {
 
 /// Encode a `Response::Tuples` payload directly from borrowed tuples, so
 /// the server can serialize a query answer under its read lock without
-/// cloning the relation. `len` must equal the iterator's length.
+/// cloning the relation. `len` must equal the iterator's length. Uses the
+/// pooled layout (tag 8).
 pub fn encode_tuples_response<'a>(len: usize, tuples: impl Iterator<Item = &'a Tuple>) -> Vec<u8> {
     let mut w = Writer::new();
-    w.put_u8(2);
-    encode_seq_iter(len, tuples, &mut w);
+    w.put_u8(8);
+    encode_tuple_seq_pooled(len, tuples, &mut w);
     w.into_bytes()
 }
 
@@ -577,8 +643,8 @@ impl Encode for Response {
                 summary.encode(w);
             }
             Response::Tuples(tuples) => {
-                w.put_u8(2);
-                encode_seq(tuples, w);
+                w.put_u8(8);
+                encode_tuple_seq_pooled(tuples.len(), tuples.iter(), w);
             }
             Response::Provenance {
                 expression,
@@ -618,6 +684,7 @@ impl Decode for Response {
             },
             1 => Response::ExchangeDone(ExchangeSummary::decode(r)?),
             2 => Response::Tuples(decode_seq(r)?),
+            8 => Response::Tuples(decode_tuple_seq_pooled(r)?),
             3 => Response::Provenance {
                 expression: r.get_str()?.to_string(),
                 derivations: r.get_u64()?,
@@ -722,6 +789,9 @@ mod tests {
             pending_batches: 2,
             epoch: 5,
             connections: 11,
+            intern_hits: 1000,
+            intern_misses: 40,
+            plan_cache_hits: 17,
             requests: vec![("publish-edits".into(), 9), ("stats".into(), 1)],
         }));
         roundtrip(&Response::Ok);

@@ -522,6 +522,9 @@ fn handle_stats(shared: &Shared) -> Vec<u8> {
         pending_batches: shared.lock_ingest().batches.len() as u64,
         epoch: cdss.current_epoch(),
         connections: shared.metrics.connections.load(Ordering::Relaxed),
+        intern_hits: cdss.intern_stats().hits,
+        intern_misses: cdss.intern_stats().misses,
+        plan_cache_hits: cdss.plan_cache_hits(),
         requests: shared.metrics.snapshot(),
     };
     Response::Stats(stats).to_bytes()

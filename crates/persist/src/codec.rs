@@ -69,6 +69,12 @@ impl Writer {
         self.buf.extend_from_slice(v);
     }
 
+    /// Append raw bytes without a length prefix (for self-delimiting
+    /// sections assembled out of band, e.g. the pooled codec's row buffer).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
     /// Append a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
@@ -415,14 +421,14 @@ impl Encode for Relation {
     }
 }
 
-impl Decode for Relation {
-    fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let schema = RelationSchema::decode(r)?;
-        let tuples: Vec<Tuple> = decode_seq(r)?;
-        let mut rel = Relation::new(schema);
-        rel.insert_all(tuples)?;
-        Ok(rel)
-    }
+/// Decode one relation's schema and tuple list (the layout written by
+/// `Relation as Encode`). Relations intern their values through their
+/// database's pool, so a standalone `Decode for Relation` no longer exists;
+/// [`Database::decode`] adopts the parts instead.
+pub fn decode_relation_parts(r: &mut Reader<'_>) -> Result<(RelationSchema, Vec<Tuple>)> {
+    let schema = RelationSchema::decode(r)?;
+    let tuples: Vec<Tuple> = decode_seq(r)?;
+    Ok((schema, tuples))
 }
 
 impl Encode for Database {
@@ -440,7 +446,8 @@ impl Decode for Database {
         let n = r.get_u32()? as usize;
         let mut db = Database::new();
         for _ in 0..n {
-            db.adopt_relation(Relation::decode(r)?)?;
+            let (schema, tuples) = decode_relation_parts(r)?;
+            db.adopt_relation(schema, tuples)?;
         }
         Ok(db)
     }
@@ -539,16 +546,21 @@ mod tests {
 
     #[test]
     fn relations_encode_canonically() {
+        use orchestra_storage::ValuePool;
         let schema = RelationSchema::new("B", &["id", "nam"]);
+        let mut pool = ValuePool::new();
         let mut a = Relation::new(schema.clone());
-        a.insert(int_tuple(&[1, 2])).unwrap();
-        a.insert(int_tuple(&[3, 4])).unwrap();
+        a.insert(&mut pool, int_tuple(&[1, 2])).unwrap();
+        a.insert(&mut pool, int_tuple(&[3, 4])).unwrap();
         let mut b = Relation::new(schema);
-        b.insert(int_tuple(&[3, 4])).unwrap();
-        b.insert(int_tuple(&[1, 2])).unwrap();
+        b.insert(&mut pool, int_tuple(&[3, 4])).unwrap();
+        b.insert(&mut pool, int_tuple(&[1, 2])).unwrap();
         assert_eq!(a.to_bytes(), b.to_bytes(), "insertion order must not leak");
-        let back = Relation::from_bytes(&a.to_bytes()).unwrap();
-        assert_eq!(back.sorted_tuples(), a.sorted_tuples());
+        let bytes = a.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let (schema, tuples) = decode_relation_parts(&mut r).unwrap();
+        assert_eq!(schema, *a.schema());
+        assert_eq!(tuples, a.sorted_tuples());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod codec;
 pub mod crc;
 pub mod error;
+pub mod pooled;
 pub mod snapshot;
 pub mod store;
 pub mod testutil;
@@ -38,6 +39,7 @@ pub mod wal;
 
 pub use codec::{Codec, Decode, Encode, Reader, Writer};
 pub use error::PersistError;
+pub use pooled::{PooledDecoder, PooledEncoder};
 pub use snapshot::{PendingLogs, Snapshot};
 pub use store::PersistentStore;
 pub use wal::{EpochRecord, WalReplay};

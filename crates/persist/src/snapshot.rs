@@ -20,17 +20,22 @@ use std::fs::File;
 use std::io::{Read, Write as _};
 use std::path::Path;
 
-use orchestra_storage::{Database, EditLog};
+use orchestra_storage::{Database, EditLog, EditOp, EditOpKind, RelationSchema};
 
 use crate::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use crate::crc::crc32;
 use crate::error::PersistError;
+use crate::pooled::{PooledDecoder, PooledEncoder};
 use crate::Result;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"OSNP";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Current snapshot format version: version 2 carries a **pooled** payload
+/// (one intern-table section of distinct values, then id-encoded rows —
+/// see [`crate::pooled`]).
+pub const SNAPSHOT_VERSION: u8 = 2;
+/// Oldest snapshot payload version the loader still reads.
+pub const SNAPSHOT_MIN_VERSION: u8 = 1;
 
 /// Pending (unpublished) edit logs of one peer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,11 +104,44 @@ pub struct SnapshotRef<'a> {
 }
 
 impl SnapshotRef<'_> {
+    /// The v2 (pooled) payload: epoch and manifest, one value dictionary,
+    /// then every relation and pending edit log as id-encoded rows. The
+    /// dictionary order follows the canonical content traversal (relations
+    /// in name order, tuples sorted), so equal states encode to identical
+    /// bytes regardless of in-memory pool history.
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.epoch);
         w.put_bytes(self.manifest);
-        self.db.encode(w);
-        encode_seq(self.pending, w);
+        let mut enc = PooledEncoder::new();
+        let relations: Vec<_> = self.db.relations().collect();
+        enc.rows
+            .put_u32(u32::try_from(relations.len()).expect("relation count fits u32"));
+        for rel in relations {
+            rel.schema().encode(&mut enc.rows);
+            let sorted = rel.sorted_tuples();
+            enc.rows
+                .put_u32(u32::try_from(sorted.len()).expect("tuple count fits u32"));
+            for t in &sorted {
+                enc.put_row(t);
+            }
+        }
+        enc.rows
+            .put_u32(u32::try_from(self.pending.len()).expect("pending count fits u32"));
+        for p in self.pending {
+            enc.rows.put_str(&p.peer);
+            enc.rows
+                .put_u32(u32::try_from(p.logs.len()).expect("log count fits u32"));
+            for log in &p.logs {
+                enc.rows.put_str(log.relation());
+                enc.rows
+                    .put_u32(u32::try_from(log.len()).expect("op count fits u32"));
+                for op in log.ops() {
+                    op.kind.encode(&mut enc.rows);
+                    enc.put_tuple(&op.tuple);
+                }
+            }
+        }
+        enc.finish_into(w);
     }
 
     fn to_bytes(self) -> Vec<u8> {
@@ -119,12 +157,43 @@ impl Encode for Snapshot {
     }
 }
 
+/// Decode a v2 (pooled) snapshot payload.
 impl Decode for Snapshot {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let epoch = r.get_u64()?;
         let manifest = r.get_bytes()?.to_vec();
-        let db = Database::decode(r)?;
-        let pending = decode_seq(r)?;
+        let dec = PooledDecoder::read(r)?;
+        let nrels = r.get_u32()? as usize;
+        let mut db = Database::new();
+        for _ in 0..nrels {
+            let schema = RelationSchema::decode(r)?;
+            let arity = schema.arity();
+            let n = r.get_u32()? as usize;
+            let mut tuples = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                tuples.push(dec.get_row(r, arity)?);
+            }
+            db.adopt_relation(schema, tuples)?;
+        }
+        let npending = r.get_u32()? as usize;
+        let mut pending = Vec::with_capacity(npending.min(1 << 12));
+        for _ in 0..npending {
+            let peer = r.get_str()?.to_string();
+            let nlogs = r.get_u32()? as usize;
+            let mut logs = Vec::with_capacity(nlogs.min(1 << 12));
+            for _ in 0..nlogs {
+                let relation = r.get_str()?.to_string();
+                let nops = r.get_u32()? as usize;
+                let mut ops = Vec::with_capacity(nops.min(1 << 16));
+                for _ in 0..nops {
+                    let kind = EditOpKind::decode(r)?;
+                    let tuple = dec.get_tuple(r)?;
+                    ops.push(EditOp { kind, tuple });
+                }
+                logs.push(EditLog::from_ops(relation, ops));
+            }
+            pending.push(PendingLogs { peer, logs });
+        }
         Ok(Snapshot {
             epoch,
             manifest,
@@ -132,6 +201,21 @@ impl Decode for Snapshot {
             pending,
         })
     }
+}
+
+/// Decode the legacy v1 (unpooled) snapshot payload, kept so snapshots
+/// written before the pooled codec still open.
+pub fn decode_snapshot_v1(r: &mut Reader<'_>) -> Result<Snapshot> {
+    let epoch = r.get_u64()?;
+    let manifest = r.get_bytes()?.to_vec();
+    let db = Database::decode(r)?;
+    let pending = decode_seq(r)?;
+    Ok(Snapshot {
+        epoch,
+        manifest,
+        db,
+        pending,
+    })
 }
 
 /// Write a snapshot to `path` atomically: encode, write to `path.tmp`,
@@ -192,10 +276,11 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Option<Snapshot>> {
     if bytes.len() < 13 || &bytes[..4] != SNAPSHOT_MAGIC {
         return Err(PersistError::corrupt(0, "bad snapshot magic"));
     }
-    if bytes[4] != SNAPSHOT_VERSION {
+    let version = bytes[4];
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion {
             artifact: "snapshot",
-            version: bytes[4],
+            version,
         });
     }
     let crc = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
@@ -212,6 +297,17 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Option<Snapshot>> {
     let payload = &bytes[13..];
     if crc32(payload) != crc {
         return Err(PersistError::corrupt(13, "snapshot CRC mismatch"));
+    }
+    if version == 1 {
+        let mut r = Reader::new(payload);
+        let snap = decode_snapshot_v1(&mut r)?;
+        if !r.is_at_end() {
+            return Err(PersistError::corrupt(
+                r.offset(),
+                format!("{} trailing bytes after v1 snapshot", r.remaining()),
+            ));
+        }
+        return Ok(Some(snap));
     }
     Snapshot::from_bytes(payload).map(Some)
 }

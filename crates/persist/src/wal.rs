@@ -24,12 +24,18 @@ use orchestra_storage::EditLog;
 use crate::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use crate::crc::crc32;
 use crate::error::PersistError;
+use crate::pooled::{PooledDecoder, PooledEncoder};
 use crate::Result;
 
 /// Magic bytes opening every WAL file.
 pub const WAL_MAGIC: &[u8; 4] = b"OWAL";
-/// Current WAL format version.
-pub const WAL_VERSION: u8 = 1;
+/// Current WAL format version: version 2 records carry a **pooled**
+/// payload (per-record value dictionary + id-encoded edit-log rows, see
+/// [`crate::pooled`]).
+pub const WAL_VERSION: u8 = 2;
+/// Oldest WAL file version still readable (and appendable — appends match
+/// the file's own version so a log stays internally consistent).
+pub const WAL_MIN_VERSION: u8 = 1;
 /// Byte length of the WAL file header (magic + version).
 pub const WAL_HEADER_LEN: u64 = 5;
 const HEADER_LEN: u64 = WAL_HEADER_LEN;
@@ -54,11 +60,25 @@ impl EpochRecord {
     }
 }
 
+/// The v2 (pooled) record payload: epoch and peer, one value dictionary,
+/// then the edit logs with tuples as dict ids.
 impl Encode for EpochRecord {
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.epoch);
         w.put_str(&self.peer);
-        encode_seq(&self.logs, w);
+        let mut enc = PooledEncoder::new();
+        enc.rows
+            .put_u32(u32::try_from(self.logs.len()).expect("log count fits u32"));
+        for log in &self.logs {
+            enc.rows.put_str(log.relation());
+            enc.rows
+                .put_u32(u32::try_from(log.len()).expect("op count fits u32"));
+            for op in log.ops() {
+                op.kind.encode(&mut enc.rows);
+                enc.put_tuple(&op.tuple);
+            }
+        }
+        enc.finish_into(w);
     }
 }
 
@@ -66,7 +86,47 @@ impl Decode for EpochRecord {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let epoch = r.get_u64()?;
         let peer = r.get_str()?.to_string();
-        let logs = decode_seq(r)?;
+        let dec = PooledDecoder::read(r)?;
+        let nlogs = r.get_u32()? as usize;
+        let mut logs = Vec::with_capacity(nlogs.min(1 << 12));
+        for _ in 0..nlogs {
+            let relation = r.get_str()?.to_string();
+            let nops = r.get_u32()? as usize;
+            let mut ops = Vec::with_capacity(nops.min(1 << 16));
+            for _ in 0..nops {
+                let kind = orchestra_storage::EditOpKind::decode(r)?;
+                let tuple = dec.get_tuple(r)?;
+                ops.push(orchestra_storage::EditOp { kind, tuple });
+            }
+            logs.push(EditLog::from_ops(relation, ops));
+        }
+        Ok(EpochRecord { epoch, peer, logs })
+    }
+}
+
+impl EpochRecord {
+    /// Encode in the legacy v1 (unpooled) layout, used when appending to a
+    /// WAL file that was created by an older version.
+    fn encode_v1(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.epoch);
+        w.put_str(&self.peer);
+        encode_seq(&self.logs, &mut w);
+        w.into_bytes()
+    }
+
+    /// Decode the legacy v1 (unpooled) record payload.
+    fn decode_v1(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let epoch = r.get_u64()?;
+        let peer = r.get_str()?.to_string();
+        let logs = decode_seq(&mut r)?;
+        if !r.is_at_end() {
+            return Err(PersistError::corrupt(
+                r.offset(),
+                format!("{} trailing bytes after v1 epoch record", r.remaining()),
+            ));
+        }
         Ok(EpochRecord { epoch, peer, logs })
     }
 }
@@ -95,6 +155,9 @@ impl WalReplay {
 pub struct EpochWal {
     path: PathBuf,
     file: File,
+    /// The version byte in this file's header; appended records use the
+    /// same version so a log never mixes layouts.
+    version: u8,
     /// `fsync` after every append. Defaults to true (durability first); the
     /// benchmark harness turns it off to measure pure framing throughput.
     sync_on_append: bool,
@@ -117,6 +180,7 @@ impl EpochWal {
         Ok(EpochWal {
             path,
             file,
+            version: WAL_VERSION,
             sync_on_append: true,
         })
     }
@@ -150,7 +214,7 @@ impl EpochWal {
         if &header[..4] != WAL_MAGIC {
             return Err(PersistError::corrupt(0, "bad WAL magic"));
         }
-        if header[4] != WAL_VERSION {
+        if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&header[4]) {
             return Err(PersistError::UnsupportedVersion {
                 artifact: "WAL",
                 version: header[4],
@@ -162,6 +226,7 @@ impl EpochWal {
         Ok(EpochWal {
             path,
             file,
+            version: header[4],
             sync_on_append: true,
         })
     }
@@ -184,7 +249,11 @@ impl EpochWal {
     /// Append one epoch record: CRC-framed, flushed, and (by default)
     /// synced before returning, so a post-return crash cannot lose it.
     pub fn append(&mut self, record: &EpochRecord) -> Result<()> {
-        let payload = record.to_bytes();
+        let payload = if self.version == 1 {
+            record.encode_v1()
+        } else {
+            record.to_bytes()
+        };
         let len = u32::try_from(payload.len()).map_err(|_| PersistError::FrameTooLarge {
             artifact: "WAL record",
             len: payload.len(),
@@ -238,10 +307,11 @@ pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay> {
     if &bytes[..4] != WAL_MAGIC {
         return Err(PersistError::corrupt(0, "bad WAL magic"));
     }
-    if bytes[4] != WAL_VERSION {
+    let version = bytes[4];
+    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion {
             artifact: "WAL",
-            version: bytes[4],
+            version,
         });
     }
 
@@ -269,7 +339,12 @@ pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay> {
             corruption = Some(format!("CRC mismatch at byte {frame_start}"));
             break;
         }
-        match EpochRecord::from_bytes(payload) {
+        let decoded = if version == 1 {
+            EpochRecord::decode_v1(payload)
+        } else {
+            EpochRecord::from_bytes(payload)
+        };
+        match decoded {
             Ok(rec) => records.push(rec),
             Err(e) => {
                 corruption = Some(format!("undecodable record at byte {frame_start}: {e}"));

@@ -19,10 +19,14 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
-use orchestra_storage::Tuple;
+use orchestra_storage::{FxBuildHasher, Tuple, TupleId};
 
 use crate::expr::ProvenanceExpr;
 use crate::token::{MappingId, ProvenanceToken};
+
+/// A graph-local symbol for a relation name, so stored-tuple node keys are
+/// a pair of integers instead of a string and a hashed payload.
+type RelSym = u32;
 
 /// Identifier of a tuple node within a [`ProvenanceGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,15 +55,31 @@ struct MappingNode {
 }
 
 /// The provenance graph.
+///
+/// Graph maintenance (rebuilds and incremental extension after insertion
+/// propagation) keys **stored** tuples on `(RelId, TupleId)` — the
+/// relation's graph-local symbol plus the tuple's slab id in its relation —
+/// so the maintenance hot path probes a pair of integers instead of a
+/// hashed tuple payload. The value-keyed index remains for by-value
+/// queries (`expression_for`, `derivable`) and for tuples registered
+/// without a storage id.
+///
+/// **Id validity:** `TupleId`s are only stable while their tuples stay
+/// stored. Any caller that removes tuples must rebuild (or discard) the
+/// graph — the CDSS layer's deletion paths already invalidate it.
 #[derive(Debug, Clone, Default)]
 pub struct ProvenanceGraph {
     tuples: Vec<TupleNode>,
     mappings: Vec<MappingNode>,
-    /// Nested index (relation → tuple → node) so the hot lookups
+    /// Nested index (relation → tuple → node) so the by-value lookups
     /// ([`ProvenanceGraph::tuple_node`], [`ProvenanceGraph::ensure_tuple`])
     /// are allocation-free: the outer map is probed with `&str`, the inner
     /// with `&Tuple`.
     tuple_index: HashMap<String, HashMap<Tuple, TupleNodeId>>,
+    /// Graph-local relation symbols backing the stored-tuple fast index.
+    rel_syms: HashMap<String, RelSym>,
+    /// `(RelId, TupleId)` → node: the maintenance fast path.
+    stored: HashMap<(RelSym, TupleId), TupleNodeId, FxBuildHasher>,
     mapping_dedup: HashSet<(MappingId, Vec<TupleNodeId>, Vec<TupleNodeId>)>,
 }
 
@@ -111,10 +131,50 @@ impl ProvenanceGraph {
         id
     }
 
+    /// The graph-local symbol of a relation name.
+    fn rel_sym(&mut self, relation: &str) -> RelSym {
+        if let Some(&sym) = self.rel_syms.get(relation) {
+            return sym;
+        }
+        let sym = u32::try_from(self.rel_syms.len()).expect("relation symbols fit u32");
+        self.rel_syms.insert(relation.to_string(), sym);
+        sym
+    }
+
+    /// Get or create the node for a **stored** tuple, keyed on
+    /// `(RelId, TupleId)`. The fast path of graph maintenance: a hit costs
+    /// one integer-pair probe and touches no payload. `tid` must be the
+    /// tuple's current slab id in `relation` (see the struct docs for id
+    /// validity).
+    pub fn ensure_stored_tuple(
+        &mut self,
+        relation: &str,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> TupleNodeId {
+        let sym = self.rel_sym(relation);
+        if let Some(&id) = self.stored.get(&(sym, tid)) {
+            debug_assert_eq!(&self.tuples[id.0].tuple, tuple, "stale stored-tuple id");
+            return id;
+        }
+        let id = self.ensure_tuple(relation, tuple);
+        self.stored.insert((sym, tid), id);
+        id
+    }
+
     /// Mark a tuple as base data (a local contribution): it is annotated with
     /// its own provenance token.
     pub fn mark_base(&mut self, relation: &str, tuple: &Tuple) -> TupleNodeId {
         let id = self.ensure_tuple(relation, tuple);
+        if self.tuples[id.0].base_token.is_none() {
+            self.tuples[id.0].base_token = Some(ProvenanceToken::new(relation, tuple.clone()));
+        }
+        id
+    }
+
+    /// [`ProvenanceGraph::mark_base`] through the stored-tuple fast index.
+    pub fn mark_base_stored(&mut self, relation: &str, tid: TupleId, tuple: &Tuple) -> TupleNodeId {
+        let id = self.ensure_stored_tuple(relation, tid, tuple);
         if self.tuples[id.0].base_token.is_none() {
             self.tuples[id.0].base_token = Some(ProvenanceToken::new(relation, tuple.clone()));
         }
@@ -135,7 +195,6 @@ impl ProvenanceGraph {
         sources: &[(&str, Tuple)],
         targets: &[(&str, Tuple)],
     ) -> Option<MappingNodeId> {
-        let mapping = mapping.into();
         let source_ids: Vec<TupleNodeId> = sources
             .iter()
             .map(|(r, t)| self.ensure_tuple(r, t))
@@ -144,8 +203,20 @@ impl ProvenanceGraph {
             .iter()
             .map(|(r, t)| self.ensure_tuple(r, t))
             .collect();
+        self.add_derivation_nodes(mapping.into(), source_ids, target_ids)
+    }
 
-        let key = (mapping, source_ids, target_ids);
+    /// Record one mapping instantiation between already-resolved tuple
+    /// nodes (obtained from [`ProvenanceGraph::ensure_tuple`] or
+    /// [`ProvenanceGraph::ensure_stored_tuple`]). Duplicate instantiations
+    /// are ignored.
+    pub fn add_derivation_nodes(
+        &mut self,
+        mapping: impl Into<MappingId>,
+        source_ids: Vec<TupleNodeId>,
+        target_ids: Vec<TupleNodeId>,
+    ) -> Option<MappingNodeId> {
+        let key = (mapping.into(), source_ids, target_ids);
         if self.mapping_dedup.contains(&key) {
             return None;
         }
@@ -338,6 +409,15 @@ impl ProvenanceGraph {
             .iter()
             .map(|n| (n.relation.as_str(), &n.tuple, n.base_token.is_some()))
     }
+
+    /// Iterate over all tuple nodes with their node ids, so callers
+    /// post-processing a fixpoint set need no by-value re-lookup.
+    pub fn tuple_nodes_with_ids(&self) -> impl Iterator<Item = (TupleNodeId, &str, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TupleNodeId(i), n.relation.as_str(), &n.tuple))
+    }
 }
 
 impl fmt::Display for ProvenanceGraph {
@@ -529,6 +609,37 @@ mod tests {
         let b33 = g.tuple_node("B", &int_tuple(&[3, 3])).unwrap();
         assert!(trusted.contains(&b32));
         assert!(!trusted.contains(&b33));
+    }
+
+    #[test]
+    fn stored_tuple_fast_path_agrees_with_value_path() {
+        use orchestra_storage::TupleId;
+        let mut g = ProvenanceGraph::new();
+        // Value-registered first, then via the stored index: same node.
+        let t = int_tuple(&[3, 5]);
+        let by_value = g.ensure_tuple("B_l", &t);
+        let by_id = g.ensure_stored_tuple("B_l", TupleId(0), &t);
+        assert_eq!(by_value, by_id);
+        // A stored hit needs no value lookup and returns the same node.
+        assert_eq!(g.ensure_stored_tuple("B_l", TupleId(0), &t), by_id);
+        // Different relation, same slab id: distinct node.
+        let other = g.ensure_stored_tuple("U_l", TupleId(0), &int_tuple(&[9, 9]));
+        assert_ne!(other, by_id);
+        assert_eq!(g.num_tuple_nodes(), 2);
+        // mark_base_stored annotates exactly like mark_base.
+        let based = g.mark_base_stored("B_l", TupleId(0), &t);
+        assert_eq!(based, by_id);
+        assert!(g.is_base(based));
+        // Node-id derivations dedup like value derivations.
+        assert!(g
+            .add_derivation_nodes("m", vec![by_id], vec![other])
+            .is_some());
+        assert!(g
+            .add_derivation_nodes("m", vec![by_id], vec![other])
+            .is_none());
+        let with_ids: Vec<_> = g.tuple_nodes_with_ids().collect();
+        assert_eq!(with_ids.len(), 2);
+        assert_eq!(with_ids[0].0, by_id);
     }
 
     #[test]

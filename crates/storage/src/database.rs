@@ -9,19 +9,39 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::StorageError;
+use crate::index::TupleId;
+use crate::pool::{PoolStats, ValuePool};
 use crate::relation::Relation;
 use crate::schema::{RelationName, RelationSchema};
 use crate::stats::DatabaseStats;
 use crate::tuple::Tuple;
 use crate::Result;
 
-/// An in-memory database: a set of named relation instances.
+/// An in-memory database: a set of named relation instances sharing one
+/// global [`ValuePool`].
+///
+/// The pool is the database's **single intern table**: every value stored in
+/// any relation is hash-consed through it, so a [`crate::pool::ValueId`] is
+/// meaningful across all relations of one database — the property the
+/// interned join pipeline relies on to compare bindings, probe keys and
+/// duplicate heads as plain integers.
 ///
 /// Relation names are kept in a `BTreeMap` so iteration order (and therefore
 /// every listing and statistic derived from it) is deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
+    pool: ValuePool,
     relations: BTreeMap<RelationName, Relation>,
+}
+
+impl std::cmp::Eq for Database {}
+
+/// Equality compares schemas and tuple sets only; the pools' histories
+/// (insertion order, retained-but-unreferenced values) are derived state.
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
 }
 
 impl Database {
@@ -66,15 +86,22 @@ impl Database {
             .or_insert_with(|| Relation::new(schema))
     }
 
-    /// Adopt a fully built relation into the catalog (used by the
-    /// persistence layer when decoding snapshots).
+    /// Adopt a relation's schema and contents into the catalog (used by the
+    /// persistence layer when decoding snapshots): create the relation and
+    /// intern its tuples through this database's pool.
     ///
     /// Fails if a relation with the same name already exists.
-    pub fn adopt_relation(&mut self, relation: Relation) -> Result<()> {
-        let name = relation.name().to_string();
+    pub fn adopt_relation(
+        &mut self,
+        schema: RelationSchema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<()> {
+        let name = schema.name().to_string();
         if self.relations.contains_key(&name) {
             return Err(StorageError::RelationExists(name));
         }
+        let mut relation = Relation::new(schema);
+        relation.insert_all(&mut self.pool, tuples)?;
         self.relations.insert(name, relation);
         Ok(())
     }
@@ -98,9 +125,44 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
+    /// The database's value intern pool.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Mutable access to the intern pool (e.g. for interning rule constants
+    /// when compiling join plans against this database).
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// Intern-pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Split borrow: mutable access to one relation *and* the shared pool —
+    /// what every inserting caller outside this facade needs (the facade
+    /// methods below use it themselves).
+    pub fn relation_and_pool_mut(&mut self, name: &str) -> Result<(&mut Relation, &mut ValuePool)> {
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?;
+        Ok((rel, &mut self.pool))
+    }
+
     /// Insert a tuple into the named relation.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
-        self.relation_mut(relation)?.insert(tuple)
+        let (rel, pool) = self.relation_and_pool_mut(relation)?;
+        rel.insert(pool, tuple)
+    }
+
+    /// Insert a tuple into the named relation, returning its [`TupleId`]
+    /// and whether it was new.
+    pub fn insert_full(&mut self, relation: &str, tuple: Tuple) -> Result<(TupleId, bool)> {
+        let (rel, pool) = self.relation_and_pool_mut(relation)?;
+        rel.insert_full(pool, tuple)
     }
 
     /// Remove a tuple from the named relation.

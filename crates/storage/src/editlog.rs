@@ -8,7 +8,7 @@
 //! deletion of the same tuple cancels out, a deletion of a tuple the peer
 //! never inserted becomes a rejection of imported data, and so on.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -166,59 +166,97 @@ impl EditLog {
     /// contributions answered by a predicate — callers holding a
     /// [`crate::Relation`] can pass `|t| rel.contains(t)` directly instead
     /// of materialising its tuples into a set first.
+    ///
+    /// The replay itself is **id-based**: the log's distinct tuples are
+    /// dense-interned once up front, and all the set algebra below (the
+    /// cancel / reject / retract transitions) moves `u32` ids instead of
+    /// re-hashing and re-comparing tuples per transition. The
+    /// `previously_contributed` predicate is consulted at most once per
+    /// distinct tuple.
     pub fn normalize_with(
         &self,
         previously_contributed: impl Fn(&Tuple) -> bool,
     ) -> NormalizedEdits {
-        let mut inserted: Vec<Tuple> = Vec::new();
-        let mut inserted_set: HashSet<Tuple> = HashSet::new();
-        let mut rejections: Vec<Tuple> = Vec::new();
-        let mut rejection_set: HashSet<Tuple> = HashSet::new();
-        let mut retracted: Vec<Tuple> = Vec::new();
-        let mut retracted_set: HashSet<Tuple> = HashSet::new();
+        // Dense-intern the log's distinct tuples: local id = first-seen order.
+        let mut local: HashMap<&Tuple, u32> = HashMap::with_capacity(self.ops.len());
+        let mut distinct: Vec<&Tuple> = Vec::new();
+        let op_ids: Vec<u32> = self
+            .ops
+            .iter()
+            .map(|op| {
+                *local.entry(&op.tuple).or_insert_with(|| {
+                    distinct.push(&op.tuple);
+                    u32::try_from(distinct.len() - 1).expect("edit log fits u32 ids")
+                })
+            })
+            .collect();
 
-        for op in &self.ops {
+        // Memoized prior-contribution membership, one probe per distinct id.
+        let mut prior: Vec<Option<bool>> = vec![None; distinct.len()];
+
+        // Per-id membership flags replace the old HashSet<Tuple> triple;
+        // the Vec<u32> orderings preserve the original output order.
+        let mut in_inserted = vec![false; distinct.len()];
+        let mut in_rejected = vec![false; distinct.len()];
+        let mut in_retracted = vec![false; distinct.len()];
+        let mut inserted: Vec<u32> = Vec::new();
+        let mut rejections: Vec<u32> = Vec::new();
+        let mut retracted: Vec<u32> = Vec::new();
+
+        for (op, &id) in self.ops.iter().zip(&op_ids) {
+            let i = id as usize;
             match op.kind {
                 EditOpKind::Insert => {
                     // Re-inserting a tuple cancels a pending rejection or
                     // retraction of that same tuple.
-                    if rejection_set.remove(&op.tuple) {
-                        rejections.retain(|t| t != &op.tuple);
+                    if in_rejected[i] {
+                        in_rejected[i] = false;
+                        rejections.retain(|&t| t != id);
                     }
-                    if retracted_set.remove(&op.tuple) {
-                        retracted.retain(|t| t != &op.tuple);
+                    if in_retracted[i] {
+                        in_retracted[i] = false;
+                        retracted.retain(|&t| t != id);
                     }
-                    if inserted_set.insert(op.tuple.clone()) {
-                        inserted.push(op.tuple.clone());
+                    if !in_inserted[i] {
+                        in_inserted[i] = true;
+                        inserted.push(id);
                     }
                 }
                 EditOpKind::Delete => {
-                    if inserted_set.remove(&op.tuple) {
+                    if in_inserted[i] {
                         // Deleting something inserted earlier in this same log:
                         // the insertion simply never happened.
-                        inserted.retain(|t| t != &op.tuple);
-                    } else if previously_contributed(&op.tuple) {
+                        in_inserted[i] = false;
+                        inserted.retain(|&t| t != id);
+                    } else if *prior[i].get_or_insert_with(|| previously_contributed(distinct[i])) {
                         // Deleting one of the peer's own earlier contributions:
                         // remove it from R_l (a retraction), not a rejection.
-                        if retracted_set.insert(op.tuple.clone()) {
-                            retracted.push(op.tuple.clone());
+                        if !in_retracted[i] {
+                            in_retracted[i] = true;
+                            retracted.push(id);
                         }
                     } else {
                         // Deleting data the peer did not insert: it must have
                         // arrived via update exchange, so it is a rejection
                         // that persists in future exchanges (paper §2).
-                        if rejection_set.insert(op.tuple.clone()) {
-                            rejections.push(op.tuple.clone());
+                        if !in_rejected[i] {
+                            in_rejected[i] = true;
+                            rejections.push(id);
                         }
                     }
                 }
             }
         }
 
+        let resolve = |ids: Vec<u32>| -> Vec<Tuple> {
+            ids.into_iter()
+                .map(|id| distinct[id as usize].clone())
+                .collect()
+        };
         NormalizedEdits {
-            contributions: inserted,
-            rejections,
-            retracted_contributions: retracted,
+            contributions: resolve(inserted),
+            rejections: resolve(rejections),
+            retracted_contributions: resolve(retracted),
         }
     }
 }

@@ -6,19 +6,31 @@
 //! lazily per rule application. Both are served by [`HashIndex`].
 //!
 //! The index is deliberately **zero-copy**: it never stores tuples or even
-//! projected key values. Each entry maps the *hash* of a tuple's projection
-//! onto the indexed columns (computed in place, no `Vec<Value>` key is ever
-//! materialised) to a small inline vector of [`TupleId`]s addressing the
-//! owning relation's tuple slab. A probe therefore returns candidate ids
-//! whose projection *hash* matches; because distinct keys can collide on the
-//! hash, **callers must re-verify the bound columns against each candidate
-//! tuple** (the join pipeline does this anyway, so verification is free).
+//! projected key values. Each entry maps the *bucket hash* of a tuple's
+//! projection onto the indexed columns to a small inline vector of
+//! [`TupleId`]s addressing the owning relation's tuple slab.
+//!
+//! The bucket hash uses the storage layer's **shared hashing scheme**
+//! ([`combine_hashes`](crate::pool::combine_hashes) over per-column
+//! [`value_hash`](crate::pool::value_hash)es), so the same bucket is
+//! reachable from three kinds of keys without translation:
+//!
+//! * a `&[Value]` / `&[&Value]` probe key (hash each value) — the legacy
+//!   value pipeline and ad-hoc selections;
+//! * a `&[ValueId]` probe key plus the owning [`ValuePool`] (read each
+//!   cached hash) — the interned join pipeline's fast path;
+//! * a precombined `u64` via [`HashIndex::probe_hash`] when the caller
+//!   already folded the key.
+//!
+//! A probe returns candidate ids whose projection *hash* matches; because
+//! distinct keys can collide on the hash, **callers must re-verify the
+//! bound columns against each candidate tuple** (the join pipeline does
+//! this anyway, so verification is free).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher};
 
-use crate::fxhash::{FxBuildHasher, IdBuildHasher};
-
+use crate::fxhash::IdBuildHasher;
+use crate::pool::{combine_hashes, value_hash, ValueId, ValuePool};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -28,6 +40,11 @@ use crate::value::Value;
 /// Ids are relation-local: they are assigned on insertion, stay valid until
 /// the tuple is removed, and may be reused afterwards. They are `u32` so id
 /// buckets pack four ids into the space of a single `Tuple` handle.
+///
+/// `#[repr(transparent)]`: a `&[u32]` of raw ids and a `&[TupleId]` have
+/// identical layout, which [`IdVec`] relies on to share its storage with
+/// the untyped [`IdVec32`].
+#[repr(transparent)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleId(pub u32);
 
@@ -48,37 +65,39 @@ impl TupleId {
 /// How many ids an [`IdVec`] stores inline before spilling to the heap.
 const IDVEC_INLINE: usize = 4;
 
-/// A small-vector of [`TupleId`]s: up to [`IDVEC_INLINE`] ids inline, then a
-/// heap `Vec`. Join keys are usually close to unique, so the inline form
-/// covers almost every bucket without a per-bucket heap allocation.
+/// A small-vector of raw `u32` ids: up to [`IDVEC_INLINE`] inline, then a
+/// heap `Vec`. Bucket keys are usually close to unique, so the inline form
+/// covers almost every bucket without a per-bucket heap allocation. Used
+/// for [`TupleId`] buckets (via [`IdVec`]) and [`crate::pool::ValuePool`]
+/// hash buckets alike.
 #[derive(Debug, Clone)]
-pub enum IdVec {
+pub enum IdVec32 {
     /// Up to `IDVEC_INLINE` ids stored inline.
     Inline {
         /// Number of occupied slots.
         len: u8,
         /// Id storage; slots at `len..` are meaningless.
-        ids: [TupleId; IDVEC_INLINE],
+        ids: [u32; IDVEC_INLINE],
     },
     /// Spilled to the heap.
-    Heap(Vec<TupleId>),
+    Heap(Vec<u32>),
 }
 
-impl Default for IdVec {
+impl Default for IdVec32 {
     fn default() -> Self {
-        IdVec::Inline {
+        IdVec32::Inline {
             len: 0,
-            ids: [TupleId(0); IDVEC_INLINE],
+            ids: [0; IDVEC_INLINE],
         }
     }
 }
 
-impl IdVec {
+impl IdVec32 {
     /// Number of stored ids.
     pub fn len(&self) -> usize {
         match self {
-            IdVec::Inline { len, .. } => *len as usize,
-            IdVec::Heap(v) => v.len(),
+            IdVec32::Inline { len, .. } => *len as usize,
+            IdVec32::Heap(v) => v.len(),
         }
     }
 
@@ -88,17 +107,17 @@ impl IdVec {
     }
 
     /// The stored ids as a slice.
-    pub fn as_slice(&self) -> &[TupleId] {
+    pub fn as_slice(&self) -> &[u32] {
         match self {
-            IdVec::Inline { len, ids } => &ids[..*len as usize],
-            IdVec::Heap(v) => v,
+            IdVec32::Inline { len, ids } => &ids[..*len as usize],
+            IdVec32::Heap(v) => v,
         }
     }
 
     /// Append an id, spilling to the heap when the inline capacity is full.
-    pub fn push(&mut self, id: TupleId) {
+    pub fn push(&mut self, id: u32) {
         match self {
-            IdVec::Inline { len, ids } => {
+            IdVec32::Inline { len, ids } => {
                 if (*len as usize) < IDVEC_INLINE {
                     ids[*len as usize] = id;
                     *len += 1;
@@ -106,18 +125,18 @@ impl IdVec {
                     let mut v = Vec::with_capacity(IDVEC_INLINE * 2);
                     v.extend_from_slice(&ids[..]);
                     v.push(id);
-                    *self = IdVec::Heap(v);
+                    *self = IdVec32::Heap(v);
                 }
             }
-            IdVec::Heap(v) => v.push(id),
+            IdVec32::Heap(v) => v.push(id),
         }
     }
 
     /// Remove one occurrence of `id` (order is not preserved). Returns true
     /// if it was present.
-    pub fn swap_remove_id(&mut self, id: TupleId) -> bool {
+    pub fn swap_remove_id(&mut self, id: u32) -> bool {
         match self {
-            IdVec::Inline { len, ids } => {
+            IdVec32::Inline { len, ids } => {
                 let n = *len as usize;
                 if let Some(pos) = ids[..n].iter().position(|&x| x == id) {
                     ids[pos] = ids[n - 1];
@@ -127,7 +146,7 @@ impl IdVec {
                     false
                 }
             }
-            IdVec::Heap(v) => {
+            IdVec32::Heap(v) => {
                 if let Some(pos) = v.iter().position(|&x| x == id) {
                     v.swap_remove(pos);
                     true
@@ -139,13 +158,47 @@ impl IdVec {
     }
 }
 
-/// A hash index mapping the in-place hash of a tuple's projection onto a
+/// A small-vector of [`TupleId`]s (see [`IdVec32`]).
+#[derive(Debug, Clone, Default)]
+pub struct IdVec(IdVec32);
+
+impl IdVec {
+    /// Number of stored ids.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no ids are stored.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The stored ids as a slice.
+    pub fn as_slice(&self) -> &[TupleId] {
+        let raw = self.0.as_slice();
+        // SAFETY: TupleId is #[repr(transparent)] over u32, so the slice
+        // layouts are identical.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<TupleId>(), raw.len()) }
+    }
+
+    /// Append an id, spilling to the heap when the inline capacity is full.
+    pub fn push(&mut self, id: TupleId) {
+        self.0.push(id.0);
+    }
+
+    /// Remove one occurrence of `id` (order is not preserved). Returns true
+    /// if it was present.
+    pub fn swap_remove_id(&mut self, id: TupleId) -> bool {
+        self.0.swap_remove_id(id.0)
+    }
+}
+
+/// A hash index mapping the bucket hash of a tuple's projection onto a
 /// fixed set of column positions to the ids of tuples with that projection
-/// hash. See the module docs for the collision contract.
+/// hash. See the module docs for the hashing scheme and collision contract.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     columns: Vec<usize>,
-    hasher: FxBuildHasher,
     map: HashMap<u64, IdVec, IdBuildHasher>,
     len: usize,
 }
@@ -159,10 +212,17 @@ impl Default for HashIndex {
 impl HashIndex {
     /// Create an empty index over the given column positions.
     pub fn new(columns: Vec<usize>) -> Self {
+        HashIndex::with_capacity(columns, 0)
+    }
+
+    /// Create an empty index with bucket capacity reserved for roughly
+    /// `capacity` entries — throwaway per-application indexes (batch
+    /// backend, large delta sets) know their size up front and skip the
+    /// rehash-doubling cascade this way.
+    pub fn with_capacity(columns: Vec<usize>, capacity: usize) -> Self {
         HashIndex {
             columns,
-            hasher: FxBuildHasher::default(),
-            map: HashMap::default(),
+            map: HashMap::with_capacity_and_hasher(capacity, IdBuildHasher::default()),
             len: 0,
         }
     }
@@ -172,9 +232,26 @@ impl HashIndex {
         columns: Vec<usize>,
         entries: impl IntoIterator<Item = (TupleId, &'a Tuple)>,
     ) -> Self {
-        let mut idx = HashIndex::new(columns);
+        let entries = entries.into_iter();
+        let mut idx = HashIndex::with_capacity(columns, entries.size_hint().0);
         for (id, t) in entries {
             idx.insert(id, t);
+        }
+        idx
+    }
+
+    /// Build an index over the given columns from `(id, row)` pairs of
+    /// interned rows, reading cached hashes from the pool. `capacity` is
+    /// the (approximate) number of entries, reserved up front.
+    pub fn build_from_rows<'a>(
+        columns: Vec<usize>,
+        capacity: usize,
+        entries: impl IntoIterator<Item = (TupleId, &'a [ValueId])>,
+        pool: &ValuePool,
+    ) -> Self {
+        let mut idx = HashIndex::with_capacity(columns, capacity);
+        for (id, row) in entries {
+            idx.insert_row(id, row, pool);
         }
         idx
     }
@@ -200,27 +277,30 @@ impl HashIndex {
         self.map.len()
     }
 
-    /// Hash a sequence of values with this index's hasher. The projection of
-    /// a tuple and a caller-assembled probe key hash identically as long as
-    /// they yield equal values in the same order.
-    fn hash_values<'v>(&self, vals: impl Iterator<Item = &'v Value>) -> u64 {
-        let mut h = self.hasher.build_hasher();
-        for v in vals {
-            v.hash(&mut h);
-        }
-        h.finish()
-    }
-
     /// The bucket hash of a tuple's projection onto the indexed columns,
     /// computed in place (no key is materialised).
     #[inline]
     pub fn hash_of(&self, tuple: &Tuple) -> u64 {
-        self.hash_values(self.columns.iter().map(|&c| &tuple[c]))
+        combine_hashes(self.columns.iter().map(|&c| value_hash(&tuple[c])))
     }
 
-    /// Insert a tuple's id into the index.
+    /// The bucket hash of an interned row's projection, read from the
+    /// pool's cached per-value hashes — an array walk, no enum dispatch.
+    #[inline]
+    pub fn hash_of_row(&self, row: &[ValueId], pool: &ValuePool) -> u64 {
+        combine_hashes(self.columns.iter().map(|&c| pool.hash_of(row[c])))
+    }
+
+    /// Insert a tuple's id into the index, hashing the projected values.
     pub fn insert(&mut self, id: TupleId, tuple: &Tuple) {
         let h = self.hash_of(tuple);
+        self.map.entry(h).or_default().push(id);
+        self.len += 1;
+    }
+
+    /// Insert an interned row's id into the index via cached hashes.
+    pub fn insert_row(&mut self, id: TupleId, row: &[ValueId], pool: &ValuePool) {
+        let h = self.hash_of_row(row, pool);
         self.map.entry(h).or_default().push(id);
         self.len += 1;
     }
@@ -243,19 +323,30 @@ impl HashIndex {
         removed
     }
 
+    /// Ids bucketed under a precombined key hash. The fast path for callers
+    /// that fold probe keys themselves (the interned join pipeline).
+    #[inline]
+    pub fn probe_hash(&self, hash: u64) -> &[TupleId] {
+        self.map.get(&hash).map(IdVec::as_slice).unwrap_or(&[])
+    }
+
     /// Ids of tuples whose projection onto the indexed columns *hashes* like
     /// `key`. Callers must verify the bound columns against each candidate —
     /// distinct keys can share a bucket.
     pub fn probe_ids(&self, key: &[Value]) -> &[TupleId] {
-        let h = self.hash_values(key.iter());
-        self.map.get(&h).map(IdVec::as_slice).unwrap_or(&[])
+        self.probe_hash(combine_hashes(key.iter().map(value_hash)))
     }
 
     /// Like [`HashIndex::probe_ids`] but for a key assembled from borrowed
-    /// values (the join pipeline's scratch key holds `&Value`s).
+    /// values (the legacy join pipeline's scratch key holds `&Value`s).
     pub fn probe_ids_ref(&self, key: &[&Value]) -> &[TupleId] {
-        let h = self.hash_values(key.iter().copied());
-        self.map.get(&h).map(IdVec::as_slice).unwrap_or(&[])
+        self.probe_hash(combine_hashes(key.iter().map(|v| value_hash(v))))
+    }
+
+    /// Like [`HashIndex::probe_ids`] but for an interned key, reading
+    /// cached hashes from the pool.
+    pub fn probe_row(&self, key: &[ValueId], pool: &ValuePool) -> &[TupleId] {
+        self.probe_hash(combine_hashes(key.iter().map(|&id| pool.hash_of(id))))
     }
 
     /// Drop all entries, keeping the column specification.
@@ -323,6 +414,33 @@ mod tests {
     }
 
     #[test]
+    fn id_keyed_and_value_keyed_paths_share_buckets() {
+        // The same index, maintained from interned rows, must answer value
+        // probes — and vice versa.
+        let mut pool = ValuePool::new();
+        let tuples = [int_tuple(&[7, 1]), int_tuple(&[7, 2]), int_tuple(&[8, 3])];
+        let rows: Vec<Vec<ValueId>> = tuples
+            .iter()
+            .map(|t| t.values().iter().map(|v| pool.intern(v)).collect())
+            .collect();
+        let idx = HashIndex::build_from_rows(
+            vec![0],
+            rows.len(),
+            rows.iter()
+                .enumerate()
+                .map(|(i, r)| (TupleId::from_index(i), r.as_slice())),
+            &pool,
+        );
+        // Value probe hits the id-maintained buckets.
+        assert_eq!(idx.probe_ids(&[Value::int(7)]).len(), 2);
+        // Id probe agrees.
+        let key = [pool.intern(&Value::int(7))];
+        assert_eq!(idx.probe_row(&key, &pool), idx.probe_ids(&[Value::int(7)]));
+        // Hashes agree between the two maintenance paths.
+        assert_eq!(idx.hash_of(&tuples[0]), idx.hash_of_row(&rows[0], &pool));
+    }
+
+    #[test]
     fn insert_and_remove_keep_len_consistent() {
         let t1 = int_tuple(&[7, 1]);
         let t2 = int_tuple(&[7, 2]);
@@ -365,16 +483,10 @@ mod tests {
         assert_eq!(built.len(), maintained.len());
         for k in 0..7 {
             let key = [Value::int(k)];
-            let mut a: Vec<TupleId> = built.probe_ids(&key).to_vec();
-            let mut b: Vec<TupleId> = maintained.probe_ids(&key).to_vec();
-            a.sort_unstable();
-            b.sort_unstable();
-            // Same hasher instance? No — different RandomState per index, but
-            // the *verified* candidate sets must agree.
             let va = probe_verified(&built, &tuples, &key).len();
             let vb = probe_verified(&maintained, &tuples, &key).len();
             assert_eq!(va, vb);
-            assert!(!a.is_empty() && !b.is_empty());
+            assert!(va > 0);
         }
     }
 
@@ -406,7 +518,7 @@ mod tests {
             v.push(TupleId(i));
             assert_eq!(v.len(), i as usize + 1);
         }
-        assert!(matches!(v, IdVec::Heap(_)));
+        assert!(matches!(v, IdVec(IdVec32::Heap(_))));
         assert_eq!(v.as_slice().len(), 10);
         assert!(v.swap_remove_id(TupleId(3)));
         assert!(!v.swap_remove_id(TupleId(3)));

@@ -43,6 +43,7 @@ pub mod editlog;
 pub mod error;
 pub mod fxhash;
 pub mod index;
+pub mod pool;
 pub mod relation;
 pub mod schema;
 pub mod stats;
@@ -54,7 +55,8 @@ pub use editlog::{EditLog, EditOp, EditOpKind};
 pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, IdBuildHasher};
 pub use index::{HashIndex, IdVec, TupleId};
-pub use relation::{Relation, SelectEqRef, TupleIdIter, TupleIter};
+pub use pool::{PoolStats, ValueId, ValuePool};
+pub use relation::{Relation, RowIter, SelectEqRef, TupleIdIter, TupleIter};
 pub use schema::{AttributeName, DataType, RelationName, RelationSchema};
 pub use stats::{DatabaseStats, RelationStats};
 pub use tuple::Tuple;

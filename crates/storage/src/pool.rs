@@ -1,0 +1,281 @@
+//! The value intern pool: hash-consed [`Value`]s addressed by dense
+//! [`ValueId`]s.
+//!
+//! The incremental update-exchange workloads of the paper (§6) churn over a
+//! small vocabulary of values: the same accession numbers, taxon names and
+//! labeled nulls flow through deltas, join probes, duplicate-head checks,
+//! provenance rows and wire frames over and over. The pool stores each
+//! distinct value **once** and hands out a dense `u32` id; everything
+//! downstream (relation rows, join bindings, probe keys, delta sets, codec
+//! dictionaries) then moves 4-byte ids instead of enum payloads, and
+//! equality between pooled values is a single integer compare.
+//!
+//! The pool is **append-only**: ids stay valid for the lifetime of the
+//! owning [`crate::Database`], so compiled join plans and cached probe keys
+//! never dangle. The per-value content hash ([`value_hash`]) is computed
+//! once at intern time and cached in a dense side array, which is what makes
+//! id-keyed row hashing ([`combine_hashes`]) an array walk instead of an
+//! enum dispatch.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::fxhash::{FxHasher, IdBuildHasher};
+use crate::index::IdVec32;
+use crate::value::Value;
+
+/// A dense identifier of an interned [`Value`] inside one [`ValuePool`].
+///
+/// Ids are pool-local and append-only: once assigned they remain valid (the
+/// pool never forgets a value). [`ValueId::NONE`] is reserved as an
+/// "unbound" sentinel for the join pipeline and never names a real value.
+#[repr(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// Sentinel for "no value": never returned by [`ValuePool::intern`].
+    pub const NONE: ValueId = ValueId(u32::MAX);
+
+    /// The dense index this id addresses.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Is this the [`ValueId::NONE`] sentinel?
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+/// The canonical single-value content hash: the Fx hash of the value. Equal
+/// values always hash equally within one process. The pool caches this per
+/// id; unpooled values (wire payloads, edit-log tuples) compute it directly.
+#[inline]
+pub fn value_hash(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Combine a sequence of per-value content hashes into one row/bucket hash.
+///
+/// This is the **shared hashing scheme** of the storage layer: a tuple's
+/// content hash, a relation's set-semantics bucket, and a join index bucket
+/// are all `combine_hashes` over per-value [`value_hash`]es — so the same
+/// bucket is reachable from a `&[Value]` slice (hash each value) *and* from
+/// a `&[ValueId]` row (read each cached hash), without the two sides ever
+/// agreeing on more than this function.
+#[inline]
+pub fn combine_hashes(hashes: impl Iterator<Item = u64>) -> u64 {
+    let mut h = FxHasher::default();
+    for x in hashes {
+        h.write_u64(x);
+    }
+    h.finish()
+}
+
+/// Intern-pool hit/miss counters, reported through `EvalStats` and the
+/// network `Stats` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Intern requests that found the value already pooled.
+    pub hits: u64,
+    /// Intern requests that had to admit a new value.
+    pub misses: u64,
+    /// Number of distinct values pooled.
+    pub distinct: u64,
+}
+
+impl PoolStats {
+    /// Hit rate in `[0, 1]`; 0 when nothing was interned yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A hash-consing intern table over [`Value`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePool {
+    /// id → value.
+    values: Vec<Value>,
+    /// id → cached [`value_hash`].
+    hashes: Vec<u64>,
+    /// [`value_hash`] → candidate ids (collisions resolved by value compare).
+    by_hash: HashMap<u64, IdVec32, IdBuildHasher>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ValuePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ValuePool::default()
+    }
+
+    /// Number of distinct values pooled.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            distinct: self.values.len() as u64,
+        }
+    }
+
+    /// The value an id addresses. Ids are append-only, so this is a plain
+    /// array index; passing an id from a different pool is a logic error
+    /// (caught by the bounds check, not silently misresolved).
+    #[inline]
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// The cached [`value_hash`] of an interned value: an array read, no
+    /// enum dispatch.
+    #[inline]
+    pub fn hash_of(&self, id: ValueId) -> u64 {
+        self.hashes[id.index()]
+    }
+
+    /// The combined row hash of a `ValueId` slice (see [`combine_hashes`]).
+    #[inline]
+    pub fn row_hash(&self, row: &[ValueId]) -> u64 {
+        combine_hashes(row.iter().map(|&id| self.hashes[id.index()]))
+    }
+
+    #[inline]
+    fn find(&self, hash: u64, v: &Value) -> Option<ValueId> {
+        let bucket = self.by_hash.get(&hash)?;
+        bucket
+            .as_slice()
+            .iter()
+            .copied()
+            .map(ValueId)
+            .find(|&id| self.value(id) == v)
+    }
+
+    /// Look a value up without admitting it. `None` means the value has
+    /// never been stored anywhere in the owning database — useful as a
+    /// negative fast path (an un-pooled value cannot match any stored row).
+    #[inline]
+    pub fn lookup(&self, v: &Value) -> Option<ValueId> {
+        self.find(value_hash(v), v)
+    }
+
+    /// Like [`ValuePool::lookup`] with the [`value_hash`] precomputed.
+    #[inline]
+    pub fn lookup_hashed(&self, hash: u64, v: &Value) -> Option<ValueId> {
+        debug_assert_eq!(hash, value_hash(v));
+        self.find(hash, v)
+    }
+
+    /// Intern a value: return the existing id (hit) or admit a clone of the
+    /// value under a fresh dense id (miss).
+    #[inline]
+    pub fn intern(&mut self, v: &Value) -> ValueId {
+        let hash = value_hash(v);
+        if let Some(id) = self.find(hash, v) {
+            self.hits += 1;
+            return id;
+        }
+        self.admit(hash, v.clone())
+    }
+
+    /// Intern an owned value without cloning it on a miss.
+    #[inline]
+    pub fn intern_owned(&mut self, v: Value) -> ValueId {
+        let hash = value_hash(&v);
+        if let Some(id) = self.find(hash, &v) {
+            self.hits += 1;
+            return id;
+        }
+        self.admit(hash, v)
+    }
+
+    fn admit(&mut self, hash: u64, v: Value) -> ValueId {
+        self.misses += 1;
+        let id = u32::try_from(self.values.len()).expect("value pool exceeds u32 addressing");
+        assert_ne!(id, u32::MAX, "value pool exhausted the id space");
+        self.values.push(v);
+        self.hashes.push(hash);
+        self.by_hash.entry(hash).or_default().push(id);
+        ValueId(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SkolemFnId;
+
+    #[test]
+    fn interning_is_hash_consing() {
+        let mut p = ValuePool::new();
+        let a = p.intern(&Value::int(3));
+        let b = p.intern(&Value::text("x"));
+        let a2 = p.intern(&Value::int(3));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.value(a), &Value::int(3));
+        assert_eq!(p.value(b), &Value::text("x"));
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.distinct), (1, 2, 2));
+        assert!(s.hit_rate() > 0.3 && s.hit_rate() < 0.4);
+    }
+
+    #[test]
+    fn lookup_does_not_admit() {
+        let mut p = ValuePool::new();
+        assert_eq!(p.lookup(&Value::int(9)), None);
+        let id = p.intern_owned(Value::int(9));
+        assert_eq!(p.lookup(&Value::int(9)), Some(id));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn labeled_nulls_intern_structurally() {
+        let mut p = ValuePool::new();
+        let a = p.intern_owned(Value::labeled_null(SkolemFnId(1), vec![Value::int(2)]));
+        let b = p.intern_owned(Value::labeled_null(SkolemFnId(1), vec![Value::int(2)]));
+        let c = p.intern_owned(Value::labeled_null(SkolemFnId(1), vec![Value::int(3)]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cached_hashes_match_direct_hashing() {
+        let mut p = ValuePool::new();
+        let v = Value::text("swiss-prot");
+        let id = p.intern(&v);
+        assert_eq!(p.hash_of(id), value_hash(&v));
+        let row = [id, id];
+        assert_eq!(
+            p.row_hash(&row),
+            combine_hashes([value_hash(&v), value_hash(&v)].into_iter())
+        );
+    }
+
+    #[test]
+    fn none_sentinel_is_reserved() {
+        assert!(ValueId::NONE.is_none());
+        assert!(!ValueId(0).is_none());
+    }
+}

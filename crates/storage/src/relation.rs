@@ -1,20 +1,33 @@
-//! In-memory relation instances with set semantics, a stable tuple slab, and
-//! ID-addressed secondary indexes.
+//! In-memory relation instances with set semantics, a stable tuple slab, an
+//! interned-row arena, and ID-addressed secondary indexes.
 //!
-//! Tuples are stored once, in a slab addressed by [`TupleId`]; everything
-//! else (the set-semantics lookup table and every secondary [`HashIndex`])
-//! refers to tuples by id. Indexes are therefore O(ids) rather than O(data),
-//! and the evaluator's join pipeline can work entirely over borrowed
-//! `&Tuple`s resolved from ids — see [`Relation::probe_ids`],
-//! [`Relation::iter_ids`], and [`Relation::select_eq_ref`].
+//! Tuples are stored once, in a slab addressed by [`TupleId`]; alongside the
+//! slab every tuple's **interned row** — its values as dense [`ValueId`]s
+//! into the owning database's [`ValuePool`] — lives in a single
+//! arity-strided arena (`rows`), so a row never costs a per-row allocation.
+//! Everything else (the set-semantics lookup table and every secondary
+//! [`HashIndex`]) refers to tuples by id.
+//!
+//! The two representations serve two pipelines:
+//!
+//! * value-keyed APIs ([`Relation::contains`], [`Relation::remove`],
+//!   [`Relation::iter`], [`Relation::select_eq_ref`]) read the slab and need
+//!   no pool — they keep working for borrowed `&Tuple` consumers;
+//! * the interned join pipeline reads `&[ValueId]` rows
+//!   ([`Relation::row`], [`Relation::iter_rows`]) and tests duplicate head
+//!   derivations with [`Relation::contains_row_hashed`] — integer compares
+//!   against cached hashes, no value is touched and nothing allocates.
+//!
+//! Only insertion interns, so only the insert APIs take the pool.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::StorageError;
 use crate::index::{HashIndex, IdVec, TupleId};
+use crate::pool::{ValueId, ValuePool};
 use crate::schema::RelationSchema;
-use crate::tuple::{values_hash, Tuple};
+use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 
@@ -31,15 +44,25 @@ pub struct Relation {
     /// Stable tuple slab: `slab[id]` is the tuple with that [`TupleId`], or
     /// `None` for a freed slot awaiting reuse.
     slab: Vec<Option<Tuple>>,
+    /// Interned rows, strided by the schema arity: slab slot `i`'s row
+    /// occupies `rows[i*arity .. (i+1)*arity]`. Dead slots keep stale ids
+    /// (they are rewritten on slot reuse and never read while dead).
+    rows: Vec<ValueId>,
     /// Freed slab slots, reused before the slab grows.
     free: Vec<TupleId>,
-    /// Set-semantics lookup: cached content hash → candidate ids, verified
-    /// against the slab. Probing never re-hashes tuple content (tuples
-    /// carry their hash; raw value slices hash once via
-    /// [`values_hash`]), and the map stores ids, not tuple handles.
+    /// Set-semantics lookup: content hash → candidate ids, verified against
+    /// the slab. The hash is the shared scheme of [`crate::pool`], so it is
+    /// reachable from a `Tuple` (cached), a raw value slice
+    /// ([`crate::tuple::values_hash`]), and an interned row
+    /// ([`ValuePool::row_hash`]) alike.
     ids: HashMap<u64, IdVec, crate::fxhash::IdBuildHasher>,
     /// Number of live tuples.
     live: usize,
+    /// Monotone content version: incremented by every successful insert,
+    /// remove, and clear. External caches (e.g. the evaluator's throwaway
+    /// join indexes) use it as a staleness stamp — unlike `len`, it cannot
+    /// return to a previous value after a delete/insert pair.
+    version: u64,
     indexes: HashMap<Vec<usize>, HashIndex>,
 }
 
@@ -49,9 +72,11 @@ impl Relation {
         Relation {
             schema,
             slab: Vec::new(),
+            rows: Vec::new(),
             free: Vec::new(),
             ids: HashMap::default(),
             live: 0,
+            version: 0,
             indexes: HashMap::new(),
         }
     }
@@ -76,6 +101,11 @@ impl Relation {
         self.live == 0
     }
 
+    /// The relation's monotone content version (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Find the live id whose slab tuple has these values, among the
     /// candidates bucketed under `hash`.
     #[inline]
@@ -88,6 +118,19 @@ impl Relation {
             .find(|&id| self.tuple_by_id(id).values() == values)
     }
 
+    /// Find the live id whose interned row equals `row` — integer compares
+    /// only, valid because the pool hash-conses values (equal value rows
+    /// always intern to equal id rows).
+    #[inline]
+    fn find_row_id(&self, row_hash: u64, row: &[ValueId]) -> Option<TupleId> {
+        let bucket = self.ids.get(&row_hash)?;
+        bucket
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&id| self.row(id) == row)
+    }
+
     /// Does the relation contain this exact tuple? Uses the tuple's cached
     /// content hash — no re-hashing.
     pub fn contains(&self, tuple: &Tuple) -> bool {
@@ -95,26 +138,42 @@ impl Relation {
     }
 
     /// Does the relation contain a tuple with exactly these values? Unlike
-    /// [`Relation::contains`] this needs no `Tuple` allocation, so the join
-    /// pipeline can test negated literals and duplicate head derivations
-    /// from a scratch buffer.
+    /// [`Relation::contains`] this needs no `Tuple` allocation, so callers
+    /// can test negated literals and duplicate derivations from a scratch
+    /// buffer.
     pub fn contains_values(&self, values: &[Value]) -> bool {
-        self.find_id(values_hash(values), values).is_some()
+        self.find_id(crate::tuple::values_hash(values), values)
+            .is_some()
     }
 
     /// Like [`Relation::contains_values`] but with the caller supplying the
-    /// precomputed [`values_hash`], so a subsequent
+    /// precomputed [`crate::tuple::values_hash`], so a subsequent
     /// [`Tuple::from_prehashed`](crate::tuple::Tuple::from_prehashed)
     /// construction reuses the same hash — one content hash per derived
     /// row, total.
     pub fn contains_values_hashed(&self, hash: u64, values: &[Value]) -> bool {
-        debug_assert_eq!(hash, values_hash(values));
+        debug_assert_eq!(hash, crate::tuple::values_hash(values));
         self.find_id(hash, values).is_some()
+    }
+
+    /// Does the relation contain a tuple with exactly this interned row?
+    /// `row_hash` is the combined pool hash ([`ValuePool::row_hash`]) the
+    /// caller already folded while instantiating the row. The whole check
+    /// is integer compares — the duplicate-derivation fast path of the
+    /// interned join pipeline.
+    #[inline]
+    pub fn contains_row_hashed(&self, row_hash: u64, row: &[ValueId]) -> bool {
+        self.find_row_id(row_hash, row).is_some()
     }
 
     /// The id of this exact tuple, if present.
     pub fn id_of(&self, tuple: &Tuple) -> Option<TupleId> {
         self.find_id(tuple.content_hash(), tuple.values())
+    }
+
+    /// The id of the tuple with this interned row, if present.
+    pub fn id_of_row(&self, pool: &ValuePool, row: &[ValueId]) -> Option<TupleId> {
+        self.find_row_id(pool.row_hash(row), row)
     }
 
     /// The tuple addressed by `id`, if the slot is live.
@@ -132,61 +191,171 @@ impl Relation {
             .expect("TupleId addresses a live slab slot")
     }
 
-    fn check_arity(&self, tuple: &Tuple) -> Result<()> {
-        if tuple.arity() != self.schema.arity() {
+    /// The interned row of the tuple addressed by `id`. Callers must only
+    /// pass live ids (as with [`Relation::tuple_by_id`]); dead slots hold
+    /// stale ids.
+    #[inline]
+    pub fn row(&self, id: TupleId) -> &[ValueId] {
+        let a = self.schema.arity();
+        let start = id.index() * a;
+        &self.rows[start..start + a]
+    }
+
+    fn check_arity(&self, arity: usize) -> Result<()> {
+        if arity != self.schema.arity() {
             return Err(StorageError::ArityMismatch {
                 relation: self.schema.name().to_string(),
                 expected: self.schema.arity(),
-                actual: tuple.arity(),
+                actual: arity,
             });
         }
         Ok(())
     }
 
-    /// Insert a tuple. Returns `Ok(true)` if the tuple was new, `Ok(false)`
-    /// if it was already present (set semantics).
-    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
-        Ok(self.insert_full(tuple)?.1)
+    /// Insert a tuple, interning its values. Returns `Ok(true)` if the
+    /// tuple was new, `Ok(false)` if it was already present (set semantics
+    /// — duplicates touch neither the pool nor any allocation).
+    pub fn insert(&mut self, pool: &mut ValuePool, tuple: Tuple) -> Result<bool> {
+        Ok(self.insert_full(pool, tuple)?.1)
     }
 
-    /// Reserve room for `additional` more tuples across the slab and the
-    /// lookup table, so bulk fixpoint rounds do not pay incremental
-    /// rehash/regrow cascades.
+    /// Reserve room for `additional` more tuples across the slab, the row
+    /// arena, and the lookup table, so bulk fixpoint rounds do not pay
+    /// incremental rehash/regrow cascades.
     pub fn reserve(&mut self, additional: usize) {
         self.slab.reserve(additional);
+        self.rows.reserve(additional * self.schema.arity());
         self.ids.reserve(additional);
     }
 
-    /// Insert a tuple, returning its id and whether it was new.
-    pub fn insert_full(&mut self, tuple: Tuple) -> Result<(TupleId, bool)> {
-        self.check_arity(&tuple)?;
-        let hash = tuple.content_hash();
-        if let Some(id) = self.find_id(hash, tuple.values()) {
-            return Ok((id, false));
-        }
-        let id = match self.free.pop() {
+    /// Claim a slab slot for a fresh tuple whose interned row the caller
+    /// will have written at the slot's arena range. Returns the id. A free
+    /// function over the storage fields so callers can hold disjoint
+    /// borrows (e.g. a lookup-table entry) simultaneously.
+    fn claim_slot(
+        slab: &mut Vec<Option<Tuple>>,
+        rows: &mut Vec<ValueId>,
+        free: &mut Vec<TupleId>,
+        arity: usize,
+        tuple: Tuple,
+        write_row: impl FnOnce(&mut [ValueId]),
+    ) -> TupleId {
+        match free.pop() {
             Some(id) => {
-                self.slab[id.index()] = Some(tuple);
+                slab[id.index()] = Some(tuple);
+                let start = id.index() * arity;
+                write_row(&mut rows[start..start + arity]);
                 id
             }
             None => {
-                let id = TupleId::from_index(self.slab.len());
-                self.slab.push(Some(tuple));
+                let id = TupleId::from_index(slab.len());
+                slab.push(Some(tuple));
+                let start = rows.len();
+                rows.resize(start + arity, ValueId(0));
+                write_row(&mut rows[start..start + arity]);
                 id
             }
-        };
-        self.ids.entry(hash).or_default().push(id);
+        }
+    }
+
+    /// Insert a tuple, returning its id and whether it was new. Dedup and
+    /// bucket registration share one lookup-table probe.
+    pub fn insert_full(&mut self, pool: &mut ValuePool, tuple: Tuple) -> Result<(TupleId, bool)> {
+        self.check_arity(tuple.arity())?;
+        let hash = tuple.content_hash();
+        let bucket = self.ids.entry(hash).or_default();
+        if let Some(&id) = bucket.as_slice().iter().find(|id| {
+            self.slab[id.index()]
+                .as_ref()
+                .expect("bucketed ids are live")
+                == &tuple
+        }) {
+            return Ok((id, false));
+        }
+        let id = Self::claim_slot(
+            &mut self.slab,
+            &mut self.rows,
+            &mut self.free,
+            self.schema.arity(),
+            tuple,
+            |row| {
+                // Interned below; placeholder writes keep the arena sized.
+                for slot in row.iter_mut() {
+                    *slot = ValueId::NONE;
+                }
+            },
+        );
+        bucket.push(id);
+        self.version += 1;
+        // Intern after claiming the slot so the stored tuple's values are
+        // the interning source (no extra clone of the incoming tuple).
+        let a = self.schema.arity();
+        let start = id.index() * a;
+        for (i, v) in self.slab[id.index()]
+            .as_ref()
+            .expect("just stored")
+            .values()
+            .iter()
+            .enumerate()
+        {
+            self.rows[start + i] = pool.intern(v);
+        }
         self.live += 1;
-        let stored = self.slab[id.index()].as_ref().expect("just stored");
+        let row_range = start..start + a;
         for idx in self.indexes.values_mut() {
-            idx.insert(id, stored);
+            idx.insert_row(id, &self.rows[row_range.clone()], pool);
         }
         Ok((id, true))
     }
 
-    /// Remove a tuple. Returns `Ok(true)` if it was present.
+    /// Insert an already-interned row with its combined pool hash
+    /// (`row_hash == pool.row_hash(row)`). The duplicate path is integer
+    /// compares only and allocates nothing; only a genuinely new row
+    /// materialises a `Tuple` from the pool. Dedup and bucket registration
+    /// share one lookup-table probe.
+    pub fn insert_row(
+        &mut self,
+        pool: &ValuePool,
+        row: &[ValueId],
+        row_hash: u64,
+    ) -> Result<(TupleId, bool)> {
+        self.check_arity(row.len())?;
+        debug_assert_eq!(row_hash, pool.row_hash(row));
+        let a = self.schema.arity();
+        let bucket = self.ids.entry(row_hash).or_default();
+        if let Some(&id) = bucket
+            .as_slice()
+            .iter()
+            .find(|id| &self.rows[id.index() * a..id.index() * a + a] == row)
+        {
+            return Ok((id, false));
+        }
+        // Exact-size iterator → Arc<[Value]> collects in one allocation.
+        let values: std::sync::Arc<[Value]> =
+            row.iter().map(|&vid| pool.value(vid).clone()).collect();
+        let tuple = Tuple::from_arc_prehashed(values, row_hash);
+        let id = Self::claim_slot(
+            &mut self.slab,
+            &mut self.rows,
+            &mut self.free,
+            a,
+            tuple,
+            |slot| slot.copy_from_slice(row),
+        );
+        bucket.push(id);
+        self.version += 1;
+        self.live += 1;
+        for idx in self.indexes.values_mut() {
+            idx.insert_row(id, row, pool);
+        }
+        Ok((id, true))
+    }
+
+    /// Remove a tuple. Returns `Ok(true)` if it was present. Removal is
+    /// value-keyed and needs no pool (the pool is append-only; the dead
+    /// slot's row simply goes stale until the slot is reused).
     pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
-        self.check_arity(tuple)?;
+        self.check_arity(tuple.arity())?;
         let hash = tuple.content_hash();
         let Some(id) = self.find_id(hash, tuple.values()) else {
             return Ok(false);
@@ -196,6 +365,7 @@ impl Relation {
         if bucket.is_empty() {
             self.ids.remove(&hash);
         }
+        self.version += 1;
         self.live -= 1;
         let stored = self.slab[id.index()]
             .take()
@@ -210,8 +380,10 @@ impl Relation {
     /// Remove every tuple, keeping schema and index definitions.
     pub fn clear(&mut self) {
         self.slab.clear();
+        self.rows.clear();
         self.free.clear();
         self.ids.clear();
+        self.version += 1;
         self.live = 0;
         for idx in self.indexes.values_mut() {
             idx.clear();
@@ -229,6 +401,16 @@ impl Relation {
     pub fn iter_ids(&self) -> TupleIdIter<'_> {
         TupleIdIter {
             inner: self.slab.iter().enumerate(),
+        }
+    }
+
+    /// Iterate over `(id, interned row)` pairs, in slab order — the
+    /// interned join pipeline's scan path.
+    pub fn iter_rows(&self) -> RowIter<'_> {
+        RowIter {
+            inner: self.slab.iter().enumerate(),
+            rows: &self.rows,
+            arity: self.schema.arity(),
         }
     }
 
@@ -300,10 +482,14 @@ impl Relation {
     }
 
     /// Bulk-insert tuples, returning how many were new.
-    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+    pub fn insert_all(
+        &mut self,
+        pool: &mut ValuePool,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize> {
         let mut added = 0;
         for t in tuples {
-            if self.insert(t)? {
+            if self.insert(pool, t)? {
                 added += 1;
             }
         }
@@ -373,8 +559,33 @@ impl<'a> Iterator for TupleIdIter<'a> {
 
     fn next(&mut self) -> Option<(TupleId, &'a Tuple)> {
         for (i, slot) in self.inner.by_ref() {
-            if let Some(t) = slot.as_ref() {
-                return Some((TupleId::from_index(i), t));
+            if slot.is_some() {
+                return Some((TupleId::from_index(i), slot.as_ref().expect("just checked")));
+            }
+        }
+        None
+    }
+}
+
+/// Borrowed iterator over a relation's `(id, interned row)` pairs.
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, Option<Tuple>>>,
+    rows: &'a [ValueId],
+    arity: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = (TupleId, &'a [ValueId]);
+
+    fn next(&mut self) -> Option<(TupleId, &'a [ValueId])> {
+        for (i, slot) in self.inner.by_ref() {
+            if slot.is_some() {
+                let start = i * self.arity;
+                return Some((
+                    TupleId::from_index(i),
+                    &self.rows[start..start + self.arity],
+                ));
             }
         }
         None
@@ -420,8 +631,9 @@ impl<'a> Iterator for SelectEqRef<'a> {
 }
 
 /// Two relations are equal when they have the same schema and the same set
-/// of tuples; ids and secondary indexes are derived data and do not
-/// participate.
+/// of tuples; ids, interned rows and secondary indexes are derived data and
+/// do not participate (the relations may even belong to databases with
+/// different pools).
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema
@@ -448,33 +660,42 @@ mod tests {
     use crate::tuple::int_tuple;
     use crate::value::SkolemFnId;
 
-    fn rel() -> Relation {
-        Relation::new(RelationSchema::new("B", &["id", "nam"]))
+    fn rel() -> (Relation, ValuePool) {
+        (
+            Relation::new(RelationSchema::new("B", &["id", "nam"])),
+            ValuePool::new(),
+        )
     }
 
     #[test]
     fn insert_is_set_semantics() {
-        let mut r = rel();
-        assert!(r.insert(int_tuple(&[3, 5])).unwrap());
-        assert!(!r.insert(int_tuple(&[3, 5])).unwrap());
+        let (mut r, mut p) = rel();
+        assert!(r.insert(&mut p, int_tuple(&[3, 5])).unwrap());
+        assert!(!r.insert(&mut p, int_tuple(&[3, 5])).unwrap());
         assert_eq!(r.len(), 1);
         assert!(r.contains(&int_tuple(&[3, 5])));
+        // The duplicate insert interned nothing.
+        assert_eq!(p.stats().misses, 2);
+        assert_eq!(p.stats().hits, 0);
     }
 
     #[test]
     fn arity_is_enforced() {
-        let mut r = rel();
-        let err = r.insert(int_tuple(&[1, 2, 3])).unwrap_err();
+        let (mut r, mut p) = rel();
+        let err = r.insert(&mut p, int_tuple(&[1, 2, 3])).unwrap_err();
         assert!(matches!(err, StorageError::ArityMismatch { .. }));
         let err = r.remove(&int_tuple(&[1])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        let row = [ValueId(0)];
+        let err = r.insert_row(&p, &row, 0).unwrap_err();
         assert!(matches!(err, StorageError::ArityMismatch { .. }));
     }
 
     #[test]
     fn remove_and_clear() {
-        let mut r = rel();
-        r.insert(int_tuple(&[1, 2])).unwrap();
-        r.insert(int_tuple(&[3, 4])).unwrap();
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[1, 2])).unwrap();
+        r.insert(&mut p, int_tuple(&[3, 4])).unwrap();
         assert!(r.remove(&int_tuple(&[1, 2])).unwrap());
         assert!(!r.remove(&int_tuple(&[1, 2])).unwrap());
         assert_eq!(r.len(), 1);
@@ -484,13 +705,13 @@ mod tests {
 
     #[test]
     fn ids_are_stable_and_reused_after_removal() {
-        let mut r = rel();
-        let (id1, fresh) = r.insert_full(int_tuple(&[1, 10])).unwrap();
+        let (mut r, mut p) = rel();
+        let (id1, fresh) = r.insert_full(&mut p, int_tuple(&[1, 10])).unwrap();
         assert!(fresh);
-        let (id2, _) = r.insert_full(int_tuple(&[2, 20])).unwrap();
+        let (id2, _) = r.insert_full(&mut p, int_tuple(&[2, 20])).unwrap();
         assert_ne!(id1, id2);
         // Duplicate insertion returns the existing id.
-        let (again, fresh) = r.insert_full(int_tuple(&[1, 10])).unwrap();
+        let (again, fresh) = r.insert_full(&mut p, int_tuple(&[1, 10])).unwrap();
         assert_eq!(again, id1);
         assert!(!fresh);
         // id lookup and resolution agree.
@@ -500,16 +721,60 @@ mod tests {
         // Removal frees the slot; the next insert reuses it.
         r.remove(&int_tuple(&[1, 10])).unwrap();
         assert_eq!(r.tuple(id1), None);
-        let (id3, _) = r.insert_full(int_tuple(&[3, 30])).unwrap();
+        let (id3, _) = r.insert_full(&mut p, int_tuple(&[3, 30])).unwrap();
         assert_eq!(id3, id1, "freed slot is reused");
         assert_eq!(r.len(), 2);
     }
 
     #[test]
+    fn interned_rows_track_the_slab() {
+        let (mut r, mut p) = rel();
+        let (id1, _) = r.insert_full(&mut p, int_tuple(&[1, 10])).unwrap();
+        let (id2, _) = r.insert_full(&mut p, int_tuple(&[2, 10])).unwrap();
+        // Shared value 10 interns to the same id in both rows.
+        assert_eq!(r.row(id1)[1], r.row(id2)[1]);
+        assert_ne!(r.row(id1)[0], r.row(id2)[0]);
+        // Rows resolve back to the stored values.
+        for (tid, row) in r.iter_rows() {
+            let t = r.tuple_by_id(tid);
+            for (vid, v) in row.iter().zip(t.values()) {
+                assert_eq!(p.value(*vid), v);
+            }
+        }
+        // Slot reuse rewrites the row in place.
+        r.remove(&int_tuple(&[1, 10])).unwrap();
+        let (id3, _) = r.insert_full(&mut p, int_tuple(&[7, 70])).unwrap();
+        assert_eq!(id3, id1);
+        assert_eq!(p.value(r.row(id3)[0]), &Value::int(7));
+    }
+
+    #[test]
+    fn insert_row_matches_insert() {
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[1, 10])).unwrap();
+        // Build a row by interning and insert it as ids.
+        let row = [p.intern(&Value::int(2)), p.intern(&Value::int(10))];
+        let hash = p.row_hash(&row);
+        let (id, fresh) = r.insert_row(&p, &row, hash).unwrap();
+        assert!(fresh);
+        assert_eq!(r.tuple_by_id(id), &int_tuple(&[2, 10]));
+        assert!(r.contains(&int_tuple(&[2, 10])));
+        // A duplicate id-row is detected without allocating.
+        let (again, fresh) = r.insert_row(&p, &row, hash).unwrap();
+        assert_eq!(again, id);
+        assert!(!fresh);
+        assert!(r.contains_row_hashed(hash, &row));
+        assert_eq!(r.id_of_row(&p, &row), Some(id));
+        // The value-keyed map sees id-inserted tuples and vice versa.
+        let row1 = [p.intern(&Value::int(1)), p.intern(&Value::int(10))];
+        assert!(r.contains_row_hashed(p.row_hash(&row1), &row1));
+    }
+
+    #[test]
     fn iter_ids_matches_iter() {
-        let mut r = rel();
+        let (mut r, mut p) = rel();
         for i in 0..5 {
-            r.insert(int_tuple(&[i, i * 10])).unwrap();
+            r.insert(&mut p, int_tuple(&[i, i * 10])).unwrap();
         }
         r.remove(&int_tuple(&[2, 20])).unwrap();
         let via_ids: Vec<&Tuple> = r.iter_ids().map(|(_, t)| t).collect();
@@ -518,15 +783,17 @@ mod tests {
         for (id, t) in r.iter_ids() {
             assert_eq!(r.tuple_by_id(id), t);
         }
+        // iter_rows covers the same live set.
+        assert_eq!(r.iter_rows().count(), r.len());
     }
 
     #[test]
     fn indexes_stay_consistent_under_mutation() {
-        let mut r = rel();
-        r.insert(int_tuple(&[1, 10])).unwrap();
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[1, 10])).unwrap();
         r.ensure_index(&[0]).unwrap();
-        r.insert(int_tuple(&[1, 20])).unwrap();
-        r.insert(int_tuple(&[2, 30])).unwrap();
+        r.insert(&mut p, int_tuple(&[1, 20])).unwrap();
+        r.insert(&mut p, int_tuple(&[2, 30])).unwrap();
         r.remove(&int_tuple(&[1, 10])).unwrap();
         let cols = [0usize];
         let one = [Value::int(1)];
@@ -535,7 +802,7 @@ mod tests {
         assert_eq!(r.select_eq_ref(&cols, &two).count(), 1);
         // The freed slot's id must have left the index: re-inserting a tuple
         // with a *different* key into the reused slot must not resurrect it.
-        r.insert(int_tuple(&[9, 90])).unwrap();
+        r.insert(&mut p, int_tuple(&[9, 90])).unwrap();
         assert_eq!(r.select_eq_ref(&cols, &one).count(), 1);
         assert_eq!(r.select_eq_ref(&cols, &[Value::int(9)]).count(), 1);
         assert_eq!(r.index(&cols).unwrap().len(), r.len());
@@ -543,17 +810,17 @@ mod tests {
 
     #[test]
     fn ensure_index_rejects_bad_columns() {
-        let mut r = rel();
+        let (mut r, _) = rel();
         let err = r.ensure_index(&[5]).unwrap_err();
         assert!(matches!(err, StorageError::InvalidColumns { .. }));
     }
 
     #[test]
     fn select_eq_with_and_without_index() {
-        let mut r = rel();
-        r.insert(int_tuple(&[1, 10])).unwrap();
-        r.insert(int_tuple(&[1, 20])).unwrap();
-        r.insert(int_tuple(&[2, 30])).unwrap();
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[1, 10])).unwrap();
+        r.insert(&mut p, int_tuple(&[1, 20])).unwrap();
+        r.insert(&mut p, int_tuple(&[2, 30])).unwrap();
         // no index: scan
         assert_eq!(r.select_eq(&[0], &[Value::int(1)]).len(), 2);
         assert!(r.probe_ids(&[0], &[Value::int(1)]).is_none());
@@ -566,8 +833,8 @@ mod tests {
 
     #[test]
     fn contains_values_matches_contains() {
-        let mut r = rel();
-        r.insert(int_tuple(&[3, 5])).unwrap();
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[3, 5])).unwrap();
         assert!(r.contains_values(&[Value::int(3), Value::int(5)]));
         assert!(!r.contains_values(&[Value::int(5), Value::int(3)]));
         assert!(!r.contains_values(&[Value::int(3)]));
@@ -575,12 +842,15 @@ mod tests {
 
     #[test]
     fn certain_tuples_drop_labeled_nulls() {
-        let mut r = rel();
-        r.insert(int_tuple(&[2, 5])).unwrap();
-        r.insert(Tuple::new(vec![
-            Value::int(5),
-            Value::labeled_null(SkolemFnId(0), vec![Value::int(5)]),
-        ]))
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[2, 5])).unwrap();
+        r.insert(
+            &mut p,
+            Tuple::new(vec![
+                Value::int(5),
+                Value::labeled_null(SkolemFnId(0), vec![Value::int(5)]),
+            ]),
+        )
         .unwrap();
         let certain = r.certain_tuples();
         assert_eq!(certain, vec![int_tuple(&[2, 5])]);
@@ -589,13 +859,12 @@ mod tests {
 
     #[test]
     fn bulk_operations_report_counts() {
-        let mut r = rel();
+        let (mut r, mut p) = rel();
         let n = r
-            .insert_all(vec![
-                int_tuple(&[1, 1]),
-                int_tuple(&[1, 1]),
-                int_tuple(&[2, 2]),
-            ])
+            .insert_all(
+                &mut p,
+                vec![int_tuple(&[1, 1]), int_tuple(&[1, 1]), int_tuple(&[2, 2])],
+            )
             .unwrap();
         assert_eq!(n, 2);
         let ts = [int_tuple(&[1, 1]), int_tuple(&[9, 9])];
@@ -605,37 +874,38 @@ mod tests {
 
     #[test]
     fn sorted_tuples_are_deterministic() {
-        let mut r = rel();
-        r.insert(int_tuple(&[3, 0])).unwrap();
-        r.insert(int_tuple(&[1, 0])).unwrap();
-        r.insert(int_tuple(&[2, 0])).unwrap();
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[3, 0])).unwrap();
+        r.insert(&mut p, int_tuple(&[1, 0])).unwrap();
+        r.insert(&mut p, int_tuple(&[2, 0])).unwrap();
         let v = r.sorted_tuples();
         assert_eq!(v[0], int_tuple(&[1, 0]));
         assert_eq!(v[2], int_tuple(&[3, 0]));
     }
 
     #[test]
-    fn equality_ignores_ids_and_indexes() {
-        let mut a = rel();
-        let mut b = rel();
-        a.insert(int_tuple(&[1, 1])).unwrap();
-        a.insert(int_tuple(&[2, 2])).unwrap();
-        // b gets the same tuples in a different slab layout, plus an index.
-        b.insert(int_tuple(&[9, 9])).unwrap();
-        b.insert(int_tuple(&[2, 2])).unwrap();
+    fn equality_ignores_ids_indexes_and_pools() {
+        let (mut a, mut pa) = rel();
+        let (mut b, mut pb) = rel();
+        a.insert(&mut pa, int_tuple(&[1, 1])).unwrap();
+        a.insert(&mut pa, int_tuple(&[2, 2])).unwrap();
+        // b gets the same tuples in a different slab layout, a different
+        // pool history, plus an index.
+        b.insert(&mut pb, int_tuple(&[9, 9])).unwrap();
+        b.insert(&mut pb, int_tuple(&[2, 2])).unwrap();
         b.remove(&int_tuple(&[9, 9])).unwrap();
-        b.insert(int_tuple(&[1, 1])).unwrap();
+        b.insert(&mut pb, int_tuple(&[1, 1])).unwrap();
         b.ensure_index(&[0]).unwrap();
         assert_eq!(a, b);
-        b.insert(int_tuple(&[3, 3])).unwrap();
+        b.insert(&mut pb, int_tuple(&[3, 3])).unwrap();
         assert_ne!(a, b);
     }
 
     #[test]
     fn size_bytes_sums_tuples() {
-        let mut r = rel();
-        r.insert(int_tuple(&[1, 2])).unwrap();
-        r.insert(int_tuple(&[3, 4])).unwrap();
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[1, 2])).unwrap();
+        r.insert(&mut p, int_tuple(&[3, 4])).unwrap();
         assert_eq!(r.size_bytes(), 32);
     }
 }

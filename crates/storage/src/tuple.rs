@@ -27,14 +27,16 @@ pub struct Tuple {
     hash: u64,
 }
 
-/// The canonical content hash of a row: the deterministic hash of its value
-/// slice. [`Tuple::new`] caches exactly this, so a value slice that has not
-/// been wrapped in a `Tuple` yet (e.g. a join head scratch buffer) can still
-/// be tested against id-addressed relation storage without allocating.
+/// The canonical content hash of a row: the combination
+/// ([`crate::pool::combine_hashes`]) of the per-value content hashes
+/// ([`crate::pool::value_hash`]) of its value slice. [`Tuple::new`] caches
+/// exactly this, so a value slice that has not been wrapped in a `Tuple`
+/// yet (e.g. a join head scratch buffer) can still be tested against
+/// id-addressed relation storage without allocating — and so the same hash
+/// is reachable from an interned `&[ValueId]` row by combining the pool's
+/// cached per-value hashes ([`crate::pool::ValuePool::row_hash`]).
 pub fn values_hash(values: &[Value]) -> u64 {
-    let mut h = crate::fxhash::FxHasher::default();
-    values.hash(&mut h);
-    h.finish()
+    crate::pool::combine_hashes(values.iter().map(crate::pool::value_hash))
 }
 
 impl Tuple {
@@ -62,6 +64,15 @@ impl Tuple {
             values: values.into(),
             hash,
         }
+    }
+
+    /// Create a tuple from an already-shared value slice and its
+    /// precomputed [`values_hash`]. The single-allocation materialisation
+    /// path: collecting an exact-size iterator straight into `Arc<[Value]>`
+    /// skips the intermediate `Vec`.
+    pub fn from_arc_prehashed(values: Arc<[Value]>, hash: u64) -> Self {
+        debug_assert_eq!(hash, values_hash(&values));
+        Tuple { values, hash }
     }
 
     /// Create the empty (0-ary) tuple.

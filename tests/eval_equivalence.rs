@@ -240,6 +240,29 @@ proptest! {
                 program
             );
 
+            // The interned engine with a *persistent* plan cache (the CDSS
+            // exchange pattern: one cache across the initial run and every
+            // propagation, with cardinality-band invalidation and, for the
+            // batch backend, throwaway-index promotion) must agree too.
+            let mut cached_db = fresh_db();
+            load_facts(&mut cached_db, &base);
+            let mut cache = orchestra_datalog::PlanCache::new();
+            let mut cached_eval = Evaluator::new(kind);
+            cached_eval.run_filtered_cached(&mut cache, &program, &mut cached_db, None).unwrap();
+            cached_eval
+                .propagate_insertions_cached(&mut cache, &program, &mut cached_db, &batch_map(&batch1), None)
+                .unwrap();
+            cached_eval
+                .propagate_insertions_cached(&mut cache, &program, &mut cached_db, &batch_map(&batch2), None)
+                .unwrap();
+            prop_assert_eq!(
+                &canonical_bytes(&cached_db),
+                &oracle_bytes,
+                "cached-plan fixpoint mismatch under engine {} for program:\n{}",
+                kind,
+                program
+            );
+
             // Identical reported novelty per propagation.
             for (optimized, reference) in [(new1, ref_new1.clone()), (new2, ref_new2.clone())] {
                 let mut optimized: BTreeMap<String, Vec<Tuple>> = optimized

@@ -39,8 +39,9 @@ fn arb_tuple(arity: usize) -> impl Strategy<Value = Tuple> {
 fn arb_relation(name: &'static str) -> impl Strategy<Value = Relation> {
     (1usize..5).prop_flat_map(move |arity| {
         prop::collection::vec(arb_tuple(arity), 0..12).prop_map(move |tuples| {
+            let mut pool = orchestra_storage::ValuePool::new();
             let mut rel = Relation::new(RelationSchema::anonymous(name, arity));
-            rel.insert_all(tuples).expect("arities match");
+            rel.insert_all(&mut pool, tuples).expect("arities match");
             rel
         })
     })
@@ -60,8 +61,13 @@ proptest! {
     #[test]
     fn relations_roundtrip_and_encode_canonically(rel in arb_relation("R")) {
         let bytes = rel.to_bytes();
-        let back = Relation::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(&back, &rel);
+        let mut r = orchestra_persist::codec::Reader::new(&bytes);
+        let (schema, tuples) = orchestra_persist::codec::decode_relation_parts(&mut r).unwrap();
+        prop_assert!(r.is_at_end());
+        let mut db = Database::new();
+        db.adopt_relation(schema, tuples).unwrap();
+        let back = db.relation(rel.name()).unwrap();
+        prop_assert_eq!(back, &rel);
         // Re-encoding the decoded relation is byte-stable (canonical form).
         prop_assert_eq!(back.to_bytes(), bytes);
     }
@@ -74,7 +80,7 @@ proptest! {
     ) {
         let mut db = Database::new();
         for rel in [a, b, c] {
-            db.adopt_relation(rel).unwrap();
+            db.adopt_relation(rel.schema().clone(), rel.iter().cloned()).unwrap();
         }
         let back = Database::from_bytes(&db.to_bytes()).unwrap();
         prop_assert_eq!(&back, &db);
@@ -96,6 +102,130 @@ proptest! {
         let back = EditLog::from_bytes(&log.to_bytes()).unwrap();
         prop_assert_eq!(back, log);
     }
+}
+
+// -----------------------------------------------------------------------
+// The pooled (v2) codec: dictionary + id rows.
+// -----------------------------------------------------------------------
+
+fn arb_schema_db() -> impl Strategy<Value = Database> {
+    (
+        prop::collection::vec(arb_tuple(2), 0..10),
+        prop::collection::vec(arb_tuple(3), 0..10),
+    )
+        .prop_map(|(a, b)| {
+            let mut db = Database::new();
+            db.adopt_relation(RelationSchema::anonymous("A", 2), a)
+                .unwrap();
+            db.adopt_relation(RelationSchema::anonymous("B", 3), b)
+                .unwrap();
+            db
+        })
+}
+
+proptest! {
+    /// Pooled tuple sequences: encode → decode → byte-identical re-encode.
+    #[test]
+    fn pooled_tuple_seq_roundtrips_byte_identically(
+        tuples in prop::collection::vec((0usize..4).prop_flat_map(arb_tuple), 0..20)
+    ) {
+        use orchestra_persist::codec::{Reader, Writer};
+        use orchestra_persist::pooled::{decode_tuple_seq_pooled, encode_tuple_seq_pooled};
+        let mut w = Writer::new();
+        encode_tuple_seq_pooled(tuples.len(), tuples.iter(), &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = decode_tuple_seq_pooled(&mut r).unwrap();
+        prop_assert!(r.is_at_end());
+        prop_assert_eq!(&back, &tuples);
+        let mut w2 = Writer::new();
+        encode_tuple_seq_pooled(back.len(), back.iter(), &mut w2);
+        prop_assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    /// Pooled (v2) snapshot payloads: encode → decode → byte-identical
+    /// re-encode, including pending edit logs.
+    #[test]
+    fn pooled_snapshot_roundtrips_byte_identically(
+        db in arb_schema_db(),
+        pending_ops in prop::collection::vec((any::<bool>(), 0i64..9, 0i64..9), 0..12),
+    ) {
+        use orchestra_persist::{PendingLogs, Snapshot};
+        let mut log = EditLog::new("A");
+        for (ins, x, y) in &pending_ops {
+            if *ins {
+                log.push_insert(int_tuple(&[*x, *y]));
+            } else {
+                log.push_delete(int_tuple(&[*x, *y]));
+            }
+        }
+        let snap = Snapshot {
+            epoch: 7,
+            manifest: vec![1, 2, 3],
+            db,
+            pending: vec![PendingLogs { peer: "P".into(), logs: vec![log] }],
+        };
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+}
+
+/// A legacy v1 snapshot file — its payload assembled with the v1 layout the
+/// codec wrote before the pooled format — must still open.
+#[test]
+fn v1_snapshot_fixture_still_opens() {
+    use orchestra_persist::codec::{encode_seq, Writer};
+    use orchestra_persist::crc::crc32;
+    use orchestra_persist::snapshot::load_snapshot;
+    use orchestra_persist::PendingLogs;
+
+    let mut db = Database::new();
+    db.create_relation(RelationSchema::new("B_l", &["id", "nam"]))
+        .unwrap();
+    db.insert("B_l", int_tuple(&[3, 5])).unwrap();
+    db.insert(
+        "B_l",
+        Tuple::new(vec![
+            Value::int(9),
+            Value::labeled_null(SkolemFnId(1), vec![Value::text("x")]),
+        ]),
+    )
+    .unwrap();
+    let mut log = EditLog::new("B");
+    log.push_insert(int_tuple(&[7, 8]));
+    log.push_delete(int_tuple(&[1, 1]));
+    let pending = vec![PendingLogs {
+        peer: "PBioSQL".into(),
+        logs: vec![log.clone()],
+    }];
+
+    // v1 payload: epoch, manifest, plain database, plain pending logs.
+    let mut payload = Writer::new();
+    payload.put_u64(4);
+    payload.put_bytes(&[0xAA, 0xBB]);
+    db.encode(&mut payload);
+    encode_seq(&pending, &mut payload);
+    let payload = payload.into_bytes();
+
+    // v1 file framing: magic, version byte 1, crc, len, payload.
+    let mut file = Vec::new();
+    file.extend_from_slice(b"OSNP");
+    file.push(1);
+    file.extend_from_slice(&crc32(&payload).to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    file.extend_from_slice(&payload);
+
+    let dir = TempDir::new("v1-fixture");
+    let path = dir.path().join("state.snapshot");
+    std::fs::write(&path, &file).unwrap();
+
+    let snap = load_snapshot(&path).unwrap().expect("fixture opens");
+    assert_eq!(snap.epoch, 4);
+    assert_eq!(snap.manifest, vec![0xAA, 0xBB]);
+    assert_eq!(snap.db, db);
+    assert_eq!(snap.pending, pending);
 }
 
 // -----------------------------------------------------------------------
