@@ -9,7 +9,9 @@
 //! The output of this binary is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
 
-use orchestra_bench::snapshot::{check_against_baseline, entry_json, merge_entry, run_snapshot};
+use orchestra_bench::snapshot::{
+    check_against_baseline, entry_json, merge_entry, run_pool_churn, run_snapshot,
+};
 use orchestra_bench::{
     run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
 };
@@ -19,8 +21,9 @@ use orchestra_bench::{
 const GATED: [&str; 3] = ["fig5_join", "fig7_insertions", "fig9_deletions"];
 
 /// Re-measure the snapshot workloads and gate fig5/fig7/fig9 medians
-/// against a recorded baseline entry (CI regression check). Returns the
-/// exit code.
+/// against a recorded baseline entry (CI regression check), then run the
+/// pool-growth gate: the churn workload's `ValuePool` must be bounded by
+/// the live vocabulary after compaction. Returns the exit code.
 fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: Scale) -> i32 {
     println!(
         "check mode (scale = {}, baseline = `{baseline_label}` in {baseline_path}, limit {max_ratio}x)",
@@ -37,7 +40,7 @@ fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: 
     for r in &rows {
         println!("{:<36} {:>14} ns", r.workload, r.median_ns);
     }
-    match check_against_baseline(&rows, &baseline, baseline_label, &GATED, max_ratio) {
+    let perf = match check_against_baseline(&rows, &baseline, baseline_label, &GATED, max_ratio) {
         Err(e) => {
             eprintln!("check failed: {e}");
             1
@@ -52,14 +55,35 @@ fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: 
             }
             1
         }
+    };
+
+    let churn = run_pool_churn(scale);
+    println!(
+        "pool-growth gate: pool {} at churn peak -> {} after compaction (live {}, bound {})",
+        churn.pool_peak,
+        churn.pool_after,
+        churn.live_values,
+        churn.bound()
+    );
+    if !churn.is_bounded() {
+        eprintln!(
+            "POOL GROWTH: compacted pool holds {} values, exceeding the live-vocabulary bound {}",
+            churn.pool_after,
+            churn.bound()
+        );
+        return 1;
     }
+    println!("pool-growth gate passed: intern memory is bounded after compaction");
+    perf
 }
 
-/// Run the reduced snapshot workloads and write `BENCH_joins.json`-style
-/// output (see [`orchestra_bench::snapshot`]). Returns the exit code.
+/// Run the reduced snapshot workloads (plus the pool-churn workload) and
+/// write `BENCH_joins.json`-style output (see
+/// [`orchestra_bench::snapshot`]). Returns the exit code.
 fn snapshot_mode(label: &str, out_path: &str, scale: Scale) -> i32 {
     println!("snapshot mode (scale = {}, label = {label})", scale.0);
-    let rows = run_snapshot(scale);
+    let mut rows = run_snapshot(scale);
+    rows.push(run_pool_churn(scale).row);
     println!(
         "{:<36} {:>14} {:>10} {:>12}",
         "workload", "median_ns", "ops", "ns/op"

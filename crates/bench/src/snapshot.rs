@@ -186,6 +186,77 @@ fn engine_key(engine: EngineKind) -> &'static str {
     }
 }
 
+/// The pool-churn workload's measured row plus the intern-pool metrics of
+/// its final run — the data behind the `--check` pool-growth gate.
+#[derive(Debug, Clone)]
+pub struct PoolChurn {
+    /// Wall-clock row (`pool_churn/exchange_compact`), recordable in
+    /// `BENCH_joins.json` like any other snapshot workload.
+    pub row: SnapshotRow,
+    /// Distinct pool values right before the compaction pass (the
+    /// append-only high-water mark the churn produced).
+    pub pool_peak: usize,
+    /// Distinct pool values after the pass.
+    pub pool_after: usize,
+    /// Pool values still referenced by live rows at the end.
+    pub live_values: usize,
+}
+
+impl PoolChurn {
+    /// The gate bound: the compacted pool may hold the live vocabulary
+    /// plus a small slack (plan constants re-interned after the pass).
+    pub fn bound(&self) -> usize {
+        self.live_values + self.live_values / 10 + 32
+    }
+
+    /// Does the run pass the pool-growth gate (`pool_after <= bound`)?
+    pub fn is_bounded(&self) -> bool {
+        self.pool_after <= self.bound()
+    }
+}
+
+/// Long-running churn workload over the three-peer example CDSS: `N`
+/// update exchanges, each inserting a fresh *distinct* G row and deleting
+/// the previous round's, then one explicit pool compaction. Exactly the
+/// regime where the append-only pool leaks — the gate proves compaction
+/// turns it into a bounded steady state.
+pub fn run_pool_churn(scale: Scale) -> PoolChurn {
+    let rounds = scale.entries(80) as i64;
+    let mut pool_peak = 0usize;
+    let mut pool_after = 0usize;
+    let mut live_values = 0usize;
+    let row = measure(
+        "pool_churn/exchange_compact",
+        orchestra_net::scenario::example_scenario,
+        |cdss| {
+            for r in 0..rounds {
+                cdss.insert_local("PGUS", "G", int_tuple(&[r, 1_000_000 + r, 2_000_000 + r]))
+                    .unwrap();
+                if r > 0 {
+                    cdss.delete_local(
+                        "PGUS",
+                        "G",
+                        int_tuple(&[r - 1, 1_000_000 + r - 1, 2_000_000 + r - 1]),
+                    )
+                    .unwrap();
+                }
+                cdss.update_exchange("PGUS").unwrap();
+            }
+            pool_peak = cdss.intern_stats().distinct as usize;
+            cdss.compact();
+            pool_after = cdss.intern_stats().distinct as usize;
+            live_values = cdss.pool_live_values();
+            rounds as usize
+        },
+    );
+    PoolChurn {
+        row,
+        pool_peak,
+        pool_after,
+        live_values,
+    }
+}
+
 /// Figure 5 reduced workload: full recomputation ("time to join") on the
 /// SWISS-PROT-style string dataset.
 fn fig5_join(engine: EngineKind, scale: Scale) -> SnapshotRow {
@@ -442,6 +513,24 @@ mod tests {
         assert!(row.median_ns > 0);
         assert!(row.ns_per_op > 0.0);
         assert_eq!(row.runs, SNAPSHOT_RUNS);
+    }
+
+    #[test]
+    fn pool_churn_is_bounded_after_compaction() {
+        let churn = run_pool_churn(Scale(0.2));
+        assert!(churn.row.ops > 0);
+        assert!(
+            churn.pool_peak > churn.pool_after,
+            "churn must actually grow the pool (peak {}, after {})",
+            churn.pool_peak,
+            churn.pool_after
+        );
+        assert!(
+            churn.is_bounded(),
+            "pool {} vs bound {}",
+            churn.pool_after,
+            churn.bound()
+        );
     }
 
     #[test]

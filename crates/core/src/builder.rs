@@ -6,7 +6,7 @@ use orchestra_datalog::EngineKind;
 use orchestra_mappings::{MappingSystem, ProvenanceEncoding, Tgd};
 use orchestra_storage::{Database, RelationSchema};
 
-use crate::cdss::Cdss;
+use crate::cdss::{Cdss, CompactionPolicy};
 use crate::error::CdssError;
 use crate::peer::{Peer, PeerId};
 use crate::trust::TrustPolicy;
@@ -34,6 +34,7 @@ pub struct CdssBuilder {
     engine: Option<EngineKind>,
     encoding: ProvenanceEncoding,
     persist_dir: Option<std::path::PathBuf>,
+    compaction: Option<CompactionPolicy>,
     errors: Vec<CdssError>,
 }
 
@@ -96,6 +97,13 @@ impl CdssBuilder {
         self
     }
 
+    /// Set the value-pool compaction policy (defaults to
+    /// [`CompactionPolicy::default`]; see [`Cdss::maybe_compact`]).
+    pub fn compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
+        self
+    }
+
     /// Validate everything and construct the CDSS.
     pub fn build(self) -> Result<Cdss> {
         if let Some(e) = self.errors.into_iter().next() {
@@ -152,6 +160,9 @@ impl CdssBuilder {
             self.engine.unwrap_or(EngineKind::Pipelined),
             db,
         );
+        if let Some(policy) = self.compaction {
+            cdss.set_compaction_policy(policy);
+        }
         if let Some(dir) = self.persist_dir {
             cdss.attach_persistence(dir)?;
         }

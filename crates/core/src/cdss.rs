@@ -11,7 +11,7 @@ use orchestra_datalog::{EngineKind, Evaluator, PlanCache};
 use orchestra_mappings::MappingSystem;
 use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
 use orchestra_storage::schema::{internal_name, InternalRole};
-use orchestra_storage::{Database, DatabaseStats, EditLog, PoolStats, Tuple};
+use orchestra_storage::{Database, DatabaseStats, EditLog, PoolCompaction, PoolStats, Tuple};
 
 use crate::error::CdssError;
 use crate::peer::{Peer, PeerId};
@@ -37,6 +37,44 @@ impl PublishedChanges {
         self.contributions.values().all(Vec::is_empty)
             && self.retractions.values().all(Vec::is_empty)
             && self.rejections.values().all(Vec::is_empty)
+    }
+}
+
+/// When a [`Cdss`] compacts its value pool.
+///
+/// The intern pool is append-only between compactions, so a long-running
+/// server whose workload churns *distinct* values (fresh accession numbers
+/// every epoch, say) grows intern memory without bound even while every
+/// relation stays small. The policy bounds it: [`Cdss::checkpoint`] (and
+/// any explicit [`Cdss::maybe_compact`]) runs a compaction pass when the
+/// pool is large enough to matter *and* mostly dead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Pools smaller than this are never compacted — the scan would cost
+    /// more than the reclaimable memory.
+    pub min_pool_len: usize,
+    /// Compact only when at least this fraction of pool ids is dead
+    /// (unreferenced by any live row), in `[0, 1]`.
+    pub min_dead_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            min_pool_len: 4096,
+            min_dead_ratio: 0.5,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never compacts automatically (explicit
+    /// [`Cdss::compact`] still works).
+    pub fn never() -> Self {
+        CompactionPolicy {
+            min_pool_len: usize::MAX,
+            min_dead_ratio: 1.1,
+        }
     }
 }
 
@@ -72,6 +110,19 @@ pub struct Cdss {
     pub(crate) persistence: Option<crate::durability::PersistHandle>,
     /// Number of epochs durably published (0 when not persistent).
     pub(crate) epoch: u64,
+    /// When to compact the value pool (checked at checkpoint time and by
+    /// [`Cdss::maybe_compact`]).
+    compaction: CompactionPolicy,
+    /// Compaction passes run over this CDSS's lifetime (in-memory; resets
+    /// on recovery, like the intern counters).
+    compactions_run: u64,
+    /// Memoized live-value scan: `(content stamp, live count)`. The stamp
+    /// is the (monotone) sum of relation content versions plus the
+    /// relation count, so repeated [`Cdss::pool_live_values`] reads on an
+    /// unchanged store (a monitoring client polling `Stats`) skip the
+    /// O(rows) scan. Behind a mutex so the read-side server path can
+    /// update it.
+    live_scan: Mutex<Option<((u64, usize), usize)>>,
 }
 
 impl Cdss {
@@ -95,6 +146,9 @@ impl Cdss {
             pending: BTreeMap::new(),
             persistence: None,
             epoch: 0,
+            compaction: CompactionPolicy::default(),
+            compactions_run: 0,
+            live_scan: Mutex::new(None),
         }
     }
 
@@ -162,6 +216,83 @@ impl Cdss {
     /// Compiled join plans reused from the cross-exchange plan cache.
     pub fn plan_cache_hits(&self) -> u64 {
         self.plans.hit_count()
+    }
+
+    /// Number of pool ids still referenced by live rows (the store's live
+    /// vocabulary). The scan over every relation's interned rows is
+    /// memoized against a cheap content stamp, so repeated reads on an
+    /// unchanged store (a monitoring client polling `Stats`) cost
+    /// O(relations), not O(rows).
+    pub fn pool_live_values(&self) -> usize {
+        let stamp = (
+            self.db
+                .relations()
+                .map(orchestra_storage::Relation::version)
+                .sum::<u64>(),
+            self.db.relation_count(),
+        );
+        let mut memo = self.live_scan.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((cached_stamp, count)) = *memo {
+            if cached_stamp == stamp {
+                return count;
+            }
+        }
+        let count = self.db.live_value_count();
+        *memo = Some((stamp, count));
+        count
+    }
+
+    /// The active value-pool compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction
+    }
+
+    /// Replace the value-pool compaction policy.
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+    }
+
+    /// Compaction passes run so far.
+    pub fn compactions_run(&self) -> u64 {
+        self.compactions_run
+    }
+
+    // ------------------------------------------------------------------
+    // Value-pool compaction
+    // ------------------------------------------------------------------
+
+    /// Compact the value pool now, unconditionally: rebuild it from the
+    /// values live rows still reference, re-stamp every relation's interned
+    /// rows with the new dense ids, and drop the compiled join plans (their
+    /// constant-interned ids would otherwise alias re-assigned ids — a
+    /// silent wrong answer, not a crash). Every observable API — instances,
+    /// certain answers, provenance, derivability, edit-log normalization —
+    /// is unaffected: tuple ids, content hashes and secondary indexes key
+    /// on content, which compaction does not change.
+    ///
+    /// After the pass, pool memory equals the live vocabulary (plus the
+    /// rule constants the next evaluation re-interns). On a persistent
+    /// CDSS, call [`Cdss::checkpoint`] — which runs this automatically
+    /// under the [`CompactionPolicy`] — rather than compacting manually.
+    pub fn compact(&mut self) -> PoolCompaction {
+        let report = self.db.compact_pool();
+        self.plans.invalidate_plans();
+        self.compactions_run += 1;
+        report
+    }
+
+    /// Compact the value pool if the [`CompactionPolicy`] calls for it
+    /// (pool big enough, dead ratio high enough). Returns what the pass
+    /// did, or `None` when the policy declined. Small pools skip the live
+    /// scan entirely, and a firing policy shares one scan between the
+    /// ratio check and the pass itself.
+    pub fn maybe_compact(&mut self) -> Option<PoolCompaction> {
+        let report = self
+            .db
+            .compact_pool_if(self.compaction.min_pool_len, self.compaction.min_dead_ratio)?;
+        self.plans.invalidate_plans();
+        self.compactions_run += 1;
+        Some(report)
     }
 
     /// Run a closure against the current provenance graph (tuple and mapping
@@ -802,5 +933,150 @@ pub(crate) fn extend_graph_with_insertions(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+    use crate::builder::CdssBuilder;
+    use orchestra_storage::tuple::int_tuple;
+    use orchestra_storage::RelationSchema;
+
+    fn example() -> Cdss {
+        CdssBuilder::new()
+            .add_peer(
+                "PGUS",
+                vec![RelationSchema::new("G", &["id", "can", "nam"])],
+            )
+            .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
+            .add_peer("PuBio", vec![RelationSchema::new("U", &["nam", "can"])])
+            .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
+            .add_mapping_str("m2", "G(i, c, n) -> U(n, c)")
+            .add_mapping_str("m3", "B(i, n) -> U(n, c)")
+            .add_mapping_str("m4", "B(i, c), U(n, c) -> B(i, n)")
+            .build()
+            .unwrap()
+    }
+
+    /// Insert a distinct G row and delete the previous round's, exchanging
+    /// each time — the churn regime that grows the pool without bound.
+    fn churn(cdss: &mut Cdss, rounds: i64) {
+        for r in 0..rounds {
+            cdss.insert_local("PGUS", "G", int_tuple(&[r, 100_000 + r, 200_000 + r]))
+                .unwrap();
+            if r > 0 {
+                cdss.delete_local(
+                    "PGUS",
+                    "G",
+                    int_tuple(&[r - 1, 100_000 + r - 1, 200_000 + r - 1]),
+                )
+                .unwrap();
+            }
+            cdss.update_exchange("PGUS").unwrap();
+        }
+    }
+
+    #[test]
+    fn compact_bounds_churned_pool_and_preserves_observables() {
+        let mut cdss = example();
+        let mut twin = example();
+        churn(&mut cdss, 40);
+        churn(&mut twin, 40);
+
+        let pool_before = cdss.intern_stats().distinct as usize;
+        let live = cdss.pool_live_values();
+        assert!(
+            pool_before > 4 * live,
+            "churn must leave mostly-dead pool ({pool_before} pooled, {live} live)"
+        );
+
+        let report = cdss.compact();
+        assert_eq!(report.before, pool_before);
+        assert_eq!(report.after, live);
+        assert_eq!(cdss.compactions_run(), 1);
+        assert_eq!(cdss.intern_stats().compactions, 1);
+
+        // Every observable agrees with the never-compacted twin.
+        assert_eq!(cdss.database(), twin.database());
+        for (peer, rel) in [("PGUS", "G"), ("PBioSQL", "B"), ("PuBio", "U")] {
+            assert_eq!(
+                cdss.local_instance(peer, rel).unwrap(),
+                twin.local_instance(peer, rel).unwrap()
+            );
+            for t in cdss.local_instance(peer, rel).unwrap() {
+                assert_eq!(
+                    cdss.provenance_of(rel, &t).canonical().to_string(),
+                    twin.provenance_of(rel, &t).canonical().to_string()
+                );
+                assert_eq!(cdss.is_derivable(rel, &t), twin.is_derivable(rel, &t));
+            }
+        }
+
+        // Exchanges after compaction (stale plans would mis-evaluate if the
+        // cache survived) still track the twin exactly.
+        for c in [&mut cdss, &mut twin] {
+            c.insert_local("PBioSQL", "B", int_tuple(&[39, 200_039]))
+                .unwrap();
+            c.insert_local("PGUS", "G", int_tuple(&[7, 7, 7])).unwrap();
+            c.update_exchange_all().unwrap();
+        }
+        assert_eq!(cdss.database(), twin.database());
+    }
+
+    #[test]
+    fn maybe_compact_respects_the_policy() {
+        let mut cdss = example();
+        churn(&mut cdss, 20);
+        // Defaults: pool far below min_pool_len → declined without a scan.
+        assert_eq!(cdss.maybe_compact(), None);
+        assert_eq!(cdss.compactions_run(), 0);
+
+        // A dead-heavy pool above the (lowered) floor compacts.
+        cdss.set_compaction_policy(CompactionPolicy {
+            min_pool_len: 8,
+            min_dead_ratio: 0.5,
+        });
+        let report = cdss.maybe_compact().expect("policy fires");
+        assert!(report.reclaimed() > 0);
+        assert_eq!(cdss.compactions_run(), 1);
+
+        // Right after compacting nothing is dead → declined again.
+        assert_eq!(cdss.maybe_compact(), None);
+
+        // `never()` refuses even a fully dead pool.
+        churn(&mut cdss, 10);
+        cdss.set_compaction_policy(CompactionPolicy::never());
+        assert_eq!(cdss.maybe_compact(), None);
+    }
+
+    #[test]
+    fn checkpoint_compacts_under_policy_and_recovers_identically() {
+        let dir = orchestra_persist::testutil::TempDir::new("core-compact-ckpt");
+        let mut cdss = CdssBuilder::new()
+            .add_peer(
+                "PGUS",
+                vec![RelationSchema::new("G", &["id", "can", "nam"])],
+            )
+            .add_peer("PBioSQL", vec![RelationSchema::new("B", &["id", "nam"])])
+            .add_mapping_str("m1", "G(i, c, n) -> B(i, n)")
+            .compaction_policy(CompactionPolicy {
+                min_pool_len: 8,
+                min_dead_ratio: 0.3,
+            })
+            .with_persistence(dir.path())
+            .build()
+            .unwrap();
+        churn(&mut cdss, 25);
+        let live = cdss.pool_live_values();
+        cdss.checkpoint().unwrap();
+        assert_eq!(cdss.compactions_run(), 1, "checkpoint triggered the pass");
+        assert_eq!(cdss.intern_stats().distinct as usize, live);
+        let before_db = cdss.database().clone();
+        drop(cdss);
+
+        let (recovered, report) = Cdss::open_or_recover(dir.path()).unwrap();
+        assert_eq!(report.replayed_epochs, 0);
+        assert_eq!(recovered.database(), &before_db);
     }
 }

@@ -348,10 +348,17 @@ impl Cdss {
 
     /// Checkpoint: atomically install a snapshot of the full current state
     /// and reset the WAL (its epochs are folded into the snapshot).
+    ///
+    /// Checkpoint time is also when the value pool is compacted, under the
+    /// [`crate::CompactionPolicy`]: the snapshot encoder already writes a
+    /// canonical dictionary of live values (the on-disk v2 codec is
+    /// unchanged by compaction — only in-memory ids shrink), so folding the
+    /// WAL is the natural moment to shed dead intern memory too.
     pub fn checkpoint(&mut self) -> Result<()> {
         if self.persistence.is_none() {
             return Err(CdssError::Persistence("CDSS is not persistent".into()));
         }
+        self.maybe_compact();
         let manifest = Manifest::from_cdss(self).encode();
         let pending = self.pending_snapshot();
         let snapshot = SnapshotRef {

@@ -49,7 +49,7 @@ pub mod report;
 pub mod trust;
 
 pub use builder::CdssBuilder;
-pub use cdss::Cdss;
+pub use cdss::{Cdss, CompactionPolicy};
 pub use durability::RecoveryReport;
 pub use error::CdssError;
 pub use peer::{Peer, PeerId};

@@ -215,6 +215,24 @@ impl PlanCache {
         self.hits
     }
 
+    /// Drop every compiled plan and retained throwaway index, keeping the
+    /// program facts (stratification, occurrences, arities) and cardinality
+    /// bands.
+    ///
+    /// **Required after a [`ValuePool`] compaction** of the bound database:
+    /// compiled [`IdPlan`]s hold rule constants interned as pre-compaction
+    /// [`ValueId`]s, which after the re-stamp alias *different live values*
+    /// (not garbage), so reusing them would silently mis-evaluate. The
+    /// stratification and occurrence lists never mention pool ids and
+    /// survive; plans lazily recompile (and re-intern their constants into
+    /// the compacted pool) on next use.
+    pub fn invalidate_plans(&mut self) {
+        for p in &mut self.plans {
+            *p = RulePlan::default();
+        }
+        self.temp = TempIndexes::default();
+    }
+
     /// A cheap structural fingerprint of a program: rule count plus, per
     /// rule, the head/body relation names, negation flags and term shapes.
     /// Walks borrowed data only — no formatting, no allocation.
@@ -479,6 +497,29 @@ mod tests {
         cache.prepare(&other).unwrap();
         cache.base(&other, 0, db.pool_mut()).unwrap();
         assert_eq!(cache.hits, hits_before + 1);
+    }
+
+    #[test]
+    fn invalidate_plans_recompiles_but_keeps_program_facts() {
+        let program = tc_program();
+        let mut db = edge_db(8);
+        let mut cache = PlanCache::new();
+        cache.prepare(&program).unwrap();
+        cache.refresh(&program, &db);
+        cache.base(&program, 0, db.pool_mut()).unwrap();
+        cache.delta(&program, 1, 1, db.pool_mut()).unwrap();
+        let misses_before = cache.misses;
+
+        // Pool compaction re-stamps the database; cached id-plans would
+        // alias re-assigned ids, so they must be dropped.
+        db.compact_pool();
+        cache.invalidate_plans();
+
+        assert!(cache.prepared.is_some(), "stratification survives");
+        assert!(cache.plans.iter().all(|p| p.base.is_none()));
+        assert!(cache.temp.built.is_empty());
+        cache.base(&program, 0, db.pool_mut()).unwrap();
+        assert_eq!(cache.misses, misses_before + 1, "plan recompiled");
     }
 
     #[test]

@@ -8,11 +8,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use orchestra_core::TrustPolicy;
-use orchestra_persist::codec::{Decode, Encode};
 use orchestra_storage::Tuple;
 
 use crate::error::NetError;
-use crate::frame::{read_frame_expecting, write_frame, FrameKind};
+use crate::frame::{read_frame_expecting, write_frame_versioned, FrameKind};
 use crate::proto::{EditBatch, ExchangeSummary, Request, Response, ServerStats};
 use crate::Result;
 
@@ -20,6 +19,10 @@ use crate::Result;
 #[derive(Debug)]
 pub struct NetClient {
     stream: TcpStream,
+    /// The frame version requests are sent at (responses arrive at the
+    /// same version — the server echoes it). Defaults to the current
+    /// [`crate::frame::VERSION`]; pin to 1 to act as a legacy client.
+    wire_version: u8,
 }
 
 /// Provenance answer returned by [`NetClient::provenance_of`].
@@ -41,7 +44,32 @@ impl NetClient {
         stream
             .set_nodelay(true)
             .map_err(|e| NetError::io("configuring socket", &e))?;
-        Ok(NetClient { stream })
+        Ok(NetClient {
+            stream,
+            wire_version: crate::frame::VERSION,
+        })
+    }
+
+    /// Pin the wire version this client speaks (within
+    /// [`crate::frame::MIN_VERSION`]`..=`[`crate::frame::VERSION`]).
+    /// Version 1 makes the client indistinguishable from a legacy binary:
+    /// requests go out in v1 frames with the legacy payload tags, and the
+    /// server answers in kind.
+    pub fn set_wire_version(&mut self, version: u8) -> Result<()> {
+        if !(crate::frame::MIN_VERSION..=crate::frame::VERSION).contains(&version) {
+            return Err(NetError::protocol(format!(
+                "unsupported wire version {version} (supported: {}..={})",
+                crate::frame::MIN_VERSION,
+                crate::frame::VERSION
+            )));
+        }
+        self.wire_version = version;
+        Ok(())
+    }
+
+    /// The wire version this client currently speaks.
+    pub fn wire_version(&self) -> u8 {
+        self.wire_version
     }
 
     /// Connect, retrying `attempts` times with `delay` between attempts —
@@ -64,11 +92,19 @@ impl NetClient {
         Err(last)
     }
 
-    /// Issue one raw request and decode the response frame.
+    /// Issue one raw request and decode the response frame. The request is
+    /// encoded at the client's pinned wire version; the response is decoded
+    /// at whatever version its frame carries (a negotiating server echoes
+    /// the request's version).
     pub fn call(&mut self, request: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, FrameKind::Request, &request.to_bytes())?;
-        let payload = read_frame_expecting(&mut self.stream, FrameKind::Response)?;
-        Ok(Response::from_bytes(&payload)?)
+        write_frame_versioned(
+            &mut self.stream,
+            FrameKind::Request,
+            &request.to_bytes_versioned(self.wire_version),
+            self.wire_version,
+        )?;
+        let (version, payload) = read_frame_expecting(&mut self.stream, FrameKind::Response)?;
+        Ok(Response::from_bytes_versioned(&payload, version)?)
     }
 
     fn expect_error(response: Response) -> NetError {
@@ -187,6 +223,15 @@ impl NetClient {
     pub fn shutdown(&mut self) -> Result<()> {
         match self.call(&Request::Shutdown)? {
             Response::Ok => Ok(()),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Compact the server's value pool now, unconditionally. Returns the
+    /// distinct pool sizes `(before, after)` of the pass.
+    pub fn compact(&mut self) -> Result<(u64, u64)> {
+        match self.call(&Request::Compact)? {
+            Response::Compacted { before, after } => Ok((before, after)),
             other => Err(Self::expect_error(other)),
         }
     }

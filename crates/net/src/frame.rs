@@ -6,7 +6,7 @@
 //! +--------+---------+--------+-------------+------------+=============+
 //! | magic  | version | kind   | payload_len | crc32      | payload     |
 //! | u32 LE | u8      | u8     | u32 LE      | u32 LE     | payload_len |
-//! | "ORCN" | 1       | 0 / 1  |             | of payload | bytes       |
+//! | "ORCN" | 1..=3   | 0 / 1  |             | of payload | bytes       |
 //! +--------+---------+--------+-------------+------------+=============+
 //! ```
 //!
@@ -28,11 +28,15 @@ use crate::Result;
 /// Frame magic: `"ORCN"` in little-endian byte order.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCN");
 
-/// Wire-format version carried in every frame header. Version 2 frames may
-/// carry pooled bulk payloads (see `proto`); version 1 frames are still
-/// accepted on read.
-pub const VERSION: u8 = 2;
-/// Oldest frame version still accepted on read.
+/// Wire-format version carried in every frame header. Version 2 added the
+/// pooled bulk payloads; version 3 extends the `Stats` field layout with
+/// the pool-compaction counters. Older-version frames are still accepted
+/// on read, and a responder **echoes the requester's frame version**,
+/// encoding its payload in that version's vocabulary — so mixed-version
+/// deployments interoperate; see `proto`'s module docs.
+pub const VERSION: u8 = 3;
+/// Oldest frame version still accepted on read (and emittable via
+/// [`write_frame_versioned`]).
 pub const MIN_VERSION: u8 = 1;
 
 /// Upper bound on a frame payload (64 MiB): a garbage length prefix must
@@ -68,8 +72,28 @@ impl FrameKind {
     }
 }
 
-/// Write one frame (header + payload) and flush the stream.
+/// Write one frame (header + payload) at the current [`VERSION`] and flush
+/// the stream.
 pub fn write_frame(stream: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<()> {
+    write_frame_versioned(stream, kind, payload, VERSION)
+}
+
+/// Write one frame stamped with an explicit wire version (within
+/// [`MIN_VERSION`]`..=`[`VERSION`]) and flush the stream. Responders use
+/// this to echo the requester's frame version; the *payload* must already
+/// be encoded in that version's vocabulary (the frame layer does not
+/// translate).
+pub fn write_frame_versioned(
+    stream: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+    version: u8,
+) -> Result<()> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(NetError::protocol(format!(
+            "cannot emit wire version {version} (supported: {MIN_VERSION}..={VERSION})"
+        )));
+    }
     let len = u32::try_from(payload.len())
         .map_err(|_| NetError::protocol("payload exceeds u32 length"))?;
     if len > MAX_PAYLOAD_LEN {
@@ -79,7 +103,7 @@ pub fn write_frame(stream: &mut impl Write, kind: FrameKind, payload: &[u8]) -> 
     }
     let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
-    header[4] = VERSION;
+    header[4] = version;
     header[5] = kind.as_u8();
     header[6..10].copy_from_slice(&len.to_le_bytes());
     header[10..14].copy_from_slice(&crc32(payload).to_le_bytes());
@@ -146,11 +170,14 @@ fn read_full(stream: &mut impl Read, buf: &mut [u8], started: bool, what: &str) 
     Ok(())
 }
 
-/// Read one frame, verify its header and CRC, and return `(kind, payload)`.
+/// Read one frame, verify its header and CRC, and return
+/// `(kind, version, payload)` — the frame's wire version is surfaced so the
+/// receiver can echo it (server) or pick the matching payload decoder
+/// (client).
 ///
 /// A clean EOF before the first header byte is reported as
 /// [`NetError::Disconnected`]; EOF mid-frame is a protocol violation.
-pub fn read_frame(stream: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
+pub fn read_frame(stream: &mut impl Read) -> Result<(FrameKind, u8, Vec<u8>)> {
     let mut header = [0u8; HEADER_LEN];
     read_full(stream, &mut header, false, "frame header")?;
 
@@ -160,10 +187,10 @@ pub fn read_frame(stream: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
             "bad frame magic {magic:#010x} (expected {MAGIC:#010x})"
         )));
     }
-    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
+    let version = header[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(NetError::protocol(format!(
-            "unsupported wire version {} (accepted: {MIN_VERSION}..={VERSION})",
-            header[4]
+            "unsupported wire version {version} (accepted: {MIN_VERSION}..={VERSION})"
         )));
     }
     let kind = FrameKind::from_u8(header[5])?;
@@ -183,18 +210,19 @@ pub fn read_frame(stream: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
             "frame CRC mismatch (header {expected_crc:#010x}, payload {actual_crc:#010x})"
         )));
     }
-    Ok((kind, payload))
+    Ok((kind, version, payload))
 }
 
-/// Read one frame and require it to be of `expected` kind.
-pub fn read_frame_expecting(stream: &mut impl Read, expected: FrameKind) -> Result<Vec<u8>> {
-    let (kind, payload) = read_frame(stream)?;
+/// Read one frame and require it to be of `expected` kind; returns the
+/// frame's wire version and payload.
+pub fn read_frame_expecting(stream: &mut impl Read, expected: FrameKind) -> Result<(u8, Vec<u8>)> {
+    let (kind, version, payload) = read_frame(stream)?;
     if kind != expected {
         return Err(NetError::protocol(format!(
             "expected a {expected:?} frame, got {kind:?}"
         )));
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
 #[cfg(test)]
@@ -208,13 +236,34 @@ mod tests {
         write_frame(&mut buf, FrameKind::Request, b"hello").unwrap();
         write_frame(&mut buf, FrameKind::Response, b"").unwrap();
         let mut cur = Cursor::new(buf);
-        let (kind, payload) = read_frame(&mut cur).unwrap();
+        let (kind, version, payload) = read_frame(&mut cur).unwrap();
         assert_eq!(kind, FrameKind::Request);
+        assert_eq!(version, VERSION);
         assert_eq!(payload, b"hello");
-        let (kind, payload) = read_frame(&mut cur).unwrap();
+        let (kind, _, payload) = read_frame(&mut cur).unwrap();
         assert_eq!(kind, FrameKind::Response);
         assert!(payload.is_empty());
         assert_eq!(read_frame(&mut cur).unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn versioned_frames_carry_their_version() {
+        let mut buf = Vec::new();
+        write_frame_versioned(&mut buf, FrameKind::Request, b"old", 1).unwrap();
+        let (kind, version, payload) = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!((kind, version), (FrameKind::Request, 1));
+        assert_eq!(payload, b"old");
+        // Out-of-range versions are refused at the writer, not on the wire.
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame_versioned(&mut buf, FrameKind::Request, b"", 0),
+            Err(NetError::Protocol(m)) if m.contains("version")
+        ));
+        assert!(matches!(
+            write_frame_versioned(&mut buf, FrameKind::Request, b"", VERSION + 1),
+            Err(NetError::Protocol(m)) if m.contains("version")
+        ));
+        assert!(buf.is_empty());
     }
 
     #[test]

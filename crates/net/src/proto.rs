@@ -16,18 +16,35 @@
 //! | 6 | `SetTrustPolicy` | `Ok` |
 //! | 7 | `Stats` | `Error` |
 //! | 8 | `Checkpoint` | `Tuples` (pooled) |
-//! | 9 | `Shutdown` | |
+//! | 9 | `Shutdown` | `Compacted` |
 //! | 10 | `PublishEdits` (pooled) | |
+//! | 11 | `Compact` | |
 //!
 //! Bulk payloads (`PublishEdits` batches, `Tuples` answers) are emitted in
 //! the **pooled** encoding of [`orchestra_persist::pooled`] — one value
 //! dictionary, then rows as dense ids — under the tags marked "pooled".
-//! Back-compat is **read-side**: decoders accept the legacy plain-tuple
-//! tags (and the frame layer accepts version-1 frames), so a new endpoint
-//! reads anything an old one sends or persisted. Writers always emit the
-//! pooled tags in version-2 frames, which old endpoints reject — mixed-
-//! version *live* deployments would additionally need the responder to
-//! echo the requester's frame version, which this layer does not do.
+//!
+//! ## Version negotiation
+//!
+//! Back-compat is both read- and write-side. Decoders accept the legacy
+//! plain-tuple tags (and the frame layer accepts every version since 1),
+//! so a new endpoint reads anything an old one sends or persisted. On the
+//! write side the responder **echoes the requester's frame version**,
+//! encoding the payload in that version's vocabulary:
+//!
+//! * **v1** — plain-tuple bulk payloads (`Tuples` tag 2, `PublishEdits`
+//!   tag 0) and the original seven-counter `Stats` layout;
+//! * **v2** — pooled bulk payloads, `Stats` with the intern/plan-cache
+//!   counters (ten);
+//! * **v3** (current) — v2 plus the pool-compaction counters in `Stats`.
+//!
+//! The `Stats` field layout is what forces a version bump: it is a bare
+//! field list under one tag, so growing it in place would break every
+//! already-deployed client of the previous version. A current client
+//! defaults to v3 but can be pinned lower (`NetClient::set_wire_version`)
+//! to stand in for an old binary; either way it decodes each response by
+//! the version the *response frame* carries, so mixed-version live
+//! deployments interoperate in both directions.
 
 use std::fmt;
 
@@ -208,12 +225,34 @@ pub enum Request {
     /// Server and instance statistics.
     Stats,
     /// Fold the WAL into a durable snapshot (persistent servers only).
+    /// Also compacts the value pool when the server's policy calls for it.
     Checkpoint,
     /// Stop accepting connections and shut the server down gracefully.
     Shutdown,
+    /// Compact the value pool now, unconditionally (works on in-memory
+    /// servers too). Returns [`Response::Compacted`].
+    Compact,
 }
 
 impl Request {
+    /// Encode for a given frame version. Version 1 emits the legacy
+    /// plain-tuple `PublishEdits` layout (tag 0) a v1-era server decodes;
+    /// version 2 is [`Encode::to_bytes`] (pooled tag 10).
+    pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
+        if version >= 2 {
+            return self.to_bytes();
+        }
+        match self {
+            Request::PublishEdits(batch) => {
+                let mut w = Writer::new();
+                w.put_u8(0);
+                batch.encode(&mut w);
+                w.into_bytes()
+            }
+            other => other.to_bytes(),
+        }
+    }
+
     /// Short label used for per-request metrics.
     pub fn kind(&self) -> RequestKind {
         match self {
@@ -227,6 +266,7 @@ impl Request {
             Request::Stats => RequestKind::Stats,
             Request::Checkpoint => RequestKind::Checkpoint,
             Request::Shutdown => RequestKind::Shutdown,
+            Request::Compact => RequestKind::Compact,
         }
     }
 }
@@ -254,11 +294,13 @@ pub enum RequestKind {
     Checkpoint,
     /// `Shutdown`.
     Shutdown,
+    /// `Compact`.
+    Compact,
 }
 
 impl RequestKind {
     /// Every request kind, in tag order.
-    pub const ALL: [RequestKind; 10] = [
+    pub const ALL: [RequestKind; 11] = [
         RequestKind::PublishEdits,
         RequestKind::UpdateExchange,
         RequestKind::QueryLocal,
@@ -269,6 +311,7 @@ impl RequestKind {
         RequestKind::Stats,
         RequestKind::Checkpoint,
         RequestKind::Shutdown,
+        RequestKind::Compact,
     ];
 
     /// Stable label for metrics and logs.
@@ -284,6 +327,7 @@ impl RequestKind {
             RequestKind::Stats => "stats",
             RequestKind::Checkpoint => "checkpoint",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::Compact => "compact",
         }
     }
 }
@@ -338,6 +382,7 @@ impl Encode for Request {
             Request::Stats => w.put_u8(7),
             Request::Checkpoint => w.put_u8(8),
             Request::Shutdown => w.put_u8(9),
+            Request::Compact => w.put_u8(11),
         }
     }
 }
@@ -382,6 +427,7 @@ impl Decode for Request {
             7 => Request::Stats,
             8 => Request::Checkpoint,
             9 => Request::Shutdown,
+            11 => Request::Compact,
             tag => {
                 return Err(PersistError::corrupt(
                     offset,
@@ -514,6 +560,13 @@ pub struct ServerStats {
     pub intern_misses: u64,
     /// Compiled join plans reused from the cross-exchange plan cache.
     pub plan_cache_hits: u64,
+    /// Distinct values currently held by the store's intern pool.
+    pub pool_values: u64,
+    /// Pool values still referenced by live rows (the live vocabulary);
+    /// `pool_values - pool_live_values` is what a compaction would reclaim.
+    pub pool_live_values: u64,
+    /// Value-pool compaction passes run since startup.
+    pub pool_compactions: u64,
     /// Per-request counters: `(kind label, served count)`.
     pub requests: Vec<(String, u64)>,
 }
@@ -522,6 +575,87 @@ impl ServerStats {
     /// Total requests served across all kinds.
     pub fn total_requests(&self) -> u64 {
         self.requests.iter().map(|(_, n)| n).sum()
+    }
+
+    fn encode_requests(&self, w: &mut Writer) {
+        w.put_u32(self.requests.len() as u32);
+        for (kind, count) in &self.requests {
+            w.put_str(kind);
+            w.put_u64(*count);
+        }
+    }
+
+    /// The legacy (frame version 1) field layout, predating the intern,
+    /// plan-cache and pool counters — what a v1-era client decodes.
+    fn encode_v1(&self, w: &mut Writer) {
+        w.put_u64(self.peers);
+        w.put_u64(self.relations);
+        w.put_u64(self.total_tuples);
+        w.put_u64(self.output_tuples);
+        w.put_u64(self.pending_batches);
+        w.put_u64(self.epoch);
+        w.put_u64(self.connections);
+        self.encode_requests(w);
+    }
+
+    /// The frame-version-2 field layout: v1 plus the intern and plan-cache
+    /// counters, without the pool-compaction counters v3 added.
+    fn encode_v2(&self, w: &mut Writer) {
+        w.put_u64(self.peers);
+        w.put_u64(self.relations);
+        w.put_u64(self.total_tuples);
+        w.put_u64(self.output_tuples);
+        w.put_u64(self.pending_batches);
+        w.put_u64(self.epoch);
+        w.put_u64(self.connections);
+        w.put_u64(self.intern_hits);
+        w.put_u64(self.intern_misses);
+        w.put_u64(self.plan_cache_hits);
+        self.encode_requests(w);
+    }
+
+    fn decode_requests(r: &mut Reader<'_>) -> orchestra_persist::Result<Vec<(String, u64)>> {
+        let n = r.get_u32()? as usize;
+        let mut requests = Vec::with_capacity(n.min(1 << 8));
+        for _ in 0..n {
+            let kind = r.get_str()?.to_string();
+            requests.push((kind, r.get_u64()?));
+        }
+        Ok(requests)
+    }
+
+    /// Decode the legacy v1 layout; the counters later versions added read
+    /// as zero.
+    fn decode_v1(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        Ok(ServerStats {
+            peers: r.get_u64()?,
+            relations: r.get_u64()?,
+            total_tuples: r.get_u64()?,
+            output_tuples: r.get_u64()?,
+            pending_batches: r.get_u64()?,
+            epoch: r.get_u64()?,
+            connections: r.get_u64()?,
+            requests: Self::decode_requests(r)?,
+            ..ServerStats::default()
+        })
+    }
+
+    /// Decode the v2 layout; the pool counters v3 added read as zero.
+    fn decode_v2(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        Ok(ServerStats {
+            peers: r.get_u64()?,
+            relations: r.get_u64()?,
+            total_tuples: r.get_u64()?,
+            output_tuples: r.get_u64()?,
+            pending_batches: r.get_u64()?,
+            epoch: r.get_u64()?,
+            connections: r.get_u64()?,
+            intern_hits: r.get_u64()?,
+            intern_misses: r.get_u64()?,
+            plan_cache_hits: r.get_u64()?,
+            requests: Self::decode_requests(r)?,
+            ..ServerStats::default()
+        })
     }
 }
 
@@ -537,44 +671,30 @@ impl Encode for ServerStats {
         w.put_u64(self.intern_hits);
         w.put_u64(self.intern_misses);
         w.put_u64(self.plan_cache_hits);
-        w.put_u32(self.requests.len() as u32);
-        for (kind, count) in &self.requests {
-            w.put_str(kind);
-            w.put_u64(*count);
-        }
+        w.put_u64(self.pool_values);
+        w.put_u64(self.pool_live_values);
+        w.put_u64(self.pool_compactions);
+        self.encode_requests(w);
     }
 }
 
 impl Decode for ServerStats {
     fn decode(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
-        let peers = r.get_u64()?;
-        let relations = r.get_u64()?;
-        let total_tuples = r.get_u64()?;
-        let output_tuples = r.get_u64()?;
-        let pending_batches = r.get_u64()?;
-        let epoch = r.get_u64()?;
-        let connections = r.get_u64()?;
-        let intern_hits = r.get_u64()?;
-        let intern_misses = r.get_u64()?;
-        let plan_cache_hits = r.get_u64()?;
-        let n = r.get_u32()? as usize;
-        let mut requests = Vec::with_capacity(n.min(1 << 8));
-        for _ in 0..n {
-            let kind = r.get_str()?.to_string();
-            requests.push((kind, r.get_u64()?));
-        }
         Ok(ServerStats {
-            peers,
-            relations,
-            total_tuples,
-            output_tuples,
-            pending_batches,
-            epoch,
-            connections,
-            intern_hits,
-            intern_misses,
-            plan_cache_hits,
-            requests,
+            peers: r.get_u64()?,
+            relations: r.get_u64()?,
+            total_tuples: r.get_u64()?,
+            output_tuples: r.get_u64()?,
+            pending_batches: r.get_u64()?,
+            epoch: r.get_u64()?,
+            connections: r.get_u64()?,
+            intern_hits: r.get_u64()?,
+            intern_misses: r.get_u64()?,
+            plan_cache_hits: r.get_u64()?,
+            pool_values: r.get_u64()?,
+            pool_live_values: r.get_u64()?,
+            pool_compactions: r.get_u64()?,
+            requests: Self::decode_requests(r)?,
         })
     }
 }
@@ -610,6 +730,14 @@ pub enum Response {
     Stats(ServerStats),
     /// The operation succeeded with nothing to return.
     Ok,
+    /// A value-pool compaction pass completed (answer to
+    /// [`Request::Compact`]).
+    Compacted {
+        /// Distinct pool values before the pass.
+        before: u64,
+        /// Distinct pool values after the pass (the live vocabulary).
+        after: u64,
+    },
     /// The operation failed.
     Error {
         /// Machine-readable category.
@@ -621,13 +749,83 @@ pub enum Response {
 
 /// Encode a `Response::Tuples` payload directly from borrowed tuples, so
 /// the server can serialize a query answer under its read lock without
-/// cloning the relation. `len` must equal the iterator's length. Uses the
-/// pooled layout (tag 8).
-pub fn encode_tuples_response<'a>(len: usize, tuples: impl Iterator<Item = &'a Tuple>) -> Vec<u8> {
+/// cloning the relation. `len` must equal the iterator's length. Frame
+/// version 2 uses the pooled layout (tag 8); version 1 falls back to the
+/// legacy plain-tuple layout (tag 2) an old client decodes.
+pub fn encode_tuples_response<'a>(
+    len: usize,
+    tuples: impl Iterator<Item = &'a Tuple>,
+    version: u8,
+) -> Vec<u8> {
     let mut w = Writer::new();
-    w.put_u8(8);
-    encode_tuple_seq_pooled(len, tuples, &mut w);
+    if version >= 2 {
+        w.put_u8(8);
+        encode_tuple_seq_pooled(len, tuples, &mut w);
+    } else {
+        w.put_u8(2);
+        orchestra_persist::codec::encode_seq_iter(len, tuples, &mut w);
+    }
     w.into_bytes()
+}
+
+impl Response {
+    /// Encode for a given frame version (see the module docs): version 1
+    /// emits only the legacy vocabulary (`Tuples` under the plain tag 2,
+    /// `Stats` in the v1 field layout), version 2 keeps the pooled tags
+    /// but the ten-counter `Stats` layout, and version 3 is
+    /// [`Encode::to_bytes`].
+    pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
+        if version >= 3 {
+            return self.to_bytes();
+        }
+        match self {
+            Response::Tuples(tuples) if version == 1 => {
+                let mut w = Writer::new();
+                w.put_u8(2);
+                encode_seq(tuples, &mut w);
+                w.into_bytes()
+            }
+            Response::Stats(stats) => {
+                let mut w = Writer::new();
+                w.put_u8(5);
+                if version == 1 {
+                    stats.encode_v1(&mut w);
+                } else {
+                    stats.encode_v2(&mut w);
+                }
+                w.into_bytes()
+            }
+            other => other.to_bytes(),
+        }
+    }
+
+    /// Decode a response payload carried by a frame of the given version.
+    /// The `Stats` field layout is version-dependent (same tag, more
+    /// counters per version), so the frame version selects the decoder;
+    /// every other variant is decoded by its tag alone.
+    pub fn from_bytes_versioned(bytes: &[u8], version: u8) -> orchestra_persist::Result<Self> {
+        if version >= 3 {
+            return Self::from_bytes(bytes);
+        }
+        let mut r = Reader::new(bytes);
+        let resp = match r.get_u8()? {
+            5 if version == 1 => Response::Stats(ServerStats::decode_v1(&mut r)?),
+            5 => Response::Stats(ServerStats::decode_v2(&mut r)?),
+            _ => {
+                // Every other variant shares its layout with the current
+                // version; re-decode from the start so the tag is consumed
+                // uniformly.
+                return Self::from_bytes(bytes);
+            }
+        };
+        if !r.is_at_end() {
+            return Err(PersistError::corrupt(
+                r.offset(),
+                format!("{} trailing bytes after v{version} response", r.remaining()),
+            ));
+        }
+        Ok(resp)
+    }
 }
 
 impl Encode for Response {
@@ -665,6 +863,11 @@ impl Encode for Response {
                 stats.encode(w);
             }
             Response::Ok => w.put_u8(6),
+            Response::Compacted { before, after } => {
+                w.put_u8(9);
+                w.put_u64(*before);
+                w.put_u64(*after);
+            }
             Response::Error { code, message } => {
                 w.put_u8(7);
                 w.put_u8(code.as_u8());
@@ -693,6 +896,10 @@ impl Decode for Response {
             4 => Response::Policy(TrustPolicy::decode(r)?),
             5 => Response::Stats(ServerStats::decode(r)?),
             6 => Response::Ok,
+            9 => Response::Compacted {
+                before: r.get_u64()?,
+                after: r.get_u64()?,
+            },
             7 => {
                 let code_offset = r.offset();
                 let code = ErrorCode::from_u8(r.get_u8()?, code_offset)?;
@@ -792,8 +999,15 @@ mod tests {
             intern_hits: 1000,
             intern_misses: 40,
             plan_cache_hits: 17,
+            pool_values: 45,
+            pool_live_values: 30,
+            pool_compactions: 2,
             requests: vec![("publish-edits".into(), 9), ("stats".into(), 1)],
         }));
+        roundtrip(&Response::Compacted {
+            before: 90,
+            after: 12,
+        });
         roundtrip(&Response::Ok);
         roundtrip(&Response::Error {
             code: ErrorCode::UnknownPeer,
@@ -804,9 +1018,82 @@ mod tests {
     #[test]
     fn borrowed_tuple_encoding_matches_owned() {
         let tuples = vec![int_tuple(&[1, 2]), int_tuple(&[3, 4])];
-        let borrowed = encode_tuples_response(tuples.len(), tuples.iter());
-        let owned = Response::Tuples(tuples).to_bytes();
-        assert_eq!(borrowed, owned);
+        for version in [1u8, 2, 3] {
+            let borrowed = encode_tuples_response(tuples.len(), tuples.iter(), version);
+            let owned = Response::Tuples(tuples.clone()).to_bytes_versioned(version);
+            assert_eq!(borrowed, owned, "version {version}");
+            // Both layouts decode back to the same answer.
+            let back = Response::from_bytes_versioned(&borrowed, version).unwrap();
+            assert_eq!(back, Response::Tuples(tuples.clone()));
+        }
+        // The two versions genuinely differ on the wire (pooled vs plain).
+        assert_ne!(
+            encode_tuples_response(tuples.len(), tuples.iter(), 1),
+            encode_tuples_response(tuples.len(), tuples.iter(), 2)
+        );
+    }
+
+    #[test]
+    fn v1_payloads_use_only_the_legacy_vocabulary() {
+        // PublishEdits: v1 emits the plain-tuple tag 0.
+        let req = Request::PublishEdits(
+            EditBatch::for_peer("PGUS").insert("G", vec![int_tuple(&[1, 2, 3])]),
+        );
+        let v1 = req.to_bytes_versioned(1);
+        assert_eq!(v1[0], 0, "legacy tag");
+        assert_eq!(
+            Request::from_bytes(&v1).unwrap(),
+            req,
+            "new server reads it"
+        );
+        assert_eq!(req.to_bytes_versioned(2)[0], 10, "pooled tag at v2");
+
+        // Stats: the v1 layout drops the counters v2 added; a round-trip
+        // through it zero-fills them and keeps everything else.
+        let stats = ServerStats {
+            peers: 3,
+            relations: 4,
+            total_tuples: 100,
+            output_tuples: 40,
+            pending_batches: 2,
+            epoch: 5,
+            connections: 11,
+            intern_hits: 9,
+            intern_misses: 8,
+            plan_cache_hits: 7,
+            pool_values: 6,
+            pool_live_values: 5,
+            pool_compactions: 1,
+            requests: vec![("stats".into(), 2)],
+        };
+        let v1 = Response::Stats(stats.clone()).to_bytes_versioned(1);
+        let Response::Stats(back) = Response::from_bytes_versioned(&v1, 1).unwrap() else {
+            panic!("stats expected");
+        };
+        assert_eq!(back.peers, stats.peers);
+        assert_eq!(back.connections, stats.connections);
+        assert_eq!(back.requests, stats.requests);
+        assert_eq!(back.intern_hits, 0, "v1 layout has no intern counters");
+        assert_eq!(back.pool_values, 0, "v1 layout has no pool counters");
+
+        // The v2 layout keeps the intern/plan counters but not the pool
+        // counters — exactly what a frame-v2 (pre-compaction) binary
+        // encodes and decodes.
+        let v2 = Response::Stats(stats.clone()).to_bytes_versioned(2);
+        let Response::Stats(back) = Response::from_bytes_versioned(&v2, 2).unwrap() else {
+            panic!("stats expected");
+        };
+        assert_eq!(back.intern_hits, stats.intern_hits);
+        assert_eq!(back.plan_cache_hits, stats.plan_cache_hits);
+        assert_eq!(back.pool_values, 0, "v2 layout has no pool counters");
+        // All three layouts differ on the wire.
+        let v3 = Response::Stats(stats).to_bytes_versioned(3);
+        assert!(v1.len() < v2.len() && v2.len() < v3.len());
+
+        // Version-independent variants encode identically at every version.
+        let ok = Response::Ok;
+        assert_eq!(ok.to_bytes_versioned(1), ok.to_bytes_versioned(2));
+        assert_eq!(ok.to_bytes_versioned(2), ok.to_bytes_versioned(3));
     }
 
     #[test]

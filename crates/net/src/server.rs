@@ -33,7 +33,7 @@ use orchestra_core::{Cdss, CdssError};
 use orchestra_persist::codec::{Decode, Encode};
 
 use crate::error::NetError;
-use crate::frame::{read_frame_expecting, write_frame, FrameKind};
+use crate::frame::{read_frame_expecting, write_frame_versioned, FrameKind};
 use crate::proto::{
     encode_tuples_response, EditBatch, ErrorCode, ExchangeSummary, Request, RequestKind, Response,
     ServerStats,
@@ -244,17 +244,28 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let payload = match read_frame_expecting(&mut stream, FrameKind::Request) {
-            Ok(payload) => payload,
+        // The requester's frame version is echoed on the response, with the
+        // payload encoded in that version's vocabulary, so old clients can
+        // talk to a new server (see `proto`'s version-negotiation docs).
+        let (version, payload) = match read_frame_expecting(&mut stream, FrameKind::Request) {
+            Ok(frame) => frame,
             Err(NetError::Timeout) => continue,
             Err(NetError::Disconnected) => break,
             Err(NetError::Protocol(message)) => {
-                // Framing is broken; answer once (best effort) and hang up.
+                // Framing is broken, so the peer's version is unknown;
+                // answer once (best effort) at the oldest version — the
+                // `Error` payload layout is version-independent and every
+                // peer accepts a v1 frame — and hang up.
                 let resp = Response::Error {
                     code: ErrorCode::BadRequest,
                     message,
                 };
-                let _ = write_frame(&mut stream, FrameKind::Response, &resp.to_bytes());
+                let _ = write_frame_versioned(
+                    &mut stream,
+                    FrameKind::Response,
+                    &resp.to_bytes(),
+                    crate::frame::MIN_VERSION,
+                );
                 break;
             }
             Err(_) => break,
@@ -264,7 +275,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             Ok(request) => {
                 let is_shutdown = request == Request::Shutdown;
                 shared.metrics.record(request.kind());
-                (handle_request(&shared, request), is_shutdown)
+                (handle_request(&shared, request, version), is_shutdown)
             }
             Err(e) => (
                 Response::Error {
@@ -287,7 +298,9 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 ),
             );
         }
-        if write_frame(&mut stream, FrameKind::Response, &response_payload).is_err() {
+        if write_frame_versioned(&mut stream, FrameKind::Response, &response_payload, version)
+            .is_err()
+        {
             break;
         }
         if shutdown_requested {
@@ -318,16 +331,22 @@ fn cdss_error_response(e: &CdssError) -> Vec<u8> {
 }
 
 /// Dispatch one decoded request to the shared state, returning the encoded
-/// response payload.
-fn handle_request(shared: &Shared, request: Request) -> Vec<u8> {
+/// response payload. `version` is the requester's frame version; payloads
+/// whose layout differs between versions (`Tuples`, `Stats`) are encoded in
+/// that version's vocabulary.
+fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
     if shared.shutdown.load(Ordering::SeqCst) && request != Request::Shutdown {
         return error_response(ErrorCode::ShuttingDown, "server is shutting down");
     }
     match request {
         Request::PublishEdits(batch) => handle_publish(shared, batch),
         Request::UpdateExchange { peer } => handle_exchange(shared, peer.as_deref()),
-        Request::QueryLocal { peer, relation } => handle_query(shared, &peer, &relation, false),
-        Request::QueryCertain { peer, relation } => handle_query(shared, &peer, &relation, true),
+        Request::QueryLocal { peer, relation } => {
+            handle_query(shared, &peer, &relation, false, version)
+        }
+        Request::QueryCertain { peer, relation } => {
+            handle_query(shared, &peer, &relation, true, version)
+        }
         Request::ProvenanceOf { relation, tuple } => {
             let cdss = shared.read_cdss();
             // Canonical form: remote provenance answers are deterministic
@@ -354,7 +373,7 @@ fn handle_request(shared: &Shared, request: Request) -> Vec<u8> {
                 Err(e) => cdss_error_response(&e),
             }
         }
-        Request::Stats => handle_stats(shared),
+        Request::Stats => handle_stats(shared, version),
         Request::Checkpoint => {
             let mut cdss = shared.write_cdss();
             if !cdss.is_persistent() {
@@ -369,13 +388,28 @@ fn handle_request(shared: &Shared, request: Request) -> Vec<u8> {
             }
         }
         Request::Shutdown => Response::Ok.to_bytes(),
+        Request::Compact => {
+            let mut cdss = shared.write_cdss();
+            let report = cdss.compact();
+            Response::Compacted {
+                before: report.before as u64,
+                after: report.after as u64,
+            }
+            .to_bytes()
+        }
     }
 }
 
 /// Answer `QueryLocal` / `QueryCertain`: serialize the (sorted) answer
 /// straight from borrowed tuples under the read lock — only references
 /// move, the relation itself is never copied.
-fn handle_query(shared: &Shared, peer: &str, relation: &str, certain: bool) -> Vec<u8> {
+fn handle_query(
+    shared: &Shared,
+    peer: &str,
+    relation: &str,
+    certain: bool,
+    version: u8,
+) -> Vec<u8> {
     let cdss = shared.read_cdss();
     let collected: std::result::Result<Vec<_>, _> = if certain {
         cdss.certain_answers_iter(peer, relation)
@@ -387,7 +421,7 @@ fn handle_query(shared: &Shared, peer: &str, relation: &str, certain: bool) -> V
     match collected {
         Ok(mut tuples) => {
             tuples.sort();
-            encode_tuples_response(tuples.len(), tuples.into_iter())
+            encode_tuples_response(tuples.len(), tuples.into_iter(), version)
         }
         Err(e) => cdss_error_response(&e),
     }
@@ -507,7 +541,7 @@ fn handle_exchange(shared: &Shared, peer: Option<&str>) -> Vec<u8> {
     }
 }
 
-fn handle_stats(shared: &Shared) -> Vec<u8> {
+fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
     let cdss = shared.read_cdss();
     let peers = cdss.peer_ids();
     let relations: usize = peers
@@ -525,7 +559,10 @@ fn handle_stats(shared: &Shared) -> Vec<u8> {
         intern_hits: cdss.intern_stats().hits,
         intern_misses: cdss.intern_stats().misses,
         plan_cache_hits: cdss.plan_cache_hits(),
+        pool_values: cdss.intern_stats().distinct,
+        pool_live_values: cdss.pool_live_values() as u64,
+        pool_compactions: cdss.compactions_run(),
         requests: shared.metrics.snapshot(),
     };
-    Response::Stats(stats).to_bytes()
+    Response::Stats(stats).to_bytes_versioned(version)
 }

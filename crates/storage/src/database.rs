@@ -10,7 +10,7 @@ use std::fmt;
 
 use crate::error::StorageError;
 use crate::index::TupleId;
-use crate::pool::{PoolStats, ValuePool};
+use crate::pool::{PoolCompaction, PoolStats, ValuePool};
 use crate::relation::Relation;
 use crate::schema::{RelationName, RelationSchema};
 use crate::stats::DatabaseStats;
@@ -139,6 +139,84 @@ impl Database {
     /// Intern-pool hit/miss counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The live mask of the pool: which ids are still referenced by at
+    /// least one live row of any relation.
+    fn live_value_mask(&self) -> Vec<bool> {
+        let mut live = vec![false; self.pool.len()];
+        for rel in self.relations.values() {
+            rel.mark_live_values(&mut live);
+        }
+        live
+    }
+
+    /// Number of pool ids still referenced by live rows — the database's
+    /// *live vocabulary*. `pool_stats().distinct - live_value_count()` is
+    /// the intern memory a [`Database::compact_pool`] pass would reclaim.
+    pub fn live_value_count(&self) -> usize {
+        self.live_value_mask().iter().filter(|&&l| l).count()
+    }
+
+    /// Fraction of pool ids no live row references, in `[0, 1]`; 0 for an
+    /// empty pool (never `NaN`). The compaction policy's trigger metric.
+    pub fn dead_value_ratio(&self) -> f64 {
+        let total = self.pool.len();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.live_value_count()) as f64 / total as f64
+    }
+
+    /// Rebuild the value pool from the values live rows still reference and
+    /// re-stamp every relation's interned-row arena with the new dense ids.
+    ///
+    /// This bounds intern memory for long-running churn workloads: after
+    /// the pass, `pool_stats().distinct == live_value_count()`. Tuple
+    /// [`TupleId`]s, content hashes, the set-semantics lookup tables and
+    /// every secondary index are untouched (all key on content, not pool
+    /// ids), so value-keyed reads and provenance `(relation, TupleId)` keys
+    /// observe no change. **Every externally cached [`crate::ValueId`] is
+    /// invalidated** — callers holding compiled plans or probe keys against
+    /// this database must drop them (the CDSS layer resets its plan cache).
+    /// Each relation's content version is bumped so stamped caches notice.
+    pub fn compact_pool(&mut self) -> PoolCompaction {
+        let live = self.live_value_mask();
+        self.compact_pool_with_mask(live)
+    }
+
+    /// Like [`Database::compact_pool`], but only when the pool holds at
+    /// least `min_len` values **and** at least `min_dead_ratio` of its ids
+    /// are dead — the policy check and the pass share a single live scan.
+    /// Returns `None` when the thresholds decline.
+    pub fn compact_pool_if(
+        &mut self,
+        min_len: usize,
+        min_dead_ratio: f64,
+    ) -> Option<PoolCompaction> {
+        let total = self.pool.len();
+        if total == 0 || total < min_len {
+            return None;
+        }
+        let live = self.live_value_mask();
+        let live_count = live.iter().filter(|&&l| l).count();
+        let dead_ratio = (total - live_count) as f64 / total as f64;
+        if dead_ratio < min_dead_ratio {
+            return None;
+        }
+        Some(self.compact_pool_with_mask(live))
+    }
+
+    fn compact_pool_with_mask(&mut self, live: Vec<bool>) -> PoolCompaction {
+        let before = self.pool.len();
+        let remap = self.pool.compact(&live);
+        for rel in self.relations.values_mut() {
+            rel.restamp_rows(&remap);
+        }
+        PoolCompaction {
+            before,
+            after: self.pool.len(),
+        }
     }
 
     /// Split borrow: mutable access to one relation *and* the shared pool —
@@ -312,6 +390,55 @@ mod tests {
         db.insert("A", int_tuple(&[2])).unwrap();
         assert_eq!(snap.relation("A").unwrap().len(), 1);
         assert_eq!(db.relation("A").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn compact_pool_reclaims_dead_ids_across_relations() {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("A", &["x", "y"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("B", &["x"]))
+            .unwrap();
+        // Churn: every round inserts distinct values and deletes the
+        // previous round's, so the live set stays small while the pool
+        // grows without bound.
+        for round in 0i64..50 {
+            db.insert("A", int_tuple(&[round, 1000 + round])).unwrap();
+            db.insert("B", int_tuple(&[round])).unwrap();
+            if round > 0 {
+                db.remove("A", &int_tuple(&[round - 1, 1000 + round - 1]))
+                    .unwrap();
+                db.remove("B", &int_tuple(&[round - 1])).unwrap();
+            }
+        }
+        assert_eq!(db.total_tuples(), 2);
+        assert_eq!(db.pool_stats().distinct, 100);
+        // Live vocabulary: {49, 1049} (49 shared between A and B).
+        assert_eq!(db.live_value_count(), 2);
+        assert!(db.dead_value_ratio() > 0.9);
+
+        let before = db.snapshot();
+        let report = db.compact_pool();
+        assert_eq!((report.before, report.after), (100, 2));
+        assert_eq!(report.reclaimed(), 98);
+        assert_eq!(db.pool_stats().distinct, 2);
+        assert_eq!(db.pool_stats().compactions, 1);
+        assert_eq!(db.dead_value_ratio(), 0.0);
+        // Observationally identical.
+        assert_eq!(db, before);
+        assert!(db.contains("A", &int_tuple(&[49, 1049])).unwrap());
+        // The store keeps working: inserts, dedup, removal.
+        assert!(db.insert("B", int_tuple(&[7])).unwrap());
+        assert!(!db.insert("B", int_tuple(&[7])).unwrap());
+        assert!(db.remove("B", &int_tuple(&[7])).unwrap());
+    }
+
+    #[test]
+    fn dead_value_ratio_of_empty_pool_is_zero() {
+        let db = Database::new();
+        assert_eq!(db.dead_value_ratio(), 0.0);
+        assert!(!db.dead_value_ratio().is_nan());
+        assert_eq!(db.live_value_count(), 0);
     }
 
     #[test]

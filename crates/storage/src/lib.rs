@@ -55,7 +55,7 @@ pub use editlog::{EditLog, EditOp, EditOpKind};
 pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, IdBuildHasher};
 pub use index::{HashIndex, IdVec, TupleId};
-pub use pool::{PoolStats, ValueId, ValuePool};
+pub use pool::{PoolCompaction, PoolStats, ValueId, ValuePool};
 pub use relation::{Relation, RowIter, SelectEqRef, TupleIdIter, TupleIter};
 pub use schema::{AttributeName, DataType, RelationName, RelationSchema};
 pub use stats::{DatabaseStats, RelationStats};

@@ -10,12 +10,19 @@
 //! dictionaries) then moves 4-byte ids instead of enum payloads, and
 //! equality between pooled values is a single integer compare.
 //!
-//! The pool is **append-only**: ids stay valid for the lifetime of the
-//! owning [`crate::Database`], so compiled join plans and cached probe keys
-//! never dangle. The per-value content hash ([`value_hash`]) is computed
-//! once at intern time and cached in a dense side array, which is what makes
-//! id-keyed row hashing ([`combine_hashes`]) an array walk instead of an
-//! enum dispatch.
+//! The pool is **append-only between compactions**: ids stay valid until
+//! the owner explicitly runs [`ValuePool::compact`], so compiled join plans
+//! and cached probe keys never dangle mid-evaluation. Because a workload
+//! that churns *distinct* values (the continuous update-exchange setting)
+//! would otherwise grow the pool without bound even while every relation
+//! stays small, the owning [`crate::Database`] periodically rebuilds the
+//! pool from the values its live rows still reference and re-stamps every
+//! row with the new dense ids (see [`crate::Database::compact_pool`]) —
+//! anything that cached old ids (compiled plans, probe keys) must be
+//! invalidated by the caller at that point. The per-value content hash
+//! ([`value_hash`]) is computed once at intern time and cached in a dense
+//! side array, which is what makes id-keyed row hashing
+//! ([`combine_hashes`]) an array walk instead of an enum dispatch.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -87,10 +94,12 @@ pub struct PoolStats {
     pub misses: u64,
     /// Number of distinct values pooled.
     pub distinct: u64,
+    /// Number of [`ValuePool::compact`] passes run over the pool's lifetime.
+    pub compactions: u64,
 }
 
 impl PoolStats {
-    /// Hit rate in `[0, 1]`; 0 when nothing was interned yet.
+    /// Hit rate in `[0, 1]`; 0 when nothing was interned yet (never `NaN`).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -98,6 +107,23 @@ impl PoolStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// What one [`ValuePool::compact`] pass (or a whole-database
+/// [`crate::Database::compact_pool`]) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCompaction {
+    /// Distinct values pooled before the pass.
+    pub before: usize,
+    /// Distinct values pooled after the pass (the live vocabulary).
+    pub after: usize,
+}
+
+impl PoolCompaction {
+    /// Dead ids reclaimed by the pass.
+    pub fn reclaimed(&self) -> usize {
+        self.before.saturating_sub(self.after)
     }
 }
 
@@ -112,6 +138,7 @@ pub struct ValuePool {
     by_hash: HashMap<u64, IdVec32, IdBuildHasher>,
     hits: u64,
     misses: u64,
+    compactions: u64,
 }
 
 impl ValuePool {
@@ -136,6 +163,7 @@ impl ValuePool {
             hits: self.hits,
             misses: self.misses,
             distinct: self.values.len() as u64,
+            compactions: self.compactions,
         }
     }
 
@@ -218,6 +246,46 @@ impl ValuePool {
         self.by_hash.entry(hash).or_default().push(id);
         ValueId(id)
     }
+
+    /// Rebuild the pool keeping only the values whose old id is marked in
+    /// `live` (indexed by old id; `live.len()` must equal the pool length).
+    ///
+    /// Surviving values keep their **relative id order**, so compaction is
+    /// deterministic: equal databases compact to equal pools. Returns the
+    /// remap table `old id index → new id` ([`ValueId::NONE`] for dropped
+    /// values); the caller is responsible for re-stamping every id it
+    /// stored (relation row arenas) and invalidating every id it cached
+    /// (compiled plans, probe keys) — a stale id after compaction aliases a
+    /// *different live value*, not garbage, so nothing would crash.
+    ///
+    /// Hit/miss counters are cumulative across compactions; the compaction
+    /// counter increments.
+    pub fn compact(&mut self, live: &[bool]) -> Vec<ValueId> {
+        assert_eq!(
+            live.len(),
+            self.values.len(),
+            "live mask must cover the whole pool"
+        );
+        self.compactions += 1;
+        let mut remap = vec![ValueId::NONE; self.values.len()];
+        let mut values = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+        let mut hashes = Vec::with_capacity(values.capacity());
+        let mut by_hash: HashMap<u64, IdVec32, IdBuildHasher> = HashMap::default();
+        for (old, (v, h)) in self.values.drain(..).zip(self.hashes.drain(..)).enumerate() {
+            if !live[old] {
+                continue;
+            }
+            let id = u32::try_from(values.len()).expect("compacted pool fits u32 addressing");
+            remap[old] = ValueId(id);
+            by_hash.entry(h).or_default().push(id);
+            values.push(v);
+            hashes.push(h);
+        }
+        self.values = values;
+        self.hashes = hashes;
+        self.by_hash = by_hash;
+        remap
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +345,93 @@ mod tests {
     fn none_sentinel_is_reserved() {
         assert!(ValueId::NONE.is_none());
         assert!(!ValueId(0).is_none());
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_without_lookups() {
+        let s = PoolStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(!s.hit_rate().is_nan());
+        // And the populated case still divides.
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            distinct: 1,
+            compactions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_drops_dead_ids_and_remaps_survivors() {
+        let mut p = ValuePool::new();
+        let a = p.intern(&Value::int(1));
+        let b = p.intern(&Value::text("dead"));
+        let c = p.intern(&Value::int(3));
+        let mut live = vec![true; p.len()];
+        live[b.index()] = false;
+        let remap = p.compact(&live);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.stats().compactions, 1);
+        // Survivors keep relative order and resolve to the same values.
+        let a2 = remap[a.index()];
+        let c2 = remap[c.index()];
+        assert_eq!((a2, c2), (ValueId(0), ValueId(1)));
+        assert!(remap[b.index()].is_none());
+        assert_eq!(p.value(a2), &Value::int(1));
+        assert_eq!(p.value(c2), &Value::int(3));
+        // Cached hashes survived the move.
+        assert_eq!(p.hash_of(a2), value_hash(&Value::int(1)));
+        // The dead value is gone from the intern table; re-interning admits
+        // it under a fresh dense id at the end.
+        assert_eq!(p.lookup(&Value::text("dead")), None);
+        let b2 = p.intern(&Value::text("dead"));
+        assert_eq!(b2, ValueId(2));
+        // Survivors are found without re-admission.
+        assert_eq!(p.lookup(&Value::int(3)), Some(c2));
+        assert_eq!(p.intern(&Value::int(1)), a2);
+    }
+
+    #[test]
+    fn compact_is_deterministic_in_content() {
+        let build = |order: &[i64]| {
+            let mut p = ValuePool::new();
+            for &i in order {
+                p.intern(&Value::int(i));
+            }
+            // Kill the even values.
+            let live: Vec<bool> = (0..p.len())
+                .map(|i| matches!(p.value(ValueId(i as u32)), Value::Int(v) if v % 2 == 1))
+                .collect();
+            p.compact(&live);
+            (0..p.len())
+                .map(|i| p.value(ValueId(i as u32)).clone())
+                .collect::<Vec<_>>()
+        };
+        // Same insertion order → identical compacted pools.
+        assert_eq!(build(&[5, 2, 3, 8, 1]), build(&[5, 2, 3, 8, 1]));
+        assert_eq!(
+            build(&[5, 2, 3, 8, 1]),
+            vec![Value::int(5), Value::int(3), Value::int(1)]
+        );
+    }
+
+    #[test]
+    fn compact_of_fully_live_pool_is_identity() {
+        let mut p = ValuePool::new();
+        let ids: Vec<ValueId> = (0..10).map(|i| p.intern(&Value::int(i))).collect();
+        let remap = p.compact(&vec![true; p.len()]);
+        for id in ids {
+            assert_eq!(remap[id.index()], id);
+        }
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "live mask must cover")]
+    fn compact_rejects_short_mask() {
+        let mut p = ValuePool::new();
+        p.intern(&Value::int(1));
+        p.compact(&[]);
     }
 }

@@ -507,6 +507,45 @@ impl Relation {
         Ok(removed)
     }
 
+    /// Mark every [`ValueId`] referenced by a live row of this relation in
+    /// `live` (indexed by id). Part of the pool-compaction protocol: the
+    /// owning [`crate::Database`] folds the marks of all its relations
+    /// before rebuilding the pool.
+    pub(crate) fn mark_live_values(&self, live: &mut [bool]) {
+        for (_, row) in self.iter_rows() {
+            for id in row {
+                live[id.index()] = true;
+            }
+        }
+    }
+
+    /// Rewrite every live row through a pool-compaction remap table (old id
+    /// → new id; see [`ValuePool::compact`]). Dead slots are reset to
+    /// [`ValueId::NONE`] so a stale pre-compaction id can never alias a
+    /// post-compaction value, and the content version is bumped so external
+    /// caches stamped against this relation (throwaway join indexes) cannot
+    /// observe pre-compaction ids.
+    ///
+    /// The set-semantics lookup table and every secondary [`HashIndex`] key
+    /// on **content hashes**, which compaction does not change, and bucket
+    /// [`TupleId`]s, which stay put — so neither needs rebuilding.
+    pub(crate) fn restamp_rows(&mut self, remap: &[ValueId]) {
+        let arity = self.schema.arity();
+        for (i, slot) in self.slab.iter().enumerate() {
+            let row = &mut self.rows[i * arity..(i + 1) * arity];
+            if slot.is_some() {
+                for id in row {
+                    let new = remap[id.index()];
+                    debug_assert!(!new.is_none(), "live row references a dead pool id");
+                    *id = new;
+                }
+            } else {
+                row.fill(ValueId::NONE);
+            }
+        }
+        self.version += 1;
+    }
+
     /// The tuples of this relation that do not contain labeled nulls,
     /// i.e. the certain-answer projection of the instance (paper §2.1).
     pub fn certain_tuples(&self) -> Vec<Tuple> {
@@ -899,6 +938,44 @@ mod tests {
         assert_eq!(a, b);
         b.insert(&mut pb, int_tuple(&[3, 3])).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn restamp_preserves_rows_and_probes() {
+        let (mut r, mut p) = rel();
+        r.insert(&mut p, int_tuple(&[1, 10])).unwrap();
+        r.insert(&mut p, int_tuple(&[2, 10])).unwrap();
+        r.insert(&mut p, int_tuple(&[3, 30])).unwrap();
+        r.ensure_index(&[1]).unwrap();
+        // Delete one tuple, leaving its values (3, 30) dead in the pool,
+        // and leave a dead slab slot behind.
+        r.remove(&int_tuple(&[3, 30])).unwrap();
+        let version_before = r.version();
+
+        let mut live = vec![false; p.len()];
+        r.mark_live_values(&mut live);
+        assert_eq!(live.iter().filter(|&&l| l).count(), 3, "1, 2, 10 live");
+        let remap = p.compact(&live);
+        r.restamp_rows(&remap);
+
+        assert!(r.version() > version_before);
+        // Rows resolve to the same values through the compacted pool.
+        for (tid, row) in r.iter_rows() {
+            let t = r.tuple_by_id(tid);
+            for (vid, v) in row.iter().zip(t.values()) {
+                assert_eq!(p.value(*vid), v);
+            }
+        }
+        // Value- and id-keyed membership still agree.
+        assert!(r.contains(&int_tuple(&[1, 10])));
+        let row = [p.intern(&Value::int(2)), p.intern(&Value::int(10))];
+        assert!(r.contains_row_hashed(p.row_hash(&row), &row));
+        // Index probes (content-hashed) still answer.
+        assert_eq!(r.select_eq_ref(&[1], &[Value::int(10)]).count(), 2);
+        // New inserts intern into the compacted pool and dedup correctly.
+        assert!(!r.insert(&mut p, int_tuple(&[1, 10])).unwrap());
+        assert!(r.insert(&mut p, int_tuple(&[3, 30])).unwrap());
+        assert_eq!(r.len(), 3);
     }
 
     #[test]

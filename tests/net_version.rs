@@ -1,0 +1,132 @@
+//! Wire-version negotiation and remote pool-compaction tests: clients
+//! pinned at every shipped frame version (1, 2, and the current 3) talk
+//! to the same server in one session and observe identical answers — the
+//! responder echoes each requester's frame version and encodes its
+//! payloads in that version's vocabulary.
+
+use std::time::Duration;
+
+use orchestra_net::scenario::example_scenario;
+use orchestra_net::{serve, EditBatch, NetClient};
+use orchestra_storage::tuple::int_tuple;
+
+fn connect(addr: std::net::SocketAddr, version: u8) -> NetClient {
+    let mut client = NetClient::connect_with_retry(addr, 20, Duration::from_millis(50)).unwrap();
+    client.set_wire_version(version).unwrap();
+    client
+}
+
+#[test]
+fn all_wire_versions_interoperate_on_one_server() {
+    let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut old = connect(addr, 1);
+    let mut mid = connect(addr, 2);
+    let mut new = connect(addr, 3);
+    assert_eq!(old.wire_version(), 1);
+
+    // The legacy client publishes (plain-tuple tag in a v1 frame) and the
+    // current client publishes pooled; one exchange folds both in.
+    old.publish_edits(
+        EditBatch::for_peer("PGUS").insert("G", vec![int_tuple(&[1, 2, 3]), int_tuple(&[3, 5, 2])]),
+    )
+    .unwrap();
+    new.publish_edits(EditBatch::for_peer("PBioSQL").insert("B", vec![int_tuple(&[3, 5])]))
+        .unwrap();
+    let summary = new.update_exchange(None).unwrap();
+    assert_eq!(summary.batches_applied, 2);
+
+    // All clients read identical instances, through different Tuples
+    // layouts on the wire (plain at v1, pooled at v2/v3).
+    for (peer, rel) in [("PGUS", "G"), ("PBioSQL", "B"), ("PuBio", "U")] {
+        let via_old = old.query_local(peer, rel).unwrap();
+        let via_new = new.query_local(peer, rel).unwrap();
+        assert_eq!(via_old, via_new, "{peer}/{rel} differs across versions");
+        assert_eq!(via_old, mid.query_local(peer, rel).unwrap());
+        assert_eq!(
+            old.query_certain(peer, rel).unwrap(),
+            new.query_certain(peer, rel).unwrap()
+        );
+    }
+    assert!(!old.query_local("PBioSQL", "B").unwrap().is_empty());
+
+    // Provenance and trust policies are version-independent payloads, but
+    // must still flow through the echoed v1 framing.
+    let b = old.query_local("PBioSQL", "B").unwrap();
+    let prov = old.provenance_of("B", b[0].clone()).unwrap();
+    assert_eq!(prov, new.provenance_of("B", b[0].clone()).unwrap());
+    assert_eq!(
+        old.trust_policy("PGUS").unwrap(),
+        new.trust_policy("PGUS").unwrap()
+    );
+
+    // Stats: each version decodes its own field layout — v1 predates the
+    // intern counters, v2 the pool counters — with the shared fields
+    // agreeing everywhere.
+    let s_old = old.stats().unwrap();
+    let s_mid = mid.stats().unwrap();
+    let s_new = new.stats().unwrap();
+    assert_eq!(s_old.peers, s_new.peers);
+    assert_eq!(s_old.total_tuples, s_new.total_tuples);
+    assert_eq!(s_mid.total_tuples, s_new.total_tuples);
+    assert_eq!(s_old.intern_hits, 0, "v1 stats carry no intern counters");
+    assert!(s_mid.intern_misses > 0, "v2 stats carry intern counters");
+    assert_eq!(s_mid.pool_values, 0, "v2 stats carry no pool counters");
+    assert!(s_new.intern_misses > 0);
+    assert!(s_new.pool_values > 0, "v3 stats expose the pool size");
+    assert!(s_new.pool_live_values > 0);
+
+    handle.stop_and_join();
+}
+
+#[test]
+fn remote_compact_bounds_a_churning_server_pool() {
+    let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+    let mut client =
+        NetClient::connect_with_retry(handle.addr(), 20, Duration::from_millis(50)).unwrap();
+
+    // Churn distinct values: every round inserts a fresh G row and deletes
+    // the previous one, growing the pool while the store stays small.
+    for r in 0..30i64 {
+        let mut batch =
+            EditBatch::for_peer("PGUS").insert("G", vec![int_tuple(&[r, 10_000 + r, 20_000 + r])]);
+        if r > 0 {
+            batch = batch.delete(
+                "G",
+                vec![int_tuple(&[r - 1, 10_000 + r - 1, 20_000 + r - 1])],
+            );
+        }
+        client.publish_edits(batch).unwrap();
+        client.update_exchange(Some("PGUS")).unwrap();
+    }
+
+    let before = client.stats().unwrap();
+    assert!(
+        before.pool_values > 2 * before.pool_live_values,
+        "churn left a mostly-dead pool ({} pooled, {} live)",
+        before.pool_values,
+        before.pool_live_values
+    );
+    let answers_before = client.query_local("PBioSQL", "B").unwrap();
+
+    let (compact_before, compact_after) = client.compact().unwrap();
+    assert_eq!(compact_before, before.pool_values);
+    assert_eq!(compact_after, before.pool_live_values);
+
+    let after = client.stats().unwrap();
+    assert_eq!(after.pool_compactions, 1);
+    assert_eq!(after.pool_values, before.pool_live_values);
+    // Observable state is untouched, and the server keeps exchanging.
+    assert_eq!(client.query_local("PBioSQL", "B").unwrap(), answers_before);
+    client
+        .publish_edits(EditBatch::for_peer("PGUS").insert("G", vec![int_tuple(&[777, 8, 9])]))
+        .unwrap();
+    client.update_exchange(Some("PGUS")).unwrap();
+    assert!(client
+        .query_local("PBioSQL", "B")
+        .unwrap()
+        .contains(&int_tuple(&[777, 9])));
+
+    handle.stop_and_join();
+}
