@@ -9,6 +9,7 @@
 //! The output of this binary is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
 
+use orchestra_bench::netlat::{latency_rows, p99_gate, run_net_latency};
 use orchestra_bench::snapshot::{
     check_against_baseline, entry_json, merge_entry, run_pool_churn, run_snapshot,
 };
@@ -74,6 +75,20 @@ fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: 
         return 1;
     }
     println!("pool-growth gate passed: intern memory is bounded after compaction");
+
+    // Snapshot-read latency gate: with lock-free snapshot reads, QueryLocal
+    // p99 while a bulk exchange runs must stay within a small multiple of
+    // the idle p99 (locked reads stall for the whole exchange instead).
+    let lat = run_net_latency(scale, false);
+    println!(
+        "net-latency gate: idle p99 {:?} -> {:?} under exchange (exchange took {:?}, {} samples)",
+        lat.idle.p99, lat.exchanging.p99, lat.exchange_wall, lat.exchanging.count
+    );
+    if let Err(e) = p99_gate(&lat) {
+        eprintln!("NET LATENCY: {e}");
+        return 1;
+    }
+    println!("net-latency gate passed: snapshot reads don't stall behind exchanges");
     perf
 }
 
@@ -84,6 +99,10 @@ fn snapshot_mode(label: &str, out_path: &str, scale: Scale) -> i32 {
     println!("snapshot mode (scale = {}, label = {label})", scale.0);
     let mut rows = run_snapshot(scale);
     rows.push(run_pool_churn(scale).row);
+    // Query latency under a concurrent exchange, in both read modes: the
+    // snapshot rows feed the CI gate, the locked rows record the contrast.
+    rows.extend(latency_rows(&run_net_latency(scale, false)));
+    rows.extend(latency_rows(&run_net_latency(scale, true)));
     println!(
         "{:<36} {:>14} {:>10} {:>12}",
         "workload", "median_ns", "ops", "ns/op"

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod netlat;
 pub mod snapshot;
 
 use std::time::Instant;

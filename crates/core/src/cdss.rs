@@ -4,19 +4,22 @@
 //! [`crate::exchange`].
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use orchestra_datalog::rule::Rule;
 use orchestra_datalog::{EngineKind, Evaluator, PlanCache};
 use orchestra_mappings::MappingSystem;
 use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
 use orchestra_storage::schema::{internal_name, InternalRole};
-use orchestra_storage::{Database, DatabaseStats, EditLog, PoolCompaction, PoolStats, Tuple};
+use orchestra_storage::{
+    Database, DatabaseStats, EditLog, PoolCompaction, PoolStats, RelationSource, Tuple,
+};
 
 use crate::error::CdssError;
 use crate::peer::{Peer, PeerId};
 use crate::report::PublishReport;
 use crate::trust::TrustPolicy;
+use crate::view::{SnapshotMeta, SnapshotReader, SnapshotState, SnapshotView};
 use crate::Result;
 
 /// The net, normalised changes produced by publishing a peer's edit logs.
@@ -85,7 +88,7 @@ impl CompactionPolicy {
 pub struct Cdss {
     peers: BTreeMap<PeerId, Peer>,
     relation_owner: BTreeMap<String, PeerId>,
-    system: MappingSystem,
+    system: Arc<MappingSystem>,
     policies: BTreeMap<PeerId, TrustPolicy>,
     engine: EngineKind,
     pub(crate) db: Database,
@@ -123,6 +126,10 @@ pub struct Cdss {
     /// O(rows) scan. Behind a mutex so the read-side server path can
     /// update it.
     live_scan: Mutex<Option<((u64, usize), usize)>>,
+    /// Snapshot-isolated read state: the copy-on-write snapshot store plus
+    /// the lock-free cell readers fetch the latest [`SnapshotView`] from.
+    /// Re-published at every commit point (see [`Cdss::publish_snapshot`]).
+    snapshots: SnapshotState,
 }
 
 impl Cdss {
@@ -134,7 +141,13 @@ impl Cdss {
         engine: EngineKind,
         db: Database,
     ) -> Self {
-        Cdss {
+        let system = Arc::new(system);
+        let snapshots = SnapshotState::new(SnapshotMeta {
+            system: Arc::clone(&system),
+            peers: peers.clone(),
+            relation_owner: relation_owner.clone(),
+        });
+        let cdss = Cdss {
             peers,
             relation_owner,
             system,
@@ -149,7 +162,60 @@ impl Cdss {
             compaction: CompactionPolicy::default(),
             compactions_run: 0,
             live_scan: Mutex::new(None),
-        }
+            snapshots,
+        };
+        // Initial epoch: the freshly registered (empty) relations, so
+        // snapshot readers are valid before the first exchange.
+        cdss.publish_snapshot();
+        cdss
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot-isolated reads
+    // ------------------------------------------------------------------
+
+    /// Publish the current database state as an immutable snapshot view.
+    /// Called at every commit point — after an update exchange commits, a
+    /// bulk apply/recomputation finishes, a pool compaction remaps ids, or
+    /// a checkpoint lands — and never mid-exchange, so views are always
+    /// whole-epoch instances. O(changed relations): unchanged relations
+    /// are structurally shared with the previous snapshot.
+    pub(crate) fn publish_snapshot(&self) {
+        self.snapshots.publish(
+            &self.db,
+            self.epoch,
+            self.plans.hit_count(),
+            self.compactions_run,
+        );
+    }
+
+    /// The latest snapshot view: an immutable, whole-epoch read view
+    /// offering the same query/provenance APIs as the live CDSS. Refreshes
+    /// first, so in-process callers always see their own completed edits
+    /// (a no-op when nothing changed since the last publication).
+    pub fn snapshot(&self) -> Arc<SnapshotView> {
+        self.publish_snapshot();
+        self.snapshots.latest()
+    }
+
+    /// A cloneable, lock-free handle that reader threads use to fetch the
+    /// latest snapshot view without holding any reference to the CDSS.
+    /// Handles track the eager publication points (exchange commits,
+    /// checkpoints, compactions, recovery) — the regime a server lives in.
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        self.publish_snapshot();
+        self.snapshots.reader()
+    }
+
+    /// The epoch of the latest published snapshot.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshots.latest().epoch()
+    }
+
+    /// Number of content-changing snapshot publishes over this CDSS's
+    /// lifetime.
+    pub fn snapshots_published(&self) -> u64 {
+        self.snapshots.published()
     }
 
     // ------------------------------------------------------------------
@@ -278,6 +344,12 @@ impl Cdss {
         let report = self.db.compact_pool();
         self.plans.invalidate_plans();
         self.compactions_run += 1;
+        // Compaction restamps every rewritten relation (bumping its content
+        // version), so this republish re-clones them: snapshot readers never
+        // observe post-compaction ids through pre-compaction relations or
+        // vice versa. Old views keep their pre-compaction clones and stay
+        // self-consistent.
+        self.publish_snapshot();
         report
     }
 
@@ -292,6 +364,7 @@ impl Cdss {
             .compact_pool_if(self.compaction.min_pool_len, self.compaction.min_dead_ratio)?;
         self.plans.invalidate_plans();
         self.compactions_run += 1;
+        self.publish_snapshot();
         Some(report)
     }
 
@@ -769,13 +842,17 @@ fn ensure_node(
 /// input/output tables. Nodes are registered through the graph's
 /// `(RelId, TupleId)` stored-tuple index — tuple ids come for free from the
 /// relations' id iterators, so maintenance probes integers, not payloads.
-pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut ProvenanceGraph) {
+pub(crate) fn rebuild_graph(
+    system: &MappingSystem,
+    db: &impl RelationSource,
+    graph: &mut ProvenanceGraph,
+) {
     *graph = ProvenanceGraph::new();
 
     // Base data: local contributions carry their own provenance tokens.
     for logical in system.logical_relations() {
         let rl = internal_name(&logical, InternalRole::LocalContributions);
-        if let Ok(rel) = db.relation(&rl) {
+        if let Some(rel) = db.lookup(&rl) {
             for (tid, t) in rel.iter_ids() {
                 graph.mark_base_stored(&rl, tid, t);
             }
@@ -789,16 +866,16 @@ pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut P
         let src_rels: Vec<_> = compiled
             .sources
             .iter()
-            .map(|t| db.relation(&t.relation).ok())
+            .map(|t| db.lookup(&t.relation))
             .collect();
         for (table_idx, table) in compiled.provenance.iter().enumerate() {
-            let Ok(rel) = db.relation(&table.relation) else {
+            let Some(rel) = db.lookup(&table.relation) else {
                 continue;
             };
             let tgt_rels: Vec<_> = table
                 .target_indexes
                 .iter()
-                .map(|&ti| db.relation(&compiled.targets[ti].relation).ok())
+                .map(|&ti| db.lookup(&compiled.targets[ti].relation))
                 .collect();
             for row in rel.iter() {
                 let src_nodes: Vec<_> = compiled
@@ -821,13 +898,13 @@ pub(crate) fn rebuild_graph(system: &MappingSystem, db: &Database, graph: &mut P
         let ro = internal_name(&logical, InternalRole::Output);
         let rl = internal_name(&logical, InternalRole::LocalContributions);
         let ri = internal_name(&logical, InternalRole::Input);
-        let Ok(out_rel) = db.relation(&ro) else {
+        let Some(out_rel) = db.lookup(&ro) else {
             continue;
         };
         let local = local_edge(&logical);
         let import = import_edge(&logical);
-        let rl_rel = db.relation(&rl).ok();
-        let ri_rel = db.relation(&ri).ok();
+        let rl_rel = db.lookup(&rl);
+        let ri_rel = db.lookup(&ri);
         for (tid, t) in out_rel.iter_ids() {
             if let Some(src_tid) = rl_rel.and_then(|r| r.id_of(t)) {
                 let src = graph.ensure_stored_tuple(&rl, src_tid, t);

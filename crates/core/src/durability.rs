@@ -369,6 +369,10 @@ impl Cdss {
         };
         let h = self.persistence.as_mut().expect("checked above");
         h.store.checkpoint(snapshot).map_err(CdssError::Persist)?;
+        // Checkpoints follow the direct batch APIs (which do publish their
+        // data) but may also follow a compaction; refresh the view so its
+        // counters (durable epoch, compactions) are current.
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -442,6 +446,10 @@ impl Cdss {
             let (_system, _policies, _owner, _db, graph, _plans, _engine) = cdss.split_for_eval();
             graph.invalidate();
         }
+        // The build published an empty view before `cdss.db` was swapped in;
+        // re-publish so readers of the recovered CDSS start at the restored
+        // state.
+        cdss.publish_snapshot();
 
         // Replay the WAL past the snapshot watermark. Recording is off (no
         // persistence handle yet), so replayed exchanges do not re-append.
@@ -465,6 +473,9 @@ impl Cdss {
             cdss.epoch = record.epoch;
             report.replayed_epochs += 1;
         }
+        // Replayed exchanges published as they went, but the epoch watermark
+        // is restored after each one; refresh the view's counters.
+        cdss.publish_snapshot();
 
         cdss.persistence = Some(PersistHandle { store });
         Ok((cdss, report))

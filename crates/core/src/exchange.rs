@@ -64,52 +64,57 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::FullRecomputation);
 
-        let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
+        {
+            let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
 
-        for logical in system.logical_relations() {
-            db.relation_mut(&internal_name(&logical, InternalRole::Input))?
-                .clear();
-            db.relation_mut(&internal_name(&logical, InternalRole::Output))?
-                .clear();
-        }
-        for p in system.provenance_relations() {
-            db.relation_mut(&p)?.clear();
-        }
+            for logical in system.logical_relations() {
+                db.relation_mut(&internal_name(&logical, InternalRole::Input))?
+                    .clear();
+                db.relation_mut(&internal_name(&logical, InternalRole::Output))?
+                    .clear();
+            }
+            for p in system.provenance_relations() {
+                db.relation_mut(&p)?.clear();
+            }
 
-        // When every policy is unconditional trust-all (the common case) the
-        // evaluator runs with no per-tuple filter at all.
-        let filter = trust_filter(system, policies, owner);
-        let active: Option<&DerivationFilter<'_>> = if all_trust_all(policies) {
-            None
-        } else {
-            Some(&filter)
-        };
-        let mut eval = Evaluator::new(engine);
-        let t_eval = Instant::now();
-        report.eval_stats = eval.run_filtered_cached(plans, &system.program, db, active)?;
-        let eval_elapsed = t_eval.elapsed();
+            // When every policy is unconditional trust-all (the common case)
+            // the evaluator runs with no per-tuple filter at all.
+            let filter = trust_filter(system, policies, owner);
+            let active: Option<&DerivationFilter<'_>> = if all_trust_all(policies) {
+                None
+            } else {
+                Some(&filter)
+            };
+            let mut eval = Evaluator::new(engine);
+            let t_eval = Instant::now();
+            report.eval_stats = eval.run_filtered_cached(plans, &system.program, db, active)?;
+            let eval_elapsed = t_eval.elapsed();
 
-        for logical in system.logical_relations() {
-            for role in [InternalRole::Input, InternalRole::Output] {
-                let name = internal_name(&logical, role);
-                report.add_inserted(&name, db.relation(&name)?.len());
+            for logical in system.logical_relations() {
+                for role in [InternalRole::Input, InternalRole::Output] {
+                    let name = internal_name(&logical, role);
+                    report.add_inserted(&name, db.relation(&name)?.len());
+                }
+            }
+            for p in system.provenance_relations() {
+                report.add_inserted(&p, db.relation(&p)?.len());
+            }
+
+            // The graph is stale relative to the recomputed store; rebuild
+            // it lazily on the next provenance read instead of inline here.
+            graph.invalidate();
+            if std::env::var_os("ORCHESTRA_TRACE_PHASES").is_some() {
+                eprintln!(
+                    "recompute_all: eval={:?} total={:?}",
+                    eval_elapsed,
+                    start.elapsed()
+                );
             }
         }
-        for p in system.provenance_relations() {
-            report.add_inserted(&p, db.relation(&p)?.len());
-        }
-
-        // The graph is stale relative to the recomputed store; rebuild it
-        // lazily on the next provenance read instead of inline here.
-        graph.invalidate();
-        if std::env::var_os("ORCHESTRA_TRACE_PHASES").is_some() {
-            eprintln!(
-                "recompute_all: eval={:?} total={:?}",
-                eval_elapsed,
-                start.elapsed()
-            );
-        }
         report.duration = start.elapsed();
+        // Publication is deferred like the incremental paths': recompute is
+        // not reachable over the wire, and `Cdss::snapshot` refreshes on
+        // demand for in-process readers.
         Ok(report)
     }
 
@@ -118,6 +123,12 @@ impl Cdss {
     /// added to the owning peers' local-contribution tables and pushed
     /// through the delta rules (paper §4.2), with trust conditions applied
     /// during derivation.
+    ///
+    /// No eager snapshot publication happens here: the next
+    /// [`Cdss::snapshot`] call (or exchange/checkpoint commit) picks the
+    /// change up, so the hot incremental path pays nothing for idle
+    /// snapshot readers — and `update_exchange` composes this with
+    /// deletion propagation before publishing one whole-epoch snapshot.
     pub fn apply_insertions_incremental(
         &mut self,
         insertions: &BTreeMap<String, Vec<Tuple>>,
@@ -182,6 +193,8 @@ impl Cdss {
         deletions: &BTreeMap<String, Vec<Tuple>>,
     ) -> Result<ExchangeReport> {
         let (retractions, rejections) = self.classify_deletions(deletions)?;
+        // Like insertions, deletions defer snapshot publication to the next
+        // `snapshot()` call or exchange/checkpoint commit.
         self.propagate_deletions_incremental(&retractions, &rejections)
     }
 
@@ -450,12 +463,22 @@ impl Cdss {
         let result = self.publish(peer).and_then(|(publish_report, changes)| {
             Ok((publish_report, self.apply_published_changes(&changes)?))
         });
-        if result.is_err() {
-            if let Some(logs) = saved_pending {
-                self.restore_pending_logs(peer, logs);
+        match result {
+            Ok(ok) => {
+                // The exchange committed: this is the one publication point
+                // for the whole deletion+insertion round, so snapshot
+                // readers see pre- or post-exchange epochs, never a
+                // mid-propagation mix.
+                self.publish_snapshot();
+                Ok(ok)
+            }
+            Err(err) => {
+                if let Some(logs) = saved_pending {
+                    self.restore_pending_logs(peer, logs);
+                }
+                Err(err)
             }
         }
-        result
     }
 
     /// Perform an update exchange for every peer, in peer-id order.

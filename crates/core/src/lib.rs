@@ -47,6 +47,7 @@ pub mod exchange;
 pub mod peer;
 pub mod report;
 pub mod trust;
+pub mod view;
 
 pub use builder::CdssBuilder;
 pub use cdss::{Cdss, CompactionPolicy};
@@ -55,6 +56,7 @@ pub use error::CdssError;
 pub use peer::{Peer, PeerId};
 pub use report::{ExchangeReport, PublishReport};
 pub use trust::{CmpOp, Predicate, TrustPolicy};
+pub use view::{SnapshotReader, SnapshotView};
 
 /// Convenience result alias for CDSS operations.
 pub type Result<T> = std::result::Result<T, CdssError>;

@@ -15,10 +15,12 @@
 //!   trust-policy get/set, `Stats`, `Checkpoint`, `Shutdown`.
 //! * [`server`] — a **threaded server** (the `orchestrad` binary):
 //!   thread-per-connection over `std::net::TcpListener`, one shared
-//!   [`orchestra_core::Cdss`] behind an `RwLock`, an edit-ingestion queue
-//!   that admits concurrent `PublishEdits` without the write lock and
-//!   serializes update-exchange epochs, per-request metrics, and graceful
-//!   shutdown.
+//!   [`orchestra_core::Cdss`] behind an `RwLock`, **snapshot-isolated
+//!   reads** (queries are served lock-free from the latest published
+//!   [`orchestra_core::SnapshotView`], so they never stall behind an
+//!   exchange), an edit-ingestion queue that admits concurrent
+//!   `PublishEdits` without the write lock and serializes update-exchange
+//!   epochs, per-request metrics, and graceful shutdown.
 //! * [`client`] — a **blocking client library** ([`NetClient`]) with
 //!   connect/retry, used by the examples, the integration tests, the
 //!   `fig_net` benchmark and `orchestra_workload::netload`.
@@ -52,7 +54,7 @@ pub mod server;
 pub use client::{NetClient, RemoteProvenance};
 pub use error::NetError;
 pub use proto::{EditBatch, ErrorCode, ExchangeSummary, Request, Response, ServerStats};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServeOptions, ServerHandle};
 
 /// Convenience result alias for network operations.
 pub type Result<T> = std::result::Result<T, NetError>;

@@ -36,12 +36,14 @@
 //!   tag 0) and the original seven-counter `Stats` layout;
 //! * **v2** — pooled bulk payloads, `Stats` with the intern/plan-cache
 //!   counters (ten);
-//! * **v3** (current) — v2 plus the pool-compaction counters in `Stats`.
+//! * **v3** — v2 plus the pool-compaction counters in `Stats` (thirteen);
+//! * **v4** (current) — v3 plus the snapshot-subsystem counters in `Stats`
+//!   (`snapshot_epoch`, `snapshots_published`, `snapshot_reads`).
 //!
 //! The `Stats` field layout is what forces a version bump: it is a bare
 //! field list under one tag, so growing it in place would break every
 //! already-deployed client of the previous version. A current client
-//! defaults to v3 but can be pinned lower (`NetClient::set_wire_version`)
+//! defaults to v4 but can be pinned lower (`NetClient::set_wire_version`)
 //! to stand in for an old binary; either way it decodes each response by
 //! the version the *response frame* carries, so mixed-version live
 //! deployments interoperate in both directions.
@@ -567,6 +569,15 @@ pub struct ServerStats {
     pub pool_live_values: u64,
     /// Value-pool compaction passes run since startup.
     pub pool_compactions: u64,
+    /// Epoch of the snapshot view reads are currently served from:
+    /// incremented once per content-changing commit point (exchange, bulk
+    /// apply, recomputation, compaction).
+    pub snapshot_epoch: u64,
+    /// Content-changing snapshot publishes since startup.
+    pub snapshots_published: u64,
+    /// Read requests answered from a lock-free snapshot view rather than
+    /// under the store's read lock.
+    pub snapshot_reads: u64,
     /// Per-request counters: `(kind label, served count)`.
     pub requests: Vec<(String, u64)>,
 }
@@ -657,6 +668,46 @@ impl ServerStats {
             ..ServerStats::default()
         })
     }
+
+    /// The frame-version-3 field layout: v2 plus the pool-compaction
+    /// counters, without the snapshot counters v4 added.
+    fn encode_v3(&self, w: &mut Writer) {
+        w.put_u64(self.peers);
+        w.put_u64(self.relations);
+        w.put_u64(self.total_tuples);
+        w.put_u64(self.output_tuples);
+        w.put_u64(self.pending_batches);
+        w.put_u64(self.epoch);
+        w.put_u64(self.connections);
+        w.put_u64(self.intern_hits);
+        w.put_u64(self.intern_misses);
+        w.put_u64(self.plan_cache_hits);
+        w.put_u64(self.pool_values);
+        w.put_u64(self.pool_live_values);
+        w.put_u64(self.pool_compactions);
+        self.encode_requests(w);
+    }
+
+    /// Decode the v3 layout; the snapshot counters v4 added read as zero.
+    fn decode_v3(r: &mut Reader<'_>) -> orchestra_persist::Result<Self> {
+        Ok(ServerStats {
+            peers: r.get_u64()?,
+            relations: r.get_u64()?,
+            total_tuples: r.get_u64()?,
+            output_tuples: r.get_u64()?,
+            pending_batches: r.get_u64()?,
+            epoch: r.get_u64()?,
+            connections: r.get_u64()?,
+            intern_hits: r.get_u64()?,
+            intern_misses: r.get_u64()?,
+            plan_cache_hits: r.get_u64()?,
+            pool_values: r.get_u64()?,
+            pool_live_values: r.get_u64()?,
+            pool_compactions: r.get_u64()?,
+            requests: Self::decode_requests(r)?,
+            ..ServerStats::default()
+        })
+    }
 }
 
 impl Encode for ServerStats {
@@ -674,6 +725,9 @@ impl Encode for ServerStats {
         w.put_u64(self.pool_values);
         w.put_u64(self.pool_live_values);
         w.put_u64(self.pool_compactions);
+        w.put_u64(self.snapshot_epoch);
+        w.put_u64(self.snapshots_published);
+        w.put_u64(self.snapshot_reads);
         self.encode_requests(w);
     }
 }
@@ -694,6 +748,9 @@ impl Decode for ServerStats {
             pool_values: r.get_u64()?,
             pool_live_values: r.get_u64()?,
             pool_compactions: r.get_u64()?,
+            snapshot_epoch: r.get_u64()?,
+            snapshots_published: r.get_u64()?,
+            snapshot_reads: r.get_u64()?,
             requests: Self::decode_requests(r)?,
         })
     }
@@ -771,11 +828,11 @@ pub fn encode_tuples_response<'a>(
 impl Response {
     /// Encode for a given frame version (see the module docs): version 1
     /// emits only the legacy vocabulary (`Tuples` under the plain tag 2,
-    /// `Stats` in the v1 field layout), version 2 keeps the pooled tags
-    /// but the ten-counter `Stats` layout, and version 3 is
+    /// `Stats` in the v1 field layout), versions 2 and 3 keep the pooled
+    /// tags but their respective shorter `Stats` layouts, and version 4 is
     /// [`Encode::to_bytes`].
     pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
-        if version >= 3 {
+        if version >= 4 {
             return self.to_bytes();
         }
         match self {
@@ -788,10 +845,10 @@ impl Response {
             Response::Stats(stats) => {
                 let mut w = Writer::new();
                 w.put_u8(5);
-                if version == 1 {
-                    stats.encode_v1(&mut w);
-                } else {
-                    stats.encode_v2(&mut w);
+                match version {
+                    1 => stats.encode_v1(&mut w),
+                    2 => stats.encode_v2(&mut w),
+                    _ => stats.encode_v3(&mut w),
                 }
                 w.into_bytes()
             }
@@ -804,13 +861,14 @@ impl Response {
     /// counters per version), so the frame version selects the decoder;
     /// every other variant is decoded by its tag alone.
     pub fn from_bytes_versioned(bytes: &[u8], version: u8) -> orchestra_persist::Result<Self> {
-        if version >= 3 {
+        if version >= 4 {
             return Self::from_bytes(bytes);
         }
         let mut r = Reader::new(bytes);
         let resp = match r.get_u8()? {
             5 if version == 1 => Response::Stats(ServerStats::decode_v1(&mut r)?),
-            5 => Response::Stats(ServerStats::decode_v2(&mut r)?),
+            5 if version == 2 => Response::Stats(ServerStats::decode_v2(&mut r)?),
+            5 => Response::Stats(ServerStats::decode_v3(&mut r)?),
             _ => {
                 // Every other variant shares its layout with the current
                 // version; re-decode from the start so the tag is consumed
@@ -1002,6 +1060,9 @@ mod tests {
             pool_values: 45,
             pool_live_values: 30,
             pool_compactions: 2,
+            snapshot_epoch: 12,
+            snapshots_published: 14,
+            snapshot_reads: 600,
             requests: vec![("publish-edits".into(), 9), ("stats".into(), 1)],
         }));
         roundtrip(&Response::Compacted {
@@ -1018,7 +1079,7 @@ mod tests {
     #[test]
     fn borrowed_tuple_encoding_matches_owned() {
         let tuples = vec![int_tuple(&[1, 2]), int_tuple(&[3, 4])];
-        for version in [1u8, 2, 3] {
+        for version in [1u8, 2, 3, 4] {
             let borrowed = encode_tuples_response(tuples.len(), tuples.iter(), version);
             let owned = Response::Tuples(tuples.clone()).to_bytes_versioned(version);
             assert_eq!(borrowed, owned, "version {version}");
@@ -1064,6 +1125,9 @@ mod tests {
             pool_values: 6,
             pool_live_values: 5,
             pool_compactions: 1,
+            snapshot_epoch: 4,
+            snapshots_published: 3,
+            snapshot_reads: 2,
             requests: vec![("stats".into(), 2)],
         };
         let v1 = Response::Stats(stats.clone()).to_bytes_versioned(1);
@@ -1086,14 +1150,27 @@ mod tests {
         assert_eq!(back.intern_hits, stats.intern_hits);
         assert_eq!(back.plan_cache_hits, stats.plan_cache_hits);
         assert_eq!(back.pool_values, 0, "v2 layout has no pool counters");
-        // All three layouts differ on the wire.
-        let v3 = Response::Stats(stats).to_bytes_versioned(3);
-        assert!(v1.len() < v2.len() && v2.len() < v3.len());
+
+        // The v3 layout keeps the pool counters but not the snapshot
+        // counters — exactly what a frame-v3 (pre-snapshot) binary encodes
+        // and decodes.
+        let v3 = Response::Stats(stats.clone()).to_bytes_versioned(3);
+        let Response::Stats(back) = Response::from_bytes_versioned(&v3, 3).unwrap() else {
+            panic!("stats expected");
+        };
+        assert_eq!(back.pool_values, stats.pool_values);
+        assert_eq!(back.pool_compactions, stats.pool_compactions);
+        assert_eq!(back.snapshot_epoch, 0, "v3 layout has no snapshot counters");
+        assert_eq!(back.snapshot_reads, 0, "v3 layout has no snapshot counters");
+        // All four layouts differ on the wire.
+        let v4 = Response::Stats(stats).to_bytes_versioned(4);
+        assert!(v1.len() < v2.len() && v2.len() < v3.len() && v3.len() < v4.len());
 
         // Version-independent variants encode identically at every version.
         let ok = Response::Ok;
         assert_eq!(ok.to_bytes_versioned(1), ok.to_bytes_versioned(2));
         assert_eq!(ok.to_bytes_versioned(2), ok.to_bytes_versioned(3));
+        assert_eq!(ok.to_bytes_versioned(3), ok.to_bytes_versioned(4));
     }
 
     #[test]

@@ -4,10 +4,16 @@
 //! accept loop (`vendor/` carries no async runtime, so plain OS threads are
 //! the concurrency substrate):
 //!
-//! * **Reads scale**: `QueryLocal` / `QueryCertain` / `ProvenanceOf` /
-//!   `Stats` / `GetTrustPolicy` take the read lock and serialize their
-//!   answers straight from borrowed tuples ([`Cdss::local_instance_iter`])
-//!   — no relation is cloned while the lock is held.
+//! * **Reads don't lock**: `QueryLocal` / `QueryCertain` / `ProvenanceOf`
+//!   / `Stats` are served from the latest published
+//!   [`SnapshotView`](orchestra_core::SnapshotView) — a lock-free load of
+//!   an immutable whole-epoch view — so queries keep answering at full
+//!   speed while an exchange holds the write lock for seconds. Answers are
+//!   serialized straight from borrowed tuples; no relation is cloned.
+//!   [`ServeOptions::locked_reads`] restores the historical
+//!   read-under-`RwLock` path (the baseline the benchmark harness compares
+//!   against). `GetTrustPolicy` stays on the read lock: policies are
+//!   mutable live state that snapshots deliberately do not capture.
 //! * **Writes batch**: `PublishEdits` does *not* touch the write lock. The
 //!   batch is validated against the schema under the read lock and admitted
 //!   to an ingestion queue guarded by its own mutex, tagged with a global
@@ -29,7 +35,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
-use orchestra_core::{Cdss, CdssError};
+use orchestra_core::{Cdss, CdssError, SnapshotReader, SnapshotView};
 use orchestra_persist::codec::{Decode, Encode};
 
 use crate::error::NetError;
@@ -79,23 +85,60 @@ struct Ingest {
 /// State shared by every server thread.
 struct Shared {
     cdss: RwLock<Cdss>,
+    /// Lock-free handle onto the CDSS's latest published snapshot view;
+    /// read requests load it without touching `cdss`'s `RwLock`.
+    reader: SnapshotReader,
+    /// Serve reads under the `RwLock` instead of from snapshots
+    /// ([`ServeOptions::locked_reads`]).
+    locked_reads: bool,
+    snapshot_reads: AtomicU64,
     ingest: Mutex<Ingest>,
     metrics: Metrics,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// One-shot markers so a poisoned lock is logged the first time a
+    /// request observes it, not on every subsequent acquisition.
+    cdss_poisoned: AtomicBool,
+    ingest_poisoned: AtomicBool,
 }
 
 impl Shared {
-    fn read_cdss(&self) -> std::sync::RwLockReadGuard<'_, Cdss> {
-        self.cdss.read().unwrap_or_else(PoisonError::into_inner)
+    /// Log (once per poisoning event) that a lock was found poisoned — a
+    /// panic mid-update elsewhere — before continuing with the inner value.
+    fn note_poison(&self, flag: &AtomicBool, lock: &str, tag: &str) {
+        if !flag.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "orchestrad: {lock} lock found poisoned while serving `{tag}`; \
+                 a writer panicked mid-update — continuing with the inner value"
+            );
+        }
     }
 
-    fn write_cdss(&self) -> std::sync::RwLockWriteGuard<'_, Cdss> {
-        self.cdss.write().unwrap_or_else(PoisonError::into_inner)
+    fn read_cdss(&self, tag: &str) -> std::sync::RwLockReadGuard<'_, Cdss> {
+        self.cdss.read().unwrap_or_else(|p| {
+            self.note_poison(&self.cdss_poisoned, "cdss", tag);
+            p.into_inner()
+        })
     }
 
-    fn lock_ingest(&self) -> std::sync::MutexGuard<'_, Ingest> {
-        self.ingest.lock().unwrap_or_else(PoisonError::into_inner)
+    fn write_cdss(&self, tag: &str) -> std::sync::RwLockWriteGuard<'_, Cdss> {
+        self.cdss.write().unwrap_or_else(|p| {
+            self.note_poison(&self.cdss_poisoned, "cdss", tag);
+            p.into_inner()
+        })
+    }
+
+    fn lock_ingest(&self, tag: &str) -> std::sync::MutexGuard<'_, Ingest> {
+        self.ingest.lock().unwrap_or_else(|p| {
+            self.note_poison(&self.ingest_poisoned, "ingest", tag);
+            p.into_inner()
+        })
+    }
+
+    /// The snapshot view read requests are served from, counted.
+    fn snapshot_view(&self) -> Arc<SnapshotView> {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.reader.latest()
     }
 }
 
@@ -171,21 +214,47 @@ fn wake_accept_loop(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&target, Duration::from_millis(500));
 }
 
+/// Tuning knobs for [`serve_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Serve `QueryLocal` / `QueryCertain` / `ProvenanceOf` / `Stats`
+    /// under the CDSS `RwLock` instead of from lock-free snapshot views —
+    /// the pre-snapshot behaviour, kept as the baseline the latency
+    /// benchmark compares against. Defaults to `false` (snapshot reads).
+    pub locked_reads: bool,
+}
+
 /// Start serving a CDSS on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
 /// port). Returns once the listener is bound; requests are served on
-/// background threads until shutdown.
+/// background threads until shutdown. Reads are snapshot-isolated (see the
+/// module docs); use [`serve_with`] to opt out.
 pub fn serve(cdss: Cdss, addr: impl ToSocketAddrs) -> Result<ServerHandle> {
+    serve_with(cdss, addr, ServeOptions::default())
+}
+
+/// [`serve`] with explicit [`ServeOptions`].
+pub fn serve_with(
+    cdss: Cdss,
+    addr: impl ToSocketAddrs,
+    options: ServeOptions,
+) -> Result<ServerHandle> {
     let listener = TcpListener::bind(addr).map_err(|e| NetError::io("binding listener", &e))?;
     let addr = listener
         .local_addr()
         .map_err(|e| NetError::io("resolving local address", &e))?;
 
+    let reader = cdss.snapshot_reader();
     let shared = Arc::new(Shared {
         cdss: RwLock::new(cdss),
+        reader,
+        locked_reads: options.locked_reads,
+        snapshot_reads: AtomicU64::new(0),
         ingest: Mutex::new(Ingest::default()),
         metrics: Metrics::default(),
         shutdown: AtomicBool::new(false),
         addr,
+        cdss_poisoned: AtomicBool::new(false),
+        ingest_poisoned: AtomicBool::new(false),
     });
     let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -348,26 +417,37 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
             handle_query(shared, &peer, &relation, true, version)
         }
         Request::ProvenanceOf { relation, tuple } => {
-            let cdss = shared.read_cdss();
             // Canonical form: remote provenance answers are deterministic
             // regardless of the graph's internal iteration order.
-            let expr = cdss.provenance_of(&relation, &tuple).canonical();
-            Response::Provenance {
-                expression: expr.to_string(),
-                derivations: expr.num_derivations() as u64,
-                derivable: cdss.is_derivable(&relation, &tuple),
+            if shared.locked_reads {
+                let cdss = shared.read_cdss("provenance-of");
+                let expr = cdss.provenance_of(&relation, &tuple).canonical();
+                Response::Provenance {
+                    expression: expr.to_string(),
+                    derivations: expr.num_derivations() as u64,
+                    derivable: cdss.is_derivable(&relation, &tuple),
+                }
+                .to_bytes()
+            } else {
+                let view = shared.snapshot_view();
+                let expr = view.provenance_of(&relation, &tuple).canonical();
+                Response::Provenance {
+                    expression: expr.to_string(),
+                    derivations: expr.num_derivations() as u64,
+                    derivable: view.is_derivable(&relation, &tuple),
+                }
+                .to_bytes()
             }
-            .to_bytes()
         }
         Request::GetTrustPolicy { peer } => {
-            let cdss = shared.read_cdss();
+            let cdss = shared.read_cdss("get-trust-policy");
             match cdss.peer(&peer) {
                 Ok(_) => Response::Policy(cdss.trust_policy(&peer)).to_bytes(),
                 Err(e) => cdss_error_response(&e),
             }
         }
         Request::SetTrustPolicy { peer, policy } => {
-            let mut cdss = shared.write_cdss();
+            let mut cdss = shared.write_cdss("set-trust-policy");
             match cdss.set_trust_policy(peer, policy) {
                 Ok(()) => Response::Ok.to_bytes(),
                 Err(e) => cdss_error_response(&e),
@@ -375,7 +455,7 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
         }
         Request::Stats => handle_stats(shared, version),
         Request::Checkpoint => {
-            let mut cdss = shared.write_cdss();
+            let mut cdss = shared.write_cdss("checkpoint");
             if !cdss.is_persistent() {
                 return error_response(
                     ErrorCode::NotPersistent,
@@ -389,7 +469,7 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
         }
         Request::Shutdown => Response::Ok.to_bytes(),
         Request::Compact => {
-            let mut cdss = shared.write_cdss();
+            let mut cdss = shared.write_cdss("compact");
             let report = cdss.compact();
             Response::Compacted {
                 before: report.before as u64,
@@ -401,8 +481,11 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
 }
 
 /// Answer `QueryLocal` / `QueryCertain`: serialize the (sorted) answer
-/// straight from borrowed tuples under the read lock — only references
-/// move, the relation itself is never copied.
+/// straight from borrowed tuples — only references move, the relation
+/// itself is never copied. The default path borrows from a lock-free
+/// snapshot view (a whole-epoch instance, isolated from any concurrent
+/// exchange); with [`ServeOptions::locked_reads`] it borrows under the
+/// read lock instead.
 fn handle_query(
     shared: &Shared,
     peer: &str,
@@ -410,12 +493,33 @@ fn handle_query(
     certain: bool,
     version: u8,
 ) -> Vec<u8> {
-    let cdss = shared.read_cdss();
+    if shared.locked_reads {
+        let cdss = shared.read_cdss(if certain {
+            "query-certain"
+        } else {
+            "query-local"
+        });
+        let collected: std::result::Result<Vec<_>, _> = if certain {
+            cdss.certain_answers_iter(peer, relation)
+                .map(Iterator::collect)
+        } else {
+            cdss.local_instance_iter(peer, relation)
+                .map(Iterator::collect)
+        };
+        return match collected {
+            Ok(mut tuples) => {
+                tuples.sort();
+                encode_tuples_response(tuples.len(), tuples.into_iter(), version)
+            }
+            Err(e) => cdss_error_response(&e),
+        };
+    }
+    let view = shared.snapshot_view();
     let collected: std::result::Result<Vec<_>, _> = if certain {
-        cdss.certain_answers_iter(peer, relation)
+        view.certain_answers_iter(peer, relation)
             .map(Iterator::collect)
     } else {
-        cdss.local_instance_iter(peer, relation)
+        view.local_instance_iter(peer, relation)
             .map(Iterator::collect)
     };
     match collected {
@@ -433,7 +537,7 @@ fn handle_query(
 /// caused it rather than a later exchange.
 fn handle_publish(shared: &Shared, batch: EditBatch) -> Vec<u8> {
     {
-        let cdss = shared.read_cdss();
+        let cdss = shared.read_cdss("publish-edits");
         let peer = match cdss.peer(&batch.peer) {
             Ok(p) => p,
             Err(e) => return cdss_error_response(&e),
@@ -458,7 +562,7 @@ fn handle_publish(shared: &Shared, batch: EditBatch) -> Vec<u8> {
     }
 
     let ops = batch.ops() as u64;
-    let mut ingest = shared.lock_ingest();
+    let mut ingest = shared.lock_ingest("publish-edits");
     let seq = ingest.next_seq;
     ingest.next_seq += 1;
     ingest.batches.push_back((seq, batch));
@@ -472,11 +576,11 @@ fn handle_publish(shared: &Shared, batch: EditBatch) -> Vec<u8> {
 /// stay queued (and counted in `Stats.pending_batches`) until an exchange
 /// covers them.
 fn handle_exchange(shared: &Shared, peer: Option<&str>) -> Vec<u8> {
-    let mut cdss = shared.write_cdss();
+    let mut cdss = shared.write_cdss("update-exchange");
     // Drain *after* taking the write lock: batches admitted from here on
     // belong to the next exchange.
     let drained: Vec<(u64, EditBatch)> = {
-        let mut ingest = shared.lock_ingest();
+        let mut ingest = shared.lock_ingest("update-exchange");
         match peer {
             Some(p) => {
                 let (drain, keep): (VecDeque<_>, VecDeque<_>) = ingest
@@ -542,27 +646,60 @@ fn handle_exchange(shared: &Shared, peer: Option<&str>) -> Vec<u8> {
 }
 
 fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
-    let cdss = shared.read_cdss();
-    let peers = cdss.peer_ids();
-    let relations: usize = peers
-        .iter()
-        .map(|p| cdss.peer(p).map(|peer| peer.relations.len()).unwrap_or(0))
-        .sum();
-    let stats = ServerStats {
-        peers: peers.len() as u64,
-        relations: relations as u64,
-        total_tuples: cdss.instance_stats().total_tuples as u64,
-        output_tuples: cdss.total_output_tuples() as u64,
-        pending_batches: shared.lock_ingest().batches.len() as u64,
-        epoch: cdss.current_epoch(),
-        connections: shared.metrics.connections.load(Ordering::Relaxed),
-        intern_hits: cdss.intern_stats().hits,
-        intern_misses: cdss.intern_stats().misses,
-        plan_cache_hits: cdss.plan_cache_hits(),
-        pool_values: cdss.intern_stats().distinct,
-        pool_live_values: cdss.pool_live_values() as u64,
-        pool_compactions: cdss.compactions_run(),
-        requests: shared.metrics.snapshot(),
+    let stats = if shared.locked_reads {
+        let cdss = shared.read_cdss("stats");
+        let peers = cdss.peer_ids();
+        let relations: usize = peers
+            .iter()
+            .map(|p| cdss.peer(p).map(|peer| peer.relations.len()).unwrap_or(0))
+            .sum();
+        ServerStats {
+            peers: peers.len() as u64,
+            relations: relations as u64,
+            total_tuples: cdss.instance_stats().total_tuples as u64,
+            output_tuples: cdss.total_output_tuples() as u64,
+            pending_batches: shared.lock_ingest("stats").batches.len() as u64,
+            epoch: cdss.current_epoch(),
+            connections: shared.metrics.connections.load(Ordering::Relaxed),
+            intern_hits: cdss.intern_stats().hits,
+            intern_misses: cdss.intern_stats().misses,
+            plan_cache_hits: cdss.plan_cache_hits(),
+            pool_values: cdss.intern_stats().distinct,
+            pool_live_values: cdss.pool_live_values() as u64,
+            pool_compactions: cdss.compactions_run(),
+            snapshot_epoch: cdss.snapshot_epoch(),
+            snapshots_published: cdss.snapshots_published(),
+            snapshot_reads: shared.snapshot_reads.load(Ordering::Relaxed),
+            requests: shared.metrics.snapshot(),
+        }
+    } else {
+        // Instance counters come from the view (consistent as of its
+        // epoch); queue depth, connection and request counters are live.
+        let view = shared.snapshot_view();
+        let peers = view.peer_ids();
+        let relations: usize = peers
+            .iter()
+            .map(|p| view.peer(p).map(|peer| peer.relations.len()).unwrap_or(0))
+            .sum();
+        ServerStats {
+            peers: peers.len() as u64,
+            relations: relations as u64,
+            total_tuples: view.total_tuples() as u64,
+            output_tuples: view.total_output_tuples() as u64,
+            pending_batches: shared.lock_ingest("stats").batches.len() as u64,
+            epoch: view.durable_epoch(),
+            connections: shared.metrics.connections.load(Ordering::Relaxed),
+            intern_hits: view.intern_stats().hits,
+            intern_misses: view.intern_stats().misses,
+            plan_cache_hits: view.plan_cache_hits(),
+            pool_values: view.intern_stats().distinct,
+            pool_live_values: view.pool_live_values() as u64,
+            pool_compactions: view.compactions_run(),
+            snapshot_epoch: view.epoch(),
+            snapshots_published: view.snapshots_published(),
+            snapshot_reads: shared.snapshot_reads.load(Ordering::Relaxed),
+            requests: shared.metrics.snapshot(),
+        }
     };
     Response::Stats(stats).to_bytes_versioned(version)
 }

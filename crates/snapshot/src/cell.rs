@@ -1,0 +1,215 @@
+//! [`ArcCell`]: a lock-free atomic-swap cell for `Arc<T>`, the hermetic
+//! stand-in for the `arc-swap` crate (the workspace builds without network
+//! access, so third-party crates are vendored or re-implemented small).
+//!
+//! Readers never block and never touch a lock: [`ArcCell::load`] is a pair
+//! of atomic operations on the hot path. Writers serialise among
+//! themselves on a small mutex and may spin briefly waiting for stale
+//! readers to drain a slot before reusing it — the right trade for a
+//! snapshot handle that is read millions of times per store.
+//!
+//! # How it works
+//!
+//! The cell keeps a small ring of slots, each holding an `Option<Arc<T>>`
+//! and a *pin count*. `current` names the slot readers should use. A
+//! reader pins the slot it believes is current, re-checks `current`, and
+//! only then clones the `Arc` — so a slot is cloned from only while it is
+//! provably not being rewritten. A writer installs into the *next* slot of
+//! the ring: it waits for that slot's pin count to reach zero (readers
+//! that pinned it hold it from at least `SLOTS` publishes ago and will
+//! fail their re-check and retry), rewrites the slot, then redirects
+//! `current`. All cross-thread edges use sequentially consistent atomics;
+//! the cell is tiny and correctness beats shaving a fence.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of slots in the ring. A reader must stall across `SLOTS - 1`
+/// consecutive publishes for its pinned slot to come up for reuse — at
+/// which point the writer waits for it, so correctness never depends on
+/// the ring being "big enough"; the size only bounds how often writers
+/// wait at all.
+const SLOTS: usize = 8;
+
+struct Slot<T> {
+    /// Readers currently inspecting this slot (not: holding Arcs cloned
+    /// from it — clones are independent once made).
+    pins: AtomicUsize,
+    /// The value. Rewritten only by a writer that owns the writer mutex,
+    /// while `current` points elsewhere and `pins` is zero.
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+/// A lock-free swappable `Arc<T>` holder: readers [`load`](ArcCell::load)
+/// without locking, writers [`store`](ArcCell::store) a replacement that
+/// subsequent loads observe.
+pub struct ArcCell<T> {
+    slots: [Slot<T>; SLOTS],
+    current: AtomicUsize,
+    writer: Mutex<()>,
+}
+
+// Safety: the only shared mutable state is `Slot::value`, and the pin
+// protocol (see module docs) guarantees a slot is never rewritten while a
+// reader may dereference it. `Arc<T>` crossing threads needs `T: Send +
+// Sync` as usual.
+unsafe impl<T: Send + Sync> Send for ArcCell<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcCell<T> {}
+
+impl<T> ArcCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        let cell = ArcCell {
+            slots: std::array::from_fn(|_| Slot {
+                pins: AtomicUsize::new(0),
+                value: UnsafeCell::new(None),
+            }),
+            current: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        };
+        // No other thread can observe the cell yet.
+        unsafe { *cell.slots[0].value.get() = Some(value) };
+        cell
+    }
+
+    /// The current value. Lock-free: two atomic RMW/loads on the fast
+    /// path, retrying only when a publish moved `current` mid-read.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let idx = self.current.load(Ordering::SeqCst);
+            let slot = &self.slots[idx];
+            slot.pins.fetch_add(1, Ordering::SeqCst);
+            // Re-check under the pin: a writer reuses a slot only after
+            // observing zero pins *while* `current` points elsewhere, so
+            // if `current` still names this slot, its value is stable for
+            // as long as we hold the pin.
+            if self.current.load(Ordering::SeqCst) == idx {
+                let value = unsafe { (*slot.value.get()).clone() };
+                slot.pins.fetch_sub(1, Ordering::SeqCst);
+                if let Some(arc) = value {
+                    return arc;
+                }
+            } else {
+                slot.pins.fetch_sub(1, Ordering::SeqCst);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Replace the value; concurrent and subsequent [`load`](ArcCell::load)s
+    /// observe either the old or the new `Arc`, never a mix. Writers
+    /// serialise on an internal mutex and may wait for readers that pinned
+    /// the reused slot `SLOTS - 1` publishes ago to retry.
+    pub fn store(&self, value: Arc<T>) {
+        let _guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let cur = self.current.load(Ordering::SeqCst);
+        let next = (cur + 1) % SLOTS;
+        let slot = &self.slots[next];
+        let mut spins = 0u32;
+        while slot.pins.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Safety: we hold the writer mutex, `current != next`, and the
+        // slot's pin count was observed at zero after `current` moved away
+        // — no reader can clone from it until `current` names it again.
+        unsafe { *slot.value.get() = Some(value) };
+        self.current.store(next, Ordering::SeqCst);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcCell").field(&self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_the_stored_value() {
+        let cell = ArcCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        // Cycle through every slot of the ring and back around.
+        for i in 3..(3 + 2 * SLOTS as u64) {
+            cell.store(Arc::new(i));
+            assert_eq!(*cell.load(), i);
+        }
+    }
+
+    #[test]
+    fn loads_share_the_same_allocation() {
+        let cell = ArcCell::new(Arc::new(String::from("x")));
+        let a = cell.load();
+        let b = cell.load();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotone_publishes() {
+        // A writer publishes an increasing sequence while readers hammer
+        // `load`; every read must be a value that was actually published,
+        // and per-reader observations must be monotone (the cell can never
+        // go back in time).
+        const PUBLISHES: u64 = 20_000;
+        const READERS: usize = 4;
+        let cell = Arc::new(ArcCell::new(Arc::new(0u64)));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut reads = 0u64;
+                    // At least one read, even if the writer already
+                    // finished by the time this thread gets scheduled.
+                    loop {
+                        let v = *cell.load();
+                        assert!(v >= last, "cell went back in time: {v} after {last}");
+                        assert!(v <= PUBLISHES, "cell produced a never-published value");
+                        last = v;
+                        reads += 1;
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        for i in 1..=PUBLISHES {
+            cell.store(Arc::new(i));
+        }
+        done.store(true, Ordering::SeqCst);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(*cell.load(), PUBLISHES);
+    }
+
+    #[test]
+    fn dropped_values_are_released() {
+        // The ring retains up to SLOTS previously published Arcs; after
+        // enough further publishes every old value's refcount drops.
+        let first = Arc::new(vec![1u8; 32]);
+        let weak = Arc::downgrade(&first);
+        let cell = ArcCell::new(first);
+        for _ in 0..SLOTS + 1 {
+            cell.store(Arc::new(vec![0u8; 1]));
+        }
+        assert!(weak.upgrade().is_none(), "ring kept the evicted Arc alive");
+    }
+}

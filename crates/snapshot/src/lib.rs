@@ -1,0 +1,350 @@
+//! # orchestra-snapshot
+//!
+//! Snapshot-isolated read views for the ORCHESTRA CDSS: immutable,
+//! epoch-stamped, copy-on-write snapshots of a
+//! [`Database`](orchestra_storage::Database), published through a
+//! lock-free atomic-swap cell so readers never contend with writers.
+//!
+//! The paper's CDSS serves queries over *locally consistent* instances
+//! while update exchange recomputes them; readers must observe either the
+//! pre-exchange or the post-exchange instance, never a mid-exchange mix.
+//! A [`SnapshotStore`] realises that guarantee: the owner publishes an
+//! [`Arc<DbSnapshot>`] at each commit point, and any number of reader
+//! threads fetch the latest snapshot through a [`SnapshotHandle`] without
+//! taking a lock.
+//!
+//! Publishing is **O(changed relations), not O(database)**: the store
+//! remembers, per relation, the [`Relation::version`] it last cloned at,
+//! and a new snapshot re-clones only relations whose version moved —
+//! unchanged relations are structurally shared between consecutive
+//! snapshots via `Arc`. A cloned [`Relation`] carries its interned rows,
+//! `TupleId` slab and indexes with it, so a snapshot answers every
+//! value-keyed read (`contains`, `iter`, `sorted_tuples`,
+//! `certain_tuples`, …) without consulting the owner's `ValuePool` — which
+//! is what keeps old snapshots valid across pool compactions: a
+//! compaction bumps every rewritten relation's version, so the *next*
+//! publish re-clones them, while already-published snapshots keep their
+//! pre-compaction rows and ids self-consistently.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use orchestra_storage::{Database, PoolStats, Relation, RelationSource};
+
+pub use cell::ArcCell;
+
+/// An immutable snapshot of a database at one publish epoch.
+///
+/// Relations are held by `Arc` and shared with the snapshots before and
+/// after wherever their content did not change. The snapshot carries no
+/// `ValuePool`: every read API of [`Relation`] is value-keyed and
+/// self-contained, so the snapshot stays valid even after the live pool
+/// is compacted and its `ValueId`s remapped.
+#[derive(Debug)]
+pub struct DbSnapshot {
+    epoch: u64,
+    relations: BTreeMap<String, Arc<Relation>>,
+    pool_stats: PoolStats,
+    pool_len: usize,
+    live_values: OnceLock<usize>,
+}
+
+impl DbSnapshot {
+    fn empty() -> Self {
+        DbSnapshot {
+            epoch: 0,
+            relations: BTreeMap::new(),
+            pool_stats: PoolStats::default(),
+            pool_len: 0,
+            live_values: OnceLock::new(),
+        }
+    }
+
+    /// The snapshot's epoch: 0 for the empty pre-publish snapshot, then
+    /// incremented once per *content-changing* publish.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Look up a relation by its internal name.
+    pub fn lookup(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name).map(Arc::as_ref)
+    }
+
+    /// Number of relations captured.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterate over the captured relations.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values().map(Arc::as_ref)
+    }
+
+    /// Total number of tuples across all captured relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Intern-pool counters of the owning database, as of this snapshot's
+    /// publish.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_stats
+    }
+
+    /// Number of pool ids referenced by live rows of this snapshot (the
+    /// snapshot's live vocabulary). The O(rows) scan runs at most once per
+    /// snapshot, on first use — **not** at publish time, which stays
+    /// O(changed relations).
+    pub fn live_value_count(&self) -> usize {
+        *self.live_values.get_or_init(|| {
+            let mut live = vec![false; self.pool_len];
+            for rel in self.relations.values() {
+                rel.mark_live_values(&mut live);
+            }
+            live.iter().filter(|&&l| l).count()
+        })
+    }
+}
+
+impl RelationSource for DbSnapshot {
+    fn lookup(&self, name: &str) -> Option<&Relation> {
+        DbSnapshot::lookup(self, name)
+    }
+}
+
+/// A cloneable, lock-free handle to the latest published [`DbSnapshot`].
+///
+/// Handles are cheap to clone and safe to hold on any thread; `latest`
+/// never blocks on the publisher.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    cell: Arc<ArcCell<DbSnapshot>>,
+}
+
+impl SnapshotHandle {
+    /// The most recently published snapshot.
+    pub fn latest(&self) -> Arc<DbSnapshot> {
+        self.cell.load()
+    }
+}
+
+/// The publisher side: owns the per-relation version cache that makes
+/// publishing copy-on-write, and the swap cell readers load from.
+///
+/// One `SnapshotStore` belongs to one database owner (the CDSS); it is
+/// `&mut` at publish time, which the owner's commit points naturally are.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    /// Per-relation `(version, shared clone)` of the last publish.
+    cache: BTreeMap<String, (u64, Arc<Relation>)>,
+    cell: Arc<ArcCell<DbSnapshot>>,
+    published: u64,
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore::new()
+    }
+}
+
+impl SnapshotStore {
+    /// A store whose latest snapshot is the empty epoch-0 snapshot.
+    pub fn new() -> Self {
+        SnapshotStore {
+            cache: BTreeMap::new(),
+            cell: Arc::new(ArcCell::new(Arc::new(DbSnapshot::empty()))),
+            published: 0,
+        }
+    }
+
+    /// A reader handle onto this store's swap cell.
+    pub fn handle(&self) -> SnapshotHandle {
+        SnapshotHandle {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+
+    /// The latest published snapshot.
+    pub fn latest(&self) -> Arc<DbSnapshot> {
+        self.cell.load()
+    }
+
+    /// Number of content-changing publishes so far (equals the latest
+    /// snapshot's epoch).
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Publish the database's current state. Relations whose
+    /// [`Relation::version`] is unchanged since the previous publish are
+    /// shared with it; only changed (or new) relations are cloned. When
+    /// *nothing* changed the previous snapshot is returned as-is and no
+    /// new epoch is minted.
+    pub fn publish(&mut self, db: &Database) -> Arc<DbSnapshot> {
+        let mut changed = false;
+        let mut relations = BTreeMap::new();
+        for rel in db.relations() {
+            let name = rel.name();
+            match self.cache.get(name) {
+                Some((version, arc)) if *version == rel.version() => {
+                    relations.insert(name.to_string(), Arc::clone(arc));
+                }
+                _ => {
+                    changed = true;
+                    let arc = Arc::new(rel.snapshot_clone());
+                    self.cache
+                        .insert(name.to_string(), (rel.version(), Arc::clone(&arc)));
+                    relations.insert(name.to_string(), arc);
+                }
+            }
+        }
+        // Dropped relations: forget their cache entries and re-publish.
+        if self.cache.len() != relations.len() {
+            changed = true;
+            self.cache.retain(|name, _| relations.contains_key(name));
+        }
+        if !changed {
+            return self.cell.load();
+        }
+        self.published += 1;
+        let snapshot = Arc::new(DbSnapshot {
+            epoch: self.published,
+            relations,
+            pool_stats: db.pool_stats(),
+            pool_len: db.pool().len(),
+            live_values: OnceLock::new(),
+        });
+        self.cell.store(Arc::clone(&snapshot));
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_storage::tuple::int_tuple;
+    use orchestra_storage::RelationSchema;
+
+    fn two_relation_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("a", &["x", "y"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("b", &["x"]))
+            .unwrap();
+        db.insert("a", int_tuple(&[1, 2])).unwrap();
+        db.insert("b", int_tuple(&[7])).unwrap();
+        db
+    }
+
+    #[test]
+    fn publish_captures_state_and_epoch() {
+        let mut store = SnapshotStore::new();
+        assert_eq!(store.latest().epoch(), 0);
+        let db = two_relation_db();
+        let snap = store.publish(&db);
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.relation_count(), 2);
+        assert_eq!(snap.total_tuples(), 2);
+        assert!(snap.lookup("a").unwrap().contains(&int_tuple(&[1, 2])));
+        assert!(snap.lookup("missing").is_none());
+        assert_eq!(store.published(), 1);
+    }
+
+    #[test]
+    fn unchanged_relations_are_shared_not_cloned() {
+        let mut store = SnapshotStore::new();
+        let mut db = two_relation_db();
+        let first = store.publish(&db);
+        db.insert("a", int_tuple(&[3, 4])).unwrap();
+        let second = store.publish(&db);
+        assert_eq!(second.epoch(), 2);
+        // `b` did not change: both snapshots hold the same allocation.
+        assert!(Arc::ptr_eq(
+            &store.cache["b"].1,
+            store.cache.get("b").map(|(_, a)| a).unwrap()
+        ));
+        let b1 = first.relations.get("b").unwrap();
+        let b2 = second.relations.get("b").unwrap();
+        assert!(Arc::ptr_eq(b1, b2), "unchanged relation was re-cloned");
+        // `a` changed: distinct allocations, old snapshot unaffected.
+        let a1 = first.relations.get("a").unwrap();
+        let a2 = second.relations.get("a").unwrap();
+        assert!(!Arc::ptr_eq(a1, a2));
+        assert_eq!(a1.len(), 1);
+        assert_eq!(a2.len(), 2);
+    }
+
+    #[test]
+    fn noop_publish_mints_no_epoch() {
+        let mut store = SnapshotStore::new();
+        let db = two_relation_db();
+        let first = store.publish(&db);
+        let second = store.publish(&db);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.published(), 1);
+    }
+
+    #[test]
+    fn dropped_relations_leave_the_next_snapshot() {
+        let mut store = SnapshotStore::new();
+        let mut db = two_relation_db();
+        let first = store.publish(&db);
+        assert!(db.drop_relation("b"));
+        let second = store.publish(&db);
+        assert_eq!(second.epoch(), 2);
+        assert!(second.lookup("b").is_none());
+        assert!(first.lookup("b").is_some(), "old snapshot keeps the table");
+    }
+
+    #[test]
+    fn snapshots_survive_pool_compaction() {
+        let mut store = SnapshotStore::new();
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("r", &["x", "y"]))
+            .unwrap();
+        for i in 0..20 {
+            db.insert("r", int_tuple(&[i, i + 100])).unwrap();
+        }
+        for i in 0..15 {
+            db.remove("r", &int_tuple(&[i, i + 100])).unwrap();
+        }
+        let before = store.publish(&db);
+        let rows_before = before.lookup("r").unwrap().sorted_tuples();
+        let live_before = before.live_value_count();
+        assert!(live_before > 0);
+
+        // Compact the live pool: ids remap, dead values vanish.
+        let compaction = db.compact_pool();
+        assert!(compaction.reclaimed() > 0);
+
+        // The old snapshot still answers value-keyed reads identically.
+        assert_eq!(before.lookup("r").unwrap().sorted_tuples(), rows_before);
+        assert!(before.lookup("r").unwrap().contains(&int_tuple(&[19, 119])));
+
+        // The next publish re-clones (compaction bumps versions).
+        let after = store.publish(&db);
+        assert_eq!(after.epoch(), before.epoch() + 1);
+        assert_eq!(after.lookup("r").unwrap().sorted_tuples(), rows_before);
+        assert!(after.live_value_count() <= live_before);
+    }
+
+    #[test]
+    fn handle_reads_latest_across_threads() {
+        let mut store = SnapshotStore::new();
+        let mut db = two_relation_db();
+        store.publish(&db);
+        let handle = store.handle();
+        db.insert("a", int_tuple(&[9, 9])).unwrap();
+        store.publish(&db);
+        let seen = std::thread::spawn(move || handle.latest().epoch())
+            .join()
+            .unwrap();
+        assert_eq!(seen, 2);
+    }
+}

@@ -302,6 +302,23 @@ impl fmt::Display for Database {
     }
 }
 
+/// Anything that can resolve an internal relation name to a [`Relation`].
+///
+/// Read-only algorithms (provenance-graph reconstruction, containment
+/// checks) are written against this trait so they run identically over the
+/// live [`Database`] and over immutable snapshots of it maintained by
+/// higher layers.
+pub trait RelationSource {
+    /// The relation stored under `name`, if any.
+    fn lookup(&self, name: &str) -> Option<&Relation>;
+}
+
+impl RelationSource for Database {
+    fn lookup(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

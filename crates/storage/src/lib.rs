@@ -50,7 +50,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
-pub use database::Database;
+pub use database::{Database, RelationSource};
 pub use editlog::{EditLog, EditOp, EditOpKind};
 pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, IdBuildHasher};

@@ -421,6 +421,23 @@ impl Relation {
         v
     }
 
+    /// A copy for immutable snapshot views: everything except the secondary
+    /// hash indexes, which are derived join-acceleration state the snapshot
+    /// read paths (iteration, content-hash lookups) never consult. Equality
+    /// already ignores indexes, so the copy compares equal to `self`.
+    pub fn snapshot_clone(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            slab: self.slab.clone(),
+            rows: self.rows.clone(),
+            free: self.free.clone(),
+            ids: self.ids.clone(),
+            live: self.live,
+            version: self.version,
+            indexes: HashMap::new(),
+        }
+    }
+
     /// Ensure a hash index exists over the given column positions and return
     /// a reference to it.
     pub fn ensure_index(&mut self, columns: &[usize]) -> Result<&HashIndex> {
@@ -510,8 +527,9 @@ impl Relation {
     /// Mark every [`ValueId`] referenced by a live row of this relation in
     /// `live` (indexed by id). Part of the pool-compaction protocol: the
     /// owning [`crate::Database`] folds the marks of all its relations
-    /// before rebuilding the pool.
-    pub(crate) fn mark_live_values(&self, live: &mut [bool]) {
+    /// before rebuilding the pool. Also used by snapshot views to compute
+    /// their live vocabulary without access to the owning pool.
+    pub fn mark_live_values(&self, live: &mut [bool]) {
         for (_, row) in self.iter_rows() {
             for id in row {
                 live[id.index()] = true;

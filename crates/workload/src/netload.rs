@@ -67,6 +67,58 @@ pub struct NetLoadReport {
     pub exchange: Option<ExchangeSummary>,
     /// Wall-clock time of the final exchange.
     pub exchange_wall: Duration,
+    /// Request-round-trip latency percentiles per request kind (label,
+    /// summary) — `"publish-edits"` across every client call, and
+    /// `"update-exchange"` for the final exchange when one ran.
+    pub latencies: Vec<(String, LatencySummary)>,
+}
+
+impl NetLoadReport {
+    /// The latency summary for one request-kind label, if recorded.
+    pub fn latency(&self, label: &str) -> Option<&LatencySummary> {
+        self.latencies
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| s)
+    }
+}
+
+/// Percentiles of one request kind's round-trip latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of requests measured.
+    pub count: u64,
+    /// Median round-trip.
+    pub p50: Duration,
+    /// 95th-percentile round-trip.
+    pub p95: Duration,
+    /// 99th-percentile round-trip.
+    pub p99: Duration,
+}
+
+impl LatencySummary {
+    /// Summarize a batch of samples (sorted in place). Empty input yields
+    /// the all-zero summary.
+    pub fn from_samples(samples: &mut [Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        LatencySummary {
+            count: samples.len() as u64,
+            p50: percentile(samples, 50.0),
+            p95: percentile(samples, 95.0),
+            p99: percentile(samples, 99.0),
+        }
+    }
+}
+
+/// The `pct`-th percentile of an ascending-sorted sample set, by the
+/// nearest-rank method (`pct` in `0..=100`). Panics on an empty slice.
+pub fn percentile<T: Copy>(sorted: &[T], pct: f64) -> T {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The deterministic tuple a given `(seed, client, batch, op)` coordinate
@@ -95,11 +147,12 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
     for client_idx in 0..config.clients {
         let cfg = config.clone();
         handles.push(std::thread::spawn(
-            move || -> Result<(u64, u64), NetError> {
+            move || -> Result<(u64, u64, Vec<Duration>), NetError> {
                 let mut client =
                     NetClient::connect_with_retry(&*cfg.addr, 20, Duration::from_millis(50))?;
                 let mut ops_admitted = 0u64;
                 let mut batches_admitted = 0u64;
+                let mut samples = Vec::with_capacity(cfg.batches_per_client);
                 for batch_idx in 0..cfg.batches_per_client {
                     let (peer, relation, arity) =
                         &cfg.targets[(client_idx + batch_idx) % cfg.targets.len()];
@@ -109,11 +162,13 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
                         })
                         .collect();
                     let batch = EditBatch::for_peer(peer.clone()).insert(relation.clone(), tuples);
+                    let sent = Instant::now();
                     let (_seq, ops) = client.publish_edits(batch)?;
+                    samples.push(sent.elapsed());
                     ops_admitted += ops;
                     batches_admitted += 1;
                 }
-                Ok((ops_admitted, batches_admitted))
+                Ok((ops_admitted, batches_admitted, samples))
             },
         ));
     }
@@ -123,12 +178,14 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
     let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
     let mut published_ops = 0u64;
     let mut published_batches = 0u64;
+    let mut publish_samples: Vec<Duration> = Vec::new();
     let mut first_error = None;
     for outcome in outcomes {
         match outcome.map_err(|_| NetError::protocol("load client thread panicked")) {
-            Ok(Ok((ops, batches))) => {
+            Ok(Ok((ops, batches, samples))) => {
                 published_ops += ops;
                 published_batches += batches;
+                publish_samples.extend(samples);
             }
             Ok(Err(e)) | Err(e) => first_error = first_error.or(Some(e)),
         }
@@ -148,6 +205,20 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         (None, Duration::ZERO)
     };
 
+    let mut latencies = Vec::new();
+    if !publish_samples.is_empty() {
+        latencies.push((
+            "publish-edits".to_string(),
+            LatencySummary::from_samples(&mut publish_samples),
+        ));
+    }
+    if exchange.is_some() {
+        latencies.push((
+            "update-exchange".to_string(),
+            LatencySummary::from_samples(&mut [exchange_wall]),
+        ));
+    }
+
     let secs = publish_wall.as_secs_f64();
     Ok(NetLoadReport {
         published_ops,
@@ -160,6 +231,7 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         },
         exchange,
         exchange_wall,
+        latencies,
     })
 }
 
@@ -182,10 +254,18 @@ mod tests {
         let report = run_net_load(&config).unwrap();
         assert_eq!(report.published_batches, 12);
         assert_eq!(report.published_ops, 60);
-        let exchange = report.exchange.expect("exchange ran");
+        let exchange = report.exchange.clone().expect("exchange ran");
         assert_eq!(exchange.batches_applied, 12);
         assert!(exchange.inserted > 0);
         assert!(report.ops_per_sec > 0.0);
+
+        let publish = report.latency("publish-edits").expect("publish latency");
+        assert_eq!(publish.count, 12);
+        assert!(publish.p50 > Duration::ZERO);
+        assert!(publish.p50 <= publish.p95 && publish.p95 <= publish.p99);
+        let exch = report.latency("update-exchange").expect("exchange latency");
+        assert_eq!(exch.count, 1);
+        assert_eq!(exch.p50, report.exchange_wall);
 
         let cdss = handle.stop_and_join();
         // Every admitted edit landed: the union of the peers' instances
@@ -202,5 +282,26 @@ mod tests {
         // clients publishing into the same relation must not collide.
         assert_ne!(tuple_for(1, 0, 0, 0, 3), tuple_for(1, 7, 0, 0, 3));
         assert_ne!(tuple_for(1, 0, 1, 0, 3), tuple_for(1, 0, 0, 0, 3));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u32> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[7u32], 50.0), 7);
+        assert_eq!(percentile(&[7u32], 99.0), 7);
+
+        let mut samples = vec![Duration::from_millis(3), Duration::from_millis(1)];
+        let summary = LatencySummary::from_samples(&mut samples);
+        assert_eq!(summary.count, 2);
+        assert_eq!(summary.p50, Duration::from_millis(1));
+        assert_eq!(summary.p99, Duration::from_millis(3));
+        assert_eq!(
+            LatencySummary::from_samples(&mut []),
+            LatencySummary::default()
+        );
     }
 }

@@ -350,12 +350,51 @@ proptest! {
         apply_edits(&mut recomputed, &edits);
         recomputed.recompute_all().unwrap();
 
+        // The published snapshot views must answer exactly like the live
+        // (locked) stores they were taken from: every exchange above ended
+        // by publishing, so the latest view covers the final epoch.
+        let batch_view = batch.snapshot();
+        let pipelined_view = pipelined.snapshot();
+        prop_assert_eq!(batch_view.total_output_tuples(), batch.total_output_tuples());
+
         for (peer, rel) in [("PGUS", "G"), ("PBioSQL", "B"), ("PuBio", "U")] {
             let a = batch.local_instance(peer, rel).unwrap();
             let b = pipelined.local_instance(peer, rel).unwrap();
             let r = recomputed.local_instance(peer, rel).unwrap();
             prop_assert_eq!(&a, &b, "batch vs pipelined differ on {}", rel);
             prop_assert_eq!(&a, &r, "incremental vs recomputation differ on {}", rel);
+
+            // Snapshot-vs-locked differential: instances, certain answers
+            // and canonical provenance agree between the lock-free view and
+            // the live store.
+            for (view, live) in [(&batch_view, &batch), (&pipelined_view, &pipelined)] {
+                prop_assert_eq!(
+                    &view.local_instance(peer, rel).unwrap(),
+                    &live.local_instance(peer, rel).unwrap(),
+                    "snapshot local instance of {} diverges from the locked read",
+                    rel
+                );
+                prop_assert_eq!(
+                    &view.certain_answers(peer, rel).unwrap(),
+                    &live.certain_answers(peer, rel).unwrap(),
+                    "snapshot certain answers of {} diverge from the locked read",
+                    rel
+                );
+                for t in &a {
+                    let mut from_view = view.provenance_of(rel, t);
+                    let mut from_live = live.provenance_of(rel, t);
+                    from_view.canonicalize();
+                    from_live.canonicalize();
+                    prop_assert_eq!(
+                        from_view.to_string(),
+                        from_live.to_string(),
+                        "snapshot provenance of {}{} diverges from the locked read",
+                        rel,
+                        t
+                    );
+                    prop_assert_eq!(view.is_derivable(rel, t), live.is_derivable(rel, t));
+                }
+            }
 
             // Canonical provenance must agree tuple by tuple.
             for t in &a {

@@ -222,6 +222,113 @@ fn three_peer_scenario_end_to_end_over_tcp() {
     handle.stop_and_join();
 }
 
+/// Snapshot isolation: reader threads querying *during* a bulk exchange
+/// only ever observe whole epochs — every response equals the pre-exchange
+/// oracle or the post-exchange oracle, never a mix of the two — and each
+/// connection's view is monotonic (once the new epoch is seen, the old one
+/// never reappears).
+#[test]
+fn snapshot_reads_see_whole_epochs_during_exchange() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const READERS: usize = 4;
+    let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let mut client = NetClient::connect(addr).unwrap();
+
+    // Pre-exchange oracle: a seeded, fully exchanged instance.
+    let seed: Vec<Tuple> = (0..150i64).map(|i| int_tuple(&[i, i + 1, i + 2])).collect();
+    client
+        .publish_edits(EditBatch::for_peer("PGUS").insert("G", seed))
+        .unwrap();
+    client.update_exchange(Some("PGUS")).unwrap();
+    let pre_b = client.query_local("PBioSQL", "B").unwrap();
+    let pre_u = client.query_local("PuBio", "U").unwrap();
+
+    // The bulk epoch the readers will race. A single-peer exchange is one
+    // snapshot publication covering the whole deletion+insertion round, so
+    // exactly two epochs are observable below.
+    let bulk: Vec<Tuple> = (0..800i64)
+        .map(|i| int_tuple(&[1_000 + i, 10_000 + i, 20_000 + i]))
+        .collect();
+    client
+        .publish_edits(EditBatch::for_peer("PGUS").insert("G", bulk))
+        .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client =
+                    NetClient::connect_with_retry(addr, 20, Duration::from_millis(50)).unwrap();
+                let mut samples: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::new();
+                loop {
+                    // Read-before-stop-check: at least one sample lands
+                    // even if the exchange finishes instantly.
+                    let b = client.query_local("PBioSQL", "B").unwrap();
+                    let u = client.query_local("PuBio", "U").unwrap();
+                    samples.push((b, u));
+                    if stop.load(Ordering::SeqCst) {
+                        return samples;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    client.update_exchange(Some("PGUS")).unwrap();
+    stop.store(true, Ordering::SeqCst);
+
+    let post_b = client.query_local("PBioSQL", "B").unwrap();
+    let post_u = client.query_local("PuBio", "U").unwrap();
+    assert!(post_b.len() > pre_b.len(), "the bulk epoch must be visible");
+
+    for reader in readers {
+        let samples = reader.join().unwrap();
+        assert!(!samples.is_empty());
+        let mut b_advanced = false;
+        let mut u_advanced = false;
+        for (b, u) in samples {
+            // Whole-epoch reads: never a partially applied exchange.
+            assert!(
+                b == pre_b || b == post_b,
+                "B response ({} tuples) is neither the pre-exchange epoch ({}) nor the \
+                 post-exchange epoch ({})",
+                b.len(),
+                pre_b.len(),
+                post_b.len()
+            );
+            assert!(
+                u == pre_u || u == post_u,
+                "U response ({} tuples) is neither the pre-exchange epoch ({}) nor the \
+                 post-exchange epoch ({})",
+                u.len(),
+                pre_u.len(),
+                post_u.len()
+            );
+            // Monotonic views: an epoch, once observed, never rolls back.
+            if b_advanced {
+                assert_eq!(b, post_b, "B rolled back to the pre-exchange epoch");
+            }
+            if u_advanced {
+                assert_eq!(u, post_u, "U rolled back to the pre-exchange epoch");
+            }
+            b_advanced = b == post_b && post_b != pre_b;
+            u_advanced = u == post_u && post_u != pre_u;
+        }
+    }
+
+    // The snapshot counters saw all of it: reads were served lock-free and
+    // both exchanges published a fresh epoch view.
+    let stats = client.stats().unwrap();
+    assert!(stats.snapshot_reads > 0, "{stats:?}");
+    assert!(stats.snapshots_published >= 2, "{stats:?}");
+    assert!(stats.snapshot_epoch >= 2, "{stats:?}");
+    handle.stop_and_join();
+}
+
 /// A persistent server checkpoints over the wire and recovers its state.
 #[test]
 fn remote_checkpoint_then_recover() {

@@ -1,5 +1,5 @@
 //! Wire-version negotiation and remote pool-compaction tests: clients
-//! pinned at every shipped frame version (1, 2, and the current 3) talk
+//! pinned at every shipped frame version (1, 2, 3, and the current 4) talk
 //! to the same server in one session and observe identical answers — the
 //! responder echoes each requester's frame version and encodes its
 //! payloads in that version's vocabulary.
@@ -23,8 +23,10 @@ fn all_wire_versions_interoperate_on_one_server() {
 
     let mut old = connect(addr, 1);
     let mut mid = connect(addr, 2);
-    let mut new = connect(addr, 3);
+    let mut v3 = connect(addr, 3);
+    let mut new = connect(addr, 4);
     assert_eq!(old.wire_version(), 1);
+    assert_eq!(new.wire_version(), orchestra_net::frame::VERSION);
 
     // The legacy client publishes (plain-tuple tag in a v1 frame) and the
     // current client publishes pooled; one exchange folds both in.
@@ -38,12 +40,13 @@ fn all_wire_versions_interoperate_on_one_server() {
     assert_eq!(summary.batches_applied, 2);
 
     // All clients read identical instances, through different Tuples
-    // layouts on the wire (plain at v1, pooled at v2/v3).
+    // layouts on the wire (plain at v1, pooled at v2 and later).
     for (peer, rel) in [("PGUS", "G"), ("PBioSQL", "B"), ("PuBio", "U")] {
         let via_old = old.query_local(peer, rel).unwrap();
         let via_new = new.query_local(peer, rel).unwrap();
         assert_eq!(via_old, via_new, "{peer}/{rel} differs across versions");
         assert_eq!(via_old, mid.query_local(peer, rel).unwrap());
+        assert_eq!(via_old, v3.query_local(peer, rel).unwrap());
         assert_eq!(
             old.query_certain(peer, rel).unwrap(),
             new.query_certain(peer, rel).unwrap()
@@ -62,20 +65,37 @@ fn all_wire_versions_interoperate_on_one_server() {
     );
 
     // Stats: each version decodes its own field layout — v1 predates the
-    // intern counters, v2 the pool counters — with the shared fields
-    // agreeing everywhere.
+    // intern counters, v2 the pool counters, v3 the snapshot counters —
+    // with the shared fields agreeing everywhere.
     let s_old = old.stats().unwrap();
     let s_mid = mid.stats().unwrap();
+    let s_v3 = v3.stats().unwrap();
     let s_new = new.stats().unwrap();
     assert_eq!(s_old.peers, s_new.peers);
     assert_eq!(s_old.total_tuples, s_new.total_tuples);
     assert_eq!(s_mid.total_tuples, s_new.total_tuples);
+    assert_eq!(s_v3.total_tuples, s_new.total_tuples);
     assert_eq!(s_old.intern_hits, 0, "v1 stats carry no intern counters");
     assert!(s_mid.intern_misses > 0, "v2 stats carry intern counters");
     assert_eq!(s_mid.pool_values, 0, "v2 stats carry no pool counters");
-    assert!(s_new.intern_misses > 0);
-    assert!(s_new.pool_values > 0, "v3 stats expose the pool size");
-    assert!(s_new.pool_live_values > 0);
+    assert!(s_v3.intern_misses > 0);
+    assert!(s_v3.pool_values > 0, "v3 stats expose the pool size");
+    assert!(s_v3.pool_live_values > 0);
+    assert_eq!(
+        s_v3.snapshots_published, 0,
+        "v3 stats carry no snapshot counters"
+    );
+    assert_eq!(s_v3.snapshot_reads, 0);
+    assert!(s_new.pool_values > 0);
+    assert!(
+        s_new.snapshot_epoch >= 1,
+        "v4 stats expose the served snapshot epoch"
+    );
+    assert!(s_new.snapshots_published >= 1);
+    assert!(
+        s_new.snapshot_reads > 0,
+        "the queries above were answered from snapshots"
+    );
 
     handle.stop_and_join();
 }
