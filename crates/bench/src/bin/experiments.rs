@@ -11,7 +11,7 @@
 
 use orchestra_bench::netlat::{latency_rows, p99_gate, run_net_latency};
 use orchestra_bench::snapshot::{
-    check_against_baseline, entry_json, merge_entry, run_pool_churn, run_snapshot,
+    check_against_baseline, entry_json, merge_entry, run_obs_overhead, run_pool_churn, run_snapshot,
 };
 use orchestra_bench::{
     run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
@@ -37,6 +37,12 @@ fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: 
             return 1;
         }
     };
+    // The gated workloads run with the trace recorder *enabled* (recording
+    // into the global ring, no sink attached): the envelope below proves
+    // enabled-but-idle instrumentation stays within the same 25% budget as
+    // any other regression, instead of getting a budget of its own.
+    orchestra_obs::trace::enable();
+    println!("trace recorder enabled: the gates measure instrumented runs");
     let rows = run_snapshot(scale);
     for r in &rows {
         println!("{:<36} {:>14} ns", r.workload, r.median_ns);
@@ -99,6 +105,10 @@ fn snapshot_mode(label: &str, out_path: &str, scale: Scale) -> i32 {
     println!("snapshot mode (scale = {}, label = {label})", scale.0);
     let mut rows = run_snapshot(scale);
     rows.push(run_pool_churn(scale).row);
+    // A/B contrast of the trace recorder's cost on the incremental
+    // exchange (see [`run_obs_overhead`]) — recorded so the overhead
+    // trajectory is visible across PRs next to the workloads it taxes.
+    rows.extend(run_obs_overhead(scale));
     // Query latency under a concurrent exchange, in both read modes: the
     // snapshot rows feed the CI gate, the locked rows record the contrast.
     rows.extend(latency_rows(&run_net_latency(scale, false)));

@@ -257,6 +257,26 @@ pub fn run_pool_churn(scale: Scale) -> PoolChurn {
     }
 }
 
+/// Observability-overhead A/B rows: the fig7-style incremental exchange
+/// measured with the trace recorder off and then on (recording into the
+/// global ring with no sink attached — the enabled-but-idle regime a
+/// production server runs in). Metrics counters/histograms are always on,
+/// so they are part of both sides; the contrast isolates the span cost.
+/// Restores the recorder to its prior state afterwards.
+pub fn run_obs_overhead(scale: Scale) -> Vec<SnapshotRow> {
+    let was_enabled = orchestra_obs::trace::is_enabled();
+    orchestra_obs::trace::disable();
+    let mut off = fig7_insertions(EngineKind::Pipelined, scale);
+    off.workload = "obs_overhead/trace_off".to_string();
+    orchestra_obs::trace::enable();
+    let mut on = fig7_insertions(EngineKind::Pipelined, scale);
+    on.workload = "obs_overhead/trace_on".to_string();
+    if !was_enabled {
+        orchestra_obs::trace::disable();
+    }
+    vec![off, on]
+}
+
 /// Figure 5 reduced workload: full recomputation ("time to join") on the
 /// SWISS-PROT-style string dataset.
 fn fig5_join(engine: EngineKind, scale: Scale) -> SnapshotRow {

@@ -181,12 +181,23 @@ impl Cdss {
     /// whole-epoch instances. O(changed relations): unchanged relations
     /// are structurally shared with the previous snapshot.
     pub(crate) fn publish_snapshot(&self) {
+        let _span = orchestra_obs::span("snapshot-publish", "core");
+        let before = self.snapshots.published();
         self.snapshots.publish(
             &self.db,
             self.epoch,
             self.plans.hit_count(),
             self.compactions_run,
         );
+        // Count content-changing publishes only, mirroring
+        // `snapshots_published()` (a no-change publish mints no epoch).
+        // The handle is acquired unconditionally so the series is
+        // registered (at zero) from the first publication attempt on.
+        let counter = orchestra_obs::counter("snapshot_publishes_total");
+        let minted = self.snapshots.published().saturating_sub(before);
+        if minted > 0 {
+            counter.add(minted);
+        }
     }
 
     /// The latest snapshot view: an immutable, whole-epoch read view
@@ -341,6 +352,7 @@ impl Cdss {
     /// CDSS, call [`Cdss::checkpoint`] — which runs this automatically
     /// under the [`CompactionPolicy`] — rather than compacting manually.
     pub fn compact(&mut self) -> PoolCompaction {
+        let _span = orchestra_obs::span("compact", "core");
         let report = self.db.compact_pool();
         self.plans.invalidate_plans();
         self.compactions_run += 1;

@@ -358,6 +358,8 @@ impl Cdss {
         if self.persistence.is_none() {
             return Err(CdssError::Persistence("CDSS is not persistent".into()));
         }
+        let _span = orchestra_obs::span("checkpoint", "core");
+        let start = std::time::Instant::now();
         self.maybe_compact();
         let manifest = Manifest::from_cdss(self).encode();
         let pending = self.pending_snapshot();
@@ -373,6 +375,8 @@ impl Cdss {
         // data) but may also follow a compaction; refresh the view so its
         // counters (durable epoch, compactions) are current.
         self.publish_snapshot();
+        orchestra_obs::histogram("checkpoint_seconds").observe(start.elapsed());
+        orchestra_obs::counter("checkpoints_total").inc();
         Ok(())
     }
 
@@ -411,6 +415,7 @@ impl Cdss {
     /// [`RecoveryReport`]; everything before it is recovered.
     pub fn open_or_recover(dir: impl Into<PathBuf>) -> Result<(Cdss, RecoveryReport)> {
         let dir = dir.into();
+        let _span = orchestra_obs::span("recover", "core");
         let mut store = PersistentStore::open(&dir).map_err(CdssError::Persist)?;
         let snapshot = store
             .load_snapshot()
@@ -478,6 +483,17 @@ impl Cdss {
         cdss.publish_snapshot();
 
         cdss.persistence = Some(PersistHandle { store });
+        if report.replayed_epochs > 0 || report.corrupt_tail.is_some() {
+            let mut fields = vec![
+                ("dir", dir.display().to_string()),
+                ("snapshot_epoch", report.snapshot_epoch.to_string()),
+                ("replayed_epochs", report.replayed_epochs.to_string()),
+            ];
+            if let Some(tail) = &report.corrupt_tail {
+                fields.push(("corrupt_tail", tail.clone()));
+            }
+            orchestra_obs::log::info("core", "recovered", &fields);
+        }
         Ok((cdss, report))
     }
 }

@@ -36,6 +36,12 @@ use crate::Result;
 /// propagation APIs.
 type TupleBatch = BTreeMap<String, Vec<Tuple>>;
 
+/// The `exchange_phase_seconds{phase=...}` histogram for one exchange
+/// phase (the per-phase cost breakdown the paper's §6 reasons about).
+fn phase_histogram(phase: &'static str) -> orchestra_obs::Histogram {
+    orchestra_obs::histogram_with("exchange_phase_seconds", &[("phase", phase)])
+}
+
 impl Cdss {
     /// Validate that `relation` is a known logical relation and every tuple
     /// matches its arity.
@@ -61,6 +67,7 @@ impl Cdss {
     /// provenance relations) from the local-contribution and rejection
     /// tables, then rebuild the provenance graph.
     pub fn recompute_all(&mut self) -> Result<ExchangeReport> {
+        let _span = orchestra_obs::span("recompute-all", "core");
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::FullRecomputation);
 
@@ -86,9 +93,7 @@ impl Cdss {
                 Some(&filter)
             };
             let mut eval = Evaluator::new(engine);
-            let t_eval = Instant::now();
             report.eval_stats = eval.run_filtered_cached(plans, &system.program, db, active)?;
-            let eval_elapsed = t_eval.elapsed();
 
             for logical in system.logical_relations() {
                 for role in [InternalRole::Input, InternalRole::Output] {
@@ -103,15 +108,9 @@ impl Cdss {
             // The graph is stale relative to the recomputed store; rebuild
             // it lazily on the next provenance read instead of inline here.
             graph.invalidate();
-            if std::env::var_os("ORCHESTRA_TRACE_PHASES").is_some() {
-                eprintln!(
-                    "recompute_all: eval={:?} total={:?}",
-                    eval_elapsed,
-                    start.elapsed()
-                );
-            }
         }
         report.duration = start.elapsed();
+        phase_histogram("recompute").observe(report.duration);
         // Publication is deferred like the incremental paths': recompute is
         // not reachable over the wire, and `Cdss::snapshot` refreshes on
         // demand for in-process readers.
@@ -136,6 +135,7 @@ impl Cdss {
         for (rel, tuples) in insertions {
             self.check_logical_batch(rel, tuples)?;
         }
+        let _span = orchestra_obs::span("insertion-round", "core");
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalInsertion);
 
@@ -158,26 +158,20 @@ impl Cdss {
             Some(&filter)
         };
         let mut eval = Evaluator::new(engine);
-        let t_eval = Instant::now();
         let new = eval.propagate_insertions_cached(plans, &system.program, db, &base, active)?;
-        let eval_elapsed = t_eval.elapsed();
         report.eval_stats = eval.take_stats();
 
         for (rel, ts) in &new {
             report.add_inserted(rel, ts.len());
         }
-        let t_graph = Instant::now();
-        graph.extend_with_insertions(new);
-        if std::env::var_os("ORCHESTRA_TRACE_PHASES").is_some() {
-            eprintln!(
-                "apply_insertions: eval={:?} graph={:?} total={:?} stats[{}]",
-                eval_elapsed,
-                t_graph.elapsed(),
-                start.elapsed(),
-                report.eval_stats,
-            );
+        {
+            let _graph_span = orchestra_obs::span("provenance-rebuild", "core");
+            let t_graph = Instant::now();
+            graph.extend_with_insertions(new);
+            phase_histogram("provenance-rebuild").observe(t_graph.elapsed());
         }
         report.duration = start.elapsed();
+        phase_histogram("insertion-round").observe(report.duration);
         Ok(report)
     }
 
@@ -234,6 +228,7 @@ impl Cdss {
         retractions: &BTreeMap<String, Vec<Tuple>>,
         rejections: &BTreeMap<String, Vec<Tuple>>,
     ) -> Result<ExchangeReport> {
+        let _span = orchestra_obs::span("deletion-round", "core");
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalDeletion);
 
@@ -335,6 +330,7 @@ impl Cdss {
         //    the next provenance read.
         graph.invalidate();
         report.duration = start.elapsed();
+        phase_histogram("deletion-round").observe(report.duration);
         Ok(report)
     }
 
@@ -452,6 +448,7 @@ impl Cdss {
     /// logs, apply the resulting deletions (retractions and rejections) and
     /// insertions, and propagate everything incrementally.
     pub fn update_exchange(&mut self, peer: &str) -> Result<(PublishReport, Vec<ExchangeReport>)> {
+        let _span = orchestra_obs::span("exchange", "core");
         // Write-ahead: a persistent CDSS appends the pending edit logs as a
         // durable epoch before publishing them (no-op otherwise).
         self.log_pending_epoch(peer)?;
@@ -469,7 +466,9 @@ impl Cdss {
                 // for the whole deletion+insertion round, so snapshot
                 // readers see pre- or post-exchange epochs, never a
                 // mid-propagation mix.
+                let t_publish = Instant::now();
                 self.publish_snapshot();
+                phase_histogram("snapshot-publish").observe(t_publish.elapsed());
                 Ok(ok)
             }
             Err(err) => {

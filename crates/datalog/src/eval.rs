@@ -153,6 +153,7 @@ impl Evaluator {
         db: &mut Database,
         filter: Option<&DerivationFilter<'_>>,
     ) -> Result<EvalStats> {
+        let _span = orchestra_obs::span("eval", "datalog");
         let prepared = cache.prepare(program)?;
         Self::prepare_relations_from(&*cache.arities(program)?, db)?;
         cache.refresh(program, db);
@@ -164,6 +165,7 @@ impl Evaluator {
             if stratum_rules.is_empty() {
                 continue;
             }
+            let _stratum = orchestra_obs::span("stratum", "datalog");
             let s =
                 self.run_stratum_seminaive(cache, &prepared, stratum_rules, program, db, filter)?;
             total += s;
@@ -173,6 +175,7 @@ impl Evaluator {
         total.intern_misses += (pool_after.misses - pool_before.misses) as usize;
         total.plan_cache_hits += (cache.hits - plan_hits_before) as usize;
         self.stats += total;
+        total.record_to_registry();
         Ok(total)
     }
 
@@ -367,15 +370,13 @@ impl Evaluator {
             }
         }
 
-        // Push deltas through the rules until fixpoint, each occurrence with
-        // its delta-first compiled variant.
-        let trace = std::env::var_os("ORCHESTRA_TRACE_EVAL").is_some();
-        let (mut t_plan, mut t_eval, mut t_insert) = (
-            std::time::Duration::ZERO,
-            std::time::Duration::ZERO,
-            std::time::Duration::ZERO,
-        );
+        // Push deltas through the rules until fixpoint, each occurrence
+        // with its delta-first compiled variant. Each round is a span, so
+        // a trace timeline shows the fixpoint converging (formerly an
+        // `ORCHESTRA_TRACE_EVAL` stderr dump).
+        let _fixpoint = orchestra_obs::span("fixpoint-insertions", "datalog");
         while !delta.is_empty() {
+            let _round = orchestra_obs::span("insert-round", "datalog");
             let mut next: HashMap<String, Vec<TupleId>> = HashMap::new();
             for (ri, rule_occurrences) in prepared.occurrences.iter().enumerate() {
                 for (body_index, relation) in rule_occurrences {
@@ -385,12 +386,7 @@ impl Evaluator {
                     if d.is_empty() {
                         continue;
                     }
-                    let t0 = trace.then(std::time::Instant::now);
                     let (plan, temp) = cache.delta(program, ri, *body_index, db.pool_mut())?;
-                    if let Some(t0) = t0 {
-                        t_plan += t0.elapsed();
-                    }
-                    let t0 = trace.then(std::time::Instant::now);
                     let produced = eval_rule_ids(
                         self.kind,
                         plan,
@@ -402,18 +398,11 @@ impl Evaluator {
                         &mut sc,
                         true,
                     )?;
-                    if let Some(t0) = t0 {
-                        t_eval += t0.elapsed();
-                    }
                     if produced.is_empty() {
                         continue;
                     }
                     let head = plan.rule.head_relation.clone();
-                    let t0 = trace.then(std::time::Instant::now);
                     let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
-                    if let Some(t0) = t0 {
-                        t_insert += t0.elapsed();
-                    }
                     if !fresh.is_empty() {
                         all_new
                             .entry(head.clone())
@@ -426,15 +415,13 @@ impl Evaluator {
             stats.iterations += 1;
             delta = next;
         }
-        if trace {
-            eprintln!("propagate: plan={t_plan:?} eval={t_eval:?} insert={t_insert:?}");
-        }
 
         let pool_after = db.pool_stats();
         stats.intern_hits += (pool_after.hits - pool_before.hits) as usize;
         stats.intern_misses += (pool_after.misses - pool_before.misses) as usize;
         stats.plan_cache_hits += (cache.hits - plan_hits_before) as usize;
         self.stats += stats;
+        stats.record_to_registry();
 
         // Materialise the new-tuple ids into tuples (cheap `Arc` clones of
         // the stored rows) for the public API.

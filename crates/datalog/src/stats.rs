@@ -67,6 +67,54 @@ impl EvalStats {
     pub fn merge(&mut self, other: &EvalStats) {
         *self += *other;
     }
+
+    /// Add this counter set into the process-global metrics registry
+    /// (`eval_*_total` series), so scrapes see cumulative evaluation
+    /// work without threading `EvalStats` through every caller. Handles
+    /// are resolved once and cached; recording is 14 relaxed adds.
+    pub fn record_to_registry(&self) {
+        use std::sync::OnceLock;
+        static HANDLES: OnceLock<[orchestra_obs::Counter; 14]> = OnceLock::new();
+        let handles = HANDLES.get_or_init(|| {
+            [
+                orchestra_obs::counter("eval_iterations_total"),
+                orchestra_obs::counter("eval_rule_applications_total"),
+                orchestra_obs::counter("eval_tuples_derived_total"),
+                orchestra_obs::counter("eval_tuples_inserted_total"),
+                orchestra_obs::counter("eval_tuples_deleted_total"),
+                orchestra_obs::counter("eval_temp_indexes_built_total"),
+                orchestra_obs::counter("eval_index_probes_total"),
+                orchestra_obs::counter("eval_filtered_out_total"),
+                orchestra_obs::counter("eval_candidates_scanned_total"),
+                orchestra_obs::counter("eval_delta_indexes_built_total"),
+                orchestra_obs::counter("eval_reorders_applied_total"),
+                orchestra_obs::counter("eval_intern_hits_total"),
+                orchestra_obs::counter("eval_intern_misses_total"),
+                orchestra_obs::counter("eval_plan_cache_hits_total"),
+            ]
+        });
+        let values = [
+            self.iterations,
+            self.rule_applications,
+            self.tuples_derived,
+            self.tuples_inserted,
+            self.tuples_deleted,
+            self.temp_indexes_built,
+            self.index_probes,
+            self.filtered_out,
+            self.candidates_scanned,
+            self.delta_indexes_built,
+            self.reorders_applied,
+            self.intern_hits,
+            self.intern_misses,
+            self.plan_cache_hits,
+        ];
+        for (handle, v) in handles.iter().zip(values) {
+            if v > 0 {
+                handle.add(v as u64);
+            }
+        }
+    }
 }
 
 impl AddAssign for EvalStats {
@@ -149,6 +197,24 @@ mod tests {
         assert_eq!(a.intern_hits, 24);
         assert_eq!(a.intern_misses, 26);
         assert_eq!(a.plan_cache_hits, 28);
+    }
+
+    #[test]
+    fn registry_bridge_accumulates_counters() {
+        let before = orchestra_obs::global()
+            .counter_value("eval_iterations_total", &[])
+            .unwrap_or(0);
+        let s = EvalStats {
+            iterations: 3,
+            ..EvalStats::default()
+        };
+        s.record_to_registry();
+        let after = orchestra_obs::global()
+            .counter_value("eval_iterations_total", &[])
+            .unwrap();
+        // Other tests in this binary evaluate concurrently, so the
+        // global counter may have moved by more than our contribution.
+        assert!(after >= before + 3);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! orchestrad [--addr 127.0.0.1:4747] [--data-dir DIR] [--smoke]
+//!            [--trace FILE] [--metrics-every N]
 //! ```
 //!
 //! * `--addr` — listen address (use port 0 for an ephemeral port).
@@ -12,10 +13,16 @@
 //!   `Cdss::open_or_recover` when it already holds state, initialised with
 //!   the example scenario otherwise. `Checkpoint` requests then fold the
 //!   WAL into a snapshot.
+//! * `--trace FILE` — enable structured tracing and write the recorded
+//!   spans as Chrome trace-event JSON (`chrome://tracing`, Perfetto) to
+//!   `FILE` at shutdown.
+//! * `--metrics-every N` — print the metrics exposition to stdout every
+//!   `N` seconds while serving.
 //! * `--smoke` — self-test: start the server on an ephemeral port, run a
 //!   scripted client session (publish → exchange → query → provenance →
-//!   stats → checkpoint if persistent → shutdown), print `SMOKE OK` and
-//!   exit non-zero on any failure. Used by CI.
+//!   stats → metrics → checkpoint if persistent → shutdown), print the
+//!   final metrics exposition and `SMOKE OK`, and exit non-zero on any
+//!   failure. Used by CI.
 //!
 //! The daemon exits when a client sends `Shutdown`.
 
@@ -30,6 +37,8 @@ struct Args {
     addr: String,
     data_dir: Option<String>,
     smoke: bool,
+    trace: Option<String>,
+    metrics_every: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:4747".to_string(),
         data_dir: None,
         smoke: false,
+        trace: None,
+        metrics_every: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,9 +58,25 @@ fn parse_args() -> Result<Args, String> {
             "--data-dir" => {
                 args.data_dir = Some(it.next().ok_or("--data-dir requires a value")?);
             }
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace requires a file path")?);
+            }
+            "--metrics-every" => {
+                let raw = it.next().ok_or("--metrics-every requires a value")?;
+                let secs: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--metrics-every: `{raw}` is not a number of seconds"))?;
+                if secs == 0 {
+                    return Err("--metrics-every requires a positive number of seconds".into());
+                }
+                args.metrics_every = Some(secs);
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
-                println!("usage: orchestrad [--addr HOST:PORT] [--data-dir DIR] [--smoke]");
+                println!(
+                    "usage: orchestrad [--addr HOST:PORT] [--data-dir DIR] \
+                     [--trace FILE] [--metrics-every N] [--smoke]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -65,9 +92,14 @@ fn build_cdss(data_dir: Option<&str>) -> Result<Cdss, String> {
     if orchestra_persist::PersistentStore::holds_state(dir) {
         let (cdss, report) =
             Cdss::open_or_recover(dir).map_err(|e| format!("recovering {dir}: {e}"))?;
-        eprintln!(
-            "orchestrad: recovered {dir} (snapshot epoch {}, {} WAL epochs replayed)",
-            report.snapshot_epoch, report.replayed_epochs
+        orchestra_obs::log::info(
+            "orchestrad",
+            "recovered",
+            &[
+                ("dir", dir.to_string()),
+                ("snapshot_epoch", report.snapshot_epoch.to_string()),
+                ("replayed_epochs", report.replayed_epochs.to_string()),
+            ],
         );
         Ok(cdss)
     } else {
@@ -78,8 +110,9 @@ fn build_cdss(data_dir: Option<&str>) -> Result<Cdss, String> {
     }
 }
 
-/// The scripted loopback session exercised by `--smoke`.
-fn run_smoke(addr: std::net::SocketAddr, persistent: bool) -> Result<(), NetError> {
+/// The scripted loopback session exercised by `--smoke`. Returns the
+/// server's metrics exposition so CI can grep the expected series.
+fn run_smoke(addr: std::net::SocketAddr, persistent: bool) -> Result<String, NetError> {
     let mut client = NetClient::connect_with_retry(addr, 20, std::time::Duration::from_millis(50))?;
 
     client.publish_edits(
@@ -116,12 +149,21 @@ fn run_smoke(addr: std::net::SocketAddr, persistent: bool) -> Result<(), NetErro
         return Err(NetError::protocol(format!("unexpected stats: {stats:?}")));
     }
 
+    let metrics = client.metrics()?;
+    for series in ["requests_total", "request_latency_seconds"] {
+        if !metrics.contains(series) {
+            return Err(NetError::protocol(format!(
+                "metrics exposition is missing `{series}`"
+            )));
+        }
+    }
+
     if persistent {
         client.checkpoint()?;
     }
 
     client.shutdown()?;
-    Ok(())
+    Ok(metrics)
 }
 
 fn main() -> ExitCode {
@@ -132,6 +174,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.trace.is_some() {
+        orchestra_obs::trace::enable();
+    }
 
     let cdss = match build_cdss(args.data_dir.as_deref()) {
         Ok(cdss) => cdss,
@@ -155,15 +201,16 @@ fn main() -> ExitCode {
     };
     println!("orchestrad: listening on {}", handle.addr());
 
-    if args.smoke {
+    let exit = if args.smoke {
         let result = run_smoke(handle.addr(), args.data_dir.is_some());
         // A failed session may never have sent Shutdown; stop the server
         // ourselves so a broken smoke test exits non-zero instead of
         // hanging in join(). stop() is idempotent after a clean Shutdown.
         handle.stop();
         handle.join();
-        return match result {
-            Ok(()) => {
+        match result {
+            Ok(metrics) => {
+                print!("{metrics}");
                 println!("SMOKE OK");
                 ExitCode::SUCCESS
             }
@@ -171,10 +218,35 @@ fn main() -> ExitCode {
                 eprintln!("orchestrad: smoke test failed: {e}");
                 ExitCode::FAILURE
             }
-        };
-    }
+        }
+    } else {
+        if let Some(secs) = args.metrics_every {
+            // The probe keeps none of the server's shared state alive, so
+            // this thread cannot interfere with join(); it dies with the
+            // process.
+            let interval = std::time::Duration::from_secs(secs);
+            let probe = handle.metrics_probe();
+            std::thread::Builder::new()
+                .name("orchestrad-metrics".into())
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    print!("{}", probe.render());
+                })
+                .ok();
+        }
+        handle.join();
+        println!("orchestrad: shut down");
+        ExitCode::SUCCESS
+    };
 
-    handle.join();
-    println!("orchestrad: shut down");
-    ExitCode::SUCCESS
+    if let Some(path) = &args.trace {
+        match orchestra_obs::trace::write_chrome_trace(path) {
+            Ok(n) => eprintln!("orchestrad: wrote {n} trace events to {path}"),
+            Err(e) => {
+                eprintln!("orchestrad: failed to write trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    exit
 }

@@ -235,4 +235,22 @@ impl NetClient {
             other => Err(Self::expect_error(other)),
         }
     }
+
+    /// The server's metrics registry in Prometheus-style text exposition:
+    /// per-request counters and latency histograms, plus the engine-level
+    /// series (exchange phases, WAL timings, eval counters). Requires wire
+    /// version 5; a client pinned lower refuses locally rather than
+    /// confusing an old server with a tag it cannot decode.
+    pub fn metrics(&mut self) -> Result<String> {
+        if self.wire_version < 5 {
+            return Err(NetError::protocol(format!(
+                "the Metrics request requires wire version 5 (client pinned to {})",
+                self.wire_version
+            )));
+        }
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(Self::expect_error(other)),
+        }
+    }
 }

@@ -54,7 +54,7 @@ pub mod server;
 pub use client::{NetClient, RemoteProvenance};
 pub use error::NetError;
 pub use proto::{EditBatch, ErrorCode, ExchangeSummary, Request, Response, ServerStats};
-pub use server::{serve, serve_with, ServeOptions, ServerHandle};
+pub use server::{serve, serve_with, MetricsProbe, ServeOptions, ServerHandle};
 
 /// Convenience result alias for network operations.
 pub type Result<T> = std::result::Result<T, NetError>;

@@ -17,8 +17,9 @@
 //! | 7 | `Stats` | `Error` |
 //! | 8 | `Checkpoint` | `Tuples` (pooled) |
 //! | 9 | `Shutdown` | `Compacted` |
-//! | 10 | `PublishEdits` (pooled) | |
+//! | 10 | `PublishEdits` (pooled) | `Metrics` (text exposition) |
 //! | 11 | `Compact` | |
+//! | 12 | `Metrics` | |
 //!
 //! Bulk payloads (`PublishEdits` batches, `Tuples` answers) are emitted in
 //! the **pooled** encoding of [`orchestra_persist::pooled`] — one value
@@ -37,13 +38,17 @@
 //! * **v2** — pooled bulk payloads, `Stats` with the intern/plan-cache
 //!   counters (ten);
 //! * **v3** — v2 plus the pool-compaction counters in `Stats` (thirteen);
-//! * **v4** (current) — v3 plus the snapshot-subsystem counters in `Stats`
-//!   (`snapshot_epoch`, `snapshots_published`, `snapshot_reads`).
+//! * **v4** — v3 plus the snapshot-subsystem counters in `Stats`
+//!   (`snapshot_epoch`, `snapshots_published`, `snapshot_reads`);
+//! * **v5** (current) — v4 plus the `Metrics` request (tag 12) and its
+//!   text-exposition response (tag 10). The `Stats` field layout is
+//!   unchanged from v4; a server refuses `Metrics` on frames older
+//!   than v5.
 //!
 //! The `Stats` field layout is what forces a version bump: it is a bare
 //! field list under one tag, so growing it in place would break every
 //! already-deployed client of the previous version. A current client
-//! defaults to v4 but can be pinned lower (`NetClient::set_wire_version`)
+//! defaults to v5 but can be pinned lower (`NetClient::set_wire_version`)
 //! to stand in for an old binary; either way it decodes each response by
 //! the version the *response frame* carries, so mixed-version live
 //! deployments interoperate in both directions.
@@ -234,6 +239,10 @@ pub enum Request {
     /// Compact the value pool now, unconditionally (works on in-memory
     /// servers too). Returns [`Response::Compacted`].
     Compact,
+    /// The server's metrics registry in Prometheus-style text exposition
+    /// (latency histograms, per-request counters, engine counters).
+    /// Requires frame version 5; returns [`Response::Metrics`].
+    Metrics,
 }
 
 impl Request {
@@ -269,6 +278,7 @@ impl Request {
             Request::Checkpoint => RequestKind::Checkpoint,
             Request::Shutdown => RequestKind::Shutdown,
             Request::Compact => RequestKind::Compact,
+            Request::Metrics => RequestKind::Metrics,
         }
     }
 }
@@ -298,11 +308,13 @@ pub enum RequestKind {
     Shutdown,
     /// `Compact`.
     Compact,
+    /// `Metrics`.
+    Metrics,
 }
 
 impl RequestKind {
     /// Every request kind, in tag order.
-    pub const ALL: [RequestKind; 11] = [
+    pub const ALL: [RequestKind; 12] = [
         RequestKind::PublishEdits,
         RequestKind::UpdateExchange,
         RequestKind::QueryLocal,
@@ -314,6 +326,7 @@ impl RequestKind {
         RequestKind::Checkpoint,
         RequestKind::Shutdown,
         RequestKind::Compact,
+        RequestKind::Metrics,
     ];
 
     /// Stable label for metrics and logs.
@@ -330,6 +343,7 @@ impl RequestKind {
             RequestKind::Checkpoint => "checkpoint",
             RequestKind::Shutdown => "shutdown",
             RequestKind::Compact => "compact",
+            RequestKind::Metrics => "metrics",
         }
     }
 }
@@ -385,6 +399,7 @@ impl Encode for Request {
             Request::Checkpoint => w.put_u8(8),
             Request::Shutdown => w.put_u8(9),
             Request::Compact => w.put_u8(11),
+            Request::Metrics => w.put_u8(12),
         }
     }
 }
@@ -430,6 +445,7 @@ impl Decode for Request {
             8 => Request::Checkpoint,
             9 => Request::Shutdown,
             11 => Request::Compact,
+            12 => Request::Metrics,
             tag => {
                 return Err(PersistError::corrupt(
                     offset,
@@ -795,6 +811,9 @@ pub enum Response {
         /// Distinct pool values after the pass (the live vocabulary).
         after: u64,
     },
+    /// The server's metrics registry rendered as Prometheus-style text
+    /// exposition (answer to [`Request::Metrics`], frame version 5+).
+    Metrics(String),
     /// The operation failed.
     Error {
         /// Machine-readable category.
@@ -829,8 +848,9 @@ impl Response {
     /// Encode for a given frame version (see the module docs): version 1
     /// emits only the legacy vocabulary (`Tuples` under the plain tag 2,
     /// `Stats` in the v1 field layout), versions 2 and 3 keep the pooled
-    /// tags but their respective shorter `Stats` layouts, and version 4 is
-    /// [`Encode::to_bytes`].
+    /// tags but their respective shorter `Stats` layouts, and versions 4
+    /// and 5 are [`Encode::to_bytes`] (v5 changed no existing layout; it
+    /// only added the `Metrics` message pair).
     pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
         if version >= 4 {
             return self.to_bytes();
@@ -926,6 +946,10 @@ impl Encode for Response {
                 w.put_u64(*before);
                 w.put_u64(*after);
             }
+            Response::Metrics(text) => {
+                w.put_u8(10);
+                w.put_str(text);
+            }
             Response::Error { code, message } => {
                 w.put_u8(7);
                 w.put_u8(code.as_u8());
@@ -958,6 +982,7 @@ impl Decode for Response {
                 before: r.get_u64()?,
                 after: r.get_u64()?,
             },
+            10 => Response::Metrics(r.get_str()?.to_string()),
             7 => {
                 let code_offset = r.offset();
                 let code = ErrorCode::from_u8(r.get_u8()?, code_offset)?;
@@ -1022,6 +1047,8 @@ mod tests {
         roundtrip(&Request::Stats);
         roundtrip(&Request::Checkpoint);
         roundtrip(&Request::Shutdown);
+        roundtrip(&Request::Compact);
+        roundtrip(&Request::Metrics);
     }
 
     #[test]
@@ -1069,6 +1096,9 @@ mod tests {
             before: 90,
             after: 12,
         });
+        roundtrip(&Response::Metrics(
+            "# TYPE requests_total counter\nrequests_total{request=\"stats\"} 3\n".into(),
+        ));
         roundtrip(&Response::Ok);
         roundtrip(&Response::Error {
             code: ErrorCode::UnknownPeer,
@@ -1079,7 +1109,7 @@ mod tests {
     #[test]
     fn borrowed_tuple_encoding_matches_owned() {
         let tuples = vec![int_tuple(&[1, 2]), int_tuple(&[3, 4])];
-        for version in [1u8, 2, 3, 4] {
+        for version in [1u8, 2, 3, 4, 5] {
             let borrowed = encode_tuples_response(tuples.len(), tuples.iter(), version);
             let owned = Response::Tuples(tuples.clone()).to_bytes_versioned(version);
             assert_eq!(borrowed, owned, "version {version}");
@@ -1162,15 +1192,18 @@ mod tests {
         assert_eq!(back.pool_compactions, stats.pool_compactions);
         assert_eq!(back.snapshot_epoch, 0, "v3 layout has no snapshot counters");
         assert_eq!(back.snapshot_reads, 0, "v3 layout has no snapshot counters");
-        // All four layouts differ on the wire.
-        let v4 = Response::Stats(stats).to_bytes_versioned(4);
+        // All four Stats layouts differ on the wire; v5 changed no layout,
+        // so v4 and v5 Stats bytes are identical.
+        let v4 = Response::Stats(stats.clone()).to_bytes_versioned(4);
         assert!(v1.len() < v2.len() && v2.len() < v3.len() && v3.len() < v4.len());
+        assert_eq!(v4, Response::Stats(stats).to_bytes_versioned(5));
 
         // Version-independent variants encode identically at every version.
         let ok = Response::Ok;
         assert_eq!(ok.to_bytes_versioned(1), ok.to_bytes_versioned(2));
         assert_eq!(ok.to_bytes_versioned(2), ok.to_bytes_versioned(3));
         assert_eq!(ok.to_bytes_versioned(3), ok.to_bytes_versioned(4));
+        assert_eq!(ok.to_bytes_versioned(4), ok.to_bytes_versioned(5));
     }
 
     #[test]

@@ -31,9 +31,9 @@
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use orchestra_core::{Cdss, CdssError, SnapshotReader, SnapshotView};
 use orchestra_persist::codec::{Decode, Encode};
@@ -49,30 +49,115 @@ use crate::Result;
 /// How often an idle connection thread wakes up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
-/// Per-request-kind counters.
-#[derive(Debug, Default)]
-struct Metrics {
-    served: [AtomicU64; RequestKind::ALL.len()],
-    connections: AtomicU64,
+/// Per-server observability: request counters and latency histograms in a
+/// registry of this server's own, so several servers in one process
+/// (tests, the benchmark harness) never mix their numbers. Engine-level
+/// series (exchange phases, WAL timings, eval counters) live in the
+/// process-global registry; [`ServerObs::render`] concatenates both for
+/// the `Metrics` wire response.
+struct ServerObs {
+    registry: Arc<orchestra_obs::Registry>,
+    served: Vec<orchestra_obs::Counter>,
+    latency: Vec<orchestra_obs::Histogram>,
+    connections: orchestra_obs::Counter,
+    snapshot_reads: orchestra_obs::Counter,
 }
 
-impl Metrics {
-    fn record(&self, kind: RequestKind) {
-        self.served[kind as usize].fetch_add(1, Ordering::Relaxed);
+impl ServerObs {
+    fn new() -> Self {
+        let registry = Arc::new(orchestra_obs::Registry::new());
+        // Register every kind up front so the exposition lists the full
+        // request vocabulary (at zero) from the first scrape.
+        let served = RequestKind::ALL
+            .iter()
+            .map(|k| registry.counter_with("requests_total", &[("request", k.label())]))
+            .collect();
+        let latency = RequestKind::ALL
+            .iter()
+            .map(|k| registry.histogram_with("request_latency_seconds", &[("request", k.label())]))
+            .collect();
+        let connections = registry.counter("connections_total");
+        let snapshot_reads = registry.counter("snapshot_reads_total");
+        ServerObs {
+            registry,
+            served,
+            latency,
+            connections,
+            snapshot_reads,
+        }
     }
 
-    fn snapshot(&self) -> Vec<(String, u64)> {
-        RequestKind::ALL
-            .iter()
-            .map(|k| {
-                (
-                    k.label().to_string(),
-                    self.served[*k as usize].load(Ordering::Relaxed),
-                )
-            })
-            .filter(|(_, n)| *n > 0)
-            .collect()
+    fn record(&self, kind: RequestKind, elapsed: Duration) {
+        self.served[kind as usize].inc();
+        self.latency[kind as usize].observe(elapsed);
     }
+
+    /// Request, connection and snapshot-read counts exactly as the `Stats`
+    /// payload reports them, read back from the registry — the wire
+    /// `Stats` frame and the text exposition share one source of truth.
+    fn stats_counters(&self) -> (Vec<(String, u64)>, u64, u64) {
+        let requests = RequestKind::ALL
+            .iter()
+            .filter_map(|k| {
+                let n = self
+                    .registry
+                    .counter_value("requests_total", &[("request", k.label())])?;
+                (n > 0).then(|| (k.label().to_string(), n))
+            })
+            .collect();
+        let connections = self
+            .registry
+            .counter_value("connections_total", &[])
+            .unwrap_or(0);
+        let snapshot_reads = self
+            .registry
+            .counter_value("snapshot_reads_total", &[])
+            .unwrap_or(0);
+        (requests, connections, snapshot_reads)
+    }
+
+    /// The full exposition: this server's registry followed by the
+    /// process-global engine registry.
+    fn render(&self) -> String {
+        format!(
+            "{}{}",
+            self.registry.render(),
+            orchestra_obs::global().render()
+        )
+    }
+
+    fn probe(&self) -> MetricsProbe {
+        MetricsProbe {
+            registry: Arc::clone(&self.registry),
+        }
+    }
+}
+
+/// A detached handle onto a server's metrics registry. It renders the same
+/// exposition as [`Request::Metrics`] but holds none of the server's
+/// shared state alive, so it can outlive [`ServerHandle::join`] (which
+/// requires sole ownership of that state) — e.g. on a periodic printer
+/// thread.
+pub struct MetricsProbe {
+    registry: Arc<orchestra_obs::Registry>,
+}
+
+impl MetricsProbe {
+    /// The server-plus-engine metrics exposition.
+    pub fn render(&self) -> String {
+        format!(
+            "{}{}",
+            self.registry.render(),
+            orchestra_obs::global().render()
+        )
+    }
+}
+
+thread_local! {
+    /// Peer address of the connection the current thread is serving, for
+    /// structured log events emitted deep inside request handling.
+    static CURRENT_PEER: std::cell::Cell<Option<SocketAddr>> =
+        const { std::cell::Cell::new(None) };
 }
 
 /// The edit-ingestion queue: admitted batches in admission order.
@@ -91,9 +176,8 @@ struct Shared {
     /// Serve reads under the `RwLock` instead of from snapshots
     /// ([`ServeOptions::locked_reads`]).
     locked_reads: bool,
-    snapshot_reads: AtomicU64,
     ingest: Mutex<Ingest>,
-    metrics: Metrics,
+    obs: ServerObs,
     shutdown: AtomicBool,
     addr: SocketAddr,
     /// One-shot markers so a poisoned lock is logged the first time a
@@ -107,10 +191,18 @@ impl Shared {
     /// panic mid-update elsewhere — before continuing with the inner value.
     fn note_poison(&self, flag: &AtomicBool, lock: &str, tag: &str) {
         if !flag.swap(true, Ordering::Relaxed) {
-            eprintln!(
-                "orchestrad: {lock} lock found poisoned while serving `{tag}`; \
-                 a writer panicked mid-update — continuing with the inner value"
-            );
+            let mut fields = vec![
+                ("lock", lock.to_string()),
+                ("request", tag.to_string()),
+                (
+                    "detail",
+                    "a writer panicked mid-update; continuing with the inner value".to_string(),
+                ),
+            ];
+            if let Some(peer) = CURRENT_PEER.with(std::cell::Cell::get) {
+                fields.push(("peer", peer.to_string()));
+            }
+            orchestra_obs::log::warn("server", "lock-poisoned", &fields);
         }
     }
 
@@ -137,7 +229,7 @@ impl Shared {
 
     /// The snapshot view read requests are served from, counted.
     fn snapshot_view(&self) -> Arc<SnapshotView> {
-        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.obs.snapshot_reads.inc();
         self.reader.latest()
     }
 }
@@ -197,6 +289,20 @@ impl ServerHandle {
         self.stop();
         self.join()
     }
+
+    /// The server's metrics exposition — the same text a
+    /// [`Request::Metrics`] returns over the wire: this server's request
+    /// counters and latency histograms, followed by the process-global
+    /// engine series.
+    pub fn metrics_text(&self) -> String {
+        self.shared.obs.render()
+    }
+
+    /// A detached [`MetricsProbe`] for rendering the exposition after this
+    /// handle is consumed (it does not keep the server state alive).
+    pub fn metrics_probe(&self) -> MetricsProbe {
+        self.shared.obs.probe()
+    }
 }
 
 /// Connect to our own listener so a blocked `accept` returns and the loop
@@ -248,9 +354,8 @@ pub fn serve_with(
         cdss: RwLock::new(cdss),
         reader,
         locked_reads: options.locked_reads,
-        snapshot_reads: AtomicU64::new(0),
         ingest: Mutex::new(Ingest::default()),
-        metrics: Metrics::default(),
+        obs: ServerObs::new(),
         shutdown: AtomicBool::new(false),
         addr,
         cdss_poisoned: AtomicBool::new(false),
@@ -286,7 +391,7 @@ fn accept_loop(
             // Transient accept failure (e.g. aborted handshake): keep going.
             continue;
         };
-        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        shared.obs.connections.inc();
         let conn_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("orchestrad-conn".into())
@@ -308,6 +413,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
     // idle, keeping `ServerHandle::join` bounded.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
+    CURRENT_PEER.with(|p| p.set(stream.peer_addr().ok()));
 
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -343,8 +449,12 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         let (mut response_payload, shutdown_requested) = match Request::from_bytes(&payload) {
             Ok(request) => {
                 let is_shutdown = request == Request::Shutdown;
-                shared.metrics.record(request.kind());
-                (handle_request(&shared, request, version), is_shutdown)
+                let kind = request.kind();
+                let _span = orchestra_obs::span(kind.label(), "net");
+                let start = Instant::now();
+                let response = handle_request(&shared, request, version);
+                shared.obs.record(kind, start.elapsed());
+                (response, is_shutdown)
             }
             Err(e) => (
                 Response::Error {
@@ -476,6 +586,18 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
                 after: report.after as u64,
             }
             .to_bytes()
+        }
+        Request::Metrics => {
+            if version < 5 {
+                return error_response(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "the Metrics request requires frame version 5 \
+                         (requester is pinned to {version})"
+                    ),
+                );
+            }
+            Response::Metrics(shared.obs.render()).to_bytes()
         }
     }
 }
@@ -646,6 +768,9 @@ fn handle_exchange(shared: &Shared, peer: Option<&str>) -> Vec<u8> {
 }
 
 fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
+    // The server-side counters come from the obs registry in one place, so
+    // the `Stats` frame and the `Metrics` exposition can never disagree.
+    let (requests, connections, snapshot_reads) = shared.obs.stats_counters();
     let stats = if shared.locked_reads {
         let cdss = shared.read_cdss("stats");
         let peers = cdss.peer_ids();
@@ -660,7 +785,7 @@ fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
             output_tuples: cdss.total_output_tuples() as u64,
             pending_batches: shared.lock_ingest("stats").batches.len() as u64,
             epoch: cdss.current_epoch(),
-            connections: shared.metrics.connections.load(Ordering::Relaxed),
+            connections,
             intern_hits: cdss.intern_stats().hits,
             intern_misses: cdss.intern_stats().misses,
             plan_cache_hits: cdss.plan_cache_hits(),
@@ -669,8 +794,8 @@ fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
             pool_compactions: cdss.compactions_run(),
             snapshot_epoch: cdss.snapshot_epoch(),
             snapshots_published: cdss.snapshots_published(),
-            snapshot_reads: shared.snapshot_reads.load(Ordering::Relaxed),
-            requests: shared.metrics.snapshot(),
+            snapshot_reads,
+            requests,
         }
     } else {
         // Instance counters come from the view (consistent as of its
@@ -688,7 +813,7 @@ fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
             output_tuples: view.total_output_tuples() as u64,
             pending_batches: shared.lock_ingest("stats").batches.len() as u64,
             epoch: view.durable_epoch(),
-            connections: shared.metrics.connections.load(Ordering::Relaxed),
+            connections,
             intern_hits: view.intern_stats().hits,
             intern_misses: view.intern_stats().misses,
             plan_cache_hits: view.plan_cache_hits(),
@@ -697,9 +822,44 @@ fn handle_stats(shared: &Shared, version: u8) -> Vec<u8> {
             pool_compactions: view.compactions_run(),
             snapshot_epoch: view.epoch(),
             snapshots_published: view.snapshots_published(),
-            snapshot_reads: shared.snapshot_reads.load(Ordering::Relaxed),
-            requests: shared.metrics.snapshot(),
+            snapshot_reads,
+            requests,
         }
     };
     Response::Stats(stats).to_bytes_versioned(version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_counters_agree_with_the_registry_exposition() {
+        let obs = ServerObs::new();
+        obs.record(RequestKind::Stats, Duration::from_micros(120));
+        obs.record(RequestKind::Stats, Duration::from_micros(80));
+        obs.record(RequestKind::PublishEdits, Duration::from_micros(50));
+        obs.connections.inc();
+        obs.snapshot_reads.inc();
+        obs.snapshot_reads.inc();
+
+        // The Stats payload fields are read back from the registry…
+        let (requests, connections, snapshot_reads) = obs.stats_counters();
+        assert_eq!(
+            requests,
+            vec![("publish-edits".to_string(), 1), ("stats".to_string(), 2)]
+        );
+        assert_eq!((connections, snapshot_reads), (1, 2));
+
+        // …and the text exposition reports the very same numbers, so the
+        // wire Stats frame and a Metrics scrape can never disagree.
+        let text = obs.registry.render();
+        assert!(text.contains("requests_total{request=\"stats\"} 2"));
+        assert!(text.contains("requests_total{request=\"publish-edits\"} 1"));
+        assert!(text.contains("requests_total{request=\"compact\"} 0"));
+        assert!(text.contains("connections_total 1"));
+        assert!(text.contains("snapshot_reads_total 2"));
+        assert!(text.contains("request_latency_seconds{request=\"stats\",quantile=\"0.99\"}"));
+        assert!(text.contains("request_latency_seconds_count{request=\"stats\"} 2"));
+    }
 }

@@ -1,0 +1,283 @@
+//! Log-bucketed (HDR-style) latency histogram.
+//!
+//! Values are recorded in nanoseconds into a fixed array of atomic bucket
+//! counters, so percentiles come out of bucket counts — no samples are
+//! stored, recording is wait-free, and the memory footprint is constant
+//! (320 buckets ≈ 2.5 KiB per histogram).
+//!
+//! The bucket layout follows the HDR scheme with 3 sub-bucket bits: values
+//! below 8 get exact unit buckets; from there every power-of-two range
+//! `[2^m, 2^(m+1))` is split into 8 equal sub-buckets, so relative bucket
+//! width — and therefore the worst-case percentile error — is bounded by
+//! 12.5%. Values at or above `2^42` ns (~73 minutes) saturate into the
+//! last bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two range splits into `2^SUB_BITS`
+/// buckets.
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Highest power-of-two group covered without saturating; the last bucket
+/// absorbs everything at or above `2^(MAX_MSB + 1)` nanoseconds.
+const MAX_MSB: u32 = 41;
+/// Total bucket count: `SUB_COUNT` exact unit buckets plus
+/// `MAX_MSB - SUB_BITS + 1` groups of `SUB_COUNT` sub-buckets.
+pub const NUM_BUCKETS: usize = SUB_COUNT + (MAX_MSB - SUB_BITS + 1) as usize * SUB_COUNT;
+
+/// The bucket a nanosecond value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb > MAX_MSB {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+    SUB_COUNT + (msb - SUB_BITS) as usize * SUB_COUNT + sub
+}
+
+/// Inclusive `(lowest, highest)` nanosecond values a bucket covers.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < NUM_BUCKETS, "bucket index {idx} out of range");
+    if idx < SUB_COUNT {
+        return (idx as u64, idx as u64);
+    }
+    let group = (idx - SUB_COUNT) / SUB_COUNT;
+    let sub = ((idx - SUB_COUNT) % SUB_COUNT) as u64;
+    let msb = SUB_BITS + group as u32;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lo = (1u64 << msb) + sub * width;
+    (lo, lo + width - 1)
+}
+
+/// Fixed-memory latency histogram; recording is a couple of relaxed
+/// atomic adds, safe from any thread through a shared reference.
+pub struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCore {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        HistogramCore {
+            buckets: [ZERO; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one raw nanosecond value.
+    pub fn observe_ns(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v, Ordering::Relaxed);
+        self.max_ns.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// The `pct`-th percentile (`0..=100`) by the nearest-rank method over
+    /// bucket counts, reported as the upper bound of the bucket holding
+    /// the ranked sample (clamped to the exact observed max). Within one
+    /// bucket width of the true nearest-rank percentile; zero when empty.
+    pub fn percentile(&self, pct: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((pct / 100.0) * total as f64).ceil() as u64;
+        let rank = rank.clamp(1, total);
+        let mut seen = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            seen += self.buckets[idx].load(Ordering::Relaxed);
+            if seen >= rank {
+                let max = self.max_ns.load(Ordering::Relaxed);
+                if idx == NUM_BUCKETS - 1 {
+                    // The saturation bucket is unbounded above; the exact
+                    // max is the only honest representative.
+                    return Duration::from_nanos(max);
+                }
+                let (_, hi) = bucket_bounds(idx);
+                return Duration::from_nanos(hi.min(max));
+            }
+        }
+        self.max()
+    }
+
+    /// Width (ns) of the bucket the `pct`-th percentile falls in — the
+    /// resolution bound of [`HistogramCore::percentile`] at that rank.
+    pub fn percentile_resolution(&self, pct: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (((pct / 100.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            seen += self.buckets[idx].load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                return hi - lo + 1;
+            }
+        }
+        0
+    }
+
+    /// Fold another histogram's counts into this one. `max` merges
+    /// exactly; `count`/`sum`/buckets add.
+    pub fn merge(&self, other: &HistogramCore) {
+        for idx in 0..NUM_BUCKETS {
+            let n = other.buckets[idx].load(Ordering::Relaxed);
+            if n > 0 {
+                self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_exact_below_sixteen() {
+        // Units below SUB_COUNT, then 8 sub-buckets per power of two; the
+        // first group keeps unit width, so indexes equal values up to 15.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+        }
+        // Every bucket's upper bound + 1 is the next bucket's lower bound.
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (next_lo, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi + 1, next_lo, "bucket {idx} not contiguous");
+        }
+        // Spot-check the 12.5% relative width bound on a wide bucket.
+        let idx = bucket_index(1_000_000);
+        let (lo, hi) = bucket_bounds(idx);
+        assert!(lo <= 1_000_000 && 1_000_000 <= hi);
+        assert!((hi - lo + 1) as f64 / lo as f64 <= 0.125 + 1e-9);
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            if idx < NUM_BUCKETS - 1 {
+                assert!(lo <= v && v <= hi, "value {v} outside bucket {idx}");
+            } else {
+                assert!(v >= lo, "saturated value {v} below last bucket");
+            }
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn saturation_at_max_bucket() {
+        let h = HistogramCore::new();
+        h.observe_ns(u64::MAX);
+        h.observe_ns(1u64 << 50);
+        h.observe(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 3);
+        // All three land in the final bucket; max stays exact.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 50), NUM_BUCKETS - 1);
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        // Percentiles clamp to the observed max rather than the bucket
+        // bound.
+        assert_eq!(h.percentile(99.0), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn percentiles_match_nearest_rank_within_one_bucket() {
+        // Deterministic pseudo-random samples spanning several decades.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut samples: Vec<u64> = (0..500)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                1 + x % 50_000_000
+            })
+            .collect();
+        let h = HistogramCore::new();
+        for &s in &samples {
+            h.observe_ns(s);
+        }
+        samples.sort_unstable();
+        for pct in [50.0, 95.0, 99.0, 100.0] {
+            let rank =
+                (((pct / 100.0) * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = h.percentile(pct).as_nanos() as u64;
+            let width = h.percentile_resolution(pct);
+            assert!(
+                got >= exact && got - exact < width,
+                "p{pct}: got {got}, exact {exact}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        for v in [10u64, 100, 1_000] {
+            a.observe_ns(v);
+        }
+        for v in [20u64, 2_000_000] {
+            b.observe_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), Duration::from_nanos(2_000_000));
+        assert_eq!(
+            a.sum(),
+            Duration::from_nanos(10 + 100 + 1_000 + 20 + 2_000_000)
+        );
+        assert!(a.percentile(100.0) == Duration::from_nanos(2_000_000));
+    }
+}

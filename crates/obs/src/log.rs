@@ -1,0 +1,134 @@
+//! Structured stderr events (logfmt): one key=value line per event,
+//! mirrored into the trace ring and counted in the global registry.
+//!
+//! This replaces ad-hoc `eprintln!` calls in the runtime: an event has a
+//! severity, a component, a name, and explicit key/value context, so
+//! operators can grep `event=lock-poisoned` instead of free prose, the
+//! `log_events_total{level=...}` counter exposes how often the runtime
+//! complains, and (when tracing is enabled) the event appears on the
+//! trace timeline next to the request that triggered it.
+
+use crate::trace;
+
+/// Severity of a structured event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Informational; normal but noteworthy (e.g. recovery on startup).
+    Info,
+    /// Something degraded but survivable (e.g. a poisoned lock healed).
+    Warn,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// Format one event as a logfmt line (no trailing newline). Values with
+/// spaces, quotes, or `=` are quoted with backslash escapes.
+pub fn format_line(
+    level: Level,
+    component: &str,
+    event: &str,
+    fields: &[(&str, String)],
+) -> String {
+    let mut line = format!(
+        "level={} component={} event={}",
+        level.label(),
+        quote(component),
+        quote(event)
+    );
+    for (k, v) in fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&quote(v));
+    }
+    line
+}
+
+fn quote(v: &str) -> String {
+    if !v.is_empty()
+        && v.chars()
+            .all(|c| !c.is_whitespace() && c != '"' && c != '=' && c != '\\')
+    {
+        return v.to_string();
+    }
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emit a structured event: logfmt line to stderr, a bump of
+/// `log_events_total{level=...}` in the global registry, and an instant
+/// trace event when tracing is enabled. `event` must be a static name
+/// (it doubles as the trace event name).
+pub fn emit(level: Level, component: &'static str, event: &'static str, fields: &[(&str, String)]) {
+    eprintln!("{}", format_line(level, component, event, fields));
+    crate::global()
+        .counter_with("log_events_total", &[("level", level.label())])
+        .inc();
+    trace::event(event, component);
+}
+
+/// [`emit`] at [`Level::Warn`].
+pub fn warn(component: &'static str, event: &'static str, fields: &[(&str, String)]) {
+    emit(Level::Warn, component, event, fields);
+}
+
+/// [`emit`] at [`Level::Info`].
+pub fn info(component: &'static str, event: &'static str, fields: &[(&str, String)]) {
+    emit(Level::Info, component, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_logfmt_with_quoting() {
+        let line = format_line(
+            Level::Warn,
+            "server",
+            "lock-poisoned",
+            &[
+                ("lock", "cdss".to_string()),
+                ("request", "update-exchange".to_string()),
+                ("peer", "127.0.0.1:4747".to_string()),
+                ("detail", "writer panicked; state = intact".to_string()),
+            ],
+        );
+        assert_eq!(
+            line,
+            "level=warn component=server event=lock-poisoned lock=cdss \
+             request=update-exchange peer=127.0.0.1:4747 \
+             detail=\"writer panicked; state = intact\""
+        );
+    }
+
+    #[test]
+    fn emit_counts_by_level() {
+        let before = crate::global()
+            .counter_value("log_events_total", &[("level", "info")])
+            .unwrap_or(0);
+        info("obs-test", "self-test", &[("n", "1".to_string())]);
+        info("obs-test", "self-test", &[("n", "2".to_string())]);
+        let after = crate::global()
+            .counter_value("log_events_total", &[("level", "info")])
+            .unwrap();
+        assert_eq!(after - before, 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Metrics registry: named counters, gauges, and latency histograms with a
+//! Prometheus-style text exposition.
+//!
+//! A [`Registry`] hands out cheap cloneable handles ([`Counter`],
+//! [`Gauge`], [`Histogram`]); recording through a handle is a relaxed
+//! atomic op. Acquiring a handle takes a short read-lock over the metric
+//! table, so hot paths should acquire once and hold the handle; cold paths
+//! may simply re-look-up by name. A process-global registry is available
+//! through [`crate::global`] for engine-level series; components that need
+//! isolation (one server among many in a test process) own their own
+//! `Registry`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use crate::hist::HistogramCore;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Replace the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram handle (see [`crate::hist::HistogramCore`]).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        self.0.observe(d);
+    }
+
+    /// The underlying bucket store, for percentiles/merge/inspection.
+    pub fn core(&self) -> &HistogramCore {
+        &self.0
+    }
+}
+
+enum MetricValue {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "summary",
+        }
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+    value: MetricValue,
+}
+
+/// A set of named metrics rendering to one text exposition.
+#[derive(Default)]
+pub struct Registry {
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter `name` with no labels, registering it on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter `name` with the given label set.
+    pub fn counter_with(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || {
+            MetricValue::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            MetricValue::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// The gauge `name` with no labels.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge `name` with the given label set.
+    pub fn gauge_with(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || {
+            MetricValue::Gauge(Gauge(Arc::new(AtomicI64::new(0))))
+        }) {
+            MetricValue::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// The histogram `name` with no labels.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram `name` with the given label set.
+    pub fn histogram_with(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        match self.get_or_insert(name, labels, || {
+            MetricValue::Histogram(Histogram(Arc::new(HistogramCore::new())))
+        }) {
+            MetricValue::Histogram(h) => h,
+            other => panic!(
+                "metric `{name}` is a {}, not a histogram",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// The current value of a registered counter, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let entries = self.entries.read().expect("metrics registry lock");
+        entries
+            .iter()
+            .find(|e| e.name == name && labels_match(&e.labels, labels))
+            .and_then(|e| match &e.value {
+                MetricValue::Counter(c) => Some(c.get()),
+                _ => None,
+            })
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> MetricValue,
+    ) -> MetricValue {
+        {
+            let entries = self.entries.read().expect("metrics registry lock");
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.name == name && borrowed_labels_match(&e.labels, labels))
+            {
+                return clone_value(&e.value);
+            }
+        }
+        let mut entries = self.entries.write().expect("metrics registry lock");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && borrowed_labels_match(&e.labels, labels))
+        {
+            return clone_value(&e.value);
+        }
+        let value = make();
+        entries.push(Entry {
+            name,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
+            value: clone_value(&value),
+        });
+        value
+    }
+
+    /// Render every metric to Prometheus-style text exposition: `# TYPE`
+    /// lines, then one sample line per series (histograms render as
+    /// summaries with `quantile` labels plus `_sum`/`_count`/`_max`).
+    pub fn render(&self) -> String {
+        let entries = self.entries.read().expect("metrics registry lock");
+        let mut out = String::new();
+        let mut last_name = "";
+        for e in entries.iter() {
+            if e.name != last_name {
+                out.push_str(&format!("# TYPE {} {}\n", e.name, e.value.type_name()));
+                last_name = e.name;
+            }
+            match &e.value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        c.get()
+                    ));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        g.get()
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let core = h.core();
+                    for (q, pct) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                        out.push_str(&format!(
+                            "{}{} {:.9}\n",
+                            e.name,
+                            render_labels(&e.labels, Some(q)),
+                            core.percentile(pct).as_secs_f64()
+                        ));
+                    }
+                    let labels = render_labels(&e.labels, None);
+                    out.push_str(&format!(
+                        "{}_max{} {:.9}\n",
+                        e.name,
+                        labels,
+                        core.max().as_secs_f64()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {:.9}\n",
+                        e.name,
+                        labels,
+                        core.sum().as_secs_f64()
+                    ));
+                    out.push_str(&format!("{}_count{} {}\n", e.name, labels, core.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_value(v: &MetricValue) -> MetricValue {
+    match v {
+        MetricValue::Counter(c) => MetricValue::Counter(c.clone()),
+        MetricValue::Gauge(g) => MetricValue::Gauge(g.clone()),
+        MetricValue::Histogram(h) => MetricValue::Histogram(h.clone()),
+    }
+}
+
+fn labels_match(stored: &[(&'static str, String)], query: &[(&str, &str)]) -> bool {
+    stored.len() == query.len()
+        && stored
+            .iter()
+            .zip(query.iter())
+            .all(|((sk, sv), (qk, qv))| sk == qk && sv == qv)
+}
+
+fn borrowed_labels_match(
+    stored: &[(&'static str, String)],
+    query: &[(&'static str, &str)],
+) -> bool {
+    stored.len() == query.len()
+        && stored
+            .iter()
+            .zip(query.iter())
+            .all(|((sk, sv), (qk, qv))| sk == qk && sv == qv)
+}
+
+fn render_labels(labels: &[(&'static str, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("requests_total", &[]), Some(3));
+
+        let x = r.counter_with("served_total", &[("kind", "stats")]);
+        let y = r.counter_with("served_total", &[("kind", "compact")]);
+        x.inc();
+        assert_eq!(
+            r.counter_value("served_total", &[("kind", "stats")]),
+            Some(1)
+        );
+        assert_eq!(
+            r.counter_value("served_total", &[("kind", "compact")]),
+            Some(0)
+        );
+        y.inc();
+        assert_eq!(
+            r.counter_value("served_total", &[("kind", "compact")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn render_emits_type_lines_and_all_series() {
+        let r = Registry::new();
+        r.counter("snapshot_publishes_total").add(4);
+        r.gauge("pool_live_values").set(17);
+        let h = r.histogram_with("request_latency_seconds", &[("request", "stats")]);
+        h.observe(Duration::from_micros(150));
+        h.observe(Duration::from_micros(90));
+
+        let text = r.render();
+        assert!(text.contains("# TYPE snapshot_publishes_total counter"));
+        assert!(text.contains("snapshot_publishes_total 4"));
+        assert!(text.contains("# TYPE pool_live_values gauge"));
+        assert!(text.contains("pool_live_values 17"));
+        assert!(text.contains("# TYPE request_latency_seconds summary"));
+        assert!(text.contains("request_latency_seconds{request=\"stats\",quantile=\"0.99\"}"));
+        assert!(text.contains("request_latency_seconds_count{request=\"stats\"} 2"));
+        assert!(text.contains("request_latency_seconds_sum{request=\"stats\"} 0.000240000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a histogram")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x_total");
+        r.histogram("x_total");
+    }
+}

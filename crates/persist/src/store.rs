@@ -75,10 +75,13 @@ impl PersistentStore {
     /// snapshot; replay skips epochs at or below the snapshot watermark, so
     /// the result is identical.
     pub fn checkpoint(&mut self, snapshot: SnapshotRef<'_>) -> Result<()> {
+        let _span = orchestra_obs::span("snapshot-write", "persist");
+        let start = std::time::Instant::now();
         write_snapshot(self.snapshot_path(), snapshot)?;
         let sync = self.wal.sync_on_append();
         self.wal = EpochWal::create(self.wal_path())?;
         self.wal.set_sync_on_append(sync);
+        orchestra_obs::histogram("snapshot_write_seconds").observe(start.elapsed());
         Ok(())
     }
 

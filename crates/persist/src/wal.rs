@@ -177,6 +177,7 @@ impl EpochWal {
             .and_then(|()| file.write_all(&[WAL_VERSION]))
             .and_then(|()| file.sync_data())
             .map_err(|e| PersistError::io(format!("writing wal header {}", path.display()), &e))?;
+        register_wal_series();
         Ok(EpochWal {
             path,
             file,
@@ -223,6 +224,7 @@ impl EpochWal {
         let file = OpenOptions::new().append(true).open(&path).map_err(|e| {
             PersistError::io(format!("opening wal for append {}", path.display()), &e)
         })?;
+        register_wal_series();
         Ok(EpochWal {
             path,
             file,
@@ -249,6 +251,8 @@ impl EpochWal {
     /// Append one epoch record: CRC-framed, flushed, and (by default)
     /// synced before returning, so a post-return crash cannot lose it.
     pub fn append(&mut self, record: &EpochRecord) -> Result<()> {
+        let _span = orchestra_obs::span("wal-append", "persist");
+        let start = std::time::Instant::now();
         let payload = if self.version == 1 {
             record.encode_v1()
         } else {
@@ -266,15 +270,30 @@ impl EpochWal {
         self.file
             .write_all(&bytes)
             .and_then(|()| self.file.flush())
-            .and_then(|()| {
-                if self.sync_on_append {
-                    self.file.sync_data()
-                } else {
-                    Ok(())
-                }
-            })
-            .map_err(|e| PersistError::io(format!("appending to wal {}", self.path.display()), &e))
+            .map_err(|e| {
+                PersistError::io(format!("appending to wal {}", self.path.display()), &e)
+            })?;
+        orchestra_obs::histogram("wal_append_seconds").observe(start.elapsed());
+        orchestra_obs::counter("wal_appends_total").inc();
+        if self.sync_on_append {
+            let _fsync = orchestra_obs::span("wal-fsync", "persist");
+            let sync_start = std::time::Instant::now();
+            self.file.sync_data().map_err(|e| {
+                PersistError::io(format!("appending to wal {}", self.path.display()), &e)
+            })?;
+            orchestra_obs::histogram("wal_fsync_seconds").observe(sync_start.elapsed());
+        }
+        Ok(())
     }
+}
+
+/// Pre-register the WAL metric series in the global registry, so a
+/// `Metrics` scrape of an idle durable server already lists them (with
+/// zero counts) before the first append or fsync happens.
+fn register_wal_series() {
+    let _ = orchestra_obs::histogram("wal_append_seconds");
+    let _ = orchestra_obs::histogram("wal_fsync_seconds");
+    let _ = orchestra_obs::counter("wal_appends_total");
 }
 
 /// Scan a WAL file, recovering every intact record. Missing files replay as

@@ -208,11 +208,15 @@ impl Database {
     }
 
     fn compact_pool_with_mask(&mut self, live: Vec<bool>) -> PoolCompaction {
+        let _span = orchestra_obs::span("pool-compact", "storage");
+        let start = std::time::Instant::now();
         let before = self.pool.len();
         let remap = self.pool.compact(&live);
         for rel in self.relations.values_mut() {
             rel.restamp_rows(&remap);
         }
+        orchestra_obs::counter("pool_compactions_total").inc();
+        orchestra_obs::histogram("pool_compact_seconds").observe(start.elapsed());
         PoolCompaction {
             before,
             after: self.pool.len(),

@@ -35,6 +35,11 @@ pub struct NetLoadConfig {
     pub seed: u64,
     /// Run a final `UpdateExchange` (all peers) after the publish phase.
     pub exchange_at_end: bool,
+    /// Scrape the server's metrics exposition after the run and report its
+    /// per-request latency histograms next to the client-side percentiles
+    /// (`Metrics` request, wire version 5+; scrape failures against an
+    /// older server leave [`NetLoadReport::server_latencies`] empty).
+    pub scrape_metrics: bool,
 }
 
 impl Default for NetLoadConfig {
@@ -47,6 +52,7 @@ impl Default for NetLoadConfig {
             targets: orchestra_net::scenario::example_targets(),
             seed: 42,
             exchange_at_end: true,
+            scrape_metrics: true,
         }
     }
 }
@@ -71,12 +77,27 @@ pub struct NetLoadReport {
     /// summary) — `"publish-edits"` across every client call, and
     /// `"update-exchange"` for the final exchange when one ran.
     pub latencies: Vec<(String, LatencySummary)>,
+    /// Server-side handle-time percentiles per request kind, scraped from
+    /// the server's `request_latency_seconds` histograms
+    /// ([`NetLoadConfig::scrape_metrics`]). Server handle time excludes
+    /// the network and framing, so each summary is bounded above by its
+    /// client-side counterpart (give or take one histogram bucket width).
+    pub server_latencies: Vec<(String, LatencySummary)>,
 }
 
 impl NetLoadReport {
     /// The latency summary for one request-kind label, if recorded.
     pub fn latency(&self, label: &str) -> Option<&LatencySummary> {
         self.latencies
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| s)
+    }
+
+    /// The server-side handle-time summary for one request-kind label, if
+    /// the scrape captured it.
+    pub fn server_latency(&self, label: &str) -> Option<&LatencySummary> {
+        self.server_latencies
             .iter()
             .find(|(l, _)| l == label)
             .map(|(_, s)| s)
@@ -119,6 +140,58 @@ pub fn percentile<T: Copy>(sorted: &[T], pct: f64) -> T {
     assert!(!sorted.is_empty(), "percentile of an empty sample set");
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Parse the per-request-kind latency summaries out of a server's metrics
+/// exposition: the `request_latency_seconds{request=...,quantile=...}`
+/// and `request_latency_seconds_count{request=...}` lines a `Metrics`
+/// request returns. Kinds with a zero count are dropped (the server
+/// registers its whole request vocabulary up front).
+pub fn parse_server_latencies(exposition: &str) -> Vec<(String, LatencySummary)> {
+    fn entry<'a>(
+        out: &'a mut Vec<(String, LatencySummary)>,
+        label: &str,
+    ) -> &'a mut LatencySummary {
+        if let Some(i) = out.iter().position(|(l, _)| l == label) {
+            &mut out[i].1
+        } else {
+            out.push((label.to_string(), LatencySummary::default()));
+            &mut out.last_mut().expect("just pushed").1
+        }
+    }
+
+    let mut out: Vec<(String, LatencySummary)> = Vec::new();
+    for line in exposition.lines() {
+        if let Some(rest) = line.strip_prefix("request_latency_seconds_count{request=\"") {
+            let Some((label, value)) = rest.split_once("\"} ") else {
+                continue;
+            };
+            let Ok(n) = value.trim().parse::<u64>() else {
+                continue;
+            };
+            entry(&mut out, label).count = n;
+        } else if let Some(rest) = line.strip_prefix("request_latency_seconds{request=\"") {
+            let Some((label, rest)) = rest.split_once("\",quantile=\"") else {
+                continue;
+            };
+            let Some((quantile, value)) = rest.split_once("\"} ") else {
+                continue;
+            };
+            let Ok(secs) = value.trim().parse::<f64>() else {
+                continue;
+            };
+            let d = Duration::from_secs_f64(secs.max(0.0));
+            let summary = entry(&mut out, label);
+            match quantile {
+                "0.5" => summary.p50 = d,
+                "0.95" => summary.p95 = d,
+                "0.99" => summary.p99 = d,
+                _ => {}
+            }
+        }
+    }
+    out.retain(|(_, s)| s.count > 0);
+    out
 }
 
 /// The deterministic tuple a given `(seed, client, batch, op)` coordinate
@@ -219,6 +292,18 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         ));
     }
 
+    // Scrape the server's own histograms last, so the counters cover the
+    // whole run. A failure (older server, connection refused) leaves the
+    // server-side summaries empty rather than failing the load report.
+    let server_latencies = if config.scrape_metrics {
+        NetClient::connect_with_retry(&*config.addr, 20, Duration::from_millis(50))
+            .and_then(|mut client| client.metrics())
+            .map(|text| parse_server_latencies(&text))
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+
     let secs = publish_wall.as_secs_f64();
     Ok(NetLoadReport {
         published_ops,
@@ -232,6 +317,7 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         exchange,
         exchange_wall,
         latencies,
+        server_latencies,
     })
 }
 
@@ -282,6 +368,72 @@ mod tests {
         // clients publishing into the same relation must not collide.
         assert_ne!(tuple_for(1, 0, 0, 0, 3), tuple_for(1, 7, 0, 0, 3));
         assert_ne!(tuple_for(1, 0, 1, 0, 3), tuple_for(1, 0, 0, 0, 3));
+    }
+
+    #[test]
+    fn scraped_server_histograms_are_consistent_with_client_percentiles() {
+        let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+        let config = NetLoadConfig {
+            addr: handle.addr().to_string(),
+            clients: 2,
+            batches_per_client: 10,
+            ops_per_batch: 4,
+            ..NetLoadConfig::default()
+        };
+        let report = run_net_load(&config).unwrap();
+        let client = report.latency("publish-edits").expect("client summary");
+        let server = report
+            .server_latency("publish-edits")
+            .expect("scraped server summary");
+
+        // The server saw exactly the requests the clients timed.
+        assert_eq!(server.count, client.count);
+        assert_eq!(server.count, 20);
+        assert!(server.p50 <= server.p95 && server.p95 <= server.p99);
+        assert!(server.p99 > Duration::ZERO);
+
+        // Server handle time is a slice of every client round trip, so
+        // each server percentile is bounded by the matching client one —
+        // allow one log-bucket width (≤12.5%) of histogram rounding.
+        let bound = client.p99.mul_f64(1.25) + Duration::from_micros(50);
+        assert!(
+            server.p99 <= bound,
+            "server p99 {:?} exceeds client p99 {:?} by more than a bucket",
+            server.p99,
+            client.p99
+        );
+
+        // The exchange ran over the wire too, so its histogram is there.
+        let server_exch = report
+            .server_latency("update-exchange")
+            .expect("exchange scraped");
+        assert_eq!(server_exch.count, 1);
+
+        handle.stop_and_join();
+    }
+
+    #[test]
+    fn parse_server_latencies_reads_the_exposition_format() {
+        let text = "\
+# TYPE requests_total counter\n\
+requests_total{request=\"stats\"} 3\n\
+# TYPE request_latency_seconds histogram\n\
+request_latency_seconds{request=\"stats\",quantile=\"0.5\"} 0.000120000\n\
+request_latency_seconds{request=\"stats\",quantile=\"0.95\"} 0.000240000\n\
+request_latency_seconds{request=\"stats\",quantile=\"0.99\"} 0.000250000\n\
+request_latency_seconds_max{request=\"stats\"} 0.000250000\n\
+request_latency_seconds_sum{request=\"stats\"} 0.000610000\n\
+request_latency_seconds_count{request=\"stats\"} 3\n\
+request_latency_seconds{request=\"compact\",quantile=\"0.5\"} 0.000000000\n\
+request_latency_seconds_count{request=\"compact\"} 0\n";
+        let parsed = parse_server_latencies(text);
+        assert_eq!(parsed.len(), 1, "zero-count kinds are dropped");
+        let (label, summary) = &parsed[0];
+        assert_eq!(label, "stats");
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.p50, Duration::from_micros(120));
+        assert_eq!(summary.p95, Duration::from_micros(240));
+        assert_eq!(summary.p99, Duration::from_micros(250));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! scenario (Figure 1 / Example 3) served by `orchestrad` and driven
 //! entirely through the `orchestra-net` wire protocol.
 //!
-//! Run with `cargo run --example networked_exchange`.
+//! Run with `cargo run --example networked_exchange`. Pass
+//! `--trace FILE` to record structured spans (exchange phases, request
+//! handling) and write them as Chrome trace-event JSON at exit — open the
+//! file in `chrome://tracing` or Perfetto.
 
 use std::time::Duration;
 
@@ -11,6 +14,20 @@ use orchestra_net::{serve, EditBatch, NetClient};
 use orchestra_storage::tuple::int_tuple;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_file = Some(args.next().ok_or("--trace requires a file path")?);
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+    if trace_file.is_some() {
+        orchestra_obs::trace::enable();
+    }
+
     // In production `orchestrad` runs as its own process; here we host it
     // on a background thread and an ephemeral loopback port.
     let handle = serve(example_scenario(), "127.0.0.1:0")?;
@@ -91,5 +108,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nserver shut down cleanly; final instance holds {} output tuples",
         cdss.total_output_tuples()
     );
+
+    if let Some(path) = trace_file {
+        let events = orchestra_obs::trace::write_chrome_trace(&path)?;
+        println!("wrote {events} trace events to {path}");
+    }
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Wire-version negotiation and remote pool-compaction tests: clients
-//! pinned at every shipped frame version (1, 2, 3, and the current 4) talk
-//! to the same server in one session and observe identical answers — the
-//! responder echoes each requester's frame version and encodes its
+//! pinned at every shipped frame version (1 through 4, and the current 5)
+//! talk to the same server in one session and observe identical answers —
+//! the responder echoes each requester's frame version and encodes its
 //! payloads in that version's vocabulary.
 
 use std::time::Duration;
@@ -24,7 +24,8 @@ fn all_wire_versions_interoperate_on_one_server() {
     let mut old = connect(addr, 1);
     let mut mid = connect(addr, 2);
     let mut v3 = connect(addr, 3);
-    let mut new = connect(addr, 4);
+    let mut v4 = connect(addr, 4);
+    let mut new = connect(addr, 5);
     assert_eq!(old.wire_version(), 1);
     assert_eq!(new.wire_version(), orchestra_net::frame::VERSION);
 
@@ -47,6 +48,7 @@ fn all_wire_versions_interoperate_on_one_server() {
         assert_eq!(via_old, via_new, "{peer}/{rel} differs across versions");
         assert_eq!(via_old, mid.query_local(peer, rel).unwrap());
         assert_eq!(via_old, v3.query_local(peer, rel).unwrap());
+        assert_eq!(via_old, v4.query_local(peer, rel).unwrap());
         assert_eq!(
             old.query_certain(peer, rel).unwrap(),
             new.query_certain(peer, rel).unwrap()
@@ -70,6 +72,7 @@ fn all_wire_versions_interoperate_on_one_server() {
     let s_old = old.stats().unwrap();
     let s_mid = mid.stats().unwrap();
     let s_v3 = v3.stats().unwrap();
+    let s_v4 = v4.stats().unwrap();
     let s_new = new.stats().unwrap();
     assert_eq!(s_old.peers, s_new.peers);
     assert_eq!(s_old.total_tuples, s_new.total_tuples);
@@ -89,13 +92,48 @@ fn all_wire_versions_interoperate_on_one_server() {
     assert!(s_new.pool_values > 0);
     assert!(
         s_new.snapshot_epoch >= 1,
-        "v4 stats expose the served snapshot epoch"
+        "v4+ stats expose the served snapshot epoch"
     );
     assert!(s_new.snapshots_published >= 1);
     assert!(
         s_new.snapshot_reads > 0,
         "the queries above were answered from snapshots"
     );
+    // The Stats layout did not change between v4 and v5.
+    assert_eq!(s_v4.peers, s_new.peers);
+    assert!(s_v4.snapshot_epoch >= 1);
+
+    // Metrics is v5-only: the current client scrapes the exposition (and
+    // its per-request counters agree with the Stats payload), while pinned
+    // clients refuse locally before confusing an older server.
+    let exposition = new.metrics().unwrap();
+    for series in [
+        "requests_total",
+        "request_latency_seconds",
+        "connections_total",
+        "snapshot_reads_total",
+    ] {
+        assert!(exposition.contains(series), "missing series `{series}`");
+    }
+    let s_after = new.stats().unwrap();
+    let stats_served = s_after
+        .requests
+        .iter()
+        .find(|(kind, _)| kind == "stats")
+        .map(|(_, n)| *n)
+        .unwrap();
+    assert!(
+        exposition.contains("requests_total{request=\"stats\"}"),
+        "per-request counters are labelled by kind"
+    );
+    assert!(stats_served >= 5, "every pinned client ran stats above");
+    for pinned in [&mut old, &mut mid, &mut v3, &mut v4] {
+        let err = pinned.metrics().unwrap_err();
+        assert!(
+            err.to_string().contains("wire version 5"),
+            "pinned client must refuse Metrics locally: {err}"
+        );
+    }
 
     handle.stop_and_join();
 }
