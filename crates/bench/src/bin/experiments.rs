@@ -11,7 +11,8 @@
 
 use orchestra_bench::netlat::{latency_rows, p99_gate, run_net_latency};
 use orchestra_bench::snapshot::{
-    check_against_baseline, entry_json, merge_entry, run_obs_overhead, run_pool_churn, run_snapshot,
+    check_against_baseline, entry_json, merge_entry, run_obs_overhead, run_parallel_gate,
+    run_pool_churn, run_snapshot, run_thread_sweep,
 };
 use orchestra_bench::{
     run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
@@ -95,6 +96,19 @@ fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: 
         return 1;
     }
     println!("net-latency gate passed: snapshot reads don't stall behind exchanges");
+
+    // Parallel speedup gate: the fixpoint engine at max threads must beat
+    // the same binary pinned to one worker on the dense transitive-closure
+    // workload (skipped with a note on single-core hosts, where no
+    // speedup is physically possible).
+    let gate = run_parallel_gate(scale);
+    match gate.verdict() {
+        Ok(line) => println!("parallel-speedup gate: {line}"),
+        Err(e) => {
+            eprintln!("PARALLEL SPEEDUP: {e}");
+            return 1;
+        }
+    }
     perf
 }
 
@@ -105,6 +119,11 @@ fn snapshot_mode(label: &str, out_path: &str, scale: Scale) -> i32 {
     println!("snapshot mode (scale = {}, label = {label})", scale.0);
     let mut rows = run_snapshot(scale);
     rows.push(run_pool_churn(scale).row);
+    // Thread-count sweep: tc_fixpoint and the fig workloads with the
+    // fixpoint pool pinned to 1/2/4/max workers, so recorded entries show
+    // the parallel engine's speedup trajectory next to the host's core
+    // count (`par_sweep/host_cores`).
+    rows.extend(run_thread_sweep(scale));
     // A/B contrast of the trace recorder's cost on the incremental
     // exchange (see [`run_obs_overhead`]) — recorded so the overhead
     // trajectory is visible across PRs next to the workloads it taxes.

@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use orchestra_datalog::rule::Rule;
 use orchestra_datalog::{EngineKind, Evaluator, PlanCache};
 use orchestra_mappings::MappingSystem;
+use orchestra_pool::Pool;
 use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
 use orchestra_storage::schema::{internal_name, InternalRole};
 use orchestra_storage::{
@@ -130,6 +131,11 @@ pub struct Cdss {
     /// the lock-free cell readers fetch the latest [`SnapshotView`] from.
     /// Re-published at every commit point (see [`Cdss::publish_snapshot`]).
     snapshots: SnapshotState,
+    /// Explicit thread pool for fixpoint evaluation, set via
+    /// [`crate::CdssBuilder::eval_threads`] or [`Cdss::set_eval_threads`].
+    /// `None` defers to the evaluator's default (the process-global pool,
+    /// sized by `ORCHESTRA_THREADS` or the hardware).
+    eval_pool: Option<orchestra_pool::Pool>,
 }
 
 impl Cdss {
@@ -163,6 +169,7 @@ impl Cdss {
             compactions_run: 0,
             live_scan: Mutex::new(None),
             snapshots,
+            eval_pool: None,
         };
         // Initial epoch: the freshly registered (empty) relations, so
         // snapshot readers are valid before the first exchange.
@@ -261,6 +268,22 @@ impl Cdss {
         self.engine = engine;
     }
 
+    /// Pin fixpoint evaluation to a dedicated pool of `threads` workers
+    /// (1 = strictly sequential). The parallel engine is deterministic, so
+    /// this only trades latency for cores — results are identical at any
+    /// setting. Without this, evaluation uses the process-global pool.
+    pub fn set_eval_threads(&mut self, threads: usize) {
+        self.eval_pool = Some(orchestra_pool::Pool::new(threads));
+    }
+
+    /// The worker count fixpoint evaluation will run with (the dedicated
+    /// pool's size, or the process-global pool's when none is pinned).
+    pub fn eval_threads(&self) -> usize {
+        self.eval_pool
+            .as_ref()
+            .map_or_else(|| orchestra_pool::global().threads(), Pool::threads)
+    }
+
     /// The compiled mapping system (tgds, internal program, provenance
     /// relation layout).
     pub fn mapping_system(&self) -> &MappingSystem {
@@ -282,6 +305,7 @@ impl Cdss {
             self.graph.get_mut().unwrap_or_else(|e| e.into_inner()),
             &mut self.plans,
             self.engine,
+            self.eval_pool.as_ref(),
         )
     }
 
@@ -691,7 +715,17 @@ pub(crate) type EvalParts<'a> = (
     &'a mut GraphCache,
     &'a mut PlanCache,
     EngineKind,
+    Option<&'a orchestra_pool::Pool>,
 );
+
+/// An [`Evaluator`] for the given backend, on the explicitly configured
+/// pool when one is set and the evaluator default otherwise.
+pub(crate) fn make_evaluator(engine: EngineKind, pool: Option<&orchestra_pool::Pool>) -> Evaluator {
+    match pool {
+        Some(p) => Evaluator::with_pool(engine, p.clone()),
+        None => Evaluator::new(engine),
+    }
+}
 
 /// The provenance graph plus deferred-maintenance state.
 ///
@@ -798,7 +832,7 @@ pub(crate) fn trust_filter<'a>(
     system: &'a MappingSystem,
     policies: &'a BTreeMap<PeerId, TrustPolicy>,
     relation_owner: &'a BTreeMap<String, PeerId>,
-) -> impl Fn(&str, &Tuple) -> bool + 'a {
+) -> impl Fn(&str, &Tuple) -> bool + Send + Sync + 'a {
     move |relation: &str, row: &Tuple| {
         let Some((mapping, table_idx)) = system.mapping_for_provenance_relation(relation) else {
             // Not a provenance relation: no trust condition applies here.

@@ -21,12 +21,14 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
 
 use orchestra_datalog::delta::deletion_candidates;
-use orchestra_datalog::{DerivationFilter, Evaluator};
+use orchestra_datalog::DerivationFilter;
 use orchestra_provenance::ProvenanceToken;
 use orchestra_storage::schema::{internal_name, InternalRole};
 use orchestra_storage::Tuple;
 
-use crate::cdss::{all_trust_all, logical_of_input, trust_filter, Cdss, PublishedChanges};
+use crate::cdss::{
+    all_trust_all, logical_of_input, make_evaluator, trust_filter, Cdss, PublishedChanges,
+};
 use crate::error::CdssError;
 use crate::peer::PeerId;
 use crate::report::{ExchangeReport, ExchangeStrategy, PublishReport};
@@ -72,7 +74,7 @@ impl Cdss {
         let mut report = ExchangeReport::new(ExchangeStrategy::FullRecomputation);
 
         {
-            let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
+            let (system, policies, owner, db, graph, plans, engine, pool) = self.split_for_eval();
 
             for logical in system.logical_relations() {
                 db.relation_mut(&internal_name(&logical, InternalRole::Input))?
@@ -92,7 +94,7 @@ impl Cdss {
             } else {
                 Some(&filter)
             };
-            let mut eval = Evaluator::new(engine);
+            let mut eval = make_evaluator(engine, pool);
             report.eval_stats = eval.run_filtered_cached(plans, &system.program, db, active)?;
 
             for logical in system.logical_relations() {
@@ -139,7 +141,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalInsertion);
 
-        let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, plans, engine, pool) = self.split_for_eval();
 
         let base: HashMap<String, Vec<Tuple>> = insertions
             .iter()
@@ -157,7 +159,7 @@ impl Cdss {
         } else {
             Some(&filter)
         };
-        let mut eval = Evaluator::new(engine);
+        let mut eval = make_evaluator(engine, pool);
         let new = eval.propagate_insertions_cached(plans, &system.program, db, &base, active)?;
         report.eval_stats = eval.take_stats();
 
@@ -232,7 +234,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::IncrementalDeletion);
 
-        let (system, policies, owner, db, graph, _plans, _engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, _plans, _engine, _pool) = self.split_for_eval();
         // The derivability test below needs the graph in sync with the
         // pre-deletion store.
         graph.ensure(system, db);
@@ -345,7 +347,7 @@ impl Cdss {
         let start = Instant::now();
         let mut report = ExchangeReport::new(ExchangeStrategy::DRed);
 
-        let (system, policies, owner, db, graph, plans, engine) = self.split_for_eval();
+        let (system, policies, owner, db, graph, plans, engine, pool) = self.split_for_eval();
 
         // 1. Apply the base changes and seed the over-deletion frontier.
         let mut frontier: HashMap<String, HashSet<Tuple>> = HashMap::new();
@@ -409,7 +411,7 @@ impl Cdss {
         } else {
             Some(&filter)
         };
-        let mut eval = Evaluator::new(engine);
+        let mut eval = make_evaluator(engine, pool);
         let mut rederive: HashMap<String, Vec<Tuple>> = HashMap::new();
         for rule in system.program.rules() {
             let Some(dead) = overdeleted.get(&rule.head.relation) else {

@@ -54,29 +54,89 @@ use crate::Result;
 /// delta tuple.
 pub const DELTA_INDEX_MIN: usize = 16;
 
+/// Smallest per-worker delta chunk: splitting finer than this costs more in
+/// task dispatch than the join work it parallelises.
+pub const PAR_MIN_CHUNK: usize = 64;
+
+/// Smallest per-head merge batch worth the sharded parallel liveness pass;
+/// below this the sequential insert loop's own dedup is cheaper.
+pub const PAR_DEDUP_MIN: usize = 256;
+
+/// Shard count of the parallel dedup merge (fixed so shard assignment —
+/// `hash % MERGE_SHARDS` — never depends on the worker count).
+pub const MERGE_SHARDS: usize = 16;
+
 /// A predicate consulted before a derived tuple is added to its relation.
 ///
 /// The CDSS layer uses this to enforce trust conditions *during* derivation
 /// (paper §4.2: "as we derive tuples via mapping rules from trusted tuples,
 /// we simply apply the associated trust conditions"). Returning `false`
 /// rejects the tuple: it is neither stored nor used for further derivations.
-pub type DerivationFilter<'a> = dyn Fn(&str, &Tuple) -> bool + 'a;
+/// `Send + Sync` because the parallel fixpoint consults it from worker
+/// threads.
+pub type DerivationFilter<'a> = dyn Fn(&str, &Tuple) -> bool + Send + Sync + 'a;
 
 /// The datalog evaluator. Holds the configured execution backend and
 /// accumulates [`EvalStats`] across calls.
+///
+/// ## Parallel fixpoint
+///
+/// When constructed with a thread pool ([`Evaluator::new`] adopts the
+/// process-global pool when it has more than one thread), each fixpoint
+/// round fans out over the pool: one task per rule in round zero, one task
+/// per delta *chunk* per rule occurrence in later rounds. Workers evaluate
+/// against a frozen database snapshot; their head derivations are merged in
+/// deterministic task order (rule, then occurrence, then chunk), so the
+/// final instance, its provenance, and any canonical re-encode are
+/// byte-identical at every worker count — including one.
+///
+/// Determinism rests on the delta-first plan shape: a delta occurrence is
+/// always forced to join position 0, so a chunked delta produces exactly
+/// the per-chunk slices of the unchunked output stream, and concatenating
+/// them in chunk order reproduces it regardless of where the chunk
+/// boundaries fall.
 #[derive(Debug)]
 pub struct Evaluator {
     kind: EngineKind,
+    pool: Option<orchestra_pool::Pool>,
     stats: EvalStats,
 }
 
 impl Evaluator {
-    /// Create an evaluator using the given execution backend.
+    /// Create an evaluator using the given execution backend, evaluating on
+    /// the process-global thread pool when it has more than one thread
+    /// (`ORCHESTRA_THREADS` / [`orchestra_pool::configure_global`]).
     pub fn new(kind: EngineKind) -> Self {
+        let global = orchestra_pool::global();
+        let pool = (global.threads() > 1).then(|| global.clone());
         Evaluator {
             kind,
+            pool,
             stats: EvalStats::new(),
         }
+    }
+
+    /// Create a single-threaded evaluator regardless of the global pool.
+    pub fn sequential(kind: EngineKind) -> Self {
+        Evaluator {
+            kind,
+            pool: None,
+            stats: EvalStats::new(),
+        }
+    }
+
+    /// Create an evaluator running fixpoint rounds on the given pool.
+    pub fn with_pool(kind: EngineKind, pool: orchestra_pool::Pool) -> Self {
+        Evaluator {
+            kind,
+            pool: (pool.threads() > 1).then_some(pool),
+            stats: EvalStats::new(),
+        }
+    }
+
+    /// The number of threads fixpoint rounds run on (1 = inline).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, orchestra_pool::Pool::threads)
     }
 
     /// The configured backend.
@@ -160,12 +220,14 @@ impl Evaluator {
         let pool_before = db.pool_stats();
         let plan_hits_before = cache.hits;
 
+        let workers = self.threads();
+        let steals_before = self.pool.as_ref().map_or(0, |p| p.stats().steals);
         let mut total = EvalStats::new();
         for stratum_rules in &prepared.strata.rule_strata {
             if stratum_rules.is_empty() {
                 continue;
             }
-            let _stratum = orchestra_obs::span("stratum", "datalog");
+            let _stratum = orchestra_obs::span_tagged("stratum", "datalog", workers as u64);
             let s =
                 self.run_stratum_seminaive(cache, &prepared, stratum_rules, program, db, filter)?;
             total += s;
@@ -174,6 +236,10 @@ impl Evaluator {
         total.intern_hits += (pool_after.hits - pool_before.hits) as usize;
         total.intern_misses += (pool_after.misses - pool_before.misses) as usize;
         total.plan_cache_hits += (cache.hits - plan_hits_before) as usize;
+        if let Some(p) = &self.pool {
+            orchestra_obs::counter("eval_pool_steals_total")
+                .add(p.stats().steals.saturating_sub(steals_before));
+        }
         self.stats += total;
         total.record_to_registry();
         Ok(total)
@@ -232,33 +298,32 @@ impl Evaluator {
         filter: Option<&DerivationFilter<'_>>,
     ) -> Result<EvalStats> {
         let mut stats = EvalStats::new();
-        let mut sc = EvalScratch::default();
+        let stash = ScratchStash::default();
+        let pool = self.pool.as_ref();
 
         // Round 0: evaluate every rule of the stratum against the full
-        // database; the newly inserted tuple ids seed the delta.
-        let mut delta: HashMap<String, Vec<TupleId>> = HashMap::new();
+        // database (one task per rule); the newly inserted tuple ids seed
+        // the delta. All rules of a round see the same frozen snapshot and
+        // their outputs merge afterwards in rule order, so the round
+        // decomposes into independent tasks at any worker count.
+        let mut tasks: Vec<RoundTask<'_>> = Vec::with_capacity(stratum_rules.len());
         for &ri in stratum_rules {
             let (plan, temp) = cache.base(program, ri, db.pool_mut())?;
-            let produced = eval_rule_ids(
-                self.kind, plan, db, None, filter, &mut stats, temp, &mut sc, true,
-            )?;
-            if produced.is_empty() {
-                continue;
-            }
-            let head = plan.rule.head_relation.clone();
-            let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
-            if !fresh.is_empty() {
-                delta.entry(head).or_default().extend(fresh);
-            }
+            prepare_rule_access(self.kind, plan, db, None, &mut stats, temp)?;
+            tasks.push(RoundTask { ri, delta: None });
         }
+        let mut delta = run_round(
+            self.kind, pool, cache, db, tasks, filter, &mut stats, &stash,
+        )?;
         stats.iterations += 1;
 
         // Subsequent rounds: only evaluate rule occurrences that can consume
         // something from the previous round's delta, each with its
-        // delta-first compiled variant. Deltas are id sets into the stored
-        // relations — nothing is re-materialised between rounds.
+        // delta-first compiled variant, each delta split into worker-sized
+        // chunks. Deltas are id sets into the stored relations — nothing is
+        // re-materialised between rounds.
         while !delta.is_empty() {
-            let mut next: HashMap<String, Vec<TupleId>> = HashMap::new();
+            let mut tasks: Vec<RoundTask<'_>> = Vec::new();
             for &ri in stratum_rules {
                 for (body_index, relation) in &prepared.occurrences[ri] {
                     let Some(d) = delta.get(relation) else {
@@ -268,27 +333,18 @@ impl Evaluator {
                         continue;
                     }
                     let (plan, temp) = cache.delta(program, ri, *body_index, db.pool_mut())?;
-                    let produced = eval_rule_ids(
-                        self.kind,
-                        plan,
-                        db,
-                        Some((*body_index, d)),
-                        filter,
-                        &mut stats,
-                        temp,
-                        &mut sc,
-                        true,
-                    )?;
-                    if produced.is_empty() {
-                        continue;
-                    }
-                    let head = plan.rule.head_relation.clone();
-                    let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
-                    if !fresh.is_empty() {
-                        next.entry(head).or_default().extend(fresh);
+                    prepare_rule_access(self.kind, plan, db, Some(*body_index), &mut stats, temp)?;
+                    for chunk in delta_chunks(d, pool) {
+                        tasks.push(RoundTask {
+                            ri,
+                            delta: Some((*body_index, chunk)),
+                        });
                     }
                 }
             }
+            let next = run_round(
+                self.kind, pool, cache, db, tasks, filter, &mut stats, &stash,
+            )?;
             stats.iterations += 1;
             delta = next;
         }
@@ -351,7 +407,9 @@ impl Evaluator {
         }
 
         let mut stats = EvalStats::new();
-        let mut sc = EvalScratch::default();
+        let stash = ScratchStash::default();
+        let pool = self.pool.as_ref();
+        let steals_before = pool.map_or(0, |p| p.stats().steals);
         let mut all_new: HashMap<String, Vec<TupleId>> = HashMap::new();
 
         // Apply the base deltas, keeping only genuinely new tuples (as ids).
@@ -371,13 +429,15 @@ impl Evaluator {
         }
 
         // Push deltas through the rules until fixpoint, each occurrence
-        // with its delta-first compiled variant. Each round is a span, so
-        // a trace timeline shows the fixpoint converging (formerly an
-        // `ORCHESTRA_TRACE_EVAL` stderr dump).
+        // with its delta-first compiled variant, each delta split into
+        // worker-sized chunks. Each round is a span, so a trace timeline
+        // shows the fixpoint converging (formerly an `ORCHESTRA_TRACE_EVAL`
+        // stderr dump).
+        let workers = self.threads() as u64;
         let _fixpoint = orchestra_obs::span("fixpoint-insertions", "datalog");
         while !delta.is_empty() {
-            let _round = orchestra_obs::span("insert-round", "datalog");
-            let mut next: HashMap<String, Vec<TupleId>> = HashMap::new();
+            let _round = orchestra_obs::span_tagged("insert-round", "datalog", workers);
+            let mut tasks: Vec<RoundTask<'_>> = Vec::new();
             for (ri, rule_occurrences) in prepared.occurrences.iter().enumerate() {
                 for (body_index, relation) in rule_occurrences {
                     let Some(d) = delta.get(relation) else {
@@ -387,33 +447,30 @@ impl Evaluator {
                         continue;
                     }
                     let (plan, temp) = cache.delta(program, ri, *body_index, db.pool_mut())?;
-                    let produced = eval_rule_ids(
-                        self.kind,
-                        plan,
-                        db,
-                        Some((*body_index, d)),
-                        filter,
-                        &mut stats,
-                        temp,
-                        &mut sc,
-                        true,
-                    )?;
-                    if produced.is_empty() {
-                        continue;
-                    }
-                    let head = plan.rule.head_relation.clone();
-                    let fresh = insert_rows(db, &head, produced, &mut stats, &mut sc)?;
-                    if !fresh.is_empty() {
-                        all_new
-                            .entry(head.clone())
-                            .or_default()
-                            .extend(fresh.iter().copied());
-                        next.entry(head).or_default().extend(fresh);
+                    prepare_rule_access(self.kind, plan, db, Some(*body_index), &mut stats, temp)?;
+                    for chunk in delta_chunks(d, pool) {
+                        tasks.push(RoundTask {
+                            ri,
+                            delta: Some((*body_index, chunk)),
+                        });
                     }
                 }
             }
+            let next = run_round(
+                self.kind, pool, cache, db, tasks, filter, &mut stats, &stash,
+            )?;
+            for (head, fresh) in &next {
+                all_new
+                    .entry(head.clone())
+                    .or_default()
+                    .extend(fresh.iter().copied());
+            }
             stats.iterations += 1;
             delta = next;
+        }
+        if let Some(p) = pool {
+            orchestra_obs::counter("eval_pool_steals_total")
+                .add(p.stats().steals.saturating_sub(steals_before));
         }
 
         let pool_after = db.pool_stats();
@@ -492,61 +549,325 @@ pub(crate) enum ProducedRows {
 
 impl ProducedRows {
     fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn len(&self) -> usize {
         match self {
-            ProducedRows::Rows { hashes, .. } => hashes.is_empty(),
-            ProducedRows::Tuples(ts) => ts.is_empty(),
+            ProducedRows::Rows { hashes, .. } => hashes.len(),
+            ProducedRows::Tuples(ts) => ts.len(),
         }
     }
 }
 
-/// Insert one rule application's produced rows into the head relation,
-/// resolving the relation once for the whole batch. Returns the ids of the
-/// genuinely new tuples.
-fn insert_rows(
+/// One unit of fixpoint-round work: a rule (base plan) or one chunk of a
+/// delta against one body occurrence of a rule (delta-first plan). Tasks of
+/// a round are independent — they read the same frozen database — and merge
+/// in `Vec` order.
+struct RoundTask<'d> {
+    ri: usize,
+    /// `(body_index, delta chunk)`; `None` evaluates the base plan.
+    delta: Option<(usize, &'d [TupleId])>,
+}
+
+/// Shared pool of [`EvalScratch`] buffers: each worker pops one for the
+/// duration of a task and pushes it back, so a round allocates at most one
+/// scratch per concurrently running worker.
+#[derive(Default)]
+struct ScratchStash {
+    free: std::sync::Mutex<Vec<EvalScratch>>,
+}
+
+impl ScratchStash {
+    fn pop(&self) -> EvalScratch {
+        self.free
+            .lock()
+            .expect("scratch stash lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn push(&self, sc: EvalScratch) {
+        self.free.lock().expect("scratch stash lock").push(sc);
+    }
+}
+
+/// Split a round's delta into per-worker chunks. Sequential evaluation (or
+/// a small delta) keeps one chunk; the parallel case over-partitions by 4×
+/// the worker count so the steal-half scheduler can balance skewed chunks.
+/// Chunk boundaries never affect the result: the delta occurrence joins at
+/// position 0, so per-chunk outputs are consecutive slices of the unchunked
+/// output stream (see [`Evaluator`] docs).
+fn delta_chunks<'d>(
+    d: &'d [TupleId],
+    pool: Option<&orchestra_pool::Pool>,
+) -> impl Iterator<Item = &'d [TupleId]> {
+    let workers = pool.map_or(1, orchestra_pool::Pool::threads);
+    let size = if workers <= 1 {
+        d.len().max(1)
+    } else {
+        d.len().div_ceil(workers * 4).max(PAR_MIN_CHUNK)
+    };
+    d.chunks(size)
+}
+
+/// Evaluate one fixpoint round's tasks — on the pool when it has more than
+/// one thread and the round has more than one task, inline otherwise — and
+/// merge every task's head derivations into the database in task order.
+/// Returns the genuinely new tuple ids per head relation (the next delta).
+///
+/// Every plan a task references must have been compiled
+/// ([`PlanCache::base`] / [`PlanCache::delta`]) and its access paths
+/// prepared ([`prepare_rule_access`]) before the call: workers share the
+/// database and plan cache read-only.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    kind: EngineKind,
+    pool: Option<&orchestra_pool::Pool>,
+    cache: &PlanCache,
     db: &mut Database,
-    relation: &str,
-    produced: ProducedRows,
+    tasks: Vec<RoundTask<'_>>,
+    filter: Option<&DerivationFilter<'_>>,
     stats: &mut EvalStats,
-    sc: &mut EvalScratch,
-) -> Result<Vec<TupleId>> {
-    let (rel, pool) = db.relation_and_pool_mut(relation)?;
-    match produced {
-        ProducedRows::Rows {
-            arity,
-            mut ids,
-            mut hashes,
-        } => {
-            rel.reserve(hashes.len());
-            let mut fresh = Vec::with_capacity(hashes.len());
-            for (i, &hash) in hashes.iter().enumerate() {
-                let row = &ids[i * arity..(i + 1) * arity];
-                let (tid, new) = rel.insert_row(pool, row, hash)?;
-                if new {
-                    stats.tuples_inserted += 1;
-                    fresh.push(tid);
-                }
-            }
-            // Recycle the output buffers for the next rule application.
-            ids.clear();
-            hashes.clear();
-            sc.out_ids = ids;
-            sc.out_hashes = hashes;
-            Ok(fresh)
+    stash: &ScratchStash,
+) -> Result<HashMap<String, Vec<TupleId>>> {
+    if tasks.is_empty() {
+        return Ok(HashMap::new());
+    }
+    let parallel = pool.is_some_and(|p| p.threads() > 1) && tasks.len() > 1;
+    let results: Vec<Result<(ProducedRows, EvalStats)>> = {
+        let db_ref: &Database = db;
+        let temp = cache.temp_ref();
+        let eval_task = |t: &RoundTask<'_>| -> Result<(ProducedRows, EvalStats)> {
+            let mut task_stats = EvalStats::new();
+            let mut sc = stash.pop();
+            let plan = match t.delta {
+                Some((bi, _)) => cache.delta_ref(t.ri, bi),
+                None => cache.base_ref(t.ri),
+            };
+            let started = std::time::Instant::now();
+            let produced = eval_rule_ids_prepared(
+                kind,
+                plan,
+                db_ref,
+                temp,
+                t.delta,
+                filter,
+                &mut task_stats,
+                &mut sc,
+                true,
+            );
+            orchestra_obs::histogram("eval_parallel_chunk_seconds").observe(started.elapsed());
+            stash.push(sc);
+            produced.map(|p| (p, task_stats))
+        };
+        if parallel {
+            stats.parallel_tasks_spawned += tasks.len();
+            let boxed: Vec<orchestra_pool::Task<'_, Result<(ProducedRows, EvalStats)>>> = tasks
+                .iter()
+                .map(|t| {
+                    let f = &eval_task;
+                    Box::new(move || f(t)) as orchestra_pool::Task<'_, _>
+                })
+                .collect();
+            pool.expect("parallel implies a pool").run(boxed)
+        } else {
+            tasks.iter().map(eval_task).collect()
         }
-        ProducedRows::Tuples(mut tuples) => {
-            rel.reserve(tuples.len());
-            let mut fresh = Vec::with_capacity(tuples.len());
-            for t in tuples.drain(..) {
-                let (tid, new) = rel.insert_full(pool, t)?;
-                if new {
-                    stats.tuples_inserted += 1;
-                    fresh.push(tid);
+    };
+
+    // Fold per-task stats and collect non-empty outputs in task order —
+    // the order every thread count merges in.
+    let mut outs: Vec<(&str, ProducedRows)> = Vec::with_capacity(tasks.len());
+    for (t, r) in tasks.iter().zip(results) {
+        let (produced, task_stats) = r?;
+        *stats += task_stats;
+        if produced.is_empty() {
+            continue;
+        }
+        let head: &str = match t.delta {
+            Some((bi, _)) => &cache.delta_ref(t.ri, bi).rule.head_relation,
+            None => &cache.base_ref(t.ri).rule.head_relation,
+        };
+        outs.push((head, produced));
+    }
+    merge_round_outputs(db, outs, stats, pool.filter(|p| p.threads() > 1))
+}
+
+/// Merge the round's task outputs into their head relations in task order,
+/// returning the genuinely new tuple ids per head. Large merges run a
+/// parallel sharded liveness pre-pass ([`sharded_liveness`]); the insert
+/// loop itself is sequential and ordered, and [`Relation::insert_row`]'s
+/// own duplicate check remains the final authority either way, so the
+/// pre-pass is purely an optimisation.
+fn merge_round_outputs(
+    db: &mut Database,
+    outs: Vec<(&str, ProducedRows)>,
+    stats: &mut EvalStats,
+    pool: Option<&orchestra_pool::Pool>,
+) -> Result<HashMap<String, Vec<TupleId>>> {
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_head: HashMap<&str, Vec<ProducedRows>> = HashMap::new();
+    for (head, produced) in outs {
+        by_head
+            .entry(head)
+            .or_insert_with(|| {
+                order.push(head);
+                Vec::new()
+            })
+            .push(produced);
+    }
+
+    let mut fresh_by_head: HashMap<String, Vec<TupleId>> = HashMap::new();
+    for head in order {
+        let batches = by_head.remove(head).expect("recorded in order");
+        if pool.is_some() {
+            stats.parallel_chunks_merged += batches.len();
+        }
+        let total: usize = batches.iter().map(ProducedRows::len).sum();
+        let live: Vec<bool> = match pool {
+            Some(p) if total >= PAR_DEDUP_MIN => sharded_liveness(db, head, &batches, p)?,
+            _ => vec![true; total],
+        };
+        let (rel, vpool) = db.relation_and_pool_mut(head)?;
+        rel.reserve(total);
+        let mut fresh = Vec::new();
+        let mut gi = 0usize;
+        for batch in batches {
+            match batch {
+                ProducedRows::Rows { arity, ids, hashes } => {
+                    for (i, &hash) in hashes.iter().enumerate() {
+                        if live[gi] {
+                            let row = &ids[i * arity..(i + 1) * arity];
+                            let (tid, new) = rel.insert_row(vpool, row, hash)?;
+                            if new {
+                                stats.tuples_inserted += 1;
+                                fresh.push(tid);
+                            }
+                        }
+                        gi += 1;
+                    }
+                }
+                ProducedRows::Tuples(tuples) => {
+                    for t in tuples {
+                        if live[gi] {
+                            let (tid, new) = rel.insert_full(vpool, t)?;
+                            if new {
+                                stats.tuples_inserted += 1;
+                                fresh.push(tid);
+                            }
+                        }
+                        gi += 1;
+                    }
                 }
             }
-            sc.out_tuples = tuples;
-            Ok(fresh)
+        }
+        if !fresh.is_empty() {
+            fresh_by_head.insert(head.to_string(), fresh);
         }
     }
+    Ok(fresh_by_head)
+}
+
+/// A produced head row viewed in whichever currency its batch carries.
+enum RowRef<'a> {
+    Ids(&'a [ValueId]),
+    Tup(&'a Tuple),
+}
+
+/// Content equality across row currencies. Hash equality got the pair into
+/// the same bucket; this resolves collisions. Interned ids compare as
+/// integers; mixed comparisons resolve ids through the pool.
+fn rows_equal(vpool: &ValuePool, a: &RowRef<'_>, b: &RowRef<'_>) -> bool {
+    match (a, b) {
+        (RowRef::Ids(x), RowRef::Ids(y)) => x == y,
+        (RowRef::Tup(x), RowRef::Tup(y)) => x == y,
+        (RowRef::Ids(ids), RowRef::Tup(t)) | (RowRef::Tup(t), RowRef::Ids(ids)) => {
+            ids.len() == t.arity()
+                && ids
+                    .iter()
+                    .zip(t.values())
+                    .all(|(&id, v)| vpool.value(id) == v)
+        }
+    }
+}
+
+/// Parallel dedup pre-pass over one head's merge batches: rows are sharded
+/// by `content hash % MERGE_SHARDS` (equal rows always land in the same
+/// shard, and shard assignment is independent of the worker count), and
+/// each shard marks a row live unless it is already stored in the relation
+/// or duplicates an earlier row — in global task order — of its own shard.
+/// Exactly the rows the ordered sequential insert would admit stay live.
+fn sharded_liveness(
+    db: &Database,
+    head: &str,
+    batches: &[ProducedRows],
+    pool: &orchestra_pool::Pool,
+) -> Result<Vec<bool>> {
+    let rel = db.relation(head)?;
+    let vpool = db.pool();
+    let mut items: Vec<(u64, RowRef<'_>)> = Vec::new();
+    for batch in batches {
+        match batch {
+            ProducedRows::Rows { arity, ids, hashes } => {
+                for (i, &hash) in hashes.iter().enumerate() {
+                    items.push((hash, RowRef::Ids(&ids[i * arity..(i + 1) * arity])));
+                }
+            }
+            ProducedRows::Tuples(ts) => {
+                for t in ts {
+                    items.push((t.content_hash(), RowRef::Tup(t)));
+                }
+            }
+        }
+    }
+
+    // Shard buckets hold ascending global indices, so each shard scans its
+    // rows in global order.
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); MERGE_SHARDS];
+    for (i, (hash, _)) in items.iter().enumerate() {
+        shards[(hash % MERGE_SHARDS as u64) as usize].push(i as u32);
+    }
+
+    let items_ref = &items;
+    let shard_tasks: Vec<orchestra_pool::Task<'_, Vec<u32>>> = shards
+        .iter()
+        .filter(|shard| !shard.is_empty())
+        .map(|shard| {
+            Box::new(move || {
+                let mut live_idx = Vec::new();
+                let mut seen: HashMap<u64, Vec<u32>> = HashMap::new();
+                for &i in shard {
+                    let (hash, row) = &items_ref[i as usize];
+                    let present = match row {
+                        RowRef::Ids(ids) => rel.contains_row_hashed(*hash, ids),
+                        RowRef::Tup(t) => rel.contains_values_hashed(*hash, t.values()),
+                    };
+                    if present {
+                        continue;
+                    }
+                    let bucket = seen.entry(*hash).or_default();
+                    if bucket
+                        .iter()
+                        .any(|&j| rows_equal(vpool, &items_ref[j as usize].1, row))
+                    {
+                        continue;
+                    }
+                    bucket.push(i);
+                    live_idx.push(i);
+                }
+                live_idx
+            }) as orchestra_pool::Task<'_, Vec<u32>>
+        })
+        .collect();
+
+    let mut live = vec![false; items.len()];
+    for shard_live in pool.run(shard_tasks) {
+        for i in shard_live {
+            live[i as usize] = true;
+        }
+    }
+    Ok(live)
 }
 
 /// How a positive literal accesses its relation during the interned join.
@@ -691,33 +1012,23 @@ fn eval_head_term_pooled(term: &CompiledHeadTerm, bindings: &[ValueId], pool: &V
     }
 }
 
-/// Evaluate one compiled plan on the interned pipeline and return the head
-/// rows it produces.
+/// The mutable half of a rule application: validate the plan's relations
+/// and build/refresh whatever indexes its access paths will want, so
+/// [`eval_rule_ids_prepared`] can run against `&Database` (and so fan out
+/// across threads). Must be called — sequentially — for every plan of a
+/// round before the round's tasks run; relations do not change between the
+/// two (inserts happen only at the round's merge).
 ///
-/// `delta_at` optionally restricts the body occurrence with the given
-/// body index to the supplied tuple ids of that occurrence's relation
-/// (semi-naive evaluation / insertion delta rules). The ids must be live.
-///
-/// With `skip_existing`, head instantiations already present in the head
-/// relation are dropped inside the join (before any allocation) — correct
-/// only for monotone insertion paths, where the caller would discard them
-/// as duplicates anyway.
-#[allow(clippy::too_many_arguments)]
-fn eval_rule_ids(
+/// `delta_body` names the body occurrence a delta will be supplied for, if
+/// any; that occurrence needs no stored-relation index.
+fn prepare_rule_access(
     kind: EngineKind,
     plan: &CompiledPlan,
     db: &mut Database,
-    delta_at: Option<(usize, &[TupleId])>,
-    filter: Option<&DerivationFilter<'_>>,
+    delta_body: Option<usize>,
     stats: &mut EvalStats,
     temp: &mut TempIndexes,
-    sc: &mut EvalScratch,
-    skip_existing: bool,
-) -> Result<ProducedRows> {
-    stats.rule_applications += 1;
-    if plan.rule.reordered {
-        stats.reorders_applied += 1;
-    }
+) -> Result<()> {
     let c = &plan.rule;
 
     // Phase 1 (mutable): validate relations and make sure persistent
@@ -729,8 +1040,7 @@ fn eval_rule_ids(
         if !db.has_relation(&pos.relation) {
             return Err(DatalogError::MissingRelation(pos.relation.clone()));
         }
-        let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
-        if is_delta {
+        if delta_body == Some(pos.body_index) {
             continue;
         }
         let bound_cols = pos.bound_columns();
@@ -755,8 +1065,7 @@ fn eval_rule_ids(
         let db_ref: &Database = db;
         let pool = db_ref.pool();
         for pos in &c.positives {
-            let is_delta = matches!(delta_at, Some((bi, _)) if bi == pos.body_index);
-            if is_delta {
+            if delta_body == Some(pos.body_index) {
                 continue;
             }
             let bound_cols = pos.bound_columns();
@@ -786,11 +1095,43 @@ fn eval_rule_ids(
             }
         }
     }
+    Ok(())
+}
+
+/// Evaluate one compiled plan on the interned pipeline and return the head
+/// rows it produces. The read-only half of a rule application: the caller
+/// ran [`prepare_rule_access`] for this plan first, so the database and the
+/// throwaway-index state are shared immutably (workers of a parallel round
+/// all borrow the same ones).
+///
+/// `delta_at` optionally restricts the body occurrence with the given
+/// body index to the supplied tuple ids of that occurrence's relation
+/// (semi-naive evaluation / insertion delta rules). The ids must be live.
+///
+/// With `skip_existing`, head instantiations already present in the head
+/// relation are dropped inside the join (before any allocation) — correct
+/// only for monotone insertion paths, where the caller would discard them
+/// as duplicates anyway.
+#[allow(clippy::too_many_arguments)]
+fn eval_rule_ids_prepared(
+    kind: EngineKind,
+    plan: &CompiledPlan,
+    db_ref: &Database,
+    temp_ref: &TempIndexes,
+    delta_at: Option<(usize, &[TupleId])>,
+    filter: Option<&DerivationFilter<'_>>,
+    stats: &mut EvalStats,
+    sc: &mut EvalScratch,
+    skip_existing: bool,
+) -> Result<ProducedRows> {
+    stats.rule_applications += 1;
+    if plan.rule.reordered {
+        stats.reorders_applied += 1;
+    }
+    let c = &plan.rule;
 
     // Phase 2b (immutable): pick a borrowed access path per positive
     // literal and pre-resolve the negated literals' relations.
-    let db_ref: &Database = db;
-    let temp_ref: &TempIndexes = temp;
     let pool = db_ref.pool();
     let mut neg_rels: Vec<&Relation> = Vec::with_capacity(c.negatives.len());
     for neg in &c.negatives {
@@ -827,12 +1168,21 @@ fn eval_rule_ids(
                     // Promoted: maintained on the relation itself.
                     accesses.push(AccessIds::Persistent { rel, index });
                 } else {
-                    let (_, (_, index)) = temp_ref
+                    // Built in phase 2a (prepare_rule_access); if the cached
+                    // build is stale or absent — unreachable when the
+                    // prepare contract held — degrade to a scan rather than
+                    // assume.
+                    let index = temp_ref
                         .built
                         .iter()
                         .find(|((r, c), _)| r == &pos.relation && *c == bound_cols)
-                        .expect("built in phase 2a");
-                    accesses.push(AccessIds::TempIndex { rel, index });
+                        .and_then(|(_, (version, index))| {
+                            (*version == rel.version()).then_some(index)
+                        });
+                    match index {
+                        Some(index) => accesses.push(AccessIds::TempIndex { rel, index }),
+                        None => accesses.push(AccessIds::FullScan(rel)),
+                    }
                 }
             }
             EngineKind::Pipelined => match rel.index(&bound_cols) {

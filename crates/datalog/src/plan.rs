@@ -390,6 +390,35 @@ impl PlanCache {
         }
         Ok((&self.plans[ri].deltas[&body_index], &mut self.temp))
     }
+
+    /// The already-compiled base plan for rule `ri`. Panics if [`base`] has
+    /// not been called for this rule since the last invalidation; the
+    /// parallel evaluator pre-compiles every plan sequentially before
+    /// fanning read-only workers out over these shared references.
+    ///
+    /// [`base`]: PlanCache::base
+    pub(crate) fn base_ref(&self, ri: usize) -> &CompiledPlan {
+        self.plans[ri]
+            .base
+            .as_ref()
+            .expect("base plan pre-compiled before parallel round")
+    }
+
+    /// The already-compiled delta-first plan for rule `ri` / occurrence
+    /// `body_index` (see [`base_ref`] for the pre-compilation contract).
+    ///
+    /// [`base_ref`]: PlanCache::base_ref
+    pub(crate) fn delta_ref(&self, ri: usize, body_index: usize) -> &CompiledPlan {
+        self.plans[ri]
+            .deltas
+            .get(&body_index)
+            .expect("delta plan pre-compiled before parallel round")
+    }
+
+    /// Shared view of the throwaway-index state for read-only workers.
+    pub(crate) fn temp_ref(&self) -> &TempIndexes {
+        &self.temp
+    }
 }
 
 #[cfg(test)]

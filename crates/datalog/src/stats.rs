@@ -55,6 +55,12 @@ pub struct EvalStats {
     /// Compiled join plans reused from the cross-evaluation [`PlanCache`]
     /// (`crate::plan::PlanCache`) instead of being recompiled.
     pub plan_cache_hits: usize,
+    /// Fixpoint-round tasks dispatched to the worker pool (zero when the
+    /// evaluator runs inline on one thread).
+    pub parallel_tasks_spawned: usize,
+    /// Per-head output batches merged through the deterministic sharded
+    /// dedup merge after parallel rounds.
+    pub parallel_chunks_merged: usize,
 }
 
 impl EvalStats {
@@ -71,10 +77,10 @@ impl EvalStats {
     /// Add this counter set into the process-global metrics registry
     /// (`eval_*_total` series), so scrapes see cumulative evaluation
     /// work without threading `EvalStats` through every caller. Handles
-    /// are resolved once and cached; recording is 14 relaxed adds.
+    /// are resolved once and cached; recording is 16 relaxed adds.
     pub fn record_to_registry(&self) {
         use std::sync::OnceLock;
-        static HANDLES: OnceLock<[orchestra_obs::Counter; 14]> = OnceLock::new();
+        static HANDLES: OnceLock<[orchestra_obs::Counter; 16]> = OnceLock::new();
         let handles = HANDLES.get_or_init(|| {
             [
                 orchestra_obs::counter("eval_iterations_total"),
@@ -91,6 +97,8 @@ impl EvalStats {
                 orchestra_obs::counter("eval_intern_hits_total"),
                 orchestra_obs::counter("eval_intern_misses_total"),
                 orchestra_obs::counter("eval_plan_cache_hits_total"),
+                orchestra_obs::counter("eval_parallel_tasks_total"),
+                orchestra_obs::counter("eval_parallel_chunks_merged_total"),
             ]
         });
         let values = [
@@ -108,6 +116,8 @@ impl EvalStats {
             self.intern_hits,
             self.intern_misses,
             self.plan_cache_hits,
+            self.parallel_tasks_spawned,
+            self.parallel_chunks_merged,
         ];
         for (handle, v) in handles.iter().zip(values) {
             if v > 0 {
@@ -133,6 +143,8 @@ impl AddAssign for EvalStats {
         self.intern_hits += o.intern_hits;
         self.intern_misses += o.intern_misses;
         self.plan_cache_hits += o.plan_cache_hits;
+        self.parallel_tasks_spawned += o.parallel_tasks_spawned;
+        self.parallel_chunks_merged += o.parallel_chunks_merged;
     }
 }
 
@@ -140,7 +152,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={} intern_hits={} intern_misses={} plan_cache_hits={}",
+            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={} intern_hits={} intern_misses={} plan_cache_hits={} parallel_tasks={} parallel_chunks={}",
             self.iterations,
             self.rule_applications,
             self.tuples_derived,
@@ -154,7 +166,9 @@ impl fmt::Display for EvalStats {
             self.reorders_applied,
             self.intern_hits,
             self.intern_misses,
-            self.plan_cache_hits
+            self.plan_cache_hits,
+            self.parallel_tasks_spawned,
+            self.parallel_chunks_merged
         )
     }
 }
@@ -180,6 +194,8 @@ mod tests {
             intern_hits: 12,
             intern_misses: 13,
             plan_cache_hits: 14,
+            parallel_tasks_spawned: 15,
+            parallel_chunks_merged: 16,
         };
         let b = a;
         a.merge(&b);
@@ -197,6 +213,8 @@ mod tests {
         assert_eq!(a.intern_hits, 24);
         assert_eq!(a.intern_misses, 26);
         assert_eq!(a.plan_cache_hits, 28);
+        assert_eq!(a.parallel_tasks_spawned, 30);
+        assert_eq!(a.parallel_chunks_merged, 32);
     }
 
     #[test]
@@ -235,6 +253,8 @@ mod tests {
             "intern_hits",
             "intern_misses",
             "plan_cache_hits",
+            "parallel_tasks",
+            "parallel_chunks",
         ] {
             assert!(s.contains(key), "missing {key} in `{s}`");
         }

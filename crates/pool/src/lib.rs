@@ -1,0 +1,547 @@
+//! A hermetic work-stealing thread pool (no third-party dependencies, same
+//! stand-in pattern as the `vendor/` crates).
+//!
+//! The parallel fixpoint engine in `orchestra-datalog` fans rule and
+//! delta-chunk evaluations out over this pool. The design favours
+//! predictability over raw scheduler throughput:
+//!
+//! * **Spawn-on-demand workers.** A [`Pool`] of parallelism `n` owns `n-1`
+//!   background workers (the caller is the n-th lane); threads are spawned
+//!   lazily on the first parallel use, so merely constructing a pool — or a
+//!   1-thread pool, ever — costs nothing.
+//! * **Mutex-sharded deques.** Each worker owns a `Mutex<VecDeque>` shard;
+//!   submissions round-robin across shards, a worker pops its own shard
+//!   from the front and steals from the *back* of other shards when idle
+//!   (counted in [`PoolStats::steals`]).
+//! * **Scoped spawns.** [`Pool::scope`] lets tasks borrow from the caller's
+//!   stack: the scope does not return until every spawned task finished,
+//!   and the waiting caller *helps drain* the queues instead of blocking,
+//!   so nested scopes cannot deadlock. A panicking task is caught and the
+//!   payload is re-thrown from `scope` after all siblings completed.
+//! * **A single 1-thread code path.** At parallelism 1 every spawn runs
+//!   inline on the caller, in submission order — the deterministic
+//!   baseline the multi-threaded engine is differentially tested against.
+//!
+//! The process-global pool ([`global`]) sizes itself from the
+//! `ORCHESTRA_THREADS` environment variable, falling back to the machine's
+//! available parallelism; [`configure_global`] (used by `orchestrad
+//! --threads`) can pin the size before first use.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A queued, lifetime-erased task.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A boxed task for [`Pool::run`]: borrows from the caller's environment.
+pub type Task<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
+
+/// Counters describing a pool's lifetime activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured parallelism (worker threads + the calling lane).
+    pub threads: usize,
+    /// Tasks executed so far (by workers and by helping callers).
+    pub tasks_executed: u64,
+    /// Tasks a worker took from another worker's shard.
+    pub steals: u64,
+}
+
+struct Inner {
+    /// Parallelism level; `shards.len() == threads - 1` workers back it.
+    threads: usize,
+    /// One deque per worker; submissions round-robin across them.
+    shards: Vec<Mutex<VecDeque<Job>>>,
+    /// Lazily flipped when the worker threads are spawned.
+    started: Mutex<bool>,
+    /// Sleeping workers park here; submissions notify it.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+    next_shard: AtomicUsize,
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    /// Live `Pool` handles; the last drop shuts the workers down.
+    handles: AtomicUsize,
+}
+
+impl Inner {
+    fn ensure_workers(self: &Arc<Self>) {
+        let mut started = self.started.lock().unwrap();
+        if *started {
+            return;
+        }
+        *started = true;
+        for w in 0..self.shards.len() {
+            let inner = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("orchestra-pool-{w}"))
+                .spawn(move || worker_loop(inner, w))
+                .expect("spawn pool worker");
+        }
+    }
+
+    fn push(self: &Arc<Self>, job: Job) {
+        self.ensure_workers();
+        let i = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[i].lock().unwrap().push_back(job);
+        let _g = self.sleep_lock.lock().unwrap();
+        self.sleep_cv.notify_one();
+    }
+
+    /// A worker's fetch: own shard first (front), then steal from the back
+    /// of the others.
+    fn take_job(&self, me: usize) -> Option<Job> {
+        if let Some(j) = self.shards[me].lock().unwrap().pop_front() {
+            return Some(j);
+        }
+        for k in 1..self.shards.len() {
+            let idx = (me + k) % self.shards.len();
+            if let Some(j) = self.shards[idx].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// A helping (non-worker) thread's fetch, used while a scope waits.
+    fn take_job_external(&self) -> Option<Job> {
+        for shard in &self.shards {
+            if let Some(j) = shard.lock().unwrap().pop_front() {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn has_jobs(&self) -> bool {
+        self.shards.iter().any(|s| !s.lock().unwrap().is_empty())
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, me: usize) {
+    loop {
+        if let Some(job) = inner.take_job(me) {
+            inner.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            job();
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = inner.sleep_lock.lock().unwrap();
+        // Re-check under the lock so a submission's notify cannot slip
+        // between the queue scan and the wait.
+        if inner.shutdown.load(Ordering::Acquire) || inner.has_jobs() {
+            continue;
+        }
+        // The timeout is a belt-and-braces bound, not the wake mechanism.
+        let _ = inner
+            .sleep_cv
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap();
+    }
+}
+
+/// A work-stealing thread pool. Cheap to clone (handles share the workers);
+/// the workers exit when the last handle drops.
+pub struct Pool {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.inner.threads)
+            .finish()
+    }
+}
+
+impl Clone for Pool {
+    fn clone(&self) -> Self {
+        self.inner.handles.fetch_add(1, Ordering::Relaxed);
+        Pool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if self.inner.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner.shutdown.store(true, Ordering::Release);
+            let _g = self.inner.sleep_lock.lock().unwrap();
+            self.inner.sleep_cv.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    /// A pool of parallelism `threads` (clamped to at least 1). `threads - 1`
+    /// worker threads are spawned lazily on first parallel use; a 1-thread
+    /// pool never spawns anything and runs every task inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        Pool {
+            inner: Arc::new(Inner {
+                threads,
+                shards: (0..threads.saturating_sub(1))
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                started: Mutex::new(false),
+                sleep_lock: Mutex::new(()),
+                sleep_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                next_shard: AtomicUsize::new(0),
+                tasks_executed: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                handles: AtomicUsize::new(1),
+            }),
+        }
+    }
+
+    /// The configured parallelism level.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.inner.threads,
+            tasks_executed: self.inner.tasks_executed.load(Ordering::Relaxed),
+            steals: self.inner.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run `f` with a [`Scope`] whose spawned tasks may borrow anything that
+    /// outlives the `scope` call. Returns only after every spawned task has
+    /// finished; while waiting, the caller helps drain queued tasks. If `f`
+    /// or any task panicked, the (first) payload is re-thrown here — after
+    /// all tasks completed, so no borrow outlives its data.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        let scope = Scope {
+            inner: Arc::clone(&self.inner),
+            state: Arc::new(ScopeState::new()),
+            _marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.wait();
+        let task_panic = scope.state.panic.lock().unwrap().take();
+        match result {
+            Err(p) => panic::resume_unwind(p),
+            Ok(r) => {
+                if let Some(p) = task_panic {
+                    panic::resume_unwind(p);
+                }
+                r
+            }
+        }
+    }
+
+    /// Execute boxed tasks and return their results **in task order**. With
+    /// parallelism 1 (or a single task) everything runs inline on the
+    /// caller, in order — the deterministic baseline.
+    pub fn run<'env, R: Send>(&self, tasks: Vec<Task<'env, R>>) -> Vec<R> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads() <= 1 || n == 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (i, t) in tasks.into_iter().enumerate() {
+                let slot = &slots[i];
+                s.spawn(move || {
+                    *slot.lock().unwrap() = Some(t());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("scope waited for every task")
+            })
+            .collect()
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn new() -> ScopeState {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Run a task, parking its panic payload (first wins) in the scope state.
+fn execute<F: FnOnce()>(f: F, state: &ScopeState) {
+    if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+        let mut slot = state.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+}
+
+/// A spawn handle whose tasks may borrow data outliving the `scope` call.
+/// The `'scope` lifetime is invariant, as in `std::thread::scope`.
+pub struct Scope<'scope> {
+    inner: Arc<Inner>,
+    state: Arc<ScopeState>,
+    _marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task into the pool. With parallelism 1 the task runs inline,
+    /// immediately, on the calling thread (panics are still deferred to the
+    /// end of the scope, matching the parallel semantics).
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        if self.inner.threads <= 1 {
+            execute(f, &self.state);
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            execute(f, &state);
+            state.finish_one();
+        });
+        // Erase `'scope`: sound because `Pool::scope` does not return until
+        // `pending` hits zero, so the borrowed data outlives the task.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.inner.push(job);
+    }
+
+    /// Block until every spawned task finished, helping drain the queues
+    /// (this keeps nested scopes deadlock-free: a waiting task's thread is
+    /// itself an execution lane).
+    fn wait(&self) {
+        while self.state.pending.load(Ordering::Acquire) > 0 {
+            if let Some(job) = self.inner.take_job_external() {
+                self.inner.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                job();
+                continue;
+            }
+            let guard = self.state.lock.lock().unwrap();
+            if self.state.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Short-bounded: tasks may be finishing on workers with nothing
+            // left to drain here.
+            let _ = self
+                .state
+                .cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+}
+
+// ── the process-global pool ─────────────────────────────────────────────
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-global pool, created on first use with [`default_threads`].
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// Pin the global pool's parallelism (e.g. from `orchestrad --threads`).
+/// Must run before the first [`global`] use to take effect; returns whether
+/// the global pool now has the requested size.
+pub fn configure_global(threads: usize) -> bool {
+    let t = threads.max(1);
+    if GLOBAL.set(Pool::new(t)).is_ok() {
+        return true;
+    }
+    global().threads() == t
+}
+
+/// The default parallelism: `ORCHESTRA_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    match std::env::var("ORCHESTRA_THREADS") {
+        Ok(s) => parse_threads(&s).unwrap_or_else(hardware_threads),
+        Err(_) => hardware_threads(),
+    }
+}
+
+/// The machine's available parallelism (1 when undetectable).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse an `ORCHESTRA_THREADS`-style override: a positive integer.
+pub fn parse_threads(s: &str) -> Option<usize> {
+    let n: usize = s.trim().parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn run_returns_results_in_task_order() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let tasks: Vec<Task<'_, usize>> = (0..64usize)
+                .map(|i| Box::new(move || i * 3) as Task<'_, usize>)
+                .collect();
+            let out = pool.run(tasks);
+            assert_eq!(out, (0..64usize).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scope_with_zero_tasks_returns_immediately() {
+        let pool = Pool::new(4);
+        let r = pool.scope(|_s| 42);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_caller_state() {
+        let pool = Pool::new(4);
+        let counter = AtomicU32::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_scopes_make_progress() {
+        let pool = Pool::new(2);
+        let total = AtomicU32::new(0);
+        pool.scope(|outer| {
+            for _ in 0..8 {
+                let total = &total;
+                let pool = &pool;
+                outer.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scoped_panics_propagate_after_siblings_finish() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let finished = AtomicU32::new(0);
+            let err = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.spawn(|| panic!("task boom"));
+                    for _ in 0..10 {
+                        s.spawn(|| {
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            assert!(err.is_err(), "threads={threads}");
+            assert_eq!(finished.load(Ordering::Relaxed), 10, "threads={threads}");
+            // The pool survives a panicked scope.
+            let ok = pool.run(vec![Box::new(|| 7usize) as Task<'_, usize>]);
+            assert_eq!(ok, vec![7]);
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline_in_order() {
+        let pool = Pool::new(1);
+        let caller = std::thread::current().id();
+        let mut seen = Vec::new();
+        {
+            let seen_ref = std::sync::Mutex::new(&mut seen);
+            pool.scope(|s| {
+                for i in 0..10 {
+                    let seen_ref = &seen_ref;
+                    s.spawn(move || {
+                        assert_eq!(std::thread::current().id(), caller);
+                        seen_ref.lock().unwrap().push(i);
+                    });
+                }
+            });
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_executed_tasks() {
+        let pool = Pool::new(3);
+        let tasks: Vec<Task<'_, ()>> = (0..32).map(|_| Box::new(|| ()) as Task<'_, ()>).collect();
+        pool.run(tasks);
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.tasks_executed, 32);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("auto"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let pool = Pool::new(4);
+        let clone = pool.clone();
+        clone.run(
+            (0..8)
+                .map(|_| Box::new(|| ()) as Task<'_, ()>)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(pool.stats().tasks_executed, 8);
+    }
+}

@@ -178,6 +178,20 @@ fn canonical_bytes(db: &Database) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Shared worker pools for the parallel differential branches, built once
+/// per test binary so proptest cases don't churn thread spawns.
+fn test_pool(threads: usize) -> orchestra_pool::Pool {
+    use std::sync::OnceLock;
+    static POOLS: OnceLock<[orchestra_pool::Pool; 2]> = OnceLock::new();
+    let [p2, p8] =
+        POOLS.get_or_init(|| [orchestra_pool::Pool::new(2), orchestra_pool::Pool::new(8)]);
+    match threads {
+        2 => p2.clone(),
+        8 => p8.clone(),
+        _ => panic!("test pools exist at 2 and 8 workers, not {threads}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -240,6 +254,26 @@ proptest! {
                 kind,
                 program
             );
+
+            // Parallel fixpoint at 2 and 8 workers: byte-identical to the
+            // naive oracle (and hence to the sequential run above) —
+            // determinism must be thread-count independent.
+            for threads in [2usize, 8] {
+                let mut par_db = fresh_db();
+                load_facts(&mut par_db, &base);
+                let mut par_eval = Evaluator::with_pool(kind, test_pool(threads));
+                par_eval.run(&program, &mut par_db).unwrap();
+                par_eval.propagate_insertions(&program, &mut par_db, &batch_map(&batch1), None).unwrap();
+                par_eval.propagate_insertions(&program, &mut par_db, &batch_map(&batch2), None).unwrap();
+                prop_assert_eq!(
+                    &canonical_bytes(&par_db),
+                    &oracle_bytes,
+                    "parallel ({} workers) fixpoint mismatch under engine {} for program:\n{}",
+                    threads,
+                    kind,
+                    program
+                );
+            }
 
             // The interned engine with a *persistent* plan cache (the CDSS
             // exchange pattern: one cache across the initial run and every
