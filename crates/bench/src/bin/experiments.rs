@@ -11,8 +11,8 @@
 
 use orchestra_bench::netlat::{latency_rows, p99_gate, run_net_latency};
 use orchestra_bench::snapshot::{
-    check_against_baseline, entry_json, merge_entry, run_obs_overhead, run_parallel_gate,
-    run_pool_churn, run_snapshot, run_thread_sweep,
+    check_against_baseline, entry_json, merge_entry, run_magic_gate, run_obs_overhead,
+    run_parallel_gate, run_pool_churn, run_snapshot, run_thread_sweep,
 };
 use orchestra_bench::{
     run_fig10, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9, run_fig_recovery, Scale,
@@ -106,6 +106,18 @@ fn check_mode(baseline_path: &str, baseline_label: &str, max_ratio: f64, scale: 
         Ok(line) => println!("parallel-speedup gate: {line}"),
         Err(e) => {
             eprintln!("PARALLEL SPEEDUP: {e}");
+            return 1;
+        }
+    }
+
+    // Demand-query gate: a sparse-key point query answered through the
+    // magic-sets rewrite must decisively beat computing the full closure
+    // and filtering — the whole point of demand-driven evaluation.
+    let magic = run_magic_gate(scale);
+    match magic.verdict() {
+        Ok(line) => println!("demand-query gate: {line}"),
+        Err(e) => {
+            eprintln!("DEMAND QUERY: {e}");
             return 1;
         }
     }

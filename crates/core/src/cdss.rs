@@ -10,10 +10,12 @@ use orchestra_datalog::rule::Rule;
 use orchestra_datalog::{EngineKind, Evaluator, PlanCache};
 use orchestra_mappings::MappingSystem;
 use orchestra_pool::Pool;
-use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
+use orchestra_provenance::{
+    PageDirection, ProvenanceExpr, ProvenanceGraph, ProvenanceNeighbor, ProvenanceToken,
+};
 use orchestra_storage::schema::{internal_name, InternalRole};
 use orchestra_storage::{
-    Database, DatabaseStats, EditLog, PoolCompaction, PoolStats, RelationSource, Tuple,
+    Database, DatabaseStats, EditLog, PoolCompaction, PoolStats, RelationSource, Tuple, Value,
 };
 
 use crate::error::CdssError;
@@ -614,6 +616,41 @@ impl Cdss {
         Ok(self.output_relation(peer, relation)?.len())
     }
 
+    /// Point query over the local instance: tuples of `relation` whose
+    /// columns equal the `Some` entries of `binding`, sorted. The instance
+    /// is maintained incrementally by update exchange, so this is a
+    /// filtered scan of the curated output table — only matching tuples
+    /// are cloned, never the whole instance.
+    pub fn query_local_bound(
+        &self,
+        peer: &str,
+        relation: &str,
+        binding: &[Option<Value>],
+    ) -> Result<Vec<Tuple>> {
+        bound_filtered(
+            relation,
+            self.output_relation(peer, relation)?,
+            binding,
+            false,
+        )
+    }
+
+    /// Point query over the certain answers: [`Cdss::query_local_bound`]
+    /// with tuples containing labeled nulls discarded (paper §2.1).
+    pub fn query_certain_bound(
+        &self,
+        peer: &str,
+        relation: &str,
+        binding: &[Option<Value>],
+    ) -> Result<Vec<Tuple>> {
+        bound_filtered(
+            relation,
+            self.output_relation(peer, relation)?,
+            binding,
+            true,
+        )
+    }
+
     /// Evaluate an ad-hoc conjunctive query whose body refers to *logical*
     /// relation names (they are translated to the peers' output tables).
     /// Returns all answers, including those containing labeled nulls.
@@ -660,6 +697,28 @@ impl Cdss {
             }
             let output = internal_name(relation, InternalRole::Output);
             graph.expression_for(&output, tuple)
+        })
+    }
+
+    /// The one-hop derivation neighbors of a tuple of a logical relation,
+    /// sorted and deduplicated — the enumeration behind the paginated
+    /// provenance cursor. The tuple is looked up in the relation's input
+    /// table first, falling back to the output table, mirroring
+    /// [`Cdss::provenance_of`].
+    pub fn provenance_neighbors(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        direction: PageDirection,
+    ) -> Vec<ProvenanceNeighbor> {
+        self.with_provenance_graph(|graph| {
+            let input = internal_name(relation, InternalRole::Input);
+            let out = graph.neighbors(&input, tuple, direction);
+            if !out.is_empty() {
+                return out;
+            }
+            let output = internal_name(relation, InternalRole::Output);
+            graph.neighbors(&output, tuple, direction)
         })
     }
 
@@ -888,6 +947,39 @@ fn ensure_node(
 /// input/output tables. Nodes are registered through the graph's
 /// `(RelId, TupleId)` stored-tuple index — tuple ids come for free from the
 /// relations' id iterators, so maintenance probes integers, not payloads.
+/// Filtered scan shared by the live and snapshot bound-query paths:
+/// tuples of `rel` whose columns equal the `Some` entries of `binding`
+/// (with labeled-null tuples dropped when `certain`), sorted. Only
+/// matching tuples are cloned — a point query never materialises the
+/// instance.
+pub(crate) fn bound_filtered(
+    relation: &str,
+    rel: &orchestra_storage::Relation,
+    binding: &[Option<Value>],
+    certain: bool,
+) -> Result<Vec<Tuple>> {
+    if binding.len() != rel.schema().arity() {
+        return Err(CdssError::ArityMismatch {
+            relation: relation.to_string(),
+            expected: rel.schema().arity(),
+            actual: binding.len(),
+        });
+    }
+    let mut out: Vec<Tuple> = rel
+        .iter()
+        .filter(|t| !(certain && t.has_labeled_null()))
+        .filter(|t| {
+            binding
+                .iter()
+                .enumerate()
+                .all(|(i, b)| b.as_ref().is_none_or(|v| &t[i] == v))
+        })
+        .cloned()
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
 pub(crate) fn rebuild_graph(
     system: &MappingSystem,
     db: &impl RelationSource,

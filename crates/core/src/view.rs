@@ -20,10 +20,12 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use orchestra_mappings::MappingSystem;
-use orchestra_provenance::{ProvenanceExpr, ProvenanceGraph, ProvenanceToken};
+use orchestra_provenance::{
+    PageDirection, ProvenanceExpr, ProvenanceGraph, ProvenanceNeighbor, ProvenanceToken,
+};
 use orchestra_snapshot::{ArcCell, DbSnapshot, SnapshotStore};
 use orchestra_storage::schema::{internal_name, InternalRole};
-use orchestra_storage::{Database, PoolStats, Relation, StorageError, Tuple};
+use orchestra_storage::{Database, PoolStats, Relation, StorageError, Tuple, Value};
 
 use crate::cdss::rebuild_graph;
 use crate::error::CdssError;
@@ -191,6 +193,39 @@ impl SnapshotView {
         Ok(self.output_relation(peer, relation)?.len())
     }
 
+    /// Point query over the local instance at this epoch —
+    /// [`crate::Cdss::query_local_bound`] against the snapshot. Only
+    /// matching tuples are cloned, never the whole instance.
+    pub fn query_local_bound(
+        &self,
+        peer: &str,
+        relation: &str,
+        binding: &[Option<Value>],
+    ) -> Result<Vec<Tuple>> {
+        crate::cdss::bound_filtered(
+            relation,
+            self.output_relation(peer, relation)?,
+            binding,
+            false,
+        )
+    }
+
+    /// Point query over the certain answers at this epoch —
+    /// [`crate::Cdss::query_certain_bound`] against the snapshot.
+    pub fn query_certain_bound(
+        &self,
+        peer: &str,
+        relation: &str,
+        binding: &[Option<Value>],
+    ) -> Result<Vec<Tuple>> {
+        crate::cdss::bound_filtered(
+            relation,
+            self.output_relation(peer, relation)?,
+            binding,
+            true,
+        )
+    }
+
     fn graph(&self) -> &ProvenanceGraph {
         self.graph.get_or_init(|| {
             let mut g = ProvenanceGraph::new();
@@ -210,6 +245,24 @@ impl SnapshotView {
         }
         let output = internal_name(relation, InternalRole::Output);
         graph.expression_for(&output, tuple)
+    }
+
+    /// The one-hop derivation neighbors of a tuple at this epoch —
+    /// [`crate::Cdss::provenance_neighbors`] against the snapshot.
+    pub fn provenance_neighbors(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        direction: PageDirection,
+    ) -> Vec<ProvenanceNeighbor> {
+        let graph = self.graph();
+        let input = internal_name(relation, InternalRole::Input);
+        let out = graph.neighbors(&input, tuple, direction);
+        if !out.is_empty() {
+            return out;
+        }
+        let output = internal_name(relation, InternalRole::Output);
+        graph.neighbors(&output, tuple, direction)
     }
 
     /// Is a tuple of a logical relation's output table derivable from the

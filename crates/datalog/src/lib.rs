@@ -58,6 +58,7 @@ pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod magic;
 pub mod parser;
 pub mod plan;
 pub mod program;
@@ -69,7 +70,8 @@ pub mod term;
 pub use atom::{Atom, Literal};
 pub use engine::EngineKind;
 pub use error::DatalogError;
-pub use eval::{DerivationFilter, Evaluator};
+pub use eval::{bound_scan, DerivationFilter, Evaluator};
+pub use magic::{magic_rewrite, Adornment, MagicRewrite};
 pub use parser::{parse_atom, parse_program, parse_rule};
 pub use plan::{CompiledPlan, PlanCache, PreparedProgram};
 pub use program::{Program, Stratification};

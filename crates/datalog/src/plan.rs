@@ -29,6 +29,7 @@ use std::sync::Arc;
 use orchestra_storage::{Database, HashIndex, Relation, ValueId, ValuePool};
 
 use crate::compile::{BoundSource, CompiledHeadTerm, CompiledRule};
+use crate::magic::{magic_rewrite, Adornment, MagicRewrite};
 use crate::program::{Program, Stratification};
 use crate::Result;
 
@@ -161,6 +162,20 @@ struct RulePlan {
     deltas: HashMap<usize, CompiledPlan>,
 }
 
+/// A cached demand rewrite for one `(predicate, adornment)` of the cached
+/// program, together with a **nested** [`PlanCache`] holding the rewritten
+/// program's compiled plans. The rewrite itself is binding-value free (the
+/// bound constants are seeded as facts at evaluation time), so one entry
+/// serves every point query with this shape; the nested cache's
+/// [`IdPlan`]s hold interned pool ids, so it is invalidated exactly like
+/// the outer plans (pool compaction, cardinality-band shifts, program
+/// change).
+#[derive(Debug)]
+pub(crate) struct MagicEntry {
+    pub(crate) rewrite: MagicRewrite,
+    pub(crate) plans: PlanCache,
+}
+
 /// Program facts that never depend on the data: the validated
 /// stratification and, per rule, the `(body_index, relation)` of every
 /// positive body occurrence. Cheap to clone (shared).
@@ -198,6 +213,10 @@ pub struct PlanCache {
     pub(crate) temp: TempIndexes,
     /// Relation name → (cardinality band, cardinality) at last replanning.
     cards: HashMap<String, (u32, usize)>,
+    /// Demand rewrites per `(predicate, adornment)`, each with its own
+    /// nested plan cache (see [`MagicEntry`]). Reset whenever the program
+    /// fingerprint changes; nested plans dropped with the outer plans.
+    magic: HashMap<(String, Adornment), MagicEntry>,
     /// Compiled-plan reuses since construction.
     pub(crate) hits: u64,
     /// Plans compiled since construction.
@@ -231,6 +250,11 @@ impl PlanCache {
             *p = RulePlan::default();
         }
         self.temp = TempIndexes::default();
+        // Adorned demand plans hold the same pool-id currency in their
+        // nested caches; the rewrites themselves are id-free and survive.
+        for e in self.magic.values_mut() {
+            e.plans.invalidate_plans();
+        }
     }
 
     /// A cheap structural fingerprint of a program: rule count plus, per
@@ -331,6 +355,9 @@ impl PlanCache {
             for p in &mut self.plans {
                 *p = RulePlan::default();
             }
+            for e in self.magic.values_mut() {
+                e.plans.invalidate_plans();
+            }
         }
     }
 
@@ -418,6 +445,37 @@ impl PlanCache {
     /// Shared view of the throwaway-index state for read-only workers.
     pub(crate) fn temp_ref(&self) -> &TempIndexes {
         &self.temp
+    }
+
+    /// The cached demand rewrite for `(predicate, adornment)`, built on
+    /// first use. Returns the entry and whether it was a cache hit. The
+    /// caller must have [`prepare`](PlanCache::prepare)d the cache for
+    /// `program` first (a program change resets the whole cache, including
+    /// these entries).
+    pub(crate) fn magic_entry(
+        &mut self,
+        program: &Program,
+        predicate: &str,
+        adornment: &Adornment,
+    ) -> Result<(&mut MagicEntry, bool)> {
+        let key = (predicate.to_string(), adornment.clone());
+        let hit = self.magic.contains_key(&key);
+        if !hit {
+            let rewrite = magic_rewrite(program, predicate, adornment)?;
+            self.magic.insert(
+                key.clone(),
+                MagicEntry {
+                    rewrite,
+                    plans: PlanCache::new(),
+                },
+            );
+        }
+        Ok((self.magic.get_mut(&key).expect("just inserted"), hit))
+    }
+
+    /// Number of cached demand rewrites (test/diagnostic surface).
+    pub fn magic_entry_count(&self) -> usize {
+        self.magic.len()
     }
 }
 
@@ -549,6 +607,95 @@ mod tests {
         assert!(cache.temp.built.is_empty());
         cache.base(&program, 0, db.pool_mut()).unwrap();
         assert_eq!(cache.misses, misses_before + 1, "plan recompiled");
+    }
+
+    #[test]
+    fn invalidate_plans_drops_stale_magic_plans_after_compaction() {
+        use crate::engine::EngineKind;
+        use crate::eval::Evaluator;
+        use crate::magic::Adornment;
+        use orchestra_storage::Value;
+
+        // A rule with a body *constant* forces the nested magic plans to
+        // intern a ValueId: hop(x, y) :- edge(x, y), mark(y, 1).
+        let program = Program::from_rules(vec![Rule::new(
+            Atom::with_vars("hop", &["x", "y"]),
+            vec![
+                crate::atom::Literal::positive(Atom::with_vars("edge", &["x", "y"])),
+                crate::atom::Literal::positive(Atom::new(
+                    "mark",
+                    vec![
+                        crate::term::Term::var("y"),
+                        crate::term::Term::constant(1i64),
+                    ],
+                )),
+            ],
+        )]);
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new("edge", &["s", "d"]))
+            .unwrap();
+        db.create_relation(RelationSchema::new("mark", &["n", "m"]))
+            .unwrap();
+        // Pad the pool with churn values so compaction re-stamps ids.
+        for i in 0..64i64 {
+            db.pool_mut().intern(&Value::text(format!("churn-{i}")));
+        }
+        db.insert("edge", int_tuple(&[10, 20])).unwrap();
+        db.insert("edge", int_tuple(&[10, 30])).unwrap();
+        db.insert("mark", int_tuple(&[20, 1])).unwrap();
+        db.insert("mark", int_tuple(&[30, 2])).unwrap();
+
+        let binding = vec![Some(Value::int(10)), None];
+        let mut cache = PlanCache::new();
+        let mut eval = Evaluator::sequential(EngineKind::Pipelined);
+        let before = eval
+            .run_demand_cached(&mut cache, &program, &mut db, "hop", &binding)
+            .unwrap();
+        assert_eq!(before, vec![int_tuple(&[10, 20])]);
+        let key = ("hop".to_string(), Adornment::from_binding(&binding));
+        assert!(
+            cache.magic[&key]
+                .plans
+                .plans
+                .iter()
+                .any(|p| p.base.is_some()),
+            "nested demand plans compiled"
+        );
+
+        // Compaction re-stamps the pool: the churn values are garbage, so
+        // every live id moves. The nested IdPlan's interned `1` would now
+        // alias a different live value — invalidate_plans must drop it.
+        let remapped = db.compact_pool();
+        assert!(
+            remapped.reclaimed() > 0,
+            "compaction should reclaim churn ids"
+        );
+        cache.invalidate_plans();
+        assert!(
+            cache.magic[&key]
+                .plans
+                .plans
+                .iter()
+                .all(|p| p.base.is_none()),
+            "nested demand plans dropped with the outer plans"
+        );
+        assert!(cache.magic[&key].plans.temp.built.is_empty());
+
+        let after = eval
+            .run_demand_cached(&mut cache, &program, &mut db, "hop", &binding)
+            .unwrap();
+        assert_eq!(after, before, "recompiled plans re-intern the constant");
+
+        // Band shifts also drop the adorned plans.
+        for i in 0..200i64 {
+            db.insert("edge", int_tuple(&[i + 1000, i + 2000])).unwrap();
+        }
+        cache.refresh(&program, &db);
+        assert!(cache.magic[&key]
+            .plans
+            .plans
+            .iter()
+            .all(|p| p.base.is_none()));
     }
 
     #[test]

@@ -61,6 +61,18 @@ pub struct EvalStats {
     /// Per-head output batches merged through the deterministic sharded
     /// dedup merge after parallel rounds.
     pub parallel_chunks_merged: usize,
+    /// Magic seed facts inserted by demand-driven (magic-sets) point
+    /// queries — one per bound-constant tuple seeding a demand fixpoint.
+    pub magic_seed_facts: usize,
+    /// Rule applications executed inside demand-driven fixpoints (the
+    /// rewritten program's guarded + supplementary rules). Comparing this
+    /// against `rule_applications` of a full fixpoint measures how much of
+    /// the derivation cone the demand restriction skipped.
+    pub demand_rules_fired: usize,
+    /// Demand evaluations that reused a cached adorned rewrite (and its
+    /// compiled plans) from the [`PlanCache`](crate::plan::PlanCache)
+    /// instead of rebuilding it.
+    pub demand_plan_cache_hits: usize,
 }
 
 impl EvalStats {
@@ -77,10 +89,10 @@ impl EvalStats {
     /// Add this counter set into the process-global metrics registry
     /// (`eval_*_total` series), so scrapes see cumulative evaluation
     /// work without threading `EvalStats` through every caller. Handles
-    /// are resolved once and cached; recording is 16 relaxed adds.
+    /// are resolved once and cached; recording is 19 relaxed adds.
     pub fn record_to_registry(&self) {
         use std::sync::OnceLock;
-        static HANDLES: OnceLock<[orchestra_obs::Counter; 16]> = OnceLock::new();
+        static HANDLES: OnceLock<[orchestra_obs::Counter; 19]> = OnceLock::new();
         let handles = HANDLES.get_or_init(|| {
             [
                 orchestra_obs::counter("eval_iterations_total"),
@@ -99,6 +111,9 @@ impl EvalStats {
                 orchestra_obs::counter("eval_plan_cache_hits_total"),
                 orchestra_obs::counter("eval_parallel_tasks_total"),
                 orchestra_obs::counter("eval_parallel_chunks_merged_total"),
+                orchestra_obs::counter("eval_demand_seed_facts_total"),
+                orchestra_obs::counter("eval_demand_rules_fired_total"),
+                orchestra_obs::counter("eval_demand_plan_cache_hits_total"),
             ]
         });
         let values = [
@@ -118,6 +133,9 @@ impl EvalStats {
             self.plan_cache_hits,
             self.parallel_tasks_spawned,
             self.parallel_chunks_merged,
+            self.magic_seed_facts,
+            self.demand_rules_fired,
+            self.demand_plan_cache_hits,
         ];
         for (handle, v) in handles.iter().zip(values) {
             if v > 0 {
@@ -145,6 +163,9 @@ impl AddAssign for EvalStats {
         self.plan_cache_hits += o.plan_cache_hits;
         self.parallel_tasks_spawned += o.parallel_tasks_spawned;
         self.parallel_chunks_merged += o.parallel_chunks_merged;
+        self.magic_seed_facts += o.magic_seed_facts;
+        self.demand_rules_fired += o.demand_rules_fired;
+        self.demand_plan_cache_hits += o.demand_plan_cache_hits;
     }
 }
 
@@ -152,7 +173,7 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={} intern_hits={} intern_misses={} plan_cache_hits={} parallel_tasks={} parallel_chunks={}",
+            "iterations={} rule_apps={} derived={} inserted={} deleted={} temp_indexes={} probes={} filtered={} candidates={} delta_indexes={} reorders={} intern_hits={} intern_misses={} plan_cache_hits={} parallel_tasks={} parallel_chunks={} magic_seeds={} demand_rules={} demand_plan_hits={}",
             self.iterations,
             self.rule_applications,
             self.tuples_derived,
@@ -168,7 +189,10 @@ impl fmt::Display for EvalStats {
             self.intern_misses,
             self.plan_cache_hits,
             self.parallel_tasks_spawned,
-            self.parallel_chunks_merged
+            self.parallel_chunks_merged,
+            self.magic_seed_facts,
+            self.demand_rules_fired,
+            self.demand_plan_cache_hits
         )
     }
 }
@@ -196,6 +220,9 @@ mod tests {
             plan_cache_hits: 14,
             parallel_tasks_spawned: 15,
             parallel_chunks_merged: 16,
+            magic_seed_facts: 17,
+            demand_rules_fired: 18,
+            demand_plan_cache_hits: 19,
         };
         let b = a;
         a.merge(&b);
@@ -215,6 +242,9 @@ mod tests {
         assert_eq!(a.plan_cache_hits, 28);
         assert_eq!(a.parallel_tasks_spawned, 30);
         assert_eq!(a.parallel_chunks_merged, 32);
+        assert_eq!(a.magic_seed_facts, 34);
+        assert_eq!(a.demand_rules_fired, 36);
+        assert_eq!(a.demand_plan_cache_hits, 38);
     }
 
     #[test]
@@ -255,6 +285,9 @@ mod tests {
             "plan_cache_hits",
             "parallel_tasks",
             "parallel_chunks",
+            "magic_seeds",
+            "demand_rules",
+            "demand_plan_hits",
         ] {
             assert!(s.contains(key), "missing {key} in `{s}`");
         }

@@ -7,8 +7,8 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use orchestra_core::TrustPolicy;
-use orchestra_storage::Tuple;
+use orchestra_core::{PageDirection, ProvenanceNeighbor, TrustPolicy};
+use orchestra_storage::{Tuple, Value};
 
 use crate::error::NetError;
 use crate::frame::{read_frame_expecting, write_frame_versioned, FrameKind};
@@ -23,6 +23,18 @@ pub struct NetClient {
     /// same version — the server echoes it). Defaults to the current
     /// [`crate::frame::VERSION`]; pin to 1 to act as a legacy client.
     wire_version: u8,
+}
+
+/// One page of a tuple's provenance neighbors, returned by
+/// [`NetClient::provenance_page`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenancePage {
+    /// Total neighbors on this side of the tuple (across all pages).
+    pub total: u64,
+    /// This page's neighbors, in cursor order.
+    pub items: Vec<ProvenanceNeighbor>,
+    /// Resume token for the next page; `None` when this page is the last.
+    pub next: Option<String>,
 }
 
 /// Provenance answer returned by [`NetClient::provenance_of`].
@@ -250,6 +262,89 @@ impl NetClient {
         }
         match self.call(&Request::Metrics)? {
             Response::Metrics(text) => Ok(text),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Refuse locally when the pinned wire version predates the bound
+    /// point queries and provenance cursor, instead of confusing an old
+    /// server with a tag it cannot decode.
+    fn require_v6(&self, what: &str) -> Result<()> {
+        if self.wire_version < 6 {
+            return Err(NetError::protocol(format!(
+                "{what} requires wire version 6 (client pinned to {})",
+                self.wire_version
+            )));
+        }
+        Ok(())
+    }
+
+    /// Point query over the local instance of a peer's relation: tuples
+    /// whose columns equal the `Some` entries of `binding`, sorted. Only
+    /// matching tuples cross the wire. Requires wire version 6.
+    pub fn query_local_where(
+        &mut self,
+        peer: &str,
+        relation: &str,
+        binding: Vec<Option<Value>>,
+    ) -> Result<Vec<Tuple>> {
+        self.require_v6("QueryLocalWhere")?;
+        let request = Request::QueryLocalWhere {
+            peer: peer.to_string(),
+            relation: relation.to_string(),
+            binding,
+        };
+        match self.call(&request)? {
+            Response::Tuples(tuples) => Ok(tuples),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// [`NetClient::query_local_where`] restricted to certain answers
+    /// (tuples with labeled nulls dropped). Requires wire version 6.
+    pub fn query_certain_where(
+        &mut self,
+        peer: &str,
+        relation: &str,
+        binding: Vec<Option<Value>>,
+    ) -> Result<Vec<Tuple>> {
+        self.require_v6("QueryCertainWhere")?;
+        let request = Request::QueryCertainWhere {
+            peer: peer.to_string(),
+            relation: relation.to_string(),
+            binding,
+        };
+        match self.call(&request)? {
+            Response::Tuples(tuples) => Ok(tuples),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// One page of a tuple's one-hop provenance neighbors. Pass `None` as
+    /// `token` to open the cursor, then the previous page's `next` to
+    /// resume; a token outliving the snapshot epoch it was issued at is
+    /// refused by the server (`BadRequest`) and pagination must restart.
+    /// Requires wire version 6.
+    pub fn provenance_page(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+        direction: PageDirection,
+        token: Option<String>,
+        limit: u32,
+    ) -> Result<ProvenancePage> {
+        self.require_v6("ProvenancePage")?;
+        let request = Request::ProvenancePage {
+            relation: relation.to_string(),
+            tuple,
+            direction,
+            token,
+            limit,
+        };
+        match self.call(&request)? {
+            Response::ProvenancePageResult { total, items, next } => {
+                Ok(ProvenancePage { total, items, next })
+            }
             other => Err(Self::expect_error(other)),
         }
     }

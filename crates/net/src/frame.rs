@@ -6,7 +6,7 @@
 //! +--------+---------+--------+-------------+------------+=============+
 //! | magic  | version | kind   | payload_len | crc32      | payload     |
 //! | u32 LE | u8      | u8     | u32 LE      | u32 LE     | payload_len |
-//! | "ORCN" | 1..=5   | 0 / 1  |             | of payload | bytes       |
+//! | "ORCN" | 1..=6   | 0 / 1  |             | of payload | bytes       |
 //! +--------+---------+--------+-------------+------------+=============+
 //! ```
 //!
@@ -31,13 +31,15 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCN");
 /// Wire-format version carried in every frame header. Version 2 added the
 /// pooled bulk payloads; version 3 extended the `Stats` field layout with
 /// the pool-compaction counters; version 4 extended it again with the
-/// snapshot-subsystem counters; version 5 adds the `Metrics` request and
-/// its text-exposition response (the `Stats` layout is unchanged from v4).
-/// Older-version frames are still accepted on read, and a responder
-/// **echoes the requester's frame version**, encoding its payload in that
-/// version's vocabulary — so mixed-version deployments interoperate; see
-/// `proto`'s module docs.
-pub const VERSION: u8 = 5;
+/// snapshot-subsystem counters; version 5 added the `Metrics` request and
+/// its text-exposition response; version 6 adds the bound point queries
+/// (`QueryLocalWhere`/`QueryCertainWhere`) and the paginated
+/// `ProvenancePage` cursor (no existing layout changed). Older-version
+/// frames are still accepted on read, and a responder **echoes the
+/// requester's frame version**, encoding its payload in that version's
+/// vocabulary — so mixed-version deployments interoperate; see `proto`'s
+/// module docs.
+pub const VERSION: u8 = 6;
 /// Oldest frame version still accepted on read (and emittable via
 /// [`write_frame_versioned`]).
 pub const MIN_VERSION: u8 = 1;

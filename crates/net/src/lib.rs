@@ -51,8 +51,9 @@ pub mod proto;
 pub mod scenario;
 pub mod server;
 
-pub use client::{NetClient, RemoteProvenance};
+pub use client::{NetClient, ProvenancePage, RemoteProvenance};
 pub use error::NetError;
+pub use orchestra_core::{PageDirection, ProvenanceNeighbor};
 pub use proto::{EditBatch, ErrorCode, ExchangeSummary, Request, Response, ServerStats};
 pub use server::{serve, serve_with, MetricsProbe, ServeOptions, ServerHandle};
 

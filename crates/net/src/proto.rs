@@ -18,8 +18,11 @@
 //! | 8 | `Checkpoint` | `Tuples` (pooled) |
 //! | 9 | `Shutdown` | `Compacted` |
 //! | 10 | `PublishEdits` (pooled) | `Metrics` (text exposition) |
-//! | 11 | `Compact` | |
+//! | 11 | `Compact` | `ProvenancePageResult` |
 //! | 12 | `Metrics` | |
+//! | 13 | `QueryLocalWhere` | |
+//! | 14 | `QueryCertainWhere` | |
+//! | 15 | `ProvenancePage` | |
 //!
 //! Bulk payloads (`PublishEdits` batches, `Tuples` answers) are emitted in
 //! the **pooled** encoding of [`orchestra_persist::pooled`] — one value
@@ -40,10 +43,15 @@
 //! * **v3** — v2 plus the pool-compaction counters in `Stats` (thirteen);
 //! * **v4** — v3 plus the snapshot-subsystem counters in `Stats`
 //!   (`snapshot_epoch`, `snapshots_published`, `snapshot_reads`);
-//! * **v5** (current) — v4 plus the `Metrics` request (tag 12) and its
+//! * **v5** — v4 plus the `Metrics` request (tag 12) and its
 //!   text-exposition response (tag 10). The `Stats` field layout is
 //!   unchanged from v4; a server refuses `Metrics` on frames older
-//!   than v5.
+//!   than v5;
+//! * **v6** (current) — v5 plus the bound point queries
+//!   (`QueryLocalWhere` tag 13, `QueryCertainWhere` tag 14) and the
+//!   paginated provenance cursor (`ProvenancePage` tag 15,
+//!   `ProvenancePageResult` tag 11). No existing layout changed; a
+//!   server refuses the new requests on frames older than v6.
 //!
 //! The `Stats` field layout is what forces a version bump: it is a bare
 //! field list under one tag, so growing it in place would break every
@@ -55,13 +63,13 @@
 
 use std::fmt;
 
-use orchestra_core::TrustPolicy;
+use orchestra_core::{PageDirection, ProvenanceNeighbor, TrustPolicy};
 use orchestra_persist::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use orchestra_persist::pooled::{
     decode_tuple_seq_pooled, encode_tuple_seq_pooled, PooledDecoder, PooledEncoder,
 };
 use orchestra_persist::PersistError;
-use orchestra_storage::Tuple;
+use orchestra_storage::{Tuple, Value};
 
 /// One client's batch of edits against peers' logical relations, queued by
 /// the server and applied at the next update exchange.
@@ -243,6 +251,126 @@ pub enum Request {
     /// (latency histograms, per-request counters, engine counters).
     /// Requires frame version 5; returns [`Response::Metrics`].
     Metrics,
+    /// Point query over the local instance: tuples of a peer's relation
+    /// whose columns equal the `Some` entries of `binding`, sorted. Only
+    /// matching tuples cross the wire — the full instance is never
+    /// materialised. Requires frame version 6; returns
+    /// [`Response::Tuples`].
+    QueryLocalWhere {
+        /// The peer.
+        peer: String,
+        /// The logical relation.
+        relation: String,
+        /// One entry per column: `Some(v)` pins the column to `v`, `None`
+        /// leaves it free. Must match the relation's arity.
+        binding: Vec<Option<Value>>,
+    },
+    /// [`Request::QueryLocalWhere`] restricted to certain answers (tuples
+    /// containing labeled nulls are dropped). Requires frame version 6;
+    /// returns [`Response::Tuples`].
+    QueryCertainWhere {
+        /// The peer.
+        peer: String,
+        /// The logical relation.
+        relation: String,
+        /// One entry per column, `Some` = bound.
+        binding: Vec<Option<Value>>,
+    },
+    /// One page of a tuple's one-hop provenance neighbors (the mappings
+    /// linking it to the tuples it derives from or feeds). Requires frame
+    /// version 6; returns [`Response::ProvenancePageResult`].
+    ProvenancePage {
+        /// The logical relation.
+        relation: String,
+        /// The tuple whose neighbors are paged.
+        tuple: Tuple,
+        /// Which side of the derivation to walk.
+        direction: PageDirection,
+        /// Resume token from the previous page's `next`; `None` starts
+        /// from the beginning. Tokens are bound to the snapshot epoch they
+        /// were issued at — a stale token is refused with `BadRequest` and
+        /// pagination must restart.
+        token: Option<String>,
+        /// Maximum neighbors per page (clamped server-side to at least 1).
+        limit: u32,
+    },
+}
+
+fn encode_binding(binding: &[Option<Value>], w: &mut Writer) {
+    w.put_u32(binding.len() as u32);
+    for b in binding {
+        match b {
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+            None => w.put_u8(0),
+        }
+    }
+}
+
+fn decode_binding(r: &mut Reader<'_>) -> orchestra_persist::Result<Vec<Option<Value>>> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let offset = r.offset();
+        out.push(match r.get_u8()? {
+            0 => None,
+            1 => Some(Value::decode(r)?),
+            tag => {
+                return Err(PersistError::corrupt(
+                    offset,
+                    format!("unknown option tag {tag}"),
+                ))
+            }
+        });
+    }
+    Ok(out)
+}
+
+fn encode_direction(direction: PageDirection, w: &mut Writer) {
+    w.put_u8(match direction {
+        PageDirection::Sources => 0,
+        PageDirection::Targets => 1,
+    });
+}
+
+fn decode_direction(r: &mut Reader<'_>) -> orchestra_persist::Result<PageDirection> {
+    let offset = r.offset();
+    Ok(match r.get_u8()? {
+        0 => PageDirection::Sources,
+        1 => PageDirection::Targets,
+        tag => {
+            return Err(PersistError::corrupt(
+                offset,
+                format!("unknown page direction tag {tag}"),
+            ))
+        }
+    })
+}
+
+fn encode_opt_str(s: &Option<String>, w: &mut Writer) {
+    match s {
+        Some(s) => {
+            w.put_u8(1);
+            w.put_str(s);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn decode_opt_str(r: &mut Reader<'_>) -> orchestra_persist::Result<Option<String>> {
+    let offset = r.offset();
+    Ok(match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_str()?.to_string()),
+        tag => {
+            return Err(PersistError::corrupt(
+                offset,
+                format!("unknown option tag {tag}"),
+            ))
+        }
+    })
 }
 
 impl Request {
@@ -279,6 +407,9 @@ impl Request {
             Request::Shutdown => RequestKind::Shutdown,
             Request::Compact => RequestKind::Compact,
             Request::Metrics => RequestKind::Metrics,
+            Request::QueryLocalWhere { .. } => RequestKind::QueryLocalWhere,
+            Request::QueryCertainWhere { .. } => RequestKind::QueryCertainWhere,
+            Request::ProvenancePage { .. } => RequestKind::ProvenancePage,
         }
     }
 }
@@ -310,11 +441,17 @@ pub enum RequestKind {
     Compact,
     /// `Metrics`.
     Metrics,
+    /// `QueryLocalWhere`.
+    QueryLocalWhere,
+    /// `QueryCertainWhere`.
+    QueryCertainWhere,
+    /// `ProvenancePage`.
+    ProvenancePage,
 }
 
 impl RequestKind {
     /// Every request kind, in tag order.
-    pub const ALL: [RequestKind; 12] = [
+    pub const ALL: [RequestKind; 15] = [
         RequestKind::PublishEdits,
         RequestKind::UpdateExchange,
         RequestKind::QueryLocal,
@@ -327,6 +464,9 @@ impl RequestKind {
         RequestKind::Shutdown,
         RequestKind::Compact,
         RequestKind::Metrics,
+        RequestKind::QueryLocalWhere,
+        RequestKind::QueryCertainWhere,
+        RequestKind::ProvenancePage,
     ];
 
     /// Stable label for metrics and logs.
@@ -344,6 +484,9 @@ impl RequestKind {
             RequestKind::Shutdown => "shutdown",
             RequestKind::Compact => "compact",
             RequestKind::Metrics => "metrics",
+            RequestKind::QueryLocalWhere => "query-local-where",
+            RequestKind::QueryCertainWhere => "query-certain-where",
+            RequestKind::ProvenancePage => "provenance-page",
         }
     }
 }
@@ -400,6 +543,40 @@ impl Encode for Request {
             Request::Shutdown => w.put_u8(9),
             Request::Compact => w.put_u8(11),
             Request::Metrics => w.put_u8(12),
+            Request::QueryLocalWhere {
+                peer,
+                relation,
+                binding,
+            } => {
+                w.put_u8(13);
+                w.put_str(peer);
+                w.put_str(relation);
+                encode_binding(binding, w);
+            }
+            Request::QueryCertainWhere {
+                peer,
+                relation,
+                binding,
+            } => {
+                w.put_u8(14);
+                w.put_str(peer);
+                w.put_str(relation);
+                encode_binding(binding, w);
+            }
+            Request::ProvenancePage {
+                relation,
+                tuple,
+                direction,
+                token,
+                limit,
+            } => {
+                w.put_u8(15);
+                w.put_str(relation);
+                tuple.encode(w);
+                encode_direction(*direction, w);
+                encode_opt_str(token, w);
+                w.put_u32(*limit);
+            }
         }
     }
 }
@@ -446,6 +623,23 @@ impl Decode for Request {
             9 => Request::Shutdown,
             11 => Request::Compact,
             12 => Request::Metrics,
+            13 => Request::QueryLocalWhere {
+                peer: r.get_str()?.to_string(),
+                relation: r.get_str()?.to_string(),
+                binding: decode_binding(r)?,
+            },
+            14 => Request::QueryCertainWhere {
+                peer: r.get_str()?.to_string(),
+                relation: r.get_str()?.to_string(),
+                binding: decode_binding(r)?,
+            },
+            15 => Request::ProvenancePage {
+                relation: r.get_str()?.to_string(),
+                tuple: Tuple::decode(r)?,
+                direction: decode_direction(r)?,
+                token: decode_opt_str(r)?,
+                limit: r.get_u32()?,
+            },
             tag => {
                 return Err(PersistError::corrupt(
                     offset,
@@ -814,6 +1008,18 @@ pub enum Response {
     /// The server's metrics registry rendered as Prometheus-style text
     /// exposition (answer to [`Request::Metrics`], frame version 5+).
     Metrics(String),
+    /// One page of provenance neighbors (answer to
+    /// [`Request::ProvenancePage`], frame version 6+). Items stream in a
+    /// stable sorted order, so pages never overlap or skip as long as the
+    /// token stays valid.
+    ProvenancePageResult {
+        /// Total neighbors on this side of the tuple (across all pages).
+        total: u64,
+        /// This page's neighbors, in cursor order.
+        items: Vec<ProvenanceNeighbor>,
+        /// Token for the next page; `None` when this page is the last.
+        next: Option<String>,
+    },
     /// The operation failed.
     Error {
         /// Machine-readable category.
@@ -849,8 +1055,8 @@ impl Response {
     /// emits only the legacy vocabulary (`Tuples` under the plain tag 2,
     /// `Stats` in the v1 field layout), versions 2 and 3 keep the pooled
     /// tags but their respective shorter `Stats` layouts, and versions 4
-    /// and 5 are [`Encode::to_bytes`] (v5 changed no existing layout; it
-    /// only added the `Metrics` message pair).
+    /// and up are [`Encode::to_bytes`] (v5 and v6 changed no existing
+    /// layout; they only added message pairs).
     pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
         if version >= 4 {
             return self.to_bytes();
@@ -950,6 +1156,17 @@ impl Encode for Response {
                 w.put_u8(10);
                 w.put_str(text);
             }
+            Response::ProvenancePageResult { total, items, next } => {
+                w.put_u8(11);
+                w.put_u64(*total);
+                w.put_u32(items.len() as u32);
+                for n in items {
+                    w.put_str(&n.mapping);
+                    w.put_str(&n.relation);
+                    n.tuple.encode(w);
+                }
+                encode_opt_str(next, w);
+            }
             Response::Error { code, message } => {
                 w.put_u8(7);
                 w.put_u8(code.as_u8());
@@ -983,6 +1200,23 @@ impl Decode for Response {
                 after: r.get_u64()?,
             },
             10 => Response::Metrics(r.get_str()?.to_string()),
+            11 => {
+                let total = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    items.push(ProvenanceNeighbor {
+                        mapping: r.get_str()?.to_string(),
+                        relation: r.get_str()?.to_string(),
+                        tuple: Tuple::decode(r)?,
+                    });
+                }
+                Response::ProvenancePageResult {
+                    total,
+                    items,
+                    next: decode_opt_str(r)?,
+                }
+            }
             7 => {
                 let code_offset = r.offset();
                 let code = ErrorCode::from_u8(r.get_u8()?, code_offset)?;
@@ -1049,6 +1283,30 @@ mod tests {
         roundtrip(&Request::Shutdown);
         roundtrip(&Request::Compact);
         roundtrip(&Request::Metrics);
+        roundtrip(&Request::QueryLocalWhere {
+            peer: "PGUS".into(),
+            relation: "G".into(),
+            binding: vec![Some(Value::Int(3)), None, Some(Value::text("x"))],
+        });
+        roundtrip(&Request::QueryCertainWhere {
+            peer: "PGUS".into(),
+            relation: "G".into(),
+            binding: vec![None, None],
+        });
+        roundtrip(&Request::ProvenancePage {
+            relation: "B".into(),
+            tuple: int_tuple(&[3, 2]),
+            direction: PageDirection::Sources,
+            token: None,
+            limit: 16,
+        });
+        roundtrip(&Request::ProvenancePage {
+            relation: "B".into(),
+            tuple: int_tuple(&[3, 2]),
+            direction: PageDirection::Targets,
+            token: Some("e5:2".into()),
+            limit: 1,
+        });
     }
 
     #[test]
@@ -1100,6 +1358,27 @@ mod tests {
             "# TYPE requests_total counter\nrequests_total{request=\"stats\"} 3\n".into(),
         ));
         roundtrip(&Response::Ok);
+        roundtrip(&Response::ProvenancePageResult {
+            total: 5,
+            items: vec![
+                ProvenanceNeighbor {
+                    mapping: "m1".into(),
+                    relation: "G".into(),
+                    tuple: int_tuple(&[3, 5, 2]),
+                },
+                ProvenanceNeighbor {
+                    mapping: "m2".into(),
+                    relation: "B".into(),
+                    tuple: int_tuple(&[3, 2]),
+                },
+            ],
+            next: Some("e7:2".into()),
+        });
+        roundtrip(&Response::ProvenancePageResult {
+            total: 0,
+            items: vec![],
+            next: None,
+        });
         roundtrip(&Response::Error {
             code: ErrorCode::UnknownPeer,
             message: "unknown peer `nobody`".into(),

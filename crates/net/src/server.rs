@@ -35,8 +35,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use orchestra_core::{Cdss, CdssError, SnapshotReader, SnapshotView};
+use orchestra_core::{Cdss, CdssError, PageDirection, SnapshotReader, SnapshotView};
 use orchestra_persist::codec::{Decode, Encode};
+use orchestra_storage::{Tuple, Value};
 
 use crate::error::NetError;
 use crate::frame::{read_frame_expecting, write_frame_versioned, FrameKind};
@@ -603,7 +604,152 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
             }
             Response::Metrics(shared.obs.render()).to_bytes()
         }
+        Request::QueryLocalWhere {
+            peer,
+            relation,
+            binding,
+        } => handle_query_where(shared, &peer, &relation, &binding, false, version),
+        Request::QueryCertainWhere {
+            peer,
+            relation,
+            binding,
+        } => handle_query_where(shared, &peer, &relation, &binding, true, version),
+        Request::ProvenancePage {
+            relation,
+            tuple,
+            direction,
+            token,
+            limit,
+        } => handle_provenance_page(
+            shared,
+            &relation,
+            &tuple,
+            direction,
+            token.as_deref(),
+            limit,
+            version,
+        ),
     }
+}
+
+/// Answer `QueryLocalWhere` / `QueryCertainWhere`: a filtered scan of the
+/// peer's curated output table in which only matching tuples are cloned
+/// and serialized — the full instance never crosses the wire. Served from
+/// a lock-free snapshot view (or under the read lock with
+/// [`ServeOptions::locked_reads`]), like the unbound queries.
+fn handle_query_where(
+    shared: &Shared,
+    peer: &str,
+    relation: &str,
+    binding: &[Option<Value>],
+    certain: bool,
+    version: u8,
+) -> Vec<u8> {
+    if version < 6 {
+        return error_response(
+            ErrorCode::BadRequest,
+            format!(
+                "bound point queries require frame version 6 \
+                 (requester is pinned to {version})"
+            ),
+        );
+    }
+    let answers = if shared.locked_reads {
+        let cdss = shared.read_cdss(if certain {
+            "query-certain-where"
+        } else {
+            "query-local-where"
+        });
+        if certain {
+            cdss.query_certain_bound(peer, relation, binding)
+        } else {
+            cdss.query_local_bound(peer, relation, binding)
+        }
+    } else {
+        let view = shared.snapshot_view();
+        if certain {
+            view.query_certain_bound(peer, relation, binding)
+        } else {
+            view.query_local_bound(peer, relation, binding)
+        }
+    };
+    match answers {
+        Ok(tuples) => encode_tuples_response(tuples.len(), tuples.iter(), version),
+        Err(e) => cdss_error_response(&e),
+    }
+}
+
+/// Parse a provenance cursor token of the form `e{epoch}:{offset}`.
+fn parse_page_token(token: &str) -> Option<(u64, usize)> {
+    let (epoch, offset) = token.split_once(':')?;
+    Some((epoch.strip_prefix('e')?.parse().ok()?, offset.parse().ok()?))
+}
+
+/// Answer `ProvenancePage`: one slice of a tuple's sorted one-hop neighbor
+/// list. The resume token pins the snapshot epoch the cursor was opened
+/// at; if the instance has advanced since, the token is refused with
+/// `BadRequest` and the client restarts pagination — pages never silently
+/// mix two epochs' derivations.
+fn handle_provenance_page(
+    shared: &Shared,
+    relation: &str,
+    tuple: &Tuple,
+    direction: PageDirection,
+    token: Option<&str>,
+    limit: u32,
+    version: u8,
+) -> Vec<u8> {
+    if version < 6 {
+        return error_response(
+            ErrorCode::BadRequest,
+            format!(
+                "the ProvenancePage request requires frame version 6 \
+                 (requester is pinned to {version})"
+            ),
+        );
+    }
+    let limit = (limit as usize).max(1);
+    let (epoch, neighbors) = if shared.locked_reads {
+        let cdss = shared.read_cdss("provenance-page");
+        (
+            cdss.snapshot_epoch(),
+            cdss.provenance_neighbors(relation, tuple, direction),
+        )
+    } else {
+        let view = shared.snapshot_view();
+        (
+            view.epoch(),
+            view.provenance_neighbors(relation, tuple, direction),
+        )
+    };
+    let offset = match token {
+        None => 0,
+        Some(t) => match parse_page_token(t) {
+            Some((e, o)) if e == epoch => o,
+            Some(_) => {
+                return error_response(
+                    ErrorCode::BadRequest,
+                    "stale provenance cursor (the snapshot epoch has advanced); \
+                     restart pagination",
+                )
+            }
+            None => {
+                return error_response(
+                    ErrorCode::BadRequest,
+                    format!("malformed provenance cursor token `{t}`"),
+                )
+            }
+        },
+    };
+    let total = neighbors.len() as u64;
+    let end = offset.saturating_add(limit).min(neighbors.len());
+    let items = if offset >= neighbors.len() {
+        Vec::new()
+    } else {
+        neighbors[offset..end].to_vec()
+    };
+    let next = (end < neighbors.len()).then(|| format!("e{epoch}:{end}"));
+    Response::ProvenancePageResult { total, items, next }.to_bytes()
 }
 
 /// Answer `QueryLocal` / `QueryCertain`: serialize the (sorted) answer

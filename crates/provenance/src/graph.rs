@@ -418,6 +418,72 @@ impl ProvenanceGraph {
             .enumerate()
             .map(|(i, n)| (TupleNodeId(i), n.relation.as_str(), &n.tuple))
     }
+
+    /// The one-hop derivation neighbors of `(relation, tuple)` in one
+    /// direction, deduplicated and sorted by `(mapping, relation, tuple)`.
+    ///
+    /// This deterministic enumeration is what the paginated provenance
+    /// cursor walks: unlike [`ProvenanceGraph::expression_for`], whose
+    /// rendered expression can explode combinatorially, the neighbor list
+    /// is linear in the tuple's direct derivations and can be sliced into
+    /// stable pages by offset. Unknown tuples have no neighbors.
+    pub fn neighbors(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+        direction: PageDirection,
+    ) -> Vec<ProvenanceNeighbor> {
+        let Some(id) = self.tuple_node(relation, tuple) else {
+            return Vec::new();
+        };
+        let node = &self.tuples[id.0];
+        let via = match direction {
+            PageDirection::Sources => &node.derived_by,
+            PageDirection::Targets => &node.feeds,
+        };
+        let mut out: Vec<ProvenanceNeighbor> = Vec::new();
+        for &mi in via {
+            let m = &self.mappings[mi.0];
+            let side = match direction {
+                PageDirection::Sources => &m.sources,
+                PageDirection::Targets => &m.targets,
+            };
+            for &ti in side {
+                let (r, t) = self.tuple_of(ti);
+                out.push(ProvenanceNeighbor {
+                    mapping: m.mapping.clone(),
+                    relation: r.to_string(),
+                    tuple: t.clone(),
+                });
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Which side of a tuple's derivations a provenance page walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageDirection {
+    /// Tuples the queried tuple was derived *from*: the sources of every
+    /// mapping instantiation that derives it.
+    Sources,
+    /// Tuples the queried tuple *feeds*: the targets of every mapping
+    /// instantiation that consumes it.
+    Targets,
+}
+
+/// One derivation neighbor of a queried tuple: the mapping whose
+/// instantiation links them, and the neighboring tuple itself.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ProvenanceNeighbor {
+    /// The linking mapping.
+    pub mapping: MappingId,
+    /// Relation of the neighboring tuple.
+    pub relation: String,
+    /// The neighboring tuple.
+    pub tuple: Tuple,
 }
 
 impl fmt::Display for ProvenanceGraph {

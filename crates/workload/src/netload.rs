@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use orchestra_net::{EditBatch, ExchangeSummary, NetClient, NetError};
 use orchestra_storage::tuple::int_tuple;
+use orchestra_storage::Value;
 
 /// One publish target: `(peer, relation, arity)`.
 pub type NetTarget = (String, String, usize);
@@ -40,6 +41,14 @@ pub struct NetLoadConfig {
     /// (`Metrics` request, wire version 5+; scrape failures against an
     /// older server leave [`NetLoadReport::server_latencies`] empty).
     pub scrape_metrics: bool,
+    /// Bound point queries to issue after the exchange (`--point-queries`
+    /// mode; 0 skips the phase). Keys are drawn zipfian (s = 1, hot keys
+    /// dominate the way point lookups do in practice) from the distinct
+    /// first-column values of the first target relation, and each draw
+    /// issues a `QueryCertainWhere` with that value bound — the demand
+    /// path over the wire (v6+). Round trips are summarized as the
+    /// `"query-certain-where"` latency entry.
+    pub point_queries: usize,
 }
 
 impl Default for NetLoadConfig {
@@ -53,6 +62,7 @@ impl Default for NetLoadConfig {
             seed: 42,
             exchange_at_end: true,
             scrape_metrics: true,
+            point_queries: 0,
         }
     }
 }
@@ -83,6 +93,12 @@ pub struct NetLoadReport {
     /// the network and framing, so each summary is bounded above by its
     /// client-side counterpart (give or take one histogram bucket width).
     pub server_latencies: Vec<(String, LatencySummary)>,
+    /// Bound point queries actually issued
+    /// ([`NetLoadConfig::point_queries`]; 0 when the phase was skipped or
+    /// the target relation came back empty).
+    pub point_queries: u64,
+    /// Total answer tuples returned across all bound point queries.
+    pub point_query_answers: u64,
 }
 
 impl NetLoadReport {
@@ -211,6 +227,71 @@ fn tuple_for(seed: u64, client: usize, batch: usize, op: usize, arity: usize) ->
         .collect()
 }
 
+/// One step of a xorshift64 generator — the same dependency-free PRNG the
+/// bench crate uses for deterministic workloads.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Draw a rank in `0..n` zipfian (exponent 1): rank `i` is picked with
+/// probability proportional to `1/(i+1)`, so a handful of hot keys absorb
+/// most draws — the canonical point-lookup skew. Deterministic in `state`.
+pub fn zipf_rank(state: &mut u64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF over the harmonic weights. n is a key universe (small),
+    // so the linear scan beats precomputing a table per call site.
+    let total: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let u = (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += 1.0 / (i + 1) as f64;
+        if u < acc {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// The post-exchange bound point-query phase: draw keys zipfian from the
+/// relation's live first-column vocabulary and issue `QueryCertainWhere`
+/// round trips, timing each. Returns `(queries, answers, samples)`.
+fn run_point_queries(config: &NetLoadConfig) -> Result<(u64, u64, Vec<Duration>), NetError> {
+    let mut client = NetClient::connect_with_retry(&*config.addr, 20, Duration::from_millis(50))?;
+    let (peer, relation, arity) = &config.targets[0];
+    // The key universe is whatever actually landed: distinct first-column
+    // values, sorted so the zipfian ranks are deterministic.
+    let mut universe: Vec<Value> = client
+        .query_local(peer, relation)?
+        .into_iter()
+        .filter(|t| t.arity() > 0)
+        .map(|t| t[0].clone())
+        .collect();
+    universe.sort();
+    universe.dedup();
+    if universe.is_empty() {
+        return Ok((0, 0, Vec::new()));
+    }
+
+    let mut state = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut answers = 0u64;
+    let mut samples = Vec::with_capacity(config.point_queries);
+    for _ in 0..config.point_queries {
+        let key = universe[zipf_rank(&mut state, universe.len())].clone();
+        let mut binding = vec![None; *arity];
+        binding[0] = Some(key);
+        let sent = Instant::now();
+        let hits = client.query_certain_where(peer, relation, binding)?;
+        samples.push(sent.elapsed());
+        answers += hits.len() as u64;
+    }
+    Ok((config.point_queries as u64, answers, samples))
+}
+
 /// Run the load: spawn `clients` worker threads publishing
 /// `batches_per_client` batches each, then (optionally) run one update
 /// exchange over a fresh connection.
@@ -278,6 +359,14 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         (None, Duration::ZERO)
     };
 
+    // Point queries run after the exchange so the zipfian draw sees the
+    // folded-in instance (the phase the mode exists to measure).
+    let (point_queries, point_query_answers, mut point_samples) = if config.point_queries > 0 {
+        run_point_queries(config)?
+    } else {
+        (0, 0, Vec::new())
+    };
+
     let mut latencies = Vec::new();
     if !publish_samples.is_empty() {
         latencies.push((
@@ -289,6 +378,12 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         latencies.push((
             "update-exchange".to_string(),
             LatencySummary::from_samples(&mut [exchange_wall]),
+        ));
+    }
+    if !point_samples.is_empty() {
+        latencies.push((
+            "query-certain-where".to_string(),
+            LatencySummary::from_samples(&mut point_samples),
         ));
     }
 
@@ -318,6 +413,8 @@ pub fn run_net_load(config: &NetLoadConfig) -> Result<NetLoadReport, NetError> {
         exchange_wall,
         latencies,
         server_latencies,
+        point_queries,
+        point_query_answers,
     })
 }
 
@@ -357,6 +454,57 @@ mod tests {
         // Every admitted edit landed: the union of the peers' instances
         // covers at least the distinct published tuples.
         assert!(cdss.total_output_tuples() > 0);
+    }
+
+    #[test]
+    fn point_query_mode_reports_bound_latencies() {
+        let handle = serve(example_scenario(), "127.0.0.1:0").unwrap();
+        let config = NetLoadConfig {
+            addr: handle.addr().to_string(),
+            clients: 2,
+            batches_per_client: 3,
+            ops_per_batch: 4,
+            point_queries: 25,
+            ..NetLoadConfig::default()
+        };
+        let report = run_net_load(&config).unwrap();
+        assert_eq!(report.point_queries, 25);
+        let bound = report
+            .latency("query-certain-where")
+            .expect("point-query latency summary");
+        assert_eq!(bound.count, 25);
+        assert!(bound.p50 > Duration::ZERO);
+        assert!(bound.p50 <= bound.p95 && bound.p95 <= bound.p99);
+
+        // Every bound answer matches the filtered full instance: the hot
+        // key (zipf rank 0) is the smallest first-column value published.
+        let (peer, relation, _) = &config.targets[0];
+        let mut client = NetClient::connect(handle.addr()).unwrap();
+        let full = client.query_certain(peer, relation).unwrap();
+        let hot = full.iter().map(|t| t[0].clone()).min().unwrap();
+        let mut binding = vec![None; full[0].arity()];
+        binding[0] = Some(hot.clone());
+        let hits = client.query_certain_where(peer, relation, binding).unwrap();
+        let expected: Vec<_> = full.iter().filter(|t| t[0] == hot).cloned().collect();
+        assert_eq!(hits, expected);
+        assert!(report.point_query_answers >= report.point_queries);
+
+        handle.stop_and_join();
+    }
+
+    #[test]
+    fn zipf_draw_is_skewed_and_deterministic() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        let draws_a: Vec<_> = (0..200).map(|_| zipf_rank(&mut a, 10)).collect();
+        let draws_b: Vec<_> = (0..200).map(|_| zipf_rank(&mut b, 10)).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same draw sequence");
+        assert!(draws_a.iter().all(|&r| r < 10));
+        // Rank 0 carries weight 1/H(10) ≈ 34%: it must dominate any
+        // single tail rank over 200 draws.
+        let count = |r: usize| draws_a.iter().filter(|&&d| d == r).count();
+        assert!(count(0) > count(9) + count(8));
+        assert!(count(0) > 30);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Wire-version negotiation and remote pool-compaction tests: clients
-//! pinned at every shipped frame version (1 through 4, and the current 5)
+//! pinned at every shipped frame version (1 through 5, and the current 6)
 //! talk to the same server in one session and observe identical answers —
 //! the responder echoes each requester's frame version and encodes its
 //! payloads in that version's vocabulary.
 
 use std::time::Duration;
 
+use orchestra_net::proto::{ErrorCode, Request, Response};
 use orchestra_net::scenario::example_scenario;
-use orchestra_net::{serve, EditBatch, NetClient};
+use orchestra_net::{serve, EditBatch, NetClient, PageDirection};
 use orchestra_storage::tuple::int_tuple;
 
 fn connect(addr: std::net::SocketAddr, version: u8) -> NetClient {
@@ -25,7 +26,8 @@ fn all_wire_versions_interoperate_on_one_server() {
     let mut mid = connect(addr, 2);
     let mut v3 = connect(addr, 3);
     let mut v4 = connect(addr, 4);
-    let mut new = connect(addr, 5);
+    let mut v5 = connect(addr, 5);
+    let mut new = connect(addr, 6);
     assert_eq!(old.wire_version(), 1);
     assert_eq!(new.wire_version(), orchestra_net::frame::VERSION);
 
@@ -134,6 +136,110 @@ fn all_wire_versions_interoperate_on_one_server() {
             "pinned client must refuse Metrics locally: {err}"
         );
     }
+    assert!(v5.metrics().is_ok(), "Metrics is v5+");
+
+    // v6 only: bound point queries and the paginated provenance cursor.
+    // The bound query answers exactly match the filtered full query.
+    let mut binding = vec![None; b[0].arity()];
+    binding[0] = Some(b[0][0].clone());
+    let hits = new
+        .query_local_where("PBioSQL", "B", binding.clone())
+        .unwrap();
+    let expected: Vec<_> = b.iter().filter(|t| t[0] == b[0][0]).cloned().collect();
+    assert_eq!(hits, expected, "bound query = filtered full instance");
+    assert_eq!(
+        new.query_certain_where("PBioSQL", "B", binding.clone())
+            .unwrap(),
+        new.query_certain("PBioSQL", "B")
+            .unwrap()
+            .into_iter()
+            .filter(|t| t[0] == b[0][0])
+            .collect::<Vec<_>>()
+    );
+
+    // The cursor walked one item at a time concatenates to the whole
+    // neighbor list, with a stable total on every page.
+    let first = new
+        .provenance_page("B", b[0].clone(), PageDirection::Sources, None, 1)
+        .unwrap();
+    assert!(first.total >= 1, "a derived B tuple has sources");
+    let mut walked = first.items.clone();
+    let mut token = first.next.clone();
+    while let Some(t) = token {
+        let page = new
+            .provenance_page("B", b[0].clone(), PageDirection::Sources, Some(t), 1)
+            .unwrap();
+        assert_eq!(page.total, first.total, "total is stable across pages");
+        walked.extend(page.items);
+        token = page.next;
+    }
+    let whole = new
+        .provenance_page("B", b[0].clone(), PageDirection::Sources, None, u32::MAX)
+        .unwrap();
+    assert_eq!(walked, whole.items, "cursor pages concatenate losslessly");
+    assert_eq!(walked.len() as u64, first.total);
+    assert!(whole.next.is_none());
+
+    // A token from another epoch is refused (never silently mixes two
+    // epochs' derivations), as is a malformed one.
+    let stale = new
+        .provenance_page(
+            "B",
+            b[0].clone(),
+            PageDirection::Sources,
+            Some("e0:0".into()),
+            4,
+        )
+        .unwrap_err();
+    assert!(stale.to_string().contains("stale"), "{stale}");
+    let bad = new
+        .provenance_page(
+            "B",
+            b[0].clone(),
+            PageDirection::Sources,
+            Some("not-a-token".into()),
+            4,
+        )
+        .unwrap_err();
+    assert!(bad.to_string().contains("malformed"), "{bad}");
+
+    // Every pinned client refuses the v6 requests locally, before an old
+    // server could ever see a tag it cannot decode.
+    for pinned in [&mut old, &mut mid, &mut v3, &mut v4, &mut v5] {
+        for err in [
+            pinned
+                .query_local_where("PBioSQL", "B", binding.clone())
+                .unwrap_err(),
+            pinned
+                .query_certain_where("PBioSQL", "B", binding.clone())
+                .unwrap_err(),
+            pinned
+                .provenance_page("B", b[0].clone(), PageDirection::Sources, None, 4)
+                .unwrap_err(),
+        ] {
+            assert!(
+                err.to_string().contains("wire version 6"),
+                "pinned client must refuse v6 requests locally: {err}"
+            );
+        }
+    }
+    // And a server refuses the raw tag on an old frame with a clean
+    // BadRequest rather than a decode error.
+    let resp = v5
+        .call(&Request::QueryLocalWhere {
+            peer: "PBioSQL".into(),
+            relation: "B".into(),
+            binding: binding.clone(),
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error { code: ErrorCode::BadRequest, ref message }
+                if message.contains("frame version 6")
+        ),
+        "server gates v6 requests on old frames: {resp:?}"
+    );
 
     handle.stop_and_join();
 }
