@@ -1,0 +1,113 @@
+//! Safety / range-restriction pass.
+//!
+//! Mirrors the evaluator's per-rule `validate` but reports *every* violation
+//! as a structured diagnostic instead of bailing at the first: Skolem terms
+//! in bodies (E004), head variables unbound by the positive body (E002), and
+//! negated-atom variables unbound by the positive body (E003).
+
+use std::collections::BTreeSet;
+
+use orchestra_datalog::Program;
+
+use crate::diagnostics::{Code, Diagnostic};
+
+/// Emit E002/E003/E004 for every unsafe rule.
+pub(crate) fn check(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
+    for (ri, rule) in program.rules().iter().enumerate() {
+        for lit in &rule.body {
+            if lit.atom.contains_skolem() {
+                diagnostics.push(
+                    Diagnostic::new(
+                        Code::E004,
+                        format!(
+                            "body atom `{}` applies a Skolem function; Skolem terms may \
+                             only invent values in rule heads",
+                            lit.atom
+                        ),
+                    )
+                    .with_rule(ri, rule),
+                );
+            }
+        }
+        let bound: BTreeSet<&str> = rule.positive_body_variables();
+        for var in rule.head.variables() {
+            if !bound.contains(var) {
+                diagnostics.push(
+                    Diagnostic::new(
+                        Code::E002,
+                        format!("head variable `{var}` is not bound by any positive body atom"),
+                    )
+                    .with_rule(ri, rule)
+                    .with_note(
+                        "every head variable must occur in a positive body atom \
+                         (range restriction)",
+                    ),
+                );
+            }
+        }
+        for lit in rule.body.iter().filter(|l| l.negated) {
+            for var in lit.atom.variables() {
+                if !bound.contains(var) {
+                    diagnostics.push(
+                        Diagnostic::new(
+                            Code::E003,
+                            format!(
+                                "variable `{var}` of negated atom `{}` is not bound by \
+                                 any positive body atom",
+                                lit.atom
+                            ),
+                        )
+                        .with_rule(ri, rule)
+                        .with_note(
+                            "negation is evaluated as an anti-join; unbound variables \
+                             under negation have no finite semantics",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_datalog::parse_program;
+
+    fn codes(src: &str) -> Vec<Code> {
+        let program = parse_program(src).unwrap();
+        let mut diags = Vec::new();
+        check(&program, &mut diags);
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn safe_rules_pass() {
+        assert!(codes("B(i, n) :- G(i, c, n), not R(i, n).").is_empty());
+    }
+
+    #[test]
+    fn unbound_head_variable() {
+        assert_eq!(codes("B(i, n) :- G(i, c, c)."), vec![Code::E002]);
+        // Variables inside head Skolem args must be bound too.
+        assert_eq!(codes("B(i, #f0(n)) :- G(i, c, c)."), vec![Code::E002]);
+    }
+
+    #[test]
+    fn unbound_negated_variable() {
+        assert_eq!(codes("B(i) :- G(i), not R(i, n)."), vec![Code::E003]);
+    }
+
+    #[test]
+    fn skolem_in_body() {
+        assert_eq!(codes("B(i) :- G(i, #f0(i))."), vec![Code::E004]);
+    }
+
+    #[test]
+    fn all_violations_in_one_rule_are_reported() {
+        let codes = codes("B(x) :- G(y, #f1(y)), not R(z).");
+        assert!(codes.contains(&Code::E002)); // x unbound
+        assert!(codes.contains(&Code::E003)); // z unbound under negation
+        assert!(codes.contains(&Code::E004)); // skolem in body
+    }
+}

@@ -1,0 +1,113 @@
+//! Schema-consistency pass: arity conflicts (E005) and EDB/IDB role
+//! conflicts (E007, when the analyzer was told which relations are
+//! extensional).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use orchestra_datalog::Program;
+
+use crate::diagnostics::{Code, Diagnostic};
+
+/// Emit E005/E007 findings.
+pub(crate) fn check(
+    program: &Program,
+    declared_edbs: Option<&BTreeSet<String>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    // Arity conflicts: remember the first use of each relation and flag every
+    // later use that disagrees (one finding per conflicting use, so a single
+    // typo'd rule points at itself, not at the whole program).
+    let mut first_use: BTreeMap<&str, (usize, usize)> = BTreeMap::new(); // rel -> (arity, rule)
+    for (ri, rule) in program.rules().iter().enumerate() {
+        let atoms = std::iter::once(&rule.head).chain(rule.body.iter().map(|lit| &lit.atom));
+        for atom in atoms {
+            match first_use.get(atom.relation.as_str()) {
+                Some(&(arity, first_rule)) if arity != atom.arity() => {
+                    diagnostics.push(
+                        Diagnostic::new(
+                            Code::E005,
+                            format!(
+                                "relation `{}` used with arity {} but previously with \
+                                 arity {}",
+                                atom.relation,
+                                atom.arity(),
+                                arity,
+                            ),
+                        )
+                        .with_rule(ri, rule)
+                        .with_note(format!(
+                            "first used with arity {} in rule {}: `{}`",
+                            arity,
+                            first_rule,
+                            program.rules()[first_rule],
+                        )),
+                    );
+                }
+                Some(_) => {}
+                None => {
+                    first_use.insert(atom.relation.as_str(), (atom.arity(), ri));
+                }
+            }
+        }
+    }
+
+    // Role conflicts: a rule head deriving a relation the caller declared
+    // extensional means base data would silently become derived data.
+    if let Some(edbs) = declared_edbs {
+        for (ri, rule) in program.rules().iter().enumerate() {
+            if edbs.contains(rule.head.relation.as_str()) {
+                diagnostics.push(
+                    Diagnostic::new(
+                        Code::E007,
+                        format!(
+                            "rule derives `{}`, which is declared extensional (edb)",
+                            rule.head.relation
+                        ),
+                    )
+                    .with_rule(ri, rule)
+                    .with_note(
+                        "edb relations hold base facts; deriving into one makes its \
+                         contents depend on evaluation order",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_datalog::parse_program;
+
+    fn run(src: &str, edbs: Option<&[&str]>) -> Vec<Diagnostic> {
+        let program = parse_program(src).unwrap();
+        let edbs = edbs.map(|e| e.iter().map(|s| s.to_string()).collect());
+        let mut diags = Vec::new();
+        check(&program, edbs.as_ref(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn consistent_schema_passes() {
+        assert!(run("B(i, n) :- G(i, c, n).\nU(n, c) :- G(i, c, n).", None).is_empty());
+    }
+
+    #[test]
+    fn arity_conflict_points_at_both_uses() {
+        let diags = run("B(i, n) :- G(i, c, n).\nS(x) :- G(x, y).", None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::E005);
+        assert_eq!(diags[0].rule_span.as_ref().unwrap().index, 1);
+        assert!(diags[0].notes[0].contains("rule 0"));
+    }
+
+    #[test]
+    fn deriving_a_declared_edb_is_flagged() {
+        let diags = run("G(x, y, z) :- H(x, y, z).", Some(&["G"]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::E007);
+        // Without the declaration there is nothing to check.
+        assert!(run("G(x, y, z) :- H(x, y, z).", None).is_empty());
+    }
+}

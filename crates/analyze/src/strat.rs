@@ -1,0 +1,89 @@
+//! Stratification pass.
+//!
+//! Delegates to [`Program::stratify_detailed`] (the evaluator's own
+//! stratifier, extracted in `crates/datalog` to report its evidence) and
+//! renders the negative cycle as an `E006` with every rule that closes it.
+
+use orchestra_datalog::Program;
+
+use crate::diagnostics::{Code, Diagnostic};
+
+/// Emit `E006` if the program negates through recursion.
+pub(crate) fn check(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
+    let Err(failure) = program.stratify_detailed() else {
+        return;
+    };
+    let cycle_set: std::collections::BTreeSet<&str> =
+        failure.cycle.iter().map(String::as_str).collect();
+    let mut diag = Diagnostic::new(
+        Code::E006,
+        format!(
+            "program cannot be stratified: `{}` is derived through its own \
+             negation via {}",
+            failure.relation,
+            failure.cycle.join(" -> "),
+        ),
+    );
+    // Anchor on the rule that negates the first cycle hop; list every rule
+    // that keeps the cycle closed as notes.
+    for (ri, rule) in program.rules().iter().enumerate() {
+        let head_on_cycle = cycle_set.contains(rule.head.relation.as_str());
+        if !head_on_cycle {
+            continue;
+        }
+        for lit in &rule.body {
+            if !cycle_set.contains(lit.relation()) {
+                continue;
+            }
+            if lit.negated && diag.rule_span.is_none() {
+                diag = diag.with_rule(ri, rule);
+            }
+            diag = diag.with_note(format!(
+                "rule {}: `{}` makes `{}` depend {} on `{}`",
+                ri,
+                rule,
+                rule.head.relation,
+                if lit.negated {
+                    "negatively"
+                } else {
+                    "positively"
+                },
+                lit.relation(),
+            ));
+        }
+    }
+    diagnostics.push(diag);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_datalog::parse_program;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let program = parse_program(src).unwrap();
+        let mut diags = Vec::new();
+        check(&program, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn stratified_negation_passes() {
+        assert!(run("Ro(x) :- Rt(x), not Rr(x).\nS(x) :- Ro(x).").is_empty());
+    }
+
+    #[test]
+    fn negative_cycle_is_rendered() {
+        let diags = run("p(x) :- base(x), not q(x).\n\
+             q(x) :- r(x).\n\
+             r(x) :- p(x).\n");
+        assert_eq!(diags.len(), 1);
+        let diag = &diags[0];
+        assert_eq!(diag.code, Code::E006);
+        assert!(diag.message.contains("p -> q -> r -> p"));
+        // Anchored on the negating rule, with every cycle rule noted.
+        assert_eq!(diag.rule_span.as_ref().unwrap().index, 0);
+        assert!(diag.notes.iter().any(|n| n.contains("negatively")));
+        assert!(diag.notes.len() >= 3);
+    }
+}

@@ -157,7 +157,10 @@ impl CdssBuilder {
             }
         }
 
-        let system = MappingSystem::build(schemas, self.tgds, self.encoding)?;
+        // `build_unchecked` defers the weak-acyclicity verdict to the static
+        // analyzer inside `from_parts`, which rejects value-inventing cycles
+        // with a full `E001` diagnostic chain instead of the tgd-level bail.
+        let system = MappingSystem::build_unchecked(schemas, self.tgds, self.encoding)?;
         let mut db = Database::new();
         system.register_relations(&mut db)?;
 
@@ -168,7 +171,7 @@ impl CdssBuilder {
             self.policies,
             self.engine.unwrap_or(EngineKind::Pipelined),
             db,
-        );
+        )?;
         if let Some(policy) = self.compaction {
             cdss.set_compaction_policy(policy);
         }

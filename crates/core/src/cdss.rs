@@ -25,6 +25,62 @@ use crate::trust::TrustPolicy;
 use crate::view::{SnapshotMeta, SnapshotReader, SnapshotState, SnapshotView};
 use crate::Result;
 
+/// Run the static analyzer over a compiled mapping system's update-exchange
+/// program. Returns the (error-free) report, or a [`CdssError::Analysis`]
+/// after bumping `analyze_rejected_total{code}` for each distinct error code.
+pub(crate) fn analyze_system(system: &MappingSystem) -> Result<orchestra_analyze::AnalysisReport> {
+    // Acquire the headline series eagerly so the metrics exposition shows
+    // `analyze_rejected_total{code="E001"}` at zero from the first
+    // registration on (same pattern as `snapshot_publishes_total`).
+    let _ = orchestra_obs::counter_with("analyze_rejected_total", &[("code", "E001")]);
+    match analyzer_for(system).check(&system.program) {
+        Ok(report) => {
+            for warning in report.warnings() {
+                orchestra_obs::log::warn(
+                    "analyze",
+                    "program-warning",
+                    &[
+                        ("code", warning.code.as_str().to_string()),
+                        ("message", warning.message.clone()),
+                    ],
+                );
+            }
+            Ok(report)
+        }
+        Err(err) => {
+            for code in err.error_codes() {
+                orchestra_obs::counter_with("analyze_rejected_total", &[("code", code.as_str())])
+                    .inc();
+            }
+            Err(CdssError::Analysis(err))
+        }
+    }
+}
+
+/// Configure the analyzer with the CDSS's schema knowledge: local-contribution
+/// and rejection tables are pure base data (edbs), output and provenance
+/// tables are queried by users (roots, exempt from unused-relation hygiene).
+fn analyzer_for(system: &MappingSystem) -> orchestra_analyze::Analyzer {
+    let idb = system.program.idb_relations();
+    let mut edbs: Vec<String> = Vec::new();
+    let mut roots: Vec<String> = Vec::new();
+    for rel in system.logical_relations() {
+        edbs.push(internal_name(&rel, InternalRole::LocalContributions));
+        edbs.push(internal_name(&rel, InternalRole::Rejections));
+        let input = internal_name(&rel, InternalRole::Input);
+        if !idb.contains(&input) {
+            // No mapping targets this relation, so its input table is base
+            // data too (only ever filled by incoming update translation).
+            edbs.push(input);
+        }
+        roots.push(internal_name(&rel, InternalRole::Output));
+    }
+    roots.extend(system.provenance_relations());
+    orchestra_analyze::Analyzer::new()
+        .with_declared_edbs(edbs)
+        .with_roots(roots)
+}
+
 /// The net, normalised changes produced by publishing a peer's edit logs.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PublishedChanges {
@@ -138,6 +194,11 @@ pub struct Cdss {
     /// `None` defers to the evaluator's default (the process-global pool,
     /// sized by `ORCHESTRA_THREADS` or the hardware).
     eval_pool: Option<orchestra_pool::Pool>,
+    /// The static-analysis report of the installed mapping program. Always
+    /// error-free (construction and [`Cdss::add_mapping`] reject programs
+    /// with errors before installing them); kept for introspection and as a
+    /// belt-and-braces gate at [`Cdss::update_exchange`] entry.
+    analysis: orchestra_analyze::AnalysisReport,
 }
 
 impl Cdss {
@@ -148,7 +209,10 @@ impl Cdss {
         policies: BTreeMap<PeerId, TrustPolicy>,
         engine: EngineKind,
         db: Database,
-    ) -> Self {
+    ) -> Result<Self> {
+        // Static analysis gates registration: a program that could diverge
+        // (E001), is unsafe, or cannot be stratified never becomes a `Cdss`.
+        let analysis = analyze_system(&system)?;
         let system = Arc::new(system);
         let snapshots = SnapshotState::new(SnapshotMeta {
             system: Arc::clone(&system),
@@ -172,11 +236,12 @@ impl Cdss {
             live_scan: Mutex::new(None),
             snapshots,
             eval_pool: None,
+            analysis,
         };
         // Initial epoch: the freshly registered (empty) relations, so
         // snapshot readers are valid before the first exchange.
         cdss.publish_snapshot();
-        cdss
+        Ok(cdss)
     }
 
     // ------------------------------------------------------------------
@@ -290,6 +355,71 @@ impl Cdss {
     /// relation layout).
     pub fn mapping_system(&self) -> &MappingSystem {
         &self.system
+    }
+
+    /// The static-analysis report of the installed mapping program. Never
+    /// contains errors (programs with errors are rejected before
+    /// installation); warnings persist here for introspection.
+    pub fn analysis(&self) -> &orchestra_analyze::AnalysisReport {
+        &self.analysis
+    }
+
+    /// Add a schema mapping to a running CDSS.
+    ///
+    /// The extended mapping set is recompiled and statically analyzed as a
+    /// whole; if the analyzer finds errors (a value-inventing cycle the new
+    /// tgd closes, say) the call fails with [`CdssError::Analysis`] and the
+    /// CDSS is left exactly as it was. On success the new system is
+    /// installed atomically: new internal/provenance relations are created,
+    /// join plans and the provenance graph are invalidated (the program
+    /// changed), a fresh snapshot is published, and — when persistent — a
+    /// checkpoint folds the new mapping into the manifest so recovery sees
+    /// it.
+    ///
+    /// Existing derived state is *not* recomputed here; the new mapping
+    /// takes effect at the next [`Cdss::update_exchange`].
+    pub fn add_mapping(&mut self, tgd: orchestra_mappings::Tgd) -> Result<()> {
+        let _span = orchestra_obs::span("add-mapping", "core");
+        if self.system.tgds.iter().any(|t| t.name == tgd.name) {
+            return Err(CdssError::Mapping(
+                orchestra_mappings::MappingError::InvalidTgd {
+                    mapping: tgd.name.clone(),
+                    message: "a mapping with this name already exists".to_string(),
+                },
+            ));
+        }
+        let schemas: Vec<_> = self.system.logical_schemas.values().cloned().collect();
+        let mut tgds = self.system.tgds.clone();
+        tgds.push(tgd);
+        // `build_unchecked` so a weak-acyclicity violation reaches the
+        // analyzer and comes back as a full E001 diagnostic chain.
+        let system = MappingSystem::build_unchecked(schemas, tgds, self.system.encoding)?;
+        let analysis = analyze_system(&system)?;
+
+        // Past the gate: install. Relation registration is idempotent for
+        // everything that already exists.
+        system.register_relations(&mut self.db)?;
+        let system = Arc::new(system);
+        self.system = Arc::clone(&system);
+        self.analysis = analysis;
+        self.plans.invalidate_plans();
+        self.graph
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .invalidate();
+        self.snapshots.replace_meta(SnapshotMeta {
+            system,
+            peers: self.peers.clone(),
+            relation_owner: self.relation_owner.clone(),
+        });
+        self.publish_snapshot();
+        if self.persistence.is_some() {
+            // The manifest is derived from the live tgd set; checkpointing
+            // rewrites it (and folds the WAL) so recovery rebuilds the
+            // extended system.
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// The shared auxiliary database holding every internal and provenance

@@ -39,6 +39,9 @@ pub enum CdssError {
     },
     /// A trust policy refers to a mapping that does not exist.
     UnknownMapping(String),
+    /// The mapping program was rejected by static analysis (termination,
+    /// safety, stratification or schema diagnostics; see `orchestra-analyze`).
+    Analysis(orchestra_analyze::AnalysisError),
     /// Error from the mapping layer.
     Mapping(MappingError),
     /// Error from the datalog layer.
@@ -72,6 +75,7 @@ impl fmt::Display for CdssError {
                 "relation `{relation}` has arity {expected} but received a tuple of arity {actual}"
             ),
             CdssError::UnknownMapping(m) => write!(f, "unknown mapping `{m}` in trust policy"),
+            CdssError::Analysis(e) => write!(f, "{e}"),
             CdssError::Mapping(e) => write!(f, "mapping error: {e}"),
             CdssError::Datalog(e) => write!(f, "datalog error: {e}"),
             CdssError::Storage(e) => write!(f, "storage error: {e}"),
@@ -86,6 +90,12 @@ impl std::error::Error for CdssError {}
 impl From<MappingError> for CdssError {
     fn from(e: MappingError) -> Self {
         CdssError::Mapping(e)
+    }
+}
+
+impl From<orchestra_analyze::AnalysisError> for CdssError {
+    fn from(e: orchestra_analyze::AnalysisError) -> Self {
+        CdssError::Analysis(e)
     }
 }
 

@@ -451,6 +451,12 @@ impl Cdss {
     /// insertions, and propagate everything incrementally.
     pub fn update_exchange(&mut self, peer: &str) -> Result<(PublishReport, Vec<ExchangeReport>)> {
         let _span = orchestra_obs::span("exchange", "core");
+        // Registration already rejects programs with analysis errors, so the
+        // memoized report is clean here; the check is a belt-and-braces gate
+        // against a divergent fixpoint ever starting.
+        if let Some(err) = orchestra_analyze::AnalysisError::from_report(self.analysis().clone()) {
+            return Err(err.into());
+        }
         // Write-ahead: a persistent CDSS appends the pending edit logs as a
         // durable epoch before publishing them (no-op otherwise).
         self.log_pending_epoch(peer)?;

@@ -53,6 +53,8 @@ pub use builder::CdssBuilder;
 pub use cdss::{Cdss, CompactionPolicy};
 pub use durability::RecoveryReport;
 pub use error::CdssError;
+pub use orchestra_analyze::{AnalysisError, AnalysisReport};
+pub use orchestra_mappings::Tgd;
 pub use orchestra_provenance::{PageDirection, ProvenanceNeighbor};
 pub use peer::{Peer, PeerId};
 pub use report::{ExchangeReport, PublishReport};

@@ -305,7 +305,11 @@ impl SnapshotReader {
 pub(crate) struct SnapshotState {
     store: Mutex<SnapshotStore>,
     cell: Arc<ArcCell<SnapshotView>>,
-    meta: Arc<SnapshotMeta>,
+    /// The metadata stamped onto newly published views. Behind a mutex so
+    /// [`crate::Cdss::add_mapping`] can swap in the extended mapping system;
+    /// already-published views keep the meta they were published with (they
+    /// describe the pre-change epochs).
+    meta: Mutex<Arc<SnapshotMeta>>,
 }
 
 impl SnapshotState {
@@ -326,8 +330,14 @@ impl SnapshotState {
         SnapshotState {
             store: Mutex::new(store),
             cell: Arc::new(ArcCell::new(Arc::new(initial))),
-            meta,
+            meta: Mutex::new(meta),
         }
+    }
+
+    /// Replace the metadata used for future publishes (the mapping system
+    /// changed). Takes effect at the next [`SnapshotState::publish`].
+    pub(crate) fn replace_meta(&self, meta: SnapshotMeta) {
+        *self.meta.lock().expect("snapshot meta lock") = Arc::new(meta);
     }
 
     /// Publish the database's current state with the given live counters
@@ -341,9 +351,10 @@ impl SnapshotState {
     ) {
         let mut store = self.store.lock().expect("snapshot store lock");
         let snap = store.publish(db);
+        let meta = Arc::clone(&self.meta.lock().expect("snapshot meta lock"));
         let view = SnapshotView {
             snap,
-            meta: Arc::clone(&self.meta),
+            meta,
             published: store.published(),
             durable_epoch,
             plan_cache_hits,

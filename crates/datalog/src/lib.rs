@@ -72,9 +72,11 @@ pub use engine::EngineKind;
 pub use error::DatalogError;
 pub use eval::{bound_scan, DerivationFilter, Evaluator};
 pub use magic::{magic_rewrite, Adornment, MagicRewrite};
-pub use parser::{parse_atom, parse_program, parse_rule};
+pub use parser::{
+    line_col, parse_atom, parse_program, parse_program_spanned, parse_rule, SourceSpan,
+};
 pub use plan::{CompiledPlan, PlanCache, PreparedProgram};
-pub use program::{Program, Stratification};
+pub use program::{Program, Stratification, StratifyFailure};
 pub use rule::Rule;
 pub use stats::EvalStats;
 pub use term::Term;

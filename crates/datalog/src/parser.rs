@@ -29,16 +29,57 @@ use crate::rule::Rule;
 use crate::term::Term;
 use crate::Result;
 
+/// Byte range of a rule in the source text it was parsed from.
+///
+/// Produced by [`parse_program_spanned`]; `start` points at the first byte of
+/// the head atom and `end` one past the terminating `.`. Offsets can be turned
+/// into line/column pairs with [`line_col`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSpan {
+    /// Byte offset of the rule's first character.
+    pub start: usize,
+    /// Byte offset one past the rule's terminating `.`.
+    pub end: usize,
+}
+
 /// Parse a whole program: zero or more rules, each terminated by `.`.
 pub fn parse_program(input: &str) -> Result<Program> {
+    parse_program_spanned(input).map(|(p, _)| p)
+}
+
+/// Parse a whole program, also returning the byte span of each rule.
+///
+/// The `i`-th span corresponds to the `i`-th rule of the returned program;
+/// static-analysis tooling uses the spans to point diagnostics at source
+/// locations.
+pub fn parse_program_spanned(input: &str) -> Result<(Program, Vec<SourceSpan>)> {
     let mut p = Parser::new(input);
     let mut rules = Vec::new();
+    let mut spans = Vec::new();
     p.skip_ws();
     while !p.at_end() {
+        let start = p.pos;
         rules.push(p.parse_rule()?);
+        spans.push(SourceSpan { start, end: p.pos });
         p.skip_ws();
     }
-    Ok(Program::from_rules(rules))
+    Ok((Program::from_rules(rules), spans))
+}
+
+/// Convert a byte offset into a 1-based `(line, column)` pair.
+///
+/// Columns count bytes on the line (the syntax is ASCII), and offsets past the
+/// end of the input map to the position just after the last character.
+pub fn line_col(input: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(input.len());
+    let before = &input.as_bytes()[..offset];
+    let line = before.iter().filter(|&&c| c == b'\n').count() + 1;
+    let col = before
+        .iter()
+        .rposition(|&c| c == b'\n')
+        .map_or(offset, |nl| offset - nl - 1)
+        + 1;
+    (line, col)
 }
 
 /// Parse a single rule (with or without the trailing `.`).
@@ -372,6 +413,28 @@ mod tests {
         assert!(parse_rule("B(i, n)").is_err()); // missing period
         assert!(parse_rule("(x) :- G(x).").is_err()); // missing relation name
         assert!(parse_program("B(\"unterminated) :- G(x).").is_err());
+    }
+
+    #[test]
+    fn spanned_parse_reports_rule_ranges() {
+        let src = "% comment\nB(i, n) :- G(i, c, n).\n  U(n, c) :- G(i, c, n).\n";
+        let (program, spans) = parse_program_spanned(src).unwrap();
+        assert_eq!(program.len(), 2);
+        assert_eq!(spans.len(), 2);
+        for (rule, span) in program.rules().iter().zip(&spans) {
+            let text = &src[span.start..span.end];
+            assert_eq!(parse_rule(text).unwrap(), *rule);
+        }
+        assert_eq!(line_col(src, spans[0].start), (2, 1));
+        assert_eq!(line_col(src, spans[1].start), (3, 3));
+    }
+
+    #[test]
+    fn line_col_edges() {
+        assert_eq!(line_col("", 0), (1, 1));
+        assert_eq!(line_col("ab\ncd", 0), (1, 1));
+        assert_eq!(line_col("ab\ncd", 3), (2, 1));
+        assert_eq!(line_col("ab\ncd", 99), (2, 3));
     }
 
     #[test]

@@ -125,6 +125,19 @@ impl Program {
     /// [`DatalogError::NotStratifiable`]. Edb relations are placed in
     /// stratum 0.
     pub fn stratify(&self) -> Result<Stratification> {
+        self.stratify_detailed()
+            .map_err(|failure| DatalogError::NotStratifiable {
+                relation: failure.relation,
+            })
+    }
+
+    /// Like [`Program::stratify`], but on failure return the actual negative
+    /// cycle instead of a bare relation name.
+    ///
+    /// The static analyzer renders the cycle in its `E006` diagnostic; the
+    /// evaluator path goes through [`Program::stratify`], which collapses the
+    /// failure back into [`DatalogError::NotStratifiable`].
+    pub fn stratify_detailed(&self) -> std::result::Result<Stratification, StratifyFailure> {
         let idb = self.idb_relations();
         let mut strata: HashMap<String, usize> = HashMap::new();
         for rel in &idb {
@@ -154,9 +167,7 @@ impl Program {
                 }
                 if required > head_stratum {
                     if required > max_stratum {
-                        return Err(DatalogError::NotStratifiable {
-                            relation: head.clone(),
-                        });
+                        return Err(self.stratify_failure(head));
                     }
                     strata.insert(head.clone(), required);
                     changed = true;
@@ -176,6 +187,70 @@ impl Program {
             relation_strata: strata.into_iter().collect(),
             rule_strata,
         })
+    }
+
+    /// Reconstruct the negative cycle that made stratification fail.
+    ///
+    /// The iterative algorithm only diverges when some idb relation negates
+    /// through recursion, i.e. the predicate dependency graph has a cycle
+    /// containing a negative idb→idb edge. Find one such edge `p -¬-> q` with
+    /// `p` reachable from `q`, then a shortest dependency path `q →* p`; the
+    /// cycle is `p, q, …, p`.
+    fn stratify_failure(&self, hint: &str) -> StratifyFailure {
+        let idb = self.idb_relations();
+        // Dependency edges head → body-relation, restricted to idb relations.
+        let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut negative: Vec<(&str, &str)> = Vec::new();
+        for rule in &self.rules {
+            let head = rule.head.relation.as_str();
+            for lit in &rule.body {
+                let dep = lit.relation();
+                if !idb.contains(dep) {
+                    continue;
+                }
+                edges.entry(head).or_default().insert(dep);
+                if lit.negated {
+                    negative.push((head, dep));
+                }
+            }
+        }
+        for (p, q) in negative {
+            // BFS from q along dependency edges, looking for p.
+            let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+            let mut queue = std::collections::VecDeque::from([q]);
+            let mut seen: BTreeSet<&str> = BTreeSet::from([q]);
+            while let Some(node) = queue.pop_front() {
+                if node == p {
+                    // Walk parents back from p to q (yields p, …, q), then
+                    // reverse and prepend p to close the cycle through the
+                    // negative edge: p -¬-> q -> … -> p.
+                    let mut back = vec![p];
+                    let mut cur = p;
+                    while cur != q {
+                        cur = parent[cur];
+                        back.push(cur);
+                    }
+                    back.reverse();
+                    let mut cycle = vec![p.to_string()];
+                    cycle.extend(back.iter().map(|s| s.to_string()));
+                    return StratifyFailure {
+                        relation: p.to_string(),
+                        cycle,
+                    };
+                }
+                for next in edges.get(node).map(|m| m.iter()).into_iter().flatten() {
+                    if seen.insert(next) {
+                        parent.insert(next, node);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        // Unreachable in practice; keep the error well-formed regardless.
+        StratifyFailure {
+            relation: hint.to_string(),
+            cycle: vec![hint.to_string()],
+        }
     }
 
     /// The relations each idb relation depends on (positively or negatively),
@@ -204,6 +279,30 @@ impl fmt::Display for Program {
 impl FromIterator<Rule> for Program {
     fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
         Program::from_rules(iter.into_iter().collect())
+    }
+}
+
+/// Why a program could not be stratified: the relation whose stratum
+/// diverged plus the negative dependency cycle that caused it.
+///
+/// Returned by [`Program::stratify_detailed`]. The cycle starts and ends at
+/// the same relation; the first hop is the negated dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratifyFailure {
+    /// The relation whose stratum could not stabilise.
+    pub relation: String,
+    /// The offending cycle, e.g. `["p", "q", "p"]` for `p -¬-> q -> p`.
+    pub cycle: Vec<String>,
+}
+
+impl fmt::Display for StratifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "relation `{}` negates through recursion: {}",
+            self.relation,
+            self.cycle.join(" -> ")
+        )
     }
 }
 
@@ -359,6 +458,55 @@ mod tests {
             p.stratify().unwrap_err(),
             DatalogError::NotStratifiable { .. }
         ));
+    }
+
+    #[test]
+    fn detailed_stratify_names_the_negative_cycle() {
+        // p(x) :- base(x), not q(x).
+        // q(x) :- r(x).
+        // r(x) :- p(x).
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("p", &["x"]),
+                vec![
+                    Literal::positive(atom("base", &["x"])),
+                    Literal::negative(atom("q", &["x"])),
+                ],
+            ),
+            Rule::positive(atom("q", &["x"]), vec![atom("r", &["x"])]),
+            Rule::positive(atom("r", &["x"]), vec![atom("p", &["x"])]),
+        ]);
+        let failure = p.stratify_detailed().unwrap_err();
+        assert_eq!(failure.cycle.first(), failure.cycle.last());
+        assert_eq!(
+            failure.cycle,
+            vec![
+                "p".to_string(),
+                "q".to_string(),
+                "r".to_string(),
+                "p".into()
+            ]
+        );
+        assert!(failure.to_string().contains("p -> q -> r -> p"));
+        // The coarse API still reports the same class of error.
+        assert!(matches!(
+            p.stratify().unwrap_err(),
+            DatalogError::NotStratifiable { .. }
+        ));
+    }
+
+    #[test]
+    fn detailed_stratify_self_negation() {
+        // p(x) :- base(x), not p(x).
+        let p = Program::from_rules(vec![Rule::new(
+            atom("p", &["x"]),
+            vec![
+                Literal::positive(atom("base", &["x"])),
+                Literal::negative(atom("p", &["x"])),
+            ],
+        )]);
+        let failure = p.stratify_detailed().unwrap_err();
+        assert_eq!(failure.cycle, vec!["p".to_string(), "p".into()]);
     }
 
     #[test]

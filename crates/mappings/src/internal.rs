@@ -87,6 +87,32 @@ impl MappingSystem {
         tgds: Vec<Tgd>,
         encoding: ProvenanceEncoding,
     ) -> Result<Self> {
+        Self::build_inner(schemas, tgds, encoding, true)
+    }
+
+    /// Like [`MappingSystem::build`], but record the weak-acyclicity analysis
+    /// without enforcing it.
+    ///
+    /// `orchestra-core` uses this entry point so the program-level static
+    /// analyzer (`orchestra-analyze`) gets to see value-inventing cycles and
+    /// reject them with a full `E001` diagnostic — the offending rule chain —
+    /// instead of the tgd-level [`MappingError::NotWeaklyAcyclic`] bail here.
+    /// Schema validation, compilation, rule safety and stratification are
+    /// still enforced.
+    pub fn build_unchecked(
+        schemas: Vec<RelationSchema>,
+        tgds: Vec<Tgd>,
+        encoding: ProvenanceEncoding,
+    ) -> Result<Self> {
+        Self::build_inner(schemas, tgds, encoding, false)
+    }
+
+    fn build_inner(
+        schemas: Vec<RelationSchema>,
+        tgds: Vec<Tgd>,
+        encoding: ProvenanceEncoding,
+        enforce_acyclicity: bool,
+    ) -> Result<Self> {
         let logical_schemas: BTreeMap<String, RelationSchema> = schemas
             .into_iter()
             .map(|s| (s.name().to_string(), s))
@@ -109,7 +135,11 @@ impl MappingSystem {
             }
         }
 
-        let acyclicity = check_weak_acyclicity(&tgds)?;
+        let acyclicity = if enforce_acyclicity {
+            check_weak_acyclicity(&tgds)?
+        } else {
+            crate::acyclicity::analyze(&tgds)
+        };
 
         let mut allocator = SkolemAllocator::new();
         let mut compiled = Vec::with_capacity(tgds.len());
@@ -302,6 +332,21 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, MappingError::NotWeaklyAcyclic { .. }));
+    }
+
+    #[test]
+    fn build_unchecked_records_but_does_not_enforce_acyclicity() {
+        let schemas = vec![RelationSchema::new("R", &["a", "b"])];
+        let system = MappingSystem::build_unchecked(
+            schemas,
+            vec![Tgd::parse("m", "R(x, y) -> R(y, z)").unwrap()],
+            ProvenanceEncoding::CompositePerTgd,
+        )
+        .unwrap();
+        // The report still knows the set diverges; it is the caller's job
+        // (orchestra-core's analyzer gate) to reject it with diagnostics.
+        assert!(!system.acyclicity.is_weakly_acyclic());
+        assert_eq!(system.compiled.len(), 1);
     }
 
     #[test]

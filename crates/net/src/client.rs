@@ -348,4 +348,22 @@ impl NetClient {
             other => Err(Self::expect_error(other)),
         }
     }
+
+    /// Install a new schema mapping on the running server, e.g.
+    /// `client.add_mapping("m2", "B(i, n) -> U(n)")`. The server re-runs
+    /// its static analyzer over the extended mapping set first; a rejected
+    /// program surfaces as a `BadRequest` error whose message carries the
+    /// rendered diagnostics (`error[E001]: …`), and the server keeps its
+    /// previous mappings. Requires wire version 6.
+    pub fn add_mapping(&mut self, name: &str, text: &str) -> Result<()> {
+        self.require_v6("AddMapping")?;
+        let request = Request::AddMapping {
+            name: name.to_string(),
+            text: text.to_string(),
+        };
+        match self.call(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::expect_error(other)),
+        }
+    }
 }

@@ -294,6 +294,18 @@ pub enum Request {
         /// Maximum neighbors per page (clamped server-side to at least 1).
         limit: u32,
     },
+    /// Submit a new schema mapping (tgd) to a running server. The extended
+    /// mapping set is statically analyzed before installation; a program
+    /// the analyzer rejects (a value-inventing Skolem cycle, an unsafe or
+    /// unstratifiable rule set) is refused with `BadRequest` carrying the
+    /// rendered diagnostics, and the server keeps its previous mappings.
+    /// Requires frame version 6; returns [`Response::Ok`].
+    AddMapping {
+        /// The mapping's name (must be unused).
+        name: String,
+        /// The tgd in textual form, e.g. `"G(i, c, n) -> B(i, n)"`.
+        text: String,
+    },
 }
 
 fn encode_binding(binding: &[Option<Value>], w: &mut Writer) {
@@ -410,6 +422,7 @@ impl Request {
             Request::QueryLocalWhere { .. } => RequestKind::QueryLocalWhere,
             Request::QueryCertainWhere { .. } => RequestKind::QueryCertainWhere,
             Request::ProvenancePage { .. } => RequestKind::ProvenancePage,
+            Request::AddMapping { .. } => RequestKind::AddMapping,
         }
     }
 }
@@ -447,11 +460,13 @@ pub enum RequestKind {
     QueryCertainWhere,
     /// `ProvenancePage`.
     ProvenancePage,
+    /// `AddMapping`.
+    AddMapping,
 }
 
 impl RequestKind {
     /// Every request kind, in tag order.
-    pub const ALL: [RequestKind; 15] = [
+    pub const ALL: [RequestKind; 16] = [
         RequestKind::PublishEdits,
         RequestKind::UpdateExchange,
         RequestKind::QueryLocal,
@@ -467,6 +482,7 @@ impl RequestKind {
         RequestKind::QueryLocalWhere,
         RequestKind::QueryCertainWhere,
         RequestKind::ProvenancePage,
+        RequestKind::AddMapping,
     ];
 
     /// Stable label for metrics and logs.
@@ -487,6 +503,7 @@ impl RequestKind {
             RequestKind::QueryLocalWhere => "query-local-where",
             RequestKind::QueryCertainWhere => "query-certain-where",
             RequestKind::ProvenancePage => "provenance-page",
+            RequestKind::AddMapping => "add-mapping",
         }
     }
 }
@@ -577,6 +594,11 @@ impl Encode for Request {
                 encode_opt_str(token, w);
                 w.put_u32(*limit);
             }
+            Request::AddMapping { name, text } => {
+                w.put_u8(16);
+                w.put_str(name);
+                w.put_str(text);
+            }
         }
     }
 }
@@ -639,6 +661,10 @@ impl Decode for Request {
                 direction: decode_direction(r)?,
                 token: decode_opt_str(r)?,
                 limit: r.get_u32()?,
+            },
+            16 => Request::AddMapping {
+                name: r.get_str()?.to_string(),
+                text: r.get_str()?.to_string(),
             },
             tag => {
                 return Err(PersistError::corrupt(

@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use orchestra_core::{Cdss, CdssError, PageDirection, SnapshotReader, SnapshotView};
+use orchestra_core::{Cdss, CdssError, PageDirection, SnapshotReader, SnapshotView, Tgd};
 use orchestra_persist::codec::{Decode, Encode};
 use orchestra_storage::{Tuple, Value};
 
@@ -508,6 +508,9 @@ fn cdss_error_response(e: &CdssError) -> Vec<u8> {
         CdssError::UnknownPeer(_) => ErrorCode::UnknownPeer,
         CdssError::NotPeerRelation { .. } => ErrorCode::UnknownRelation,
         CdssError::ArityMismatch { .. } | CdssError::UnknownMapping(_) => ErrorCode::BadRequest,
+        // Static-analysis rejections are the client's program being wrong,
+        // not a server fault; the rendered diagnostics ride in the message.
+        CdssError::Analysis(_) | CdssError::Mapping(_) => ErrorCode::BadRequest,
         CdssError::Persistence(_) => ErrorCode::NotPersistent,
         _ => ErrorCode::Internal,
     };
@@ -629,6 +632,32 @@ fn handle_request(shared: &Shared, request: Request, version: u8) -> Vec<u8> {
             limit,
             version,
         ),
+        Request::AddMapping { name, text } => handle_add_mapping(shared, &name, &text, version),
+    }
+}
+
+/// Answer `AddMapping`: parse the tgd, extend the mapping set and re-run
+/// the static analyzer over the whole program. A rejected program returns
+/// `BadRequest` whose message carries the rendered diagnostics, and the
+/// server keeps serving its previous mappings.
+fn handle_add_mapping(shared: &Shared, name: &str, text: &str, version: u8) -> Vec<u8> {
+    if version < 6 {
+        return error_response(
+            ErrorCode::BadRequest,
+            format!(
+                "the AddMapping request requires frame version 6 \
+                 (requester is pinned to {version})"
+            ),
+        );
+    }
+    let tgd = match Tgd::parse(name, text) {
+        Ok(tgd) => tgd,
+        Err(e) => return error_response(ErrorCode::BadRequest, e.to_string()),
+    };
+    let mut cdss = shared.write_cdss("add-mapping");
+    match cdss.add_mapping(tgd) {
+        Ok(()) => Response::Ok.to_bytes(),
+        Err(e) => cdss_error_response(&e),
     }
 }
 

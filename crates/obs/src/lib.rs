@@ -25,6 +25,9 @@
 //! and exchange → fixpoint → snapshot-publish → WAL-fsync cascades on
 //! one trace timeline.
 
+#![warn(unsafe_op_in_unsafe_fn)]
+#![deny(unreachable_pub)]
+
 pub mod hist;
 pub mod log;
 pub mod metrics;

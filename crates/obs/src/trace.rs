@@ -437,6 +437,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "1600 ring writes across 8 threads are slow under the interpreter"
+    )]
     fn concurrent_writers_lose_nothing_below_capacity() {
         let ring = std::sync::Arc::new(TraceRing::new(4096));
         let threads = 8;

@@ -27,6 +27,9 @@
 //! available parallelism; [`configure_global`] (used by `orchestrad
 //! --threads`) can pin the size before first use.
 
+#![warn(unsafe_op_in_unsafe_fn)]
+#![deny(unreachable_pub)]
+
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
@@ -335,8 +338,9 @@ impl<'scope> Scope<'scope> {
             execute(f, &state);
             state.finish_one();
         });
-        // Erase `'scope`: sound because `Pool::scope` does not return until
-        // `pending` hits zero, so the borrowed data outlives the task.
+        // SAFETY: this erases `'scope` from the closure's type only —
+        // sound because `Pool::scope` does not return until `pending` hits
+        // zero, so everything the task borrows outlives its execution.
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
         };
@@ -416,6 +420,10 @@ mod tests {
     use std::sync::atomic::AtomicU32;
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "hundreds of cross-thread tasks are slow under the interpreter"
+    )]
     fn run_returns_results_in_task_order() {
         for threads in [1, 2, 8] {
             let pool = Pool::new(threads);
@@ -435,6 +443,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "hundreds of cross-thread tasks are slow under the interpreter"
+    )]
     fn scoped_tasks_borrow_caller_state() {
         let pool = Pool::new(4);
         let counter = AtomicU32::new(0);
@@ -449,6 +461,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "nested help-draining spins are slow under the interpreter"
+    )]
     fn nested_scopes_make_progress() {
         let pool = Pool::new(2);
         let total = AtomicU32::new(0);
@@ -471,6 +487,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "panic unwinding across pool threads is slow under the interpreter"
+    )]
     fn scoped_panics_propagate_after_siblings_finish() {
         for threads in [1, 4] {
             let pool = Pool::new(threads);

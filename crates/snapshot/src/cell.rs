@@ -50,11 +50,13 @@ pub struct ArcCell<T> {
     writer: Mutex<()>,
 }
 
-// Safety: the only shared mutable state is `Slot::value`, and the pin
+// SAFETY: the only shared mutable state is `Slot::value`, and the pin
 // protocol (see module docs) guarantees a slot is never rewritten while a
 // reader may dereference it. `Arc<T>` crossing threads needs `T: Send +
 // Sync` as usual.
 unsafe impl<T: Send + Sync> Send for ArcCell<T> {}
+// SAFETY: as for `Send` above — shared references only reach `Slot::value`
+// through the pin protocol.
 unsafe impl<T: Send + Sync> Sync for ArcCell<T> {}
 
 impl<T> ArcCell<T> {
@@ -68,7 +70,8 @@ impl<T> ArcCell<T> {
             current: AtomicUsize::new(0),
             writer: Mutex::new(()),
         };
-        // No other thread can observe the cell yet.
+        // SAFETY: the cell is still local to this function — no other
+        // thread can observe it yet, so the write cannot race.
         unsafe { *cell.slots[0].value.get() = Some(value) };
         cell
     }
@@ -85,6 +88,8 @@ impl<T> ArcCell<T> {
             // if `current` still names this slot, its value is stable for
             // as long as we hold the pin.
             if self.current.load(Ordering::SeqCst) == idx {
+                // SAFETY: the pin was taken before the re-check above, so
+                // no writer rewrites this slot while we clone from it.
                 let value = unsafe { (*slot.value.get()).clone() };
                 slot.pins.fetch_sub(1, Ordering::SeqCst);
                 if let Some(arc) = value {
@@ -115,7 +120,7 @@ impl<T> ArcCell<T> {
                 std::hint::spin_loop();
             }
         }
-        // Safety: we hold the writer mutex, `current != next`, and the
+        // SAFETY: we hold the writer mutex, `current != next`, and the
         // slot's pin count was observed at zero after `current` moved away
         // — no reader can clone from it until `current` names it again.
         unsafe { *slot.value.get() = Some(value) };
@@ -156,6 +161,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "20k publishes against spinning readers are slow under the interpreter"
+    )]
     fn concurrent_readers_see_monotone_publishes() {
         // A writer publishes an increasing sequence while readers hammer
         // `load`; every read must be a value that was actually published,

@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(unsafe_op_in_unsafe_fn)]
+#![deny(unreachable_pub)]
 
 pub mod cell;
 

@@ -161,11 +161,18 @@ impl Database {
     /// Fraction of pool ids no live row references, in `[0, 1]`; 0 for an
     /// empty pool (never `NaN`). The compaction policy's trigger metric.
     pub fn dead_value_ratio(&self) -> f64 {
-        let total = self.pool.len();
+        Self::dead_ratio_of(self.pool.len(), self.live_value_count())
+    }
+
+    /// The one place the dead ratio is computed: guards the empty pool so
+    /// no caller can reintroduce a `0/0 = NaN` against the policy
+    /// threshold. Both [`Database::dead_value_ratio`] and the fused
+    /// check-and-compact path go through here.
+    fn dead_ratio_of(total: usize, live_count: usize) -> f64 {
         if total == 0 {
             return 0.0;
         }
-        (total - self.live_value_count()) as f64 / total as f64
+        (total - live_count) as f64 / total as f64
     }
 
     /// Rebuild the value pool from the values live rows still reference and
@@ -200,8 +207,7 @@ impl Database {
         }
         let live = self.live_value_mask();
         let live_count = live.iter().filter(|&&l| l).count();
-        let dead_ratio = (total - live_count) as f64 / total as f64;
-        if dead_ratio < min_dead_ratio {
+        if Self::dead_ratio_of(total, live_count) < min_dead_ratio {
             return None;
         }
         Some(self.compact_pool_with_mask(live))

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use orchestra_analyze as analyze;
 pub use orchestra_core as core;
 pub use orchestra_datalog as datalog;
 pub use orchestra_mappings as mappings;
